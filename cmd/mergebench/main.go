@@ -1,0 +1,88 @@
+// Command mergebench runs the paper's Section 5 streaming merge benchmark
+// on the simulated KNL: a chunked, triple-buffered pipeline whose compute
+// stage is a repeated two-way merge.
+//
+// Examples:
+//
+//	mergebench                           # the full Figure 8b sweep
+//	mergebench -repeats 8 -copy 4        # one configuration
+//	mergebench -repeats 8 -copy 4 -async # event-driven schedule (extension)
+//	mergebench -real -n 1000000          # execute the real data flow
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"knlmlm/internal/knl"
+	"knlmlm/internal/mem"
+	"knlmlm/internal/mergebench"
+	"knlmlm/internal/workload"
+)
+
+func main() {
+	repeats := flag.Int("repeats", 0, "merge repeats (0 = sweep the paper grid)")
+	copyThreads := flag.Int("copy", 0, "copy-in thread count (0 = sweep)")
+	async := flag.Bool("async", false, "use the event-driven pipeline instead of the paper's barrier schedule")
+	buffers := flag.Int("buffers", 3, "staging buffers for -async")
+	real := flag.Bool("real", false, "execute the real data flow on the host")
+	n := flag.Int("n", 1_000_000, "element count for -real")
+	verbose := flag.Bool("v", false, "print the phase trace")
+	flag.Parse()
+
+	if *real {
+		xs := workload.Generate(workload.Random, *n, 1)
+		out, err := mergebench.RunReal(xs, 1<<16, max(1, *repeats), *buffers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mergebench: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("real merge benchmark processed %d elements through %d-buffer staging\n", len(out), *buffers)
+		return
+	}
+
+	m := knl.MustNew(knl.PaperConfig(mem.Flat))
+	if *repeats > 0 && *copyThreads > 0 {
+		cfg := mergebench.PaperConfig(*repeats, *copyThreads)
+		var res mergebench.Result
+		if *async {
+			res = mergebench.SimulateAsync(m, cfg, *buffers)
+		} else {
+			res = mergebench.Simulate(m, cfg)
+		}
+		fmt.Printf("repeats=%d copy=%d compute=%d: %.3fs\n",
+			*repeats, *copyThreads, cfg.ComputeThreads(), res.Time.Seconds())
+		if *verbose {
+			fmt.Print(res.Trace.String())
+		}
+		return
+	}
+
+	repeatsGrid := []int{1, 2, 4, 8, 16, 32, 64}
+	copyGrid := []int{1, 2, 4, 8, 16, 32}
+	res := mergebench.Sweep(m, repeatsGrid, copyGrid)
+	fmt.Printf("%-8s", "repeats")
+	for _, c := range copyGrid {
+		fmt.Printf("  copy=%-5d", c)
+	}
+	fmt.Println("  best")
+	for i, r := range repeatsGrid {
+		fmt.Printf("%-8d", r)
+		best := 0
+		for j := range copyGrid {
+			fmt.Printf("  %8.3fs", res[i][j].Time.Seconds())
+			if res[i][j].Time < res[i][best].Time {
+				best = j
+			}
+		}
+		fmt.Printf("  %d\n", copyGrid[best])
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,83 @@
+// Command mlmsort runs one sort configuration, either on the simulated KNL
+// (default; paper-scale sizes allowed) or for real on host data (-real;
+// use modest sizes).
+//
+// Examples:
+//
+//	mlmsort -alg MLM-sort -n 2000000000 -order random
+//	mlmsort -alg MLM-implicit -n 6000000000 -order reverse -chunk 1500000000
+//	mlmsort -real -alg MLM-sort -n 1000000 -threads 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"knlmlm/internal/mlmsort"
+	"knlmlm/internal/workload"
+)
+
+func parseAlg(s string) (mlmsort.Algorithm, error) {
+	for _, a := range append(mlmsort.Algorithms(), mlmsort.BasicChunked) {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}
+
+func main() {
+	algName := flag.String("alg", "MLM-sort", "algorithm: GNU-flat, GNU-cache, MLM-ddr, MLM-sort, MLM-implicit, Basic-chunked")
+	n := flag.Int64("n", 2_000_000_000, "element count")
+	orderName := flag.String("order", "random", "input order (random, reverse, sorted, nearly-sorted, organ-pipe, few-unique)")
+	threads := flag.Int("threads", 256, "thread budget")
+	chunk := flag.Int64("chunk", 0, "megachunk elements (0 = paper default)")
+	real := flag.Bool("real", false, "execute the real data flow on the host instead of simulating")
+	repeats := flag.Int("runs", 1, "simulated repetitions (with the run-to-run noise model)")
+	verbose := flag.Bool("v", false, "print the phase trace")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "mlmsort: %v\n", err)
+		os.Exit(2)
+	}
+
+	alg, err := parseAlg(*algName)
+	if err != nil {
+		fail(err)
+	}
+	order, err := workload.ParseOrder(*orderName)
+	if err != nil {
+		fail(err)
+	}
+
+	if *real {
+		if *n > 1<<28 {
+			fail(fmt.Errorf("real mode sorts host data; use -n <= %d", 1<<28))
+		}
+		xs := workload.Generate(order, int(*n), 1)
+		if err := mlmsort.RunReal(alg, xs, *threads, int(*chunk)); err != nil {
+			fail(err)
+		}
+		if !workload.IsSorted(xs) {
+			fail(fmt.Errorf("output not sorted — algorithm bug"))
+		}
+		fmt.Printf("%s sorted %d %s elements on the host (verified)\n", alg, *n, order)
+		return
+	}
+
+	cfg := mlmsort.PaperSortConfig(*n, order)
+	cfg.Threads = *threads
+	cfg.MegachunkElements = *chunk
+	if *repeats > 1 {
+		s := mlmsort.Repeated(alg, cfg, *repeats, 1)
+		fmt.Printf("%s  n=%d  %s: %.2fs ± %.4fs (n=%d)\n", alg, *n, order, s.Mean, s.StdDev, s.N)
+		return
+	}
+	res := mlmsort.Simulate(alg, cfg)
+	fmt.Printf("%s  n=%d  %s: %.2fs (simulated)\n", alg, *n, order, res.Time.Seconds())
+	if *verbose {
+		fmt.Print(res.Trace.String())
+	}
+}

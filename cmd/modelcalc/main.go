@@ -1,0 +1,57 @@
+// Command modelcalc evaluates the paper's Section 3.2 analytic model:
+// copy-thread sweeps (Figure 8a), optimal pool sizes (Table 3's model
+// column), and the bandwidth-bound test of Bender et al.
+//
+// Examples:
+//
+//	modelcalc                      # Figure 8a sweep + optimal table
+//	modelcalc -repeats 8           # one sweep with per-point detail
+//	modelcalc -crossover           # where the optimum leaves DDR saturation
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"knlmlm/internal/model"
+)
+
+func main() {
+	repeats := flag.Int("repeats", 0, "show the full sweep for one repeats value")
+	threads := flag.Int("threads", 256, "total thread budget")
+	maxCopy := flag.Int("max-copy", 32, "largest copy-in pool to consider")
+	crossover := flag.Bool("crossover", false, "report the crossover pass count")
+	flag.Parse()
+
+	p := model.PaperTable2()
+
+	if *crossover {
+		x := p.CrossoverPasses(*threads, *maxCopy)
+		fmt.Printf("the optimum stops saturating DDR above ~%.1f passes\n", x)
+		return
+	}
+
+	if *repeats > 0 {
+		fmt.Printf("model sweep at %d repeats (%d threads total):\n", *repeats, *threads)
+		for _, pr := range p.Sweep(*threads, *maxCopy, float64(*repeats)) {
+			marker := " "
+			if pr.CopyBound {
+				marker = "C" // copy-bound point
+			}
+			fmt.Printf("  copy=%2d comp=%3d  T_copy=%7.3fs  T_comp=%7.3fs  T_total=%7.3fs %s\n",
+				pr.Pools.In, pr.Pools.Comp, pr.TCopy.Seconds(), pr.TComp.Seconds(),
+				pr.TTotal.Seconds(), marker)
+		}
+		best := p.Optimal(*threads, *maxCopy, float64(*repeats))
+		fmt.Printf("optimal: %d copy-in threads (%.3fs)\n", best.Pools.In, best.TTotal.Seconds())
+		return
+	}
+
+	fmt.Println("optimal copy-in threads by repeats (model, exact integer search):")
+	for _, r := range []int{1, 2, 4, 8, 16, 32, 64} {
+		exact := p.Optimal(*threads, *maxCopy, float64(r))
+		pow2 := p.OptimalPowerOfTwo(*threads, *maxCopy, float64(r))
+		fmt.Printf("  repeats=%-3d exact=%-3d pow2=%-3d T=%7.3fs\n",
+			r, exact.Pools.In, pow2.Pools.In, exact.TTotal.Seconds())
+	}
+}

@@ -1,0 +1,118 @@
+// Command paperrepro regenerates every table and figure of the paper's
+// evaluation on the simulated KNL.
+//
+// Usage:
+//
+//	paperrepro                  # everything
+//	paperrepro -exp table1      # one experiment
+//	paperrepro -format markdown # markdown tables (default ascii)
+//	paperrepro -csv             # CSV to stdout (for plotting)
+//
+// Experiments: table1, fig6a, fig6b, fig7, table2, fig8a, fig8b, table3,
+// bender, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"knlmlm"
+	"knlmlm/internal/report"
+	"knlmlm/internal/workload"
+)
+
+func render(t *report.Table, format string) string {
+	switch format {
+	case "markdown":
+		return t.Markdown()
+	case "csv":
+		return t.CSV()
+	default:
+		return t.ASCII()
+	}
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1, fig6a, fig6b, fig7, table2, fig8a, fig8b, table3, bender, all)")
+	format := flag.String("format", "ascii", "output format: ascii, markdown, csv")
+	seed := flag.Int64("seed", 1, "noise-model seed for repeated runs")
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	var table1Rows []knlmlm.Table1Row
+	needTable1 := run("table1") || run("fig6a") || run("fig6b")
+	if needTable1 {
+		table1Rows = knlmlm.Table1(*seed)
+	}
+
+	if run("table1") {
+		fmt.Println(render(knlmlm.Table1Report(table1Rows), *format))
+		ran = true
+	}
+	if run("fig6a") {
+		rows := knlmlm.Fig6(table1Rows, workload.Random)
+		fmt.Println(render(knlmlm.Fig6Report(rows, workload.Random), *format))
+		ran = true
+	}
+	if run("fig6b") {
+		rows := knlmlm.Fig6(table1Rows, workload.Reverse)
+		fmt.Println(render(knlmlm.Fig6Report(rows, workload.Reverse), *format))
+		ran = true
+	}
+	if run("fig7") {
+		fmt.Println(render(knlmlm.Fig7Report(knlmlm.Fig7()), *format))
+		ran = true
+	}
+	if run("table2") {
+		fmt.Println(render(knlmlm.Table2Report(knlmlm.Table2()), *format))
+		ran = true
+	}
+	if run("fig8a") {
+		t := &report.Table{
+			Title:   "Figure 8a: model-estimated merge benchmark time",
+			Headers: []string{"Repeats", "Copy-in Threads", "Model Time(s)"},
+		}
+		for _, p := range knlmlm.Fig8a() {
+			t.AddRow(fmt.Sprintf("%d", p.Repeats), fmt.Sprintf("%d", p.CopyThreads), fmt.Sprintf("%.3f", p.Seconds))
+		}
+		fmt.Println(render(t, *format))
+		ran = true
+	}
+	if run("fig8b") {
+		t := &report.Table{
+			Title:   "Figure 8b: simulated merge benchmark time",
+			Headers: []string{"Repeats", "Copy-in Threads", "Time(s)"},
+		}
+		for _, p := range knlmlm.Fig8b() {
+			t.AddRow(fmt.Sprintf("%d", p.Repeats), fmt.Sprintf("%d", p.CopyThreads), fmt.Sprintf("%.3f", p.Seconds))
+		}
+		fmt.Println(render(t, *format))
+		ran = true
+	}
+	if run("table3") {
+		fmt.Println(render(knlmlm.Table3Report(knlmlm.Table3()), *format))
+		ran = true
+	}
+	if run("bender") {
+		b := knlmlm.Bender()
+		t := &report.Table{
+			Title:   "Section 4 corroboration: basic chunked sort (Bender et al.) at 4G random",
+			Headers: []string{"Variant", "Time(s)"},
+		}
+		t.AddRow("GNU-flat", fmt.Sprintf("%.2f", b.GNUFlatSeconds))
+		t.AddRow("GNU-cache", fmt.Sprintf("%.2f", b.GNUCacheSeconds))
+		t.AddRow("Basic-chunked", fmt.Sprintf("%.2f", b.BasicSeconds))
+		fmt.Println(render(t, *format))
+		fmt.Printf("gain over GNU-flat: %.2fx (Bender et al. predicted ~1.3x); beats cache mode: %v (paper: false)\n\n",
+			b.GainOverFlat, b.BeatsCacheMode)
+		ran = true
+	}
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "paperrepro: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,44 @@
+// Command stream runs the STREAM-style calibration against the simulated
+// KNL and prints the Table 2 parameters. Use -ddr-bw / -mcdram-bw to probe
+// reconfigured machines (the paper's future-technology discussion).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"knlmlm/internal/knl"
+	"knlmlm/internal/mem"
+	"knlmlm/internal/stream"
+	"knlmlm/internal/units"
+)
+
+func main() {
+	ddrBW := flag.Float64("ddr-bw", 90, "DDR bandwidth in GB/s")
+	mcBW := flag.Float64("mcdram-bw", 400, "MCDRAM bandwidth in GB/s")
+	sCopy := flag.Float64("s-copy", 4.8, "per-thread copy probe rate in GB/s")
+	sComp := flag.Float64("s-comp", 6.78, "per-thread compute probe rate in GB/s")
+	perKernel := flag.Bool("kernels", false, "also print per-kernel saturated bandwidths")
+	flag.Parse()
+
+	cfg := knl.PaperConfig(mem.Flat)
+	cfg.Memory.DDRBandwidth = units.GBps(*ddrBW)
+	cfg.Memory.MCDRAMBandwidth = units.GBps(*mcBW)
+	m := knl.MustNew(cfg)
+
+	cal := stream.Calibrate(m, units.GBps(*sCopy), units.GBps(*sComp))
+	fmt.Printf("DDR_max    = %6.1f GB/s\n", cal.DDRMax.GBpsValue())
+	fmt.Printf("MCDRAM_max = %6.1f GB/s\n", cal.MCDRAMMax.GBpsValue())
+	fmt.Printf("S_copy     = %6.2f GB/s\n", cal.SCopy.GBpsValue())
+	fmt.Printf("S_comp     = %6.2f GB/s\n", cal.SComp.GBpsValue())
+
+	if *perKernel {
+		fmt.Println("\nsaturated per-kernel bandwidths (256 threads):")
+		for _, k := range stream.Kernels() {
+			ddr := stream.Measure(m, k, 256, units.GBps(*sCopy), 1<<26, false)
+			mc := stream.Measure(m, k, 256, units.GBps(*sComp), 1<<26, true)
+			fmt.Printf("  %-6s DDR %6.1f GB/s   MCDRAM %6.1f GB/s\n",
+				k, ddr.Bandwidth.GBpsValue(), mc.Bandwidth.GBpsValue())
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Customkernel shows how to adapt your own streaming kernel to the
+// multilevel-memory chunking recipe of the paper's Section 3 — the
+// "targeted rewrite" the paper argues for — and what each MCDRAM usage
+// mode does to it.
+//
+// The kernel here is a two-pass histogram + prefix-scan over 32 GB of
+// records: pass 1 counts, pass 2 rewrites each record with its class
+// rank. It is bandwidth-bound (little arithmetic per byte), so the paper's
+// playbook applies directly:
+//
+//	flat mode     -> stage chunks through MCDRAM with copy pools;
+//	implicit mode -> run the same chunked code in cache mode, no copies;
+//	cache mode    -> run the *unchunked* kernel and let the cache cope;
+//	ddr           -> the do-nothing baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"knlmlm/internal/chunk"
+	"knlmlm/internal/core"
+	"knlmlm/internal/exec"
+	"knlmlm/internal/knl"
+	"knlmlm/internal/mem"
+	"knlmlm/internal/units"
+)
+
+const (
+	dataBytes  = 32 * units.GB
+	chunkBytes = 2 * units.GB
+	threads    = 224
+	copyPool   = 16
+	// The kernel reads and writes every byte twice (two passes): a
+	// per-thread streaming rate of ~5 GB/s of touched bytes.
+	kernelRate   = 5.0 // GB/s per thread
+	kernelPasses = 2.0
+)
+
+// simulate runs the kernel under one usage mode and returns seconds.
+func simulate(mode mem.Mode, chunked bool) float64 {
+	m := knl.MustNew(knl.PaperConfig(mode))
+
+	placement := core.CacheManaged
+	if mode == mem.Flat {
+		if chunked {
+			placement = core.ScratchpadPlaced
+		} else {
+			placement = core.DDRPlaced
+		}
+	}
+
+	ws := units.Bytes(dataBytes)
+	if chunked {
+		ws = units.Bytes(chunkBytes)
+	}
+	kernel := core.Kernel{
+		Label:         "histogram-scan",
+		Threads:       threads,
+		PerThread:     units.GBps(kernelRate),
+		Passes:        kernelPasses,
+		WorkingSet:    ws,
+		WriteFraction: 0.5,
+		Placement:     placement,
+	}
+
+	if !chunked {
+		// One flow over the whole dataset.
+		step := &core.KernelStep{Name: "unchunked", Kernels: []core.Kernel{kernel}}
+		return float64(step.Simulate(m).TotalTime())
+	}
+
+	p := &chunk.Pipeline{
+		Total:   units.Bytes(dataBytes),
+		Chunk:   units.Bytes(chunkBytes),
+		Compute: kernel.StageSpec(m),
+	}
+	if mode == mem.Flat {
+		p.CopyIn = core.CopyStage(m, "copy-in", copyPool, units.GBps(4.8))
+		p.CopyOut = core.CopyStage(m, "copy-out", copyPool, units.GBps(4.8))
+		p.CopySpinPerThread = units.GBps(1.2)
+	}
+	return float64(p.SimulateBarrier(m.System()).TotalTime())
+}
+
+func main() {
+	fmt.Printf("histogram+scan over %v, %d compute threads\n\n", units.Bytes(dataBytes), threads)
+	rows := []struct {
+		label   string
+		mode    mem.Mode
+		chunked bool
+	}{
+		{"ddr only (flat mode, unchunked)", mem.Flat, false},
+		{"hardware cache mode, unchunked", mem.Cache, false},
+		{"implicit mode (chunked, cache mode)", mem.Cache, true},
+		{"flat mode (chunked + copy pools)", mem.Flat, true},
+	}
+	base := 0.0
+	for i, r := range rows {
+		t := simulate(r.mode, r.chunked)
+		if i == 0 {
+			base = t
+		}
+		fmt.Printf("  %-38s %7.3fs   speedup %.2fx\n", r.label, t, base/t)
+	}
+
+	// And the real, executable version of the chunked kernel: stage 64 MB
+	// of records through buffers and classify them, verifying the pipeline
+	// machinery end to end.
+	fmt.Println("\nrunning the real chunked kernel on host data...")
+	n := 1 << 21
+	src := make([]int64, n)
+	for i := range src {
+		src[i] = int64(i*2654435761) % 251
+	}
+	counts := make([]int64, 256)
+	st := exec.Stages{
+		NumChunks: 8,
+		ChunkLen:  func(int) int { return n / 8 },
+		CopyIn: func(i int, buf []int64) {
+			copy(buf, src[i*n/8:(i+1)*n/8])
+		},
+		Compute: func(i int, buf []int64) {
+			for _, v := range buf {
+				counts[((v%251)+251)%251]++
+			}
+		},
+		CopyOut: func(i int, buf []int64) {},
+	}
+	if err := exec.Run(st, 3); err != nil {
+		log.Fatal(err)
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != int64(n) {
+		log.Fatalf("histogram lost records: %d of %d", total, n)
+	}
+	fmt.Printf("histogram over %d records complete (all records accounted for)\n", n)
+}

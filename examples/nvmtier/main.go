@@ -1,0 +1,52 @@
+// Nvmtier explores the paper's closing future-work question: add a third,
+// high-capacity non-volatile memory level below DDR and chunk at *two*
+// levels — NVM->DDR megachunks feeding DDR->MCDRAM chunks.
+//
+// The example sweeps the compute intensity (the merge benchmark's repeats
+// knob) and shows the regime change the doubled hierarchy introduces: light
+// kernels are bound by NVM staging no matter what the upper levels do;
+// heavy kernels hide the NVM level entirely, just as the paper's model
+// hides DDR behind enough compute.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"knlmlm/internal/twolevel"
+	"knlmlm/internal/units"
+)
+
+func main() {
+	total := 256 * units.GiB
+	fmt.Printf("doubly-chunked streaming over %v of NVM-resident data\n", total)
+	fmt.Printf("(NVM 6 GB/s -> DDR 90 GB/s -> MCDRAM 400 GB/s)\n\n")
+
+	fmt.Printf("%-8s %-14s %-14s %-14s %-10s\n",
+		"passes", "two-level", "direct-NVM", "speedup", "bound-by")
+	for _, passes := range []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128} {
+		cfg := twolevel.DefaultConfig(total)
+		cfg.Passes = passes
+		res, err := cfg.Simulate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := cfg.SingleLevelBaseline()
+		if err != nil {
+			log.Fatal(err)
+		}
+		bound := "NVM-staging"
+		if res.InnerTime > res.OuterCopyTime {
+			bound = "inner-pipeline"
+		}
+		fmt.Printf("%-8v %-14s %-14s %-14s %-10s\n",
+			passes,
+			fmt.Sprintf("%.1fs", res.Time.Seconds()),
+			fmt.Sprintf("%.1fs", base.Seconds()),
+			fmt.Sprintf("%.2fx", base.Seconds()/res.Time.Seconds()),
+			bound)
+	}
+
+	fmt.Println("\nreading: below ~64 passes the NVM level is the wall — no amount of")
+	fmt.Println("MCDRAM tuning helps; above it, the doubled chunking hides NVM entirely.")
+}

@@ -1,0 +1,3 @@
+module knlmlm
+
+go 1.22

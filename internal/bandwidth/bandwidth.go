@@ -1,0 +1,395 @@
+// Package bandwidth models shared memory bandwidth as a fluid-flow system.
+//
+// The KNL phenomena studied by the paper are bandwidth phenomena: thread
+// pools streaming data compete for the aggregate bandwidth of two devices
+// (DDR ~90 GB/s and MCDRAM ~400 GB/s). This package answers the question
+// "given these concurrently active pools, how fast does each progress?" with
+// a thread-weighted max-min fair allocation, and advances a set of flows to
+// completion by repeatedly allocating and jumping to the next finish time.
+//
+// # Flow accounting
+//
+// A Flow represents one thread pool doing one piece of work. Its work is
+// measured in payload bytes; each payload byte places Demand[d] bytes of
+// traffic on device d. Examples from the paper's accounting (Section 3.2):
+//
+//   - a copy pool moving a chunk between DDR and MCDRAM has Demand 1 on
+//     both devices (each payload byte is read from one and written to the
+//     other, and the paper charges a copy thread's rate against both
+//     DDR_max and MCDRAM_max);
+//   - a compute pool streaming through MCDRAM has Demand 1 on MCDRAM with
+//     work counted in touched bytes (the paper's 2·B·passes).
+//
+// # Allocation discipline
+//
+// Rates are assigned by progressive filling at thread granularity: every
+// unfrozen thread's rate rises uniformly until either its pool hits its
+// per-thread cap (the paper's S_copy / S_comp) or a device saturates, which
+// freezes every pool using that device. This is the classic max-min fair
+// allocation with per-flow caps and multi-resource demands. It reduces
+// exactly to the paper's Equations 2-5 in the two regimes the paper
+// considers, and generalises them to the transient regimes (e.g. a compute
+// flow finishing early and releasing MCDRAM to the copy pools) that the
+// analytic model ignores.
+package bandwidth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"knlmlm/internal/units"
+)
+
+// DeviceID names a memory device within a System.
+type DeviceID int
+
+// Device is one bandwidth domain (a memory technology's aggregate
+// read+write bandwidth).
+type Device struct {
+	Name string
+	Cap  units.BytesPerSec
+}
+
+// System is a fixed set of devices flows can demand bandwidth from.
+type System struct {
+	devices []Device
+}
+
+// NewSystem creates a system with the given devices; their order defines
+// their DeviceIDs.
+func NewSystem(devices ...Device) *System {
+	for _, d := range devices {
+		if d.Cap <= 0 {
+			panic(fmt.Sprintf("bandwidth: device %q has non-positive capacity", d.Name))
+		}
+	}
+	return &System{devices: append([]Device(nil), devices...)}
+}
+
+// Devices reports the system's devices.
+func (s *System) Devices() []Device { return append([]Device(nil), s.devices...) }
+
+// Device returns the device with the given id.
+func (s *System) Device(id DeviceID) Device { return s.devices[int(id)] }
+
+// Flow is one thread pool progressing through Work payload bytes.
+type Flow struct {
+	Label string
+	// Threads is the pool size; it is the flow's weight in max-min
+	// allocation and multiplies the per-thread cap.
+	Threads int
+	// PerThreadCap is the maximum payload rate of a single thread when no
+	// device is saturated (the paper's S_copy or S_comp).
+	PerThreadCap units.BytesPerSec
+	// Demand[d] is the traffic placed on device d per payload byte.
+	// A zero entry means the flow does not touch that device.
+	Demand map[DeviceID]float64
+	// Work is the payload bytes this flow must progress through.
+	Work units.Bytes
+	// Priority orders allocation: higher-priority flows receive bandwidth
+	// first, lower classes share what remains. The paper's Eq. 5 models
+	// copy threads this way — they keep their DDR-limited rate while
+	// compute threads split the remaining MCDRAM bandwidth — which matches
+	// KNL behaviour because a copy thread's MCDRAM accesses are posted
+	// writes that do not stall it. Flows default to priority 0.
+	Priority int
+	// Background marks a flow with no work of its own that consumes
+	// bandwidth for as long as the run's foreground flows are active —
+	// the model for busy-waiting thread pools, whose barrier spinning
+	// keeps issuing memory traffic (the copy-thread contention effect
+	// reported by Olivier et al., IWOMP 2017). Background flows never
+	// complete and their Work is ignored.
+	Background bool
+
+	remaining units.Bytes
+	rate      units.BytesPerSec
+	done      bool
+}
+
+// Rate reports the flow's payload rate from the most recent allocation.
+func (f *Flow) Rate() units.BytesPerSec { return f.rate }
+
+// Remaining reports the flow's unfinished payload bytes during a run.
+func (f *Flow) Remaining() units.Bytes { return f.remaining }
+
+// Done reports whether the flow completed during a run.
+func (f *Flow) Done() bool { return f.done }
+
+func (f *Flow) validate(s *System) error {
+	if f.Threads < 0 {
+		return fmt.Errorf("bandwidth: flow %q has negative thread count %d", f.Label, f.Threads)
+	}
+	if f.PerThreadCap < 0 {
+		return fmt.Errorf("bandwidth: flow %q has negative per-thread cap", f.Label)
+	}
+	if f.Work < 0 {
+		return fmt.Errorf("bandwidth: flow %q has negative work", f.Label)
+	}
+	for d, coeff := range f.Demand {
+		if int(d) < 0 || int(d) >= len(s.devices) {
+			return fmt.Errorf("bandwidth: flow %q demands unknown device %d", f.Label, d)
+		}
+		if coeff < 0 {
+			return fmt.Errorf("bandwidth: flow %q has negative demand coefficient on device %d", f.Label, d)
+		}
+	}
+	return nil
+}
+
+// Allocate computes the max-min fair payload rates for the given flows and
+// stores them in each flow's Rate. Flows with zero threads, zero per-thread
+// cap, or no remaining purpose still get rate 0. The returned slice aliases
+// the input.
+//
+// Invariants guaranteed (and asserted by tests):
+//   - no device's aggregate traffic exceeds its capacity;
+//   - no flow exceeds Threads x PerThreadCap;
+//   - the allocation is max-min fair at per-thread granularity: a thread's
+//     rate can only be below the uniform fill level because its pool's cap
+//     or a device it uses saturated.
+func (s *System) Allocate(flows []*Flow) []*Flow {
+	for _, f := range flows {
+		if err := f.validate(s); err != nil {
+			panic(err)
+		}
+		f.rate = 0
+	}
+
+	// Group by priority class, highest first. Each class fills over the
+	// bandwidth the classes above it left behind.
+	classes := map[int][]*Flow{}
+	var order []int
+	for _, f := range flows {
+		if _, ok := classes[f.Priority]; !ok {
+			order = append(order, f.Priority)
+		}
+		classes[f.Priority] = append(classes[f.Priority], f)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(order)))
+
+	used := make([]float64, len(s.devices)) // traffic committed by earlier classes / frozen pools
+	for _, pri := range order {
+		s.allocateClass(classes[pri], used)
+	}
+	return flows
+}
+
+// allocateClass runs progressive filling for one priority class, reading
+// and updating the per-device committed traffic.
+func (s *System) allocateClass(flows []*Flow, used []float64) {
+	// Progressive filling: lambda is the per-thread rate of all unfrozen
+	// pools; it rises until a pool cap or a device capacity binds.
+	type state struct {
+		flow   *Flow
+		frozen bool
+	}
+	states := make([]state, 0, len(flows))
+	for _, f := range flows {
+		st := state{flow: f}
+		switch {
+		case f.Threads == 0 || f.PerThreadCap == 0:
+			st.frozen = true // rate stays 0
+		case len(f.Demand) == 0:
+			// Pure-compute flow: no device traffic, so it runs at its
+			// thread-capped rate regardless of contention.
+			st.frozen = true
+			f.rate = units.BytesPerSec(float64(f.PerThreadCap) * float64(f.Threads))
+		}
+		states = append(states, st)
+	}
+
+	lambda := 0.0
+
+	for {
+		// Fill speed per device: traffic added per unit lambda increase.
+		unfrozenWeight := make([]float64, len(s.devices))
+		anyUnfrozen := false
+		for _, st := range states {
+			if st.frozen {
+				continue
+			}
+			anyUnfrozen = true
+			for d, coeff := range st.flow.Demand {
+				unfrozenWeight[int(d)] += coeff * float64(st.flow.Threads)
+			}
+		}
+		if !anyUnfrozen {
+			break
+		}
+
+		// Next pool-cap event.
+		nextCap := math.Inf(1)
+		for _, st := range states {
+			if st.frozen {
+				continue
+			}
+			if c := float64(st.flow.PerThreadCap); c < nextCap {
+				nextCap = c
+			}
+		}
+
+		// Next device-saturation event. Unfrozen pools on device d carry
+		// unfrozenWeight[d]*lambda traffic beyond the frozen pools' used[d],
+		// so d saturates at lambda' = (cap - used) / unfrozenWeight.
+		nextDev := math.Inf(1)
+		devIdx := -1
+		for d := range s.devices {
+			if unfrozenWeight[d] <= 0 {
+				continue
+			}
+			at := (float64(s.devices[d].Cap) - used[d]) / unfrozenWeight[d]
+			if at < lambda {
+				at = lambda // float residue; saturation cannot precede the current level
+			}
+			if at < nextDev {
+				nextDev = at
+				devIdx = d
+			}
+		}
+
+		if nextCap <= nextDev {
+			lambda = nextCap
+			// Freeze every pool whose cap binds at this level.
+			for i := range states {
+				st := &states[i]
+				if st.frozen || float64(st.flow.PerThreadCap) > lambda {
+					continue
+				}
+				st.frozen = true
+				st.flow.rate = units.BytesPerSec(lambda * float64(st.flow.Threads))
+				for d, coeff := range st.flow.Demand {
+					used[int(d)] += coeff * float64(st.flow.rate)
+				}
+			}
+			continue
+		}
+
+		// Device devIdx saturates: freeze every unfrozen pool touching it.
+		lambda = nextDev
+		for i := range states {
+			st := &states[i]
+			if st.frozen {
+				continue
+			}
+			if _, touches := st.flow.Demand[DeviceID(devIdx)]; !touches || st.flow.Demand[DeviceID(devIdx)] == 0 {
+				continue
+			}
+			st.frozen = true
+			st.flow.rate = units.BytesPerSec(lambda * float64(st.flow.Threads))
+			for d, coeff := range st.flow.Demand {
+				used[int(d)] += coeff * float64(st.flow.rate)
+			}
+		}
+	}
+}
+
+// Completion records when one flow finished during a Run.
+type Completion struct {
+	Flow *Flow
+	At   units.Time
+}
+
+// RunResult reports the outcome of advancing a flow set to completion.
+type RunResult struct {
+	// Makespan is when the last flow finished.
+	Makespan units.Time
+	// Completions lists flows in finish order.
+	Completions []Completion
+	// DeviceBusy[d] integrates each device's traffic over the run
+	// (byte-seconds / seconds = average bytes); divided by Makespan it
+	// gives average utilisation. Indexed by DeviceID.
+	DeviceBytes []units.Bytes
+}
+
+// Utilization reports device d's average bandwidth over the run as a
+// fraction of its capacity.
+func (r *RunResult) Utilization(s *System, d DeviceID) float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	avg := float64(r.DeviceBytes[int(d)]) / float64(r.Makespan)
+	return avg / float64(s.Device(d).Cap)
+}
+
+// Run advances the given flows to completion under repeated max-min
+// allocation: rates hold until the earliest flow finishes, then remaining
+// flows are re-allocated with the freed bandwidth. It returns the finish
+// schedule. Flows with zero work complete at time 0. A flow that can never
+// progress (zero threads or cap but positive work) makes Run panic, since
+// the simulation would otherwise hang forever.
+func (s *System) Run(flows []*Flow) RunResult {
+	res := RunResult{DeviceBytes: make([]units.Bytes, len(s.devices))}
+	active := make([]*Flow, 0, len(flows))
+	var background []*Flow
+	for _, f := range flows {
+		f.remaining = f.Work
+		f.done = false
+		if f.Background {
+			background = append(background, f)
+			continue
+		}
+		if f.Work <= 0 {
+			f.done = true
+			res.Completions = append(res.Completions, Completion{Flow: f, At: 0})
+			continue
+		}
+		if f.Threads == 0 || f.PerThreadCap == 0 {
+			panic(fmt.Sprintf("bandwidth: flow %q has work but no capacity to progress", f.Label))
+		}
+		active = append(active, f)
+	}
+
+	now := units.Time(0)
+	for len(active) > 0 {
+		s.Allocate(append(append([]*Flow(nil), background...), active...))
+		// Earliest completion among active flows. Zero-rate flows are
+		// legal (starved by a higher priority class) as long as at least
+		// one flow progresses.
+		dt := units.Inf
+		for _, f := range active {
+			if f.rate <= 0 {
+				continue
+			}
+			if t := units.TimeToMove(f.remaining, f.rate); t < dt {
+				dt = t
+			}
+		}
+		if dt == units.Inf {
+			panic("bandwidth: all active flows starved — allocation deadlock")
+		}
+		// Advance every flow by dt.
+		for _, f := range active {
+			moved := units.Bytes(float64(f.rate) * float64(dt))
+			if moved > f.remaining {
+				moved = f.remaining
+			}
+			f.remaining -= moved
+			for d, coeff := range f.Demand {
+				res.DeviceBytes[int(d)] += units.Bytes(coeff * float64(moved))
+			}
+		}
+		for _, f := range background {
+			moved := float64(f.rate) * float64(dt)
+			for d, coeff := range f.Demand {
+				res.DeviceBytes[int(d)] += units.Bytes(coeff * moved)
+			}
+		}
+		now += dt
+		// Retire finished flows (with tolerance for float residue).
+		next := active[:0]
+		for _, f := range active {
+			if float64(f.remaining) <= 1e-6*math.Max(1, float64(f.Work)) {
+				f.remaining = 0
+				f.done = true
+				res.Completions = append(res.Completions, Completion{Flow: f, At: now})
+				continue
+			}
+			next = append(next, f)
+		}
+		active = next
+	}
+	res.Makespan = now
+	sort.SliceStable(res.Completions, func(i, j int) bool { return res.Completions[i].At < res.Completions[j].At })
+	return res
+}

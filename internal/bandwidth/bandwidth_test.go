@@ -1,0 +1,375 @@
+package bandwidth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"knlmlm/internal/units"
+)
+
+// Paper-like two-device system: DDR 90 GB/s, MCDRAM 400 GB/s.
+func paperSystem() (*System, DeviceID, DeviceID) {
+	s := NewSystem(
+		Device{Name: "DDR", Cap: units.GBps(90)},
+		Device{Name: "MCDRAM", Cap: units.GBps(400)},
+	)
+	return s, 0, 1
+}
+
+func copyFlow(label string, threads int, work units.Bytes, ddr, mc DeviceID) *Flow {
+	return &Flow{
+		Label:        label,
+		Threads:      threads,
+		PerThreadCap: units.GBps(4.8),
+		Demand:       map[DeviceID]float64{ddr: 1, mc: 1},
+		Work:         work,
+	}
+}
+
+func computeFlow(label string, threads int, work units.Bytes, mc DeviceID) *Flow {
+	return &Flow{
+		Label:        label,
+		Threads:      threads,
+		PerThreadCap: units.GBps(6.78),
+		Demand:       map[DeviceID]float64{mc: 1},
+		Work:         work,
+	}
+}
+
+func TestNewSystemRejectsZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-capacity device should panic")
+		}
+	}()
+	NewSystem(Device{Name: "bad", Cap: 0})
+}
+
+// Unsaturated regime: aggregate copy rate is threads x S_copy, the paper's
+// Eq. 3 first branch.
+func TestAllocateCopyUnsaturated(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	f := copyFlow("copy", 8, units.GB, ddr, mc) // 8 x 4.8 = 38.4 < 90
+	s.Allocate([]*Flow{f})
+	want := units.GBps(8 * 4.8)
+	if !units.AlmostEqual(float64(f.Rate()), float64(want), 1e-9) {
+		t.Errorf("rate = %v, want %v", f.Rate(), want)
+	}
+}
+
+// Saturated regime: aggregate copy rate pins at DDR_max, Eq. 3 second branch.
+func TestAllocateCopySaturated(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	f := copyFlow("copy", 32, units.GB, ddr, mc) // 32 x 4.8 = 153.6 > 90
+	s.Allocate([]*Flow{f})
+	if !units.AlmostEqual(float64(f.Rate()), float64(units.GBps(90)), 1e-9) {
+		t.Errorf("rate = %v, want DDR cap 90 GB/s", f.Rate())
+	}
+}
+
+// Compute-only saturated regime: rate pins at MCDRAM_max.
+func TestAllocateComputeSaturated(t *testing.T) {
+	s, _, mc := paperSystem()
+	f := computeFlow("comp", 256, units.GB, mc) // 256 x 6.78 >> 400
+	s.Allocate([]*Flow{f})
+	if !units.AlmostEqual(float64(f.Rate()), float64(units.GBps(400)), 1e-9) {
+		t.Errorf("rate = %v, want MCDRAM cap 400 GB/s", f.Rate())
+	}
+}
+
+// Mixed regime reproducing Eq. 5's structure: copy threads DDR-bound at a
+// per-thread rate below the uniform fill level keep that rate; compute
+// shares what MCDRAM has left.
+func TestAllocateMixedCopyAndCompute(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	cp := copyFlow("copy", 32, units.GB, ddr, mc) // DDR-bound: 90 GB/s aggregate, 2.8125/thread
+	cm := computeFlow("comp", 224, units.GB, mc)  // wants 1518, MCDRAM leftover = 310
+	s.Allocate([]*Flow{cp, cm})
+	// Copy's per-thread DDR share (90/32 = 2.8125) is *above* MCDRAM's
+	// uniform fill level 400/256 = 1.5625, so MCDRAM saturates first and
+	// freezes both pools at the fill level; copy then cannot reach its DDR
+	// bound. Max-min at thread granularity gives each thread 400/256.
+	perThread := 400.0 / 256.0
+	wantCopy := units.GBps(perThread * 32)
+	wantComp := units.GBps(perThread * 224)
+	if !units.AlmostEqual(float64(cp.Rate()), float64(wantCopy), 1e-9) {
+		t.Errorf("copy rate = %v, want %v", cp.Rate(), wantCopy)
+	}
+	if !units.AlmostEqual(float64(cm.Rate()), float64(wantComp), 1e-9) {
+		t.Errorf("compute rate = %v, want %v", cm.Rate(), wantComp)
+	}
+}
+
+// With few copy threads, copy pins at its per-thread cap (4.8 < fill level)
+// and compute takes the MCDRAM remainder — exactly Eq. 5's second branch.
+func TestAllocateCopyCapsComputeTakesRemainder(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	cp := copyFlow("copy", 4, units.GB, ddr, mc) // 19.2 GB/s, per-thread 4.8
+	cm := computeFlow("comp", 64, units.GB, mc)  // 433.9 demand > 380.8 left
+	s.Allocate([]*Flow{cp, cm})
+	wantCopy := units.GBps(4 * 4.8)
+	wantComp := units.GBps(400 - 4*4.8)
+	if !units.AlmostEqual(float64(cp.Rate()), float64(wantCopy), 1e-9) {
+		t.Errorf("copy rate = %v, want %v", cp.Rate(), wantCopy)
+	}
+	if !units.AlmostEqual(float64(cm.Rate()), float64(wantComp), 1e-9) {
+		t.Errorf("compute rate = %v, want %v", cm.Rate(), wantComp)
+	}
+}
+
+func TestAllocateZeroThreadFlowGetsZero(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	f := copyFlow("idle", 0, units.GB, ddr, mc)
+	s.Allocate([]*Flow{f})
+	if f.Rate() != 0 {
+		t.Errorf("zero-thread flow rate = %v, want 0", f.Rate())
+	}
+}
+
+func TestAllocateInvalidFlowPanics(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	f := copyFlow("bad", -1, units.GB, ddr, mc)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative thread count should panic")
+		}
+	}()
+	s.Allocate([]*Flow{f})
+}
+
+func TestAllocateUnknownDevicePanics(t *testing.T) {
+	s, _, _ := paperSystem()
+	f := &Flow{Label: "bad", Threads: 1, PerThreadCap: 1,
+		Demand: map[DeviceID]float64{DeviceID(99): 1}, Work: 1}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown device should panic")
+		}
+	}()
+	s.Allocate([]*Flow{f})
+}
+
+// Property: allocations never exceed device capacities or pool caps, and
+// are work-conserving on the bottleneck (some device saturated or all pools
+// at cap) whenever any flow is active.
+func TestAllocateInvariants(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		flows := make([]*Flow, 0, n)
+		for i := 0; i < n; i++ {
+			fl := &Flow{
+				Label:        "f",
+				Threads:      rng.Intn(300),
+				PerThreadCap: units.BytesPerSec(rng.Float64() * 10e9),
+				Work:         units.GB,
+				Demand:       map[DeviceID]float64{},
+			}
+			if rng.Intn(2) == 0 {
+				fl.Demand[ddr] = 1
+			}
+			fl.Demand[mc] = 1
+			flows = append(flows, fl)
+		}
+		s.Allocate(flows)
+		var ddrUse, mcUse float64
+		anyActive := false
+		for _, fl := range flows {
+			if fl.Rate() < 0 {
+				return false
+			}
+			capRate := float64(fl.PerThreadCap) * float64(fl.Threads)
+			if float64(fl.Rate()) > capRate*(1+1e-9) {
+				return false
+			}
+			if fl.Threads > 0 && fl.PerThreadCap > 0 {
+				anyActive = true
+			}
+			ddrUse += fl.Demand[ddr] * float64(fl.Rate())
+			mcUse += fl.Demand[mc] * float64(fl.Rate())
+		}
+		if ddrUse > 90e9*(1+1e-9) || mcUse > 400e9*(1+1e-9) {
+			return false
+		}
+		if anyActive {
+			// Work conservation: either every active pool is at its cap, or
+			// some device the unfrozen pools touch is saturated.
+			allCapped := true
+			for _, fl := range flows {
+				if fl.Threads == 0 || fl.PerThreadCap == 0 {
+					continue
+				}
+				capRate := float64(fl.PerThreadCap) * float64(fl.Threads)
+				if float64(fl.Rate()) < capRate*(1-1e-9) {
+					allCapped = false
+				}
+			}
+			devSaturated := ddrUse >= 90e9*(1-1e-9) || mcUse >= 400e9*(1-1e-9)
+			if !allCapped && !devSaturated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunSingleFlowTime(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	// 90 GB at DDR cap: exactly 1 second.
+	f := copyFlow("copy", 32, units.Bytes(90e9), ddr, mc)
+	res := s.Run([]*Flow{f})
+	if !units.AlmostEqual(float64(res.Makespan), 1.0, 1e-9) {
+		t.Errorf("makespan = %v, want 1s", res.Makespan)
+	}
+	if !f.Done() {
+		t.Error("flow should be done")
+	}
+}
+
+func TestRunZeroWorkCompletesImmediately(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	f := copyFlow("copy", 4, 0, ddr, mc)
+	res := s.Run([]*Flow{f})
+	if res.Makespan != 0 {
+		t.Errorf("makespan = %v, want 0", res.Makespan)
+	}
+	if len(res.Completions) != 1 || res.Completions[0].At != 0 {
+		t.Errorf("completions = %+v", res.Completions)
+	}
+}
+
+func TestRunStuckFlowPanics(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	f := copyFlow("stuck", 0, units.GB, ddr, mc)
+	defer func() {
+		if recover() == nil {
+			t.Error("flow with work but no threads should panic")
+		}
+	}()
+	s.Run([]*Flow{f})
+}
+
+// When a short compute flow finishes, the copy flow should speed up: total
+// time must be less than if contention had held for the whole run.
+func TestRunReallocatesAfterCompletion(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	cp := copyFlow("copy", 32, units.Bytes(90e9), ddr, mc)
+	cm := computeFlow("comp", 224, units.Bytes(40e9), mc)
+	res := s.Run([]*Flow{cp, cm})
+
+	// Phase 1: both active, per-thread fill 400/256; compute rate =
+	// 224*400/256 = 350 GB/s, finishes 40 GB at t1 = 40/350 s. Copy ran at
+	// 50 GB/s until then, then at min(DDR 90, 32*4.8=153.6 capped by...)
+	// copy alone: DDR saturates at 90.
+	t1 := 40.0 / 350.0
+	copied := 50e9 * t1
+	t2 := t1 + (90e9-copied)/90e9
+	if !units.AlmostEqual(float64(res.Makespan), t2, 1e-6) {
+		t.Errorf("makespan = %v, want %v", res.Makespan, t2)
+	}
+	if len(res.Completions) != 2 || res.Completions[0].Flow != cm {
+		t.Errorf("completions out of order: %+v", res.Completions)
+	}
+}
+
+// Property: Run conserves bytes — device traffic equals the demand-weighted
+// work of all flows.
+func TestRunConservesBytes(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		flows := make([]*Flow, 0, n)
+		var wantDDR, wantMC float64
+		for i := 0; i < n; i++ {
+			work := units.Bytes(1e6 * (1 + rng.Float64()*100))
+			fl := &Flow{
+				Label:        "f",
+				Threads:      1 + rng.Intn(256),
+				PerThreadCap: units.BytesPerSec(1e8 + rng.Float64()*10e9),
+				Work:         work,
+				Demand:       map[DeviceID]float64{mc: 1},
+			}
+			if rng.Intn(2) == 0 {
+				fl.Demand[ddr] = 1
+				wantDDR += float64(work)
+			}
+			wantMC += float64(work)
+			flows = append(flows, fl)
+		}
+		res := s.Run(flows)
+		return units.AlmostEqual(float64(res.DeviceBytes[int(ddr)]), wantDDR, 1e-6) &&
+			units.AlmostEqual(float64(res.DeviceBytes[int(mc)]), wantMC, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: makespan is at least every flow's contention-free lower bound.
+func TestRunMakespanLowerBound(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		flows := make([]*Flow, 0, n)
+		for i := 0; i < n; i++ {
+			flows = append(flows, &Flow{
+				Label:        "f",
+				Threads:      1 + rng.Intn(64),
+				PerThreadCap: units.BytesPerSec(1e8 + rng.Float64()*5e9),
+				Work:         units.Bytes(1e6 * (1 + rng.Float64()*10)),
+				Demand:       map[DeviceID]float64{ddr: 1, mc: 1},
+			})
+		}
+		res := s.Run(flows)
+		for _, fl := range flows {
+			solo := math.Min(float64(fl.PerThreadCap)*float64(fl.Threads), 90e9)
+			lb := float64(fl.Work) / solo
+			if float64(res.Makespan) < lb*(1-1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	f := copyFlow("copy", 32, units.Bytes(90e9), ddr, mc)
+	res := s.Run([]*Flow{f})
+	if u := res.Utilization(s, ddr); !units.AlmostEqual(u, 1.0, 1e-6) {
+		t.Errorf("DDR utilization = %v, want 1.0", u)
+	}
+	if u := res.Utilization(s, mc); !units.AlmostEqual(u, 90.0/400.0, 1e-6) {
+		t.Errorf("MCDRAM utilization = %v, want 0.225", u)
+	}
+}
+
+func TestUtilizationZeroMakespan(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	res := s.Run([]*Flow{copyFlow("copy", 4, 0, ddr, mc)})
+	if u := res.Utilization(s, ddr); u != 0 {
+		t.Errorf("utilization of empty run = %v", u)
+	}
+}
+
+func TestDevicesAccessors(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	devs := s.Devices()
+	if len(devs) != 2 || devs[0].Name != "DDR" || devs[1].Name != "MCDRAM" {
+		t.Errorf("Devices() = %+v", devs)
+	}
+	if s.Device(ddr).Name != "DDR" || s.Device(mc).Name != "MCDRAM" {
+		t.Error("Device accessor mismatch")
+	}
+}

@@ -1,0 +1,76 @@
+package bandwidth
+
+import (
+	"math"
+	"testing"
+
+	"knlmlm/internal/units"
+)
+
+// A small high-priority copy pool keeps its full per-thread rate even while
+// a huge compute pool saturates MCDRAM — the paper's Eq. 5 structure.
+func TestPriorityCopyKeepsRateUnderContention(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	cp := copyFlow("copy", 2, units.GB, ddr, mc)
+	cp.Priority = 1
+	cm := computeFlow("comp", 254, units.GB, mc)
+	s.Allocate([]*Flow{cp, cm})
+
+	wantCopy := units.GBps(2 * 4.8)
+	if !units.AlmostEqual(float64(cp.Rate()), float64(wantCopy), 1e-9) {
+		t.Errorf("priority copy rate = %v, want %v", cp.Rate(), wantCopy)
+	}
+	wantComp := units.GBps(400 - 2*4.8)
+	if !units.AlmostEqual(float64(cm.Rate()), float64(wantComp), 1e-9) {
+		t.Errorf("compute remainder = %v, want %v", cm.Rate(), wantComp)
+	}
+}
+
+// Without priority the same pools share MCDRAM fairly per thread — the
+// contrast case proving the priority class changes the allocation.
+func TestEqualPriorityIsThreadFair(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	cp := copyFlow("copy", 2, units.GB, ddr, mc)
+	cm := computeFlow("comp", 254, units.GB, mc)
+	s.Allocate([]*Flow{cp, cm})
+	perThread := 400e9 / 256.0
+	if !units.AlmostEqual(float64(cp.Rate()), perThread*2, 1e-9) {
+		t.Errorf("fair copy rate = %v, want %v", cp.Rate(), units.BytesPerSec(perThread*2))
+	}
+}
+
+// Priority classes still respect device capacities jointly.
+func TestPriorityRespectsDeviceCaps(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	cp := copyFlow("copy", 64, units.GB, ddr, mc) // wants 307, DDR caps at 90
+	cp.Priority = 1
+	cm := computeFlow("comp", 254, units.GB, mc)
+	s.Allocate([]*Flow{cp, cm})
+	if !units.AlmostEqual(float64(cp.Rate()), 90e9, 1e-9) {
+		t.Errorf("priority copy = %v, want DDR cap", cp.Rate())
+	}
+	total := float64(cp.Rate()) + float64(cm.Rate())
+	if total > 400e9*(1+1e-9) {
+		t.Errorf("MCDRAM oversubscribed: %v", units.BytesPerSec(total))
+	}
+	if !units.AlmostEqual(float64(cm.Rate()), 310e9, 1e-9) {
+		t.Errorf("compute = %v, want 310 GB/s remainder", cm.Rate())
+	}
+}
+
+// A starved lower class gets zero rate without deadlocking Allocate; Run
+// still completes once the high-priority flow finishes.
+func TestPriorityStarvationThenRecovery(t *testing.T) {
+	s, _, mc := paperSystem()
+	hog := &Flow{
+		Label: "hog", Threads: 256, PerThreadCap: units.GBps(6.78),
+		Demand: map[DeviceID]float64{mc: 1}, Work: units.Bytes(400e9), Priority: 2,
+	}
+	low := computeFlow("low", 64, units.Bytes(40e9), mc)
+	res := s.Run([]*Flow{hog, low})
+	// Hog takes all 400 GB/s for 1s; then low runs at min(64*6.78,400).
+	want := 1.0 + 40e9/math.Min(64*6.78e9, 400e9)
+	if !units.AlmostEqual(float64(res.Makespan), want, 1e-6) {
+		t.Errorf("makespan = %v, want %v", res.Makespan, units.Time(want))
+	}
+}

@@ -1,0 +1,131 @@
+package bandwidth
+
+import (
+	"testing"
+
+	"knlmlm/internal/units"
+)
+
+func TestSessionMatchesRunForStaticFlowSet(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	mkFlows := func() []*Flow {
+		return []*Flow{
+			copyFlow("copy", 32, units.Bytes(90e9), ddr, mc),
+			computeFlow("comp", 224, units.Bytes(40e9), mc),
+		}
+	}
+
+	run := s.Run(mkFlows())
+
+	sess := NewSession(s)
+	for _, f := range mkFlows() {
+		sess.Add(f)
+	}
+	var last units.Time
+	for {
+		at, who := sess.NextCompletion()
+		if who == nil {
+			break
+		}
+		sess.AdvanceTo(at)
+		last = sess.Now()
+	}
+	if !units.AlmostEqual(float64(last), float64(run.Makespan), 1e-9) {
+		t.Errorf("session makespan %v != run makespan %v", last, run.Makespan)
+	}
+	if !units.AlmostEqual(float64(sess.DeviceBytes(ddr)), float64(run.DeviceBytes[int(ddr)]), 1e-6) {
+		t.Errorf("session DDR bytes %v != run %v", sess.DeviceBytes(ddr), run.DeviceBytes[int(ddr)])
+	}
+}
+
+func TestSessionLateJoinerSlowsExisting(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	sess := NewSession(s)
+	// A copy flow alone saturates DDR at 90 GB/s.
+	f1 := copyFlow("copy1", 32, units.Bytes(90e9), ddr, mc)
+	sess.Add(f1)
+	sess.AdvanceTo(0.5) // half done: 45 GB moved
+	if !units.AlmostEqual(float64(f1.Remaining()), 45e9, 1e-6) {
+		t.Fatalf("remaining = %v, want 45 GB", f1.Remaining())
+	}
+	// A second identical flow joins: they now share DDR at 45 GB/s each.
+	f2 := copyFlow("copy2", 32, units.Bytes(45e9), ddr, mc)
+	sess.Add(f2)
+	done := sess.AdvanceTo(1.5)
+	// Both need 45 GB at 45 GB/s => both finish exactly at t=1.5.
+	if len(done) != 2 {
+		t.Fatalf("completed %d flows, want 2", len(done))
+	}
+	if !f1.Done() || !f2.Done() {
+		t.Error("flows not marked done")
+	}
+}
+
+func TestSessionAdvancePastMultipleCompletions(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	sess := NewSession(s)
+	sess.Add(copyFlow("a", 8, units.Bytes(1e9), ddr, mc))
+	sess.Add(copyFlow("b", 8, units.Bytes(2e9), ddr, mc))
+	sess.Add(copyFlow("c", 8, units.Bytes(30e9), ddr, mc))
+	done := sess.AdvanceTo(10)
+	if len(done) != 3 {
+		t.Errorf("completed %d flows, want 3", len(done))
+	}
+	if sess.Now() != 10 {
+		t.Errorf("now = %v, want 10", sess.Now())
+	}
+	if len(sess.Active()) != 0 {
+		t.Error("flows still active")
+	}
+}
+
+func TestSessionZeroWorkCompletesOnAdd(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	sess := NewSession(s)
+	f := copyFlow("zero", 4, 0, ddr, mc)
+	sess.Add(f)
+	if !f.Done() || len(sess.Active()) != 0 {
+		t.Error("zero-work flow should complete on Add")
+	}
+}
+
+func TestSessionStuckFlowPanics(t *testing.T) {
+	s, ddr, mc := paperSystem()
+	sess := NewSession(s)
+	defer func() {
+		if recover() == nil {
+			t.Error("stuck flow should panic")
+		}
+	}()
+	sess.Add(copyFlow("stuck", 0, units.GB, ddr, mc))
+}
+
+func TestSessionBackwardsAdvancePanics(t *testing.T) {
+	s, _, _ := paperSystem()
+	sess := NewSession(s)
+	sess.AdvanceTo(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards advance should panic")
+		}
+	}()
+	sess.AdvanceTo(4)
+}
+
+func TestSessionNextCompletionEmpty(t *testing.T) {
+	s, _, _ := paperSystem()
+	sess := NewSession(s)
+	at, who := sess.NextCompletion()
+	if who != nil || at != units.Inf {
+		t.Errorf("NextCompletion on empty session = %v, %v", at, who)
+	}
+}
+
+func TestSessionIdleAdvance(t *testing.T) {
+	s, _, _ := paperSystem()
+	sess := NewSession(s)
+	done := sess.AdvanceTo(3)
+	if len(done) != 0 || sess.Now() != 3 {
+		t.Errorf("idle advance: done=%v now=%v", done, sess.Now())
+	}
+}

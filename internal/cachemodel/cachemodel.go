@@ -1,0 +1,164 @@
+// Package cachemodel predicts the behaviour of KNL's direct-mapped MCDRAM
+// cache for the streaming access patterns used by chunked algorithms, at
+// paper scale where trace-driven simulation (internal/cachesim) is
+// infeasible.
+//
+// The model answers two questions for a sequential pass over a working set:
+//
+//  1. What fraction of the pass's lines are still resident from the
+//     previous pass (temporal reuse)?
+//  2. What traffic does the pass place on DDR and MCDRAM per payload byte?
+//
+// Those per-byte demand coefficients plug directly into
+// bandwidth.Flow.Demand, so cache-mode and implicit-mode computations are
+// simulated by the same fluid arbiter as flat-mode ones — only their
+// coefficients differ. internal/cachesim validates the reuse formula on
+// down-scaled configurations (see cachemodel tests).
+package cachemodel
+
+import (
+	"fmt"
+
+	"knlmlm/internal/units"
+)
+
+// ReuseFraction reports the fraction of a sequential working set's lines
+// still resident in a direct-mapped cache of capacity c when the set is
+// re-read immediately after being streamed once.
+//
+// Derivation: a sequential stream of W bytes over a cache of C bytes maps
+// lines round-robin onto sets. After the stream, set s holds the last line
+// that mapped to it. A second sequential pass re-reads line i while lines
+// i+C..i+W-ish are resident ahead of it and evicts as it goes, so the only
+// survivors are sets never over-written by a second wrap:
+//
+//	W <= C        -> everything fits, reuse = 1
+//	C < W < 2C    -> 2C - W bytes survive, reuse = (2C-W)/W
+//	W >= 2C       -> complete thrash, reuse = 0
+//
+// This is the direct-mapped thrashing pathology the paper cites as a
+// weakness of hardware cache mode.
+func ReuseFraction(w, c units.Bytes) float64 {
+	if w <= 0 {
+		return 1
+	}
+	if c <= 0 {
+		return 0
+	}
+	switch {
+	case w <= c:
+		return 1
+	case w >= 2*c:
+		return 0
+	default:
+		return float64(2*c-w) / float64(w)
+	}
+}
+
+// Pass describes one sequential sweep of a kernel over its working set.
+type Pass struct {
+	// WorkingSet is the bytes the pass touches (its reuse distance).
+	WorkingSet units.Bytes
+	// WriteFraction is the fraction of payload bytes written (0 for a pure
+	// read scan, 0.5 for read+write streaming like a merge, 1 for a pure
+	// store stream). Written lines are dirtied and cost a writeback when
+	// evicted.
+	WriteFraction float64
+	// Resident is true when the pass's input is already cache-resident
+	// (e.g. the second and later sweeps of an in-place kernel whose
+	// working set fits). A non-resident pass pays cold line fills for the
+	// non-reused fraction.
+	Resident bool
+}
+
+// Validate reports whether the pass is well-formed.
+func (p Pass) Validate() error {
+	if p.WorkingSet < 0 {
+		return fmt.Errorf("cachemodel: negative working set %v", p.WorkingSet)
+	}
+	if p.WriteFraction < 0 || p.WriteFraction > 1 {
+		return fmt.Errorf("cachemodel: write fraction %v outside [0,1]", p.WriteFraction)
+	}
+	return nil
+}
+
+// Demand is the traffic placed on each memory level per payload byte of a
+// pass, ready to be used as bandwidth.Flow demand coefficients.
+type Demand struct {
+	DDR    float64
+	MCDRAM float64
+}
+
+// ForPass derives per-payload-byte demand coefficients for a pass running
+// with the MCDRAM cache of capacity cacheCap.
+//
+// Accounting (memory-side cache, write-allocate, write-back):
+//   - a hit byte touches the MCDRAM array once;
+//   - a missed byte is filled from DDR (1 DDR byte) into MCDRAM (1 MCDRAM
+//     write) and then read/written by the core (1 more MCDRAM byte);
+//   - a dirtied line pays 1 DDR byte of writeback when evicted; evictions
+//     are certain for non-reused streaming data.
+//
+// With hit fraction h = reuse (resident passes) or 0 (cold), per byte:
+//
+//	DDR    = (1-h) * (1 + WriteFraction)
+//	MCDRAM = h * 1 + (1-h) * 2
+func ForPass(p Pass, cacheCap units.Bytes) Demand {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if cacheCap <= 0 {
+		// No cache partition: everything streams from DDR directly.
+		return Demand{DDR: 1 + p.WriteFraction, MCDRAM: 0}
+	}
+	h := 0.0
+	if p.Resident {
+		h = ReuseFraction(p.WorkingSet, cacheCap)
+	}
+	return Demand{
+		DDR:    (1 - h) * (1 + p.WriteFraction),
+		MCDRAM: h + (1-h)*2,
+	}
+}
+
+// FlatDemand reports the demand coefficients for the same pass running
+// against explicitly-placed memory in flat mode: payload streams touch only
+// the level they are placed in, with read+write both charged.
+//
+// scratchpad selects MCDRAM placement (true) or DDR placement (false).
+func FlatDemand(p Pass, scratchpad bool) Demand {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if scratchpad {
+		return Demand{MCDRAM: 1}
+	}
+	return Demand{DDR: 1}
+}
+
+// EffectiveBandwidth reports the aggregate payload bandwidth a pass
+// achieves when it alone saturates the memory system: the payload rate x
+// at which x*DDRcoeff = DDR_max or x*MCcoeff = MCDRAM_max binds first.
+// It is the roofline the arbiter converges to for a single dominant flow,
+// and is used by the calibration code and tests as a closed-form check.
+func EffectiveBandwidth(d Demand, ddrMax, mcMax units.BytesPerSec) units.BytesPerSec {
+	limit := units.BytesPerSec(0)
+	first := true
+	consider := func(coeff float64, cap units.BytesPerSec) {
+		if coeff <= 0 {
+			return
+		}
+		x := units.BytesPerSec(float64(cap) / coeff)
+		if first || x < limit {
+			limit = x
+			first = false
+		}
+	}
+	consider(d.DDR, ddrMax)
+	consider(d.MCDRAM, mcMax)
+	if first {
+		// No demand on any device: infinite payload bandwidth.
+		return units.BytesPerSec(float64(units.Inf))
+	}
+	return limit
+}

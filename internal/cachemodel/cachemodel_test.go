@@ -1,0 +1,181 @@
+package cachemodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"knlmlm/internal/cachesim"
+	"knlmlm/internal/units"
+)
+
+func TestReuseFractionRegimes(t *testing.T) {
+	c := units.Bytes(1000)
+	tests := []struct {
+		w    units.Bytes
+		want float64
+	}{
+		{0, 1},
+		{500, 1},
+		{1000, 1},
+		{1500, 1.0 / 3.0}, // (2000-1500)/1500
+		{1999, (2000.0 - 1999.0) / 1999.0},
+		{2000, 0},
+		{5000, 0},
+	}
+	for _, tc := range tests {
+		if got := ReuseFraction(tc.w, c); !units.AlmostEqual(got, tc.want, 1e-12) {
+			t.Errorf("ReuseFraction(%v, %v) = %v, want %v", tc.w, c, got, tc.want)
+		}
+	}
+	if got := ReuseFraction(100, 0); got != 0 {
+		t.Errorf("zero cache reuse = %v, want 0", got)
+	}
+}
+
+func TestReuseFractionMonotoneInWorkingSet(t *testing.T) {
+	f := func(w1, w2 uint32) bool {
+		c := units.Bytes(1 << 16)
+		a, b := units.Bytes(w1), units.Bytes(w2)
+		if a > b {
+			a, b = b, a
+		}
+		return ReuseFraction(a, c) >= ReuseFraction(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Cross-validation: the analytic reuse fraction must match the trace-driven
+// direct-mapped simulator for sequential re-reads at various W/C ratios.
+func TestReuseFractionMatchesCacheSim(t *testing.T) {
+	const line = 64
+	capacity := units.Bytes(256 * line) // 256 lines
+	for _, ratio := range []float64{0.25, 0.5, 1.0, 1.25, 1.5, 1.75, 2.0, 3.0} {
+		w := int64(float64(capacity) * ratio)
+		w = w / line * line // whole lines
+		c := cachesim.New(capacity, line)
+		c.AccessRange(0, w, line, false) // prime: one access per line
+		c.ResetStats()
+		c.AccessRange(0, w, line, false) // re-read
+		simReuse := c.Stats().HitRatio()
+		want := ReuseFraction(units.Bytes(w), capacity)
+		if !units.AlmostEqual(simReuse, want, 0.02) && !(simReuse == 0 && want == 0) {
+			t.Errorf("W/C=%.2f: sim reuse %v, model %v", ratio, simReuse, want)
+		}
+	}
+}
+
+func TestPassValidate(t *testing.T) {
+	bad := []Pass{
+		{WorkingSet: -1},
+		{WorkingSet: 1, WriteFraction: -0.1},
+		{WorkingSet: 1, WriteFraction: 1.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if err := (Pass{WorkingSet: 1, WriteFraction: 0.5}).Validate(); err != nil {
+		t.Errorf("valid pass rejected: %v", err)
+	}
+}
+
+func TestForPassColdStream(t *testing.T) {
+	// Cold read-only stream: every byte filled from DDR once, MCDRAM
+	// touched twice (fill + read).
+	d := ForPass(Pass{WorkingSet: 100 * units.GiB, WriteFraction: 0}, 16*units.GiB)
+	if d.DDR != 1 || d.MCDRAM != 2 {
+		t.Errorf("cold read demand = %+v, want {1 2}", d)
+	}
+}
+
+func TestForPassColdReadWrite(t *testing.T) {
+	// Cold read+write stream (WriteFraction 0.5): fills + half writebacks.
+	d := ForPass(Pass{WorkingSet: 100 * units.GiB, WriteFraction: 0.5}, 16*units.GiB)
+	if !units.AlmostEqual(d.DDR, 1.5, 1e-12) || d.MCDRAM != 2 {
+		t.Errorf("cold rw demand = %+v, want {1.5 2}", d)
+	}
+}
+
+func TestForPassResidentFits(t *testing.T) {
+	// Resident pass over a working set that fits: pure MCDRAM traffic.
+	d := ForPass(Pass{WorkingSet: units.GiB, WriteFraction: 0.5, Resident: true}, 16*units.GiB)
+	if d.DDR != 0 || d.MCDRAM != 1 {
+		t.Errorf("resident demand = %+v, want {0 1}", d)
+	}
+}
+
+func TestForPassResidentThrash(t *testing.T) {
+	// Resident claim but working set >= 2x cache: thrash means full DDR.
+	d := ForPass(Pass{WorkingSet: 64 * units.GiB, WriteFraction: 0, Resident: true}, 16*units.GiB)
+	if d.DDR != 1 || d.MCDRAM != 2 {
+		t.Errorf("thrashed demand = %+v, want {1 2}", d)
+	}
+}
+
+func TestForPassNoCachePartition(t *testing.T) {
+	d := ForPass(Pass{WorkingSet: units.GiB, WriteFraction: 1}, 0)
+	if d.DDR != 2 || d.MCDRAM != 0 {
+		t.Errorf("no-cache demand = %+v, want {2 0}", d)
+	}
+}
+
+func TestForPassInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid pass should panic")
+		}
+	}()
+	ForPass(Pass{WorkingSet: -1}, units.GiB)
+}
+
+func TestFlatDemand(t *testing.T) {
+	p := Pass{WorkingSet: units.GiB, WriteFraction: 0.5}
+	if d := FlatDemand(p, true); d.DDR != 0 || d.MCDRAM != 1 {
+		t.Errorf("scratchpad flat demand = %+v", d)
+	}
+	if d := FlatDemand(p, false); d.DDR != 1 || d.MCDRAM != 0 {
+		t.Errorf("ddr flat demand = %+v", d)
+	}
+}
+
+func TestEffectiveBandwidth(t *testing.T) {
+	ddr, mc := units.GBps(90), units.GBps(400)
+	// Cold stream {DDR:1, MC:2}: DDR binds at 90, MCDRAM would allow 200.
+	if got := EffectiveBandwidth(Demand{DDR: 1, MCDRAM: 2}, ddr, mc); !units.AlmostEqual(float64(got), 90e9, 1e-9) {
+		t.Errorf("cold stream bw = %v, want 90 GB/s", got)
+	}
+	// Pure MCDRAM flow: 400.
+	if got := EffectiveBandwidth(Demand{MCDRAM: 1}, ddr, mc); !units.AlmostEqual(float64(got), 400e9, 1e-9) {
+		t.Errorf("mcdram bw = %v, want 400 GB/s", got)
+	}
+	// Cold rw {DDR:1.5, MC:2}: DDR binds at 60.
+	if got := EffectiveBandwidth(Demand{DDR: 1.5, MCDRAM: 2}, ddr, mc); !units.AlmostEqual(float64(got), 60e9, 1e-9) {
+		t.Errorf("cold rw bw = %v, want 60 GB/s", got)
+	}
+	// No demand: effectively unbounded.
+	if got := EffectiveBandwidth(Demand{}, ddr, mc); float64(got) < 1e30 {
+		t.Errorf("empty demand bw = %v, want unbounded", got)
+	}
+}
+
+// Property: demand coefficients interpolate monotonically between the
+// resident-fit and thrash extremes as the working set grows.
+func TestForPassMonotone(t *testing.T) {
+	c := 16 * units.GiB
+	f := func(w1, w2 uint64) bool {
+		a := units.Bytes(w1 % (64 << 30))
+		b := units.Bytes(w2 % (64 << 30))
+		if a > b {
+			a, b = b, a
+		}
+		da := ForPass(Pass{WorkingSet: a, WriteFraction: 0.5, Resident: true}, c)
+		db := ForPass(Pass{WorkingSet: b, WriteFraction: 0.5, Resident: true}, c)
+		return da.DDR <= db.DDR+1e-12 && da.MCDRAM <= db.MCDRAM+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+// Package cachesim is a trace-driven simulator of the MCDRAM memory-side
+// cache in KNL's hardware cache mode: direct-mapped, 64-byte lines,
+// write-back with write-allocate.
+//
+// It exists to validate the analytic streaming model in
+// internal/cachemodel: paper-scale runs (billions of elements) cannot be
+// simulated line by line, but the analytic model's hit-ratio predictions
+// can be checked against this simulator on down-scaled configurations.
+// It also demonstrates the direct-mapped thrashing pathology the paper
+// cites as a weakness of hardware cache mode.
+package cachesim
+
+import (
+	"fmt"
+
+	"knlmlm/internal/units"
+)
+
+// Cache is a direct-mapped, write-back, write-allocate cache over a byte
+// address space.
+type Cache struct {
+	lineSize int64
+	numLines int64
+
+	// tags[i] is the line-aligned address cached in set i, or -1 if empty.
+	tags  []int64
+	dirty []bool
+
+	stats Stats
+}
+
+// Stats counts cache events. Traffic counters follow KNL's memory-side
+// cache behaviour: a miss fetches a full line from DDR; a dirty eviction
+// writes a full line back to DDR; hits touch only MCDRAM.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64
+
+	DDRBytes    units.Bytes // line fills + writebacks
+	MCDRAMBytes units.Bytes // all accesses touch the cache array
+}
+
+// HitRatio reports hits/accesses, or 0 before any access.
+func (s Stats) HitRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// New creates a cache of the given capacity and line size. Capacity is
+// rounded down to a whole number of lines; at least one line must fit.
+func New(capacity units.Bytes, lineSize units.Bytes) *Cache {
+	if lineSize <= 0 {
+		panic(fmt.Sprintf("cachesim: line size %v must be positive", lineSize))
+	}
+	lines := int64(capacity) / int64(lineSize)
+	if lines <= 0 {
+		panic(fmt.Sprintf("cachesim: capacity %v below one line of %v", capacity, lineSize))
+	}
+	c := &Cache{
+		lineSize: int64(lineSize),
+		numLines: lines,
+		tags:     make([]int64, lines),
+		dirty:    make([]bool, lines),
+	}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+// NumLines reports the number of cache sets (== lines: direct-mapped).
+func (c *Cache) NumLines() int64 { return c.numLines }
+
+// LineSize reports the line size in bytes.
+func (c *Cache) LineSize() units.Bytes { return units.Bytes(c.lineSize) }
+
+// Capacity reports the usable capacity.
+func (c *Cache) Capacity() units.Bytes { return units.Bytes(c.numLines * c.lineSize) }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without flushing cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Access touches one byte address. write selects load vs store. It reports
+// whether the access hit. Direct-mapped indexing: set = (addr/line) % lines.
+func (c *Cache) Access(addr int64, write bool) bool {
+	if addr < 0 {
+		panic(fmt.Sprintf("cachesim: negative address %d", addr))
+	}
+	c.stats.Accesses++
+	c.stats.MCDRAMBytes += units.Bytes(1)
+
+	lineAddr := addr / c.lineSize * c.lineSize
+	set := (addr / c.lineSize) % c.numLines
+
+	if c.tags[set] == lineAddr {
+		c.stats.Hits++
+		if write {
+			c.dirty[set] = true
+		}
+		return true
+	}
+
+	c.stats.Misses++
+	if c.tags[set] != -1 {
+		c.stats.Evictions++
+		if c.dirty[set] {
+			c.stats.Writebacks++
+			c.stats.DDRBytes += units.Bytes(c.lineSize)
+		}
+	}
+	// Line fill from DDR (write-allocate: stores also fill).
+	c.stats.DDRBytes += units.Bytes(c.lineSize)
+	c.tags[set] = lineAddr
+	c.dirty[set] = write
+	return false
+}
+
+// AccessRange streams sequentially through [base, base+n) with the given
+// access width in bytes, issuing one Access per element. It models a
+// thread streaming an array.
+func (c *Cache) AccessRange(base, n int64, width int64, write bool) {
+	if width <= 0 {
+		panic(fmt.Sprintf("cachesim: width %d must be positive", width))
+	}
+	for off := int64(0); off < n; off += width {
+		c.Access(base+off, write)
+	}
+}
+
+// Flush writes back every dirty line and empties the cache, counting the
+// writebacks. It models the implicit flush when a chunked phase's output
+// must be durable in DDR before the next phase streams new data.
+func (c *Cache) Flush() {
+	for i := range c.tags {
+		if c.tags[i] == -1 {
+			continue
+		}
+		if c.dirty[i] {
+			c.stats.Writebacks++
+			c.stats.DDRBytes += units.Bytes(c.lineSize)
+		}
+		c.tags[i] = -1
+		c.dirty[i] = false
+	}
+}

@@ -1,0 +1,187 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"knlmlm/internal/units"
+)
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	for _, tc := range []struct{ capacity, line units.Bytes }{
+		{0, 64}, {63, 64}, {128, 0}, {128, -64},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v, %v) should panic", tc.capacity, tc.line)
+				}
+			}()
+			New(tc.capacity, tc.line)
+		}()
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c := New(1000, 64) // rounds down to 15 lines
+	if c.NumLines() != 15 || c.Capacity() != 15*64 || c.LineSize() != 64 {
+		t.Errorf("lines=%d capacity=%v line=%v", c.NumLines(), c.Capacity(), c.LineSize())
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(1024, 64)
+	if c.Access(0, false) {
+		t.Error("first access should miss")
+	}
+	if !c.Access(32, false) {
+		t.Error("same-line access should hit")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Accesses != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	// Cold miss fetched one line from DDR; no writeback yet.
+	if s.DDRBytes != 64 {
+		t.Errorf("DDR bytes = %v, want 64", s.DDRBytes)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c := New(2*64, 64) // 2 lines: addresses 0 and 128 map to set 0
+	c.Access(0, false)
+	c.Access(128, false) // evicts line 0
+	if c.Access(0, false) {
+		t.Error("conflicting line should have been evicted")
+	}
+	if c.Stats().Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", c.Stats().Evictions)
+	}
+}
+
+func TestWritebackOnlyForDirtyLines(t *testing.T) {
+	c := New(2*64, 64)
+	c.Access(0, true)    // dirty
+	c.Access(128, false) // evicts dirty line -> writeback
+	s := c.Stats()
+	if s.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", s.Writebacks)
+	}
+	// 2 line fills + 1 writeback = 3 lines of DDR traffic.
+	if s.DDRBytes != 3*64 {
+		t.Errorf("DDR bytes = %v, want 192", s.DDRBytes)
+	}
+	c.Access(256, false) // evicts clean line 128 -> no writeback
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("clean eviction caused writeback")
+	}
+}
+
+func TestStreamingHitRatio(t *testing.T) {
+	// Sequential 8-byte accesses over 64-byte lines: 1 miss + 7 hits per
+	// line => hit ratio 7/8 exactly, for data far exceeding the cache.
+	c := New(64*64, 64)
+	c.AccessRange(0, 64*1024, 8, false)
+	hr := c.Stats().HitRatio()
+	if !units.AlmostEqual(hr, 7.0/8.0, 1e-12) {
+		t.Errorf("hit ratio = %v, want 0.875", hr)
+	}
+}
+
+func TestRereadWithinCapacityHits(t *testing.T) {
+	// Second pass over data that fits entirely: all hits.
+	c := New(1024, 64)
+	c.AccessRange(0, 1024, 8, false)
+	c.ResetStats()
+	c.AccessRange(0, 1024, 8, false)
+	if hr := c.Stats().HitRatio(); hr != 1.0 {
+		t.Errorf("re-read hit ratio = %v, want 1.0", hr)
+	}
+}
+
+func TestThrashingRereadBeyondCapacity(t *testing.T) {
+	// Second pass over data exactly 2x capacity: direct-mapped streaming
+	// evicts every line before reuse, so the re-read misses on every line.
+	c := New(1024, 64)
+	c.AccessRange(0, 2048, 8, false)
+	c.ResetStats()
+	c.AccessRange(0, 2048, 8, false)
+	hr := c.Stats().HitRatio()
+	if !units.AlmostEqual(hr, 7.0/8.0, 1e-12) {
+		// Only the spatial hits within each line remain; no temporal reuse.
+		t.Errorf("thrashed hit ratio = %v, want 0.875 (spatial only)", hr)
+	}
+	if c.Stats().Misses == 0 {
+		t.Error("expected line misses during thrashed re-read")
+	}
+}
+
+func TestFlushWritesBackDirtyLines(t *testing.T) {
+	c := New(4*64, 64)
+	c.Access(0, true)
+	c.Access(64, false)
+	c.Access(128, true)
+	before := c.Stats().DDRBytes
+	c.Flush()
+	s := c.Stats()
+	if s.Writebacks != 2 {
+		t.Errorf("flush writebacks = %d, want 2", s.Writebacks)
+	}
+	if s.DDRBytes != before+2*64 {
+		t.Errorf("flush DDR bytes = %v", s.DDRBytes-before)
+	}
+	// After flush everything misses again.
+	if c.Access(0, false) {
+		t.Error("access after flush should miss")
+	}
+}
+
+func TestNegativeAddressPanics(t *testing.T) {
+	c := New(1024, 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative address should panic")
+		}
+	}()
+	c.Access(-1, false)
+}
+
+func TestAccessRangeBadWidthPanics(t *testing.T) {
+	c := New(1024, 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero width should panic")
+		}
+	}()
+	c.AccessRange(0, 64, 0, false)
+}
+
+// Property: hits + misses == accesses, and DDR traffic is a whole number of
+// lines bounded by (misses + writebacks) * lineSize.
+func TestCounterConsistency(t *testing.T) {
+	f := func(addrs []uint16, writes []bool) bool {
+		c := New(32*64, 64)
+		for i, a := range addrs {
+			w := i < len(writes) && writes[i]
+			c.Access(int64(a), w)
+		}
+		s := c.Stats()
+		if s.Hits+s.Misses != s.Accesses {
+			return false
+		}
+		if s.Writebacks > s.Evictions+0 { // writebacks only happen at evictions (no flush here)
+			return false
+		}
+		want := units.Bytes((s.Misses + s.Writebacks) * 64)
+		return s.DDRBytes == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHitRatioEmpty(t *testing.T) {
+	if (Stats{}).HitRatio() != 0 {
+		t.Error("empty stats hit ratio should be 0")
+	}
+}

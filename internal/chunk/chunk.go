@@ -1,0 +1,393 @@
+// Package chunk models the paper's Section 3 technique: split a dataset
+// into chunks, stage each chunk through near memory, and overlap the
+// copy-in / compute / copy-out stages with dedicated thread pools
+// ("buffering", Figure 2 of the paper).
+//
+// Two schedulers are provided:
+//
+//   - SimulateBarrier reproduces the paper's step-synchronous schedule: at
+//     step s the copy-in pool loads chunk s while the compute pool works on
+//     chunk s-1 and the copy-out pool drains chunk s-2, and the step lasts
+//     until the slowest stage finishes ("the time for each step is
+//     determined by the longest of the components").
+//
+//   - SimulateAsync is the extension the paper leaves as future work: each
+//     stage starts the moment its chunk dependency and a buffer are
+//     available, driven by the discrete-event engine. It strictly dominates
+//     the barrier schedule and quantifies how much the barriers cost.
+//
+// Stage timing comes from the fluid bandwidth arbiter, so contention
+// between concurrently active stages (the paper's central concern when
+// choosing copy-thread counts) is captured rather than assumed away.
+package chunk
+
+import (
+	"fmt"
+
+	"knlmlm/internal/bandwidth"
+	"knlmlm/internal/sim"
+	"knlmlm/internal/trace"
+	"knlmlm/internal/units"
+)
+
+// StageSpec describes one pipeline stage's thread pool and traffic shape.
+type StageSpec struct {
+	Label string
+	// Threads is the pool size dedicated to this stage.
+	Threads int
+	// PerThreadRate is the stage's payload rate cap per thread (the
+	// paper's S_copy for copy stages, S_comp for compute).
+	PerThreadRate units.BytesPerSec
+	// Demand maps each payload byte to device traffic, as in
+	// bandwidth.Flow.
+	Demand map[bandwidth.DeviceID]float64
+	// WorkPerChunkByte is the stage's payload bytes per byte of chunk: 1
+	// for a copy stage, 2*passes for a read+write compute stage.
+	WorkPerChunkByte float64
+	// Priority is the stage's bandwidth-allocation class (see
+	// bandwidth.Flow.Priority). Copy pools conventionally run at priority
+	// 1 so they keep their DDR-limited rate under MCDRAM contention, as
+	// in the paper's Eq. 5.
+	Priority int
+}
+
+func (s *StageSpec) validate(name string) error {
+	if s == nil {
+		return nil
+	}
+	if s.Threads <= 0 {
+		return fmt.Errorf("chunk: %s stage needs a positive thread count", name)
+	}
+	if s.PerThreadRate <= 0 {
+		return fmt.Errorf("chunk: %s stage needs a positive per-thread rate", name)
+	}
+	if s.WorkPerChunkByte <= 0 {
+		return fmt.Errorf("chunk: %s stage needs positive work per chunk byte", name)
+	}
+	if len(s.Demand) == 0 {
+		return fmt.Errorf("chunk: %s stage needs demand on at least one device", name)
+	}
+	return nil
+}
+
+// flow instantiates the stage's bandwidth flow for a chunk of n bytes.
+func (s *StageSpec) flow(chunkIdx int, n units.Bytes) *bandwidth.Flow {
+	return &bandwidth.Flow{
+		Label:        fmt.Sprintf("%s[%d]", s.Label, chunkIdx),
+		Threads:      s.Threads,
+		PerThreadCap: s.PerThreadRate,
+		Demand:       s.Demand,
+		Work:         units.Bytes(float64(n) * s.WorkPerChunkByte),
+		Priority:     s.Priority,
+	}
+}
+
+// Pipeline is one chunked execution over a dataset.
+type Pipeline struct {
+	// Total is the dataset size in bytes.
+	Total units.Bytes
+	// Chunk is the chunk size; the final chunk may be smaller.
+	Chunk units.Bytes
+	// CopyIn and CopyOut may be nil for variants without explicit staging
+	// (MLM-ddr, implicit cache mode). Compute is required.
+	CopyIn  *StageSpec
+	Compute *StageSpec
+	CopyOut *StageSpec
+	// CopySpinPerThread is the MCDRAM traffic each copy-pool thread keeps
+	// issuing while busy-waiting at step barriers (OpenMP-style spinning;
+	// the contention effect of Olivier et al., IWOMP 2017). It is charged
+	// for the pools' full residence — dedicating many copy threads is
+	// therefore not free even when copies finish early, which is what
+	// bounds the useful copy-pool size in the compute-dominated regime.
+	// Zero disables the effect.
+	CopySpinPerThread units.BytesPerSec
+}
+
+// Validate reports whether the pipeline is well-formed.
+func (p *Pipeline) Validate() error {
+	if p.Total <= 0 {
+		return fmt.Errorf("chunk: total size %v must be positive", p.Total)
+	}
+	if p.Chunk <= 0 {
+		return fmt.Errorf("chunk: chunk size %v must be positive", p.Chunk)
+	}
+	if p.Compute == nil {
+		return fmt.Errorf("chunk: compute stage is required")
+	}
+	if err := p.Compute.validate("compute"); err != nil {
+		return err
+	}
+	if err := p.CopyIn.validate("copy-in"); err != nil {
+		return err
+	}
+	return p.CopyOut.validate("copy-out")
+}
+
+// NumChunks reports ceil(Total/Chunk).
+func (p *Pipeline) NumChunks() int {
+	n := int(p.Total / p.Chunk)
+	if units.Bytes(n)*p.Chunk < p.Total {
+		n++
+	}
+	return n
+}
+
+// ChunkBytes reports chunk i's size (the last chunk may be short).
+func (p *Pipeline) ChunkBytes(i int) units.Bytes {
+	n := p.NumChunks()
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("chunk: index %d out of %d chunks", i, n))
+	}
+	if i == n-1 {
+		if rem := p.Total - units.Bytes(n-1)*p.Chunk; rem > 0 {
+			return rem
+		}
+	}
+	return p.Chunk
+}
+
+// stageOffsets reports the pipeline depth of each present stage: compute
+// trails copy-in by one step, copy-out trails compute by one.
+func (p *Pipeline) stageOffsets() (copyIn, compute, copyOut int) {
+	copyIn = -1
+	copyOut = -1
+	compute = 0
+	if p.CopyIn != nil {
+		copyIn = 0
+		compute = 1
+	}
+	if p.CopyOut != nil {
+		copyOut = compute + 1
+	}
+	return
+}
+
+// SimulateBarrier runs the step-synchronous schedule on the arbiter and
+// returns the per-stage trace. Phase durations record each stage's own
+// completion within its step (not the step's length), so the trace shows
+// which stage was critical.
+func (p *Pipeline) SimulateBarrier(sys *bandwidth.System) *trace.Trace {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	ciOff, cOff, coOff := p.stageOffsets()
+	n := p.NumChunks()
+	lastOff := cOff
+	if coOff > lastOff {
+		lastOff = coOff
+	}
+
+	tr := &trace.Trace{Name: "chunked-barrier"}
+	ddr, mc := bandwidth.DeviceID(0), bandwidth.DeviceID(1)
+	now := units.Time(0)
+	for step := 0; step < n+lastOff; step++ {
+		var flows []*bandwidth.Flow
+		flows = append(flows, p.spinFlows(mc)...)
+		type inst struct {
+			spec *StageSpec
+			f    *bandwidth.Flow
+		}
+		var insts []inst
+		addStage := func(spec *StageSpec, off int) {
+			if spec == nil || off < 0 {
+				return
+			}
+			ci := step - off
+			if ci < 0 || ci >= n {
+				return
+			}
+			f := spec.flow(ci, p.ChunkBytes(ci))
+			flows = append(flows, f)
+			insts = append(insts, inst{spec, f})
+		}
+		addStage(p.CopyIn, ciOff)
+		addStage(p.Compute, cOff)
+		addStage(p.CopyOut, coOff)
+		if len(insts) == 0 {
+			continue
+		}
+		res := sys.Run(flows)
+		for _, in := range insts {
+			var end units.Time
+			for _, c := range res.Completions {
+				if c.Flow == in.f {
+					end = c.At
+				}
+			}
+			tr.Add(trace.Phase{
+				Label:       in.spec.Label,
+				Start:       now,
+				Duration:    end,
+				DDRBytes:    units.Bytes(in.f.Demand[ddr] * float64(in.f.Work)),
+				MCDRAMBytes: units.Bytes(in.f.Demand[mc] * float64(in.f.Work)),
+			})
+		}
+		now += res.Makespan
+	}
+	return tr
+}
+
+// spinFlows builds the background busy-wait flows for the copy pools.
+func (p *Pipeline) spinFlows(mc bandwidth.DeviceID) []*bandwidth.Flow {
+	if p.CopySpinPerThread <= 0 {
+		return nil
+	}
+	var out []*bandwidth.Flow
+	for _, spec := range []*StageSpec{p.CopyIn, p.CopyOut} {
+		if spec == nil {
+			continue
+		}
+		out = append(out, &bandwidth.Flow{
+			Label:        spec.Label + "-spin",
+			Threads:      spec.Threads,
+			PerThreadCap: p.CopySpinPerThread,
+			Demand:       map[bandwidth.DeviceID]float64{mc: 1},
+			Background:   true,
+		})
+	}
+	return out
+}
+
+// SimulateAsync runs the event-driven schedule: stages start as soon as
+// their chunk dependency is satisfied, the stage's pool is free (stages
+// process chunks in order, one at a time), and — for copy-in — one of the
+// given buffers is available. buffers must be >= 1; the paper's
+// triple-buffering corresponds to buffers == 3. The schedule is driven by
+// the discrete-event engine with one completion event outstanding at a
+// time.
+func (p *Pipeline) SimulateAsync(sys *bandwidth.System, buffers int) *trace.Trace {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if buffers < 1 {
+		panic("chunk: async pipeline needs at least one buffer")
+	}
+	n := p.NumChunks()
+	ddr, mc := bandwidth.DeviceID(0), bandwidth.DeviceID(1)
+	tr := &trace.Trace{Name: "chunked-async"}
+
+	type stageID int
+	const (
+		stCopyIn stageID = iota
+		stCompute
+		stCopyOut
+	)
+	specs := [3]*StageSpec{p.CopyIn, p.Compute, p.CopyOut}
+	// next[s] is the next chunk stage s will process; done[s] counts
+	// completed chunks (stages run in order).
+	next := [3]int{}
+	busy := [3]bool{}
+	started := [3][]units.Time{}
+	for i := range started {
+		started[i] = make([]units.Time, n)
+	}
+	inflight := 0 // chunks holding a buffer
+
+	sess := bandwidth.NewSession(sys)
+	for _, f := range p.spinFlows(mc) {
+		sess.AddBackground(f)
+	}
+	eng := sim.New()
+	flowStage := map[*bandwidth.Flow]stageID{}
+	flowChunk := map[*bandwidth.Flow]int{}
+
+	// prereqDone reports whether chunk c's dependency for stage s is met.
+	prereqDone := func(s stageID, c int) bool {
+		switch s {
+		case stCopyIn:
+			return true
+		case stCompute:
+			if p.CopyIn == nil {
+				return true
+			}
+			return next[stCopyIn] > c // copy-in of chunk c has finished
+		default: // copy-out requires compute done
+			return next[stCompute] > c
+		}
+	}
+
+	var pending *sim.Event
+	var tryStart func(e *sim.Engine)
+	reschedule := func(e *sim.Engine) {
+		if pending != nil {
+			e.Cancel(pending)
+			pending = nil
+		}
+		at, who := sess.NextCompletion()
+		if who == nil {
+			return
+		}
+		pending = e.Schedule(at, func(e *sim.Engine) {
+			pending = nil
+			completed := sess.AdvanceTo(e.Now())
+			for _, f := range completed {
+				s := flowStage[f]
+				c := flowChunk[f]
+				busy[s] = false
+				next[s] = c + 1
+				tr.Add(trace.Phase{
+					Label:       specs[s].Label,
+					Start:       started[s][c],
+					Duration:    e.Now() - started[s][c],
+					DDRBytes:    units.Bytes(f.Demand[ddr] * float64(f.Work)),
+					MCDRAMBytes: units.Bytes(f.Demand[mc] * float64(f.Work)),
+				})
+				// Buffer is released when the chunk's last staged stage ends.
+				lastStage := stCompute
+				if p.CopyOut != nil {
+					lastStage = stCopyOut
+				}
+				if s == lastStage && p.CopyIn != nil {
+					inflight--
+				}
+				delete(flowStage, f)
+				delete(flowChunk, f)
+			}
+			tryStart(e)
+		})
+	}
+
+	tryStart = func(e *sim.Engine) {
+		startedAny := true
+		for startedAny {
+			startedAny = false
+			for _, s := range []stageID{stCopyIn, stCompute, stCopyOut} {
+				spec := specs[s]
+				if spec == nil || busy[s] || next[s] >= n {
+					continue
+				}
+				c := next[s]
+				if !prereqDone(s, c) {
+					continue
+				}
+				if s == stCopyIn && inflight >= buffers {
+					continue
+				}
+				f := spec.flow(c, p.ChunkBytes(c))
+				sess.AdvanceTo(e.Now())
+				sess.Add(f)
+				busy[s] = true
+				started[s][c] = e.Now()
+				flowStage[f] = s
+				flowChunk[f] = c
+				if s == stCopyIn {
+					inflight++
+				}
+				startedAny = true
+			}
+		}
+		reschedule(e)
+	}
+
+	eng.Schedule(0, tryStart)
+	eng.Run()
+
+	// Sanity: every present stage processed every chunk.
+	for s, spec := range specs {
+		if spec != nil && next[s] != n {
+			panic(fmt.Sprintf("chunk: async pipeline deadlocked: stage %q finished %d of %d chunks",
+				spec.Label, next[s], n))
+		}
+	}
+	return tr
+}

@@ -1,0 +1,283 @@
+package chunk
+
+import (
+	"math"
+	"testing"
+
+	"knlmlm/internal/bandwidth"
+	"knlmlm/internal/trace"
+	"knlmlm/internal/units"
+)
+
+func testSystem() *bandwidth.System {
+	return bandwidth.NewSystem(
+		bandwidth.Device{Name: "DDR", Cap: units.GBps(90)},
+		bandwidth.Device{Name: "MCDRAM", Cap: units.GBps(400)},
+	)
+}
+
+const (
+	ddr = bandwidth.DeviceID(0)
+	mc  = bandwidth.DeviceID(1)
+)
+
+func copySpec(label string, threads int) *StageSpec {
+	return &StageSpec{
+		Label:            label,
+		Threads:          threads,
+		PerThreadRate:    units.GBps(4.8),
+		Demand:           map[bandwidth.DeviceID]float64{ddr: 1, mc: 1},
+		WorkPerChunkByte: 1,
+	}
+}
+
+func computeSpec(threads int, passes float64) *StageSpec {
+	return &StageSpec{
+		Label:            "compute",
+		Threads:          threads,
+		PerThreadRate:    units.GBps(6.78),
+		Demand:           map[bandwidth.DeviceID]float64{mc: 1},
+		WorkPerChunkByte: 2 * passes,
+	}
+}
+
+func triplePipeline(total, chunkSize units.Bytes, copyThreads, computeThreads int, passes float64) *Pipeline {
+	return &Pipeline{
+		Total:   total,
+		Chunk:   chunkSize,
+		CopyIn:  copySpec("copy-in", copyThreads),
+		Compute: computeSpec(computeThreads, passes),
+		CopyOut: copySpec("copy-out", copyThreads),
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := triplePipeline(units.GB, units.GB/4, 8, 200, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid pipeline rejected: %v", err)
+	}
+	bad := []*Pipeline{
+		{Total: 0, Chunk: 1, Compute: computeSpec(1, 1)},
+		{Total: 1, Chunk: 0, Compute: computeSpec(1, 1)},
+		{Total: 1, Chunk: 1},
+		{Total: 1, Chunk: 1, Compute: computeSpec(0, 1)},
+		{Total: 1, Chunk: 1, Compute: computeSpec(1, 0)},
+		{Total: 1, Chunk: 1, Compute: computeSpec(1, 1), CopyIn: copySpec("ci", 0)},
+		{Total: 1, Chunk: 1, Compute: &StageSpec{Label: "c", Threads: 1, PerThreadRate: 1, WorkPerChunkByte: 1}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid pipeline accepted", i)
+		}
+	}
+}
+
+func TestChunkArithmetic(t *testing.T) {
+	p := triplePipeline(10, 4, 1, 1, 1)
+	if p.NumChunks() != 3 {
+		t.Errorf("NumChunks = %d, want 3", p.NumChunks())
+	}
+	sizes := []units.Bytes{4, 4, 2}
+	for i, want := range sizes {
+		if got := p.ChunkBytes(i); got != want {
+			t.Errorf("ChunkBytes(%d) = %v, want %v", i, got, want)
+		}
+	}
+	exact := triplePipeline(8, 4, 1, 1, 1)
+	if exact.NumChunks() != 2 || exact.ChunkBytes(1) != 4 {
+		t.Errorf("exact division: %d chunks, last %v", exact.NumChunks(), exact.ChunkBytes(1))
+	}
+}
+
+func TestChunkBytesOutOfRangePanics(t *testing.T) {
+	p := triplePipeline(10, 4, 1, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range chunk index should panic")
+		}
+	}()
+	p.ChunkBytes(3)
+}
+
+// Degenerate case: one chunk, no overlap possible. Barrier time must be
+// exactly copy-in + compute + copy-out run serially.
+func TestBarrierSingleChunkClosedForm(t *testing.T) {
+	total := units.Bytes(10e9)
+	p := triplePipeline(total, total, 8, 200, 1)
+	tr := p.SimulateBarrier(testSystem())
+
+	copyRate := 8 * 4.8e9 // unsaturated: 38.4 < 90
+	compRate := 400e9     // 200 x 6.78 = 1356 > 400: MCDRAM-bound
+	want := float64(total)/copyRate + 2*float64(total)/compRate + float64(total)/copyRate
+	if !units.AlmostEqual(float64(tr.TotalTime()), want, 1e-6) {
+		t.Errorf("single-chunk time = %v, want %v", tr.TotalTime(), units.Time(want))
+	}
+}
+
+// Compute-dominated steady state: with many chunks, total time approaches
+// numChunks x computeStepTime plus fill/drain.
+func TestBarrierComputeDominated(t *testing.T) {
+	chunkSize := units.Bytes(1e9)
+	nChunks := 16
+	total := units.Bytes(float64(nChunks)) * chunkSize
+	// 64 repeats worth of compute: massively compute-dominated.
+	p := triplePipeline(total, chunkSize, 8, 200, 64)
+	tr := p.SimulateBarrier(testSystem())
+
+	// Compute step: 2*64*1e9 payload at min(200*6.78, 400 - copy demand...)
+	// Copy flows are tiny relative to compute; bound the answer between the
+	// contention-free compute time and compute at full MCDRAM contention.
+	lower := float64(nChunks) * (2 * 64 * 1e9) / 400e9
+	if float64(tr.TotalTime()) < lower {
+		t.Errorf("total %v below compute lower bound %v", tr.TotalTime(), units.Time(lower))
+	}
+	// Upper bound: compute never gets less than MCDRAM minus saturated copy.
+	upper := float64(nChunks)*(2*64*1e9)/(400e9-2*8*4.8e9) + 4*(1e9/(8*4.8e9))
+	if float64(tr.TotalTime()) > upper*1.01 {
+		t.Errorf("total %v above upper bound %v", tr.TotalTime(), units.Time(upper))
+	}
+}
+
+// Copy-dominated regime: with trivial compute, the pipeline is limited by
+// moving the data in and out through the copy pools.
+func TestBarrierCopyDominated(t *testing.T) {
+	chunkSize := units.Bytes(1e9)
+	nChunks := 16
+	total := units.Bytes(float64(nChunks)) * chunkSize
+	p := &Pipeline{
+		Total:   total,
+		Chunk:   chunkSize,
+		CopyIn:  copySpec("copy-in", 4),
+		Compute: computeSpec(200, 0.01),
+		CopyOut: copySpec("copy-out", 4),
+	}
+	tr := p.SimulateBarrier(testSystem())
+	// Each steady step is limited by one chunk through a 4-thread copy pool
+	// at 19.2 GB/s; in+out pools run concurrently on different chunks.
+	stepTime := 1e9 / (4 * 4.8e9)
+	want := float64(nChunks+2) * stepTime
+	if math.Abs(float64(tr.TotalTime())-want)/want > 0.05 {
+		t.Errorf("copy-dominated total = %v, want about %v", tr.TotalTime(), units.Time(want))
+	}
+}
+
+func TestBarrierNoCopyStages(t *testing.T) {
+	// Implicit-style pipeline: compute only. Time = sum of chunk computes.
+	total := units.Bytes(8e9)
+	p := &Pipeline{Total: total, Chunk: 1e9, Compute: computeSpec(200, 1)}
+	tr := p.SimulateBarrier(testSystem())
+	want := 2 * 8e9 / 400e9
+	if !units.AlmostEqual(float64(tr.TotalTime()), want, 1e-6) {
+		t.Errorf("compute-only time = %v, want %v", tr.TotalTime(), units.Time(want))
+	}
+}
+
+func TestBarrierTrafficAccounting(t *testing.T) {
+	total := units.Bytes(6e9)
+	p := triplePipeline(total, 1e9, 8, 200, 2)
+	tr := p.SimulateBarrier(testSystem())
+	// Copy-in + copy-out each move total bytes across both devices; compute
+	// touches 2*2*total MCDRAM bytes.
+	wantDDR := 2 * float64(total)
+	wantMC := 2*float64(total) + 4*float64(total)
+	if !units.AlmostEqual(float64(tr.DDRBytes()), wantDDR, 1e-9) {
+		t.Errorf("DDR bytes = %v, want %v", tr.DDRBytes(), units.Bytes(wantDDR))
+	}
+	if !units.AlmostEqual(float64(tr.MCDRAMBytes()), wantMC, 1e-9) {
+		t.Errorf("MCDRAM bytes = %v, want %v", tr.MCDRAMBytes(), units.Bytes(wantMC))
+	}
+}
+
+func TestAsyncMatchesTrafficAndBeatsBarrier(t *testing.T) {
+	total := units.Bytes(12e9)
+	mk := func() *Pipeline { return triplePipeline(total, 1e9, 8, 200, 4) }
+	bar := mk().SimulateBarrier(testSystem())
+	asy := mk().SimulateAsync(testSystem(), 3)
+	if !units.AlmostEqual(float64(bar.DDRBytes()), float64(asy.DDRBytes()), 1e-6) {
+		t.Errorf("traffic mismatch: barrier %v, async %v", bar.DDRBytes(), asy.DDRBytes())
+	}
+	if float64(asy.TotalTime()) > float64(bar.TotalTime())*(1+1e-9) {
+		t.Errorf("async %v slower than barrier %v", asy.TotalTime(), bar.TotalTime())
+	}
+}
+
+func TestAsyncSingleBufferSerializes(t *testing.T) {
+	// With one buffer, copy-in(k+1) cannot start until copy-out(k) ends, so
+	// the run serialises per chunk.
+	total := units.Bytes(4e9)
+	p := triplePipeline(total, 1e9, 8, 200, 1)
+	tr := p.SimulateAsync(testSystem(), 1)
+	perChunk := 1e9/(8*4.8e9) + 2*1e9/400e9 + 1e9/(8*4.8e9)
+	want := 4 * perChunk
+	if !units.AlmostEqual(float64(tr.TotalTime()), want, 1e-6) {
+		t.Errorf("single-buffer time = %v, want %v", tr.TotalTime(), units.Time(want))
+	}
+}
+
+func TestAsyncMoreBuffersNeverSlower(t *testing.T) {
+	total := units.Bytes(8e9)
+	var prev units.Time
+	for i, bufs := range []int{1, 2, 3, 4} {
+		tr := triplePipeline(total, 1e9, 4, 100, 2).SimulateAsync(testSystem(), bufs)
+		if i > 0 && float64(tr.TotalTime()) > float64(prev)*(1+1e-9) {
+			t.Errorf("buffers=%d time %v exceeds buffers-1 time %v", bufs, tr.TotalTime(), prev)
+		}
+		prev = tr.TotalTime()
+	}
+}
+
+func TestAsyncComputeOnly(t *testing.T) {
+	total := units.Bytes(4e9)
+	p := &Pipeline{Total: total, Chunk: 1e9, Compute: computeSpec(200, 1)}
+	tr := p.SimulateAsync(testSystem(), 1)
+	want := 2 * 4e9 / 400e9
+	if !units.AlmostEqual(float64(tr.TotalTime()), want, 1e-6) {
+		t.Errorf("compute-only async = %v, want %v", tr.TotalTime(), units.Time(want))
+	}
+}
+
+func TestAsyncBadBuffersPanics(t *testing.T) {
+	p := triplePipeline(units.GB, units.GB, 1, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero buffers should panic")
+		}
+	}()
+	p.SimulateAsync(testSystem(), 0)
+}
+
+func TestBarrierInvalidPipelinePanics(t *testing.T) {
+	p := &Pipeline{Total: 1, Chunk: 1}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid pipeline should panic")
+		}
+	}()
+	p.SimulateBarrier(testSystem())
+}
+
+// The paper's core tuning observation: in the copy-dominated regime more
+// copy threads shorten the run; in the compute-dominated regime they do
+// not help (and contention can hurt).
+func TestCopyThreadScalingRegimes(t *testing.T) {
+	run := func(copyThreads int, passes float64) *trace.Trace {
+		p := triplePipeline(units.Bytes(14.9e9), units.Bytes(1e9), copyThreads, 256-2*copyThreads, passes)
+		// Production configuration: copy pools have priority (Eq. 5) and
+		// spin at barriers when idle.
+		p.CopyIn.Priority = 1
+		p.CopyOut.Priority = 1
+		p.CopySpinPerThread = units.GBps(0.5)
+		return p.SimulateBarrier(testSystem())
+	}
+	// Copy-dominated (1 pass): 8 copy threads beat 1.
+	if t1, t8 := run(1, 1).TotalTime(), run(8, 1).TotalTime(); t8 >= t1 {
+		t.Errorf("copy-dominated: 8 threads (%v) not faster than 1 (%v)", t8, t1)
+	}
+	// Compute-dominated (64 passes): 32 copy threads no better than 2
+	// beyond noise, and strictly worse than or equal after losing compute
+	// threads.
+	t2, t32 := run(2, 64).TotalTime(), run(32, 64).TotalTime()
+	if float64(t32) < float64(t2)*0.99 {
+		t.Errorf("compute-dominated: 32 copy threads (%v) unexpectedly beat 2 (%v)", t32, t2)
+	}
+}

@@ -1,0 +1,378 @@
+// Package core is the paper's Section 3 recipe as an API: describe a
+// streaming kernel (threads, per-thread rate, passes over a working set,
+// write fraction, data placement), and core derives the kernel's traffic on
+// each memory level under the machine's MCDRAM usage mode — flat scratchpad
+// placement, DDR placement, or cache-managed access (hardware cache,
+// hybrid's cache partition, and the paper's implicit mode).
+//
+// Kernels compose into chunked pipelines (internal/chunk) or standalone
+// flow phases, and a Plan sequences those into a whole simulated algorithm
+// run. internal/mlmsort builds all five of the paper's sort variants from
+// exactly these pieces.
+package core
+
+import (
+	"fmt"
+
+	"knlmlm/internal/bandwidth"
+	"knlmlm/internal/cachemodel"
+	"knlmlm/internal/chunk"
+	"knlmlm/internal/knl"
+	"knlmlm/internal/trace"
+	"knlmlm/internal/units"
+)
+
+// Placement says where a kernel's data lives.
+type Placement int
+
+const (
+	// ScratchpadPlaced data was explicitly copied into flat/hybrid-mode
+	// MCDRAM (the hbw_malloc path). Invalid in cache mode.
+	ScratchpadPlaced Placement = iota
+	// DDRPlaced data is accessed directly in DDR with no MCDRAM
+	// involvement (flat-mode DDR arrays, MLM-ddr).
+	DDRPlaced
+	// CacheManaged data is accessed through the MCDRAM cache (hardware
+	// cache mode, implicit mode, hybrid's cache partition). In flat mode
+	// there is no cache, so CacheManaged degrades to DDR traffic.
+	CacheManaged
+	// BlendedPlaced data straddles the levels: the kernel's HBWFraction
+	// is MCDRAM-resident and the rest lives in DDR. This is the placement
+	// produced by memkind's HBW_POLICY_PREFERRED / numactl --preferred
+	// when an allocation exceeds MCDRAM (the Li et al. SC'17 flat-mode
+	// configuration the paper contrasts with chunking).
+	BlendedPlaced
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	switch p {
+	case ScratchpadPlaced:
+		return "scratchpad"
+	case DDRPlaced:
+		return "ddr"
+	case CacheManaged:
+		return "cache-managed"
+	case BlendedPlaced:
+		return "blended"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// Kernel describes one streaming computation stage.
+type Kernel struct {
+	Label   string
+	Threads int
+	// PerThread is one thread's touched-byte rate when not bandwidth
+	// limited (the paper's S_comp for the merge kernel).
+	PerThread units.BytesPerSec
+	// Passes is the number of read+write sweeps over the working set; the
+	// kernel's touched bytes are 2*Passes*WorkingSet (the paper's
+	// 2*B*Passes accounting). Fractional passes express kernels that sweep
+	// only part of the data.
+	Passes float64
+	// WorkingSet is the data the kernel sweeps (its reuse distance for the
+	// cache model). For chunked stages this is the chunk size.
+	WorkingSet units.Bytes
+	// WriteFraction is the fraction of touched bytes that are writes
+	// (0.5 for balanced read+write streaming).
+	WriteFraction float64
+	// Placement selects the memory path.
+	Placement Placement
+
+	// InCoreFraction is the fraction of touched bytes served by the core
+	// cache hierarchy (L1/L2) and therefore invisible to the memory
+	// system. The deep recursion levels of a divide-and-conquer sort are
+	// the canonical case: they cost compute time but no DRAM traffic.
+	// Zero (the default) means every touched byte reaches memory.
+	InCoreFraction float64
+	// ReuseDistance overrides the reuse distance used for warm-sweep cache
+	// behaviour when it differs from WorkingSet (e.g. a recursion level
+	// re-reading data its parent level just streamed). Zero means
+	// WorkingSet.
+	ReuseDistance units.Bytes
+	// ColdSweeps is how many of the Passes stream data not previously in
+	// the MCDRAM cache. The zero value means the conventional single cold
+	// first sweep; use NoColdSweeps for kernels whose input a preceding
+	// kernel just staged. Fractional values are allowed.
+	ColdSweeps float64
+	// DestPlacement optionally places the kernel's written bytes in a
+	// different level than its reads — e.g. MLM-sort's megachunk merge
+	// reads sorted runs from MCDRAM and writes the merged output to DDR.
+	// nil means writes go where reads do.
+	DestPlacement *Placement
+	// SourceScale inflates the read-side traffic per payload byte, for
+	// kernels whose access pattern defeats prefetch/row-buffer locality —
+	// a k-way merge hopping between k run heads is the canonical case.
+	// Zero means 1 (no inflation).
+	SourceScale float64
+	// HBWFraction is the MCDRAM-resident share of BlendedPlaced data
+	// (ignored for other placements). See memkind.Allocation.HBWFraction.
+	HBWFraction float64
+}
+
+// NoColdSweeps marks a kernel whose data is already cache-resident when it
+// starts (ColdSweeps == 0 would otherwise be indistinguishable from the
+// unset default of one cold sweep).
+const NoColdSweeps = -1
+
+// Validate reports whether the kernel is well-formed on machine m.
+func (k Kernel) Validate(m *knl.Machine) error {
+	switch {
+	case k.Threads <= 0:
+		return fmt.Errorf("core: kernel %q needs positive threads", k.Label)
+	case k.PerThread <= 0:
+		return fmt.Errorf("core: kernel %q needs a positive per-thread rate", k.Label)
+	case k.Passes <= 0:
+		return fmt.Errorf("core: kernel %q needs positive passes", k.Label)
+	case k.WorkingSet <= 0:
+		return fmt.Errorf("core: kernel %q needs a positive working set", k.Label)
+	case k.WriteFraction < 0 || k.WriteFraction > 1:
+		return fmt.Errorf("core: kernel %q write fraction %v outside [0,1]", k.Label, k.WriteFraction)
+	case k.InCoreFraction < 0 || k.InCoreFraction > 1:
+		return fmt.Errorf("core: kernel %q in-core fraction %v outside [0,1]", k.Label, k.InCoreFraction)
+	case k.ReuseDistance < 0:
+		return fmt.Errorf("core: kernel %q negative reuse distance %v", k.Label, k.ReuseDistance)
+	case k.ColdSweeps < 0 && k.ColdSweeps != NoColdSweeps:
+		return fmt.Errorf("core: kernel %q invalid cold sweeps %v", k.Label, k.ColdSweeps)
+	case k.SourceScale < 0:
+		return fmt.Errorf("core: kernel %q negative source scale %v", k.Label, k.SourceScale)
+	case k.HBWFraction < 0 || k.HBWFraction > 1:
+		return fmt.Errorf("core: kernel %q HBW fraction %v outside [0,1]", k.Label, k.HBWFraction)
+	}
+	if k.Placement == ScratchpadPlaced && m.Scratchpad().Capacity() == 0 {
+		return fmt.Errorf("core: kernel %q wants scratchpad placement but mode %v has no scratchpad",
+			k.Label, m.Config().Mode.Mode)
+	}
+	if k.DestPlacement != nil && *k.DestPlacement == ScratchpadPlaced && m.Scratchpad().Capacity() == 0 {
+		return fmt.Errorf("core: kernel %q writes to scratchpad but mode %v has no scratchpad",
+			k.Label, m.Config().Mode.Mode)
+	}
+	return nil
+}
+
+// placementDemand derives per-touched-byte coefficients for one side of
+// the kernel (reads or writes) against one placement.
+func (k Kernel) placementDemand(m *knl.Machine, p Placement, writeFraction float64) cachemodel.Demand {
+	switch p {
+	case ScratchpadPlaced:
+		return cachemodel.Demand{MCDRAM: 1}
+	case DDRPlaced:
+		return cachemodel.Demand{DDR: 1}
+	case BlendedPlaced:
+		return cachemodel.Demand{DDR: 1 - k.HBWFraction, MCDRAM: k.HBWFraction}
+	case CacheManaged:
+		cold := cachemodel.ForPass(cachemodel.Pass{
+			WorkingSet:    k.WorkingSet,
+			WriteFraction: writeFraction,
+		}, m.CacheCapacity())
+		reuse := k.ReuseDistance
+		if reuse == 0 {
+			reuse = k.WorkingSet
+		}
+		warm := cachemodel.ForPass(cachemodel.Pass{
+			WorkingSet:    reuse,
+			WriteFraction: writeFraction,
+			Resident:      true,
+		}, m.CacheCapacity())
+		// ColdSweeps of the Passes stream data the cache has not seen;
+		// the rest find whatever the direct-mapped cache retained of the
+		// reuse distance.
+		cs := k.ColdSweeps
+		switch {
+		case cs == NoColdSweeps:
+			cs = 0
+		case cs == 0:
+			cs = 1
+		}
+		coldW := cs / k.Passes
+		if coldW > 1 {
+			coldW = 1
+		}
+		return cachemodel.Demand{
+			DDR:    coldW*cold.DDR + (1-coldW)*warm.DDR,
+			MCDRAM: coldW*cold.MCDRAM + (1-coldW)*warm.MCDRAM,
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown placement %v", p))
+	}
+}
+
+// demand derives the kernel's per-touched-byte demand coefficients on m.
+// Reads and writes are always accounted separately (the split is exact:
+// the cache-model coefficients are linear in the write fraction), so the
+// read side can carry its own placement and SourceScale inflation.
+func (k Kernel) demand(m *knl.Machine) cachemodel.Demand {
+	dst := k.Placement
+	if k.DestPlacement != nil {
+		dst = *k.DestPlacement
+	}
+	read := k.placementDemand(m, k.Placement, 0)
+	write := k.placementDemand(m, dst, 1)
+	srcScale := k.SourceScale
+	if srcScale == 0 {
+		srcScale = 1
+	}
+	wf := k.WriteFraction
+	d := cachemodel.Demand{
+		DDR:    (1-wf)*read.DDR*srcScale + wf*write.DDR,
+		MCDRAM: (1-wf)*read.MCDRAM*srcScale + wf*write.MCDRAM,
+	}
+	scale := 1 - k.InCoreFraction
+	d.DDR *= scale
+	d.MCDRAM *= scale
+	return d
+}
+
+// TouchedBytes reports the kernel's total touched bytes.
+func (k Kernel) TouchedBytes() units.Bytes {
+	return units.Bytes(2 * k.Passes * float64(k.WorkingSet))
+}
+
+// StageSpec converts the kernel into a chunked-pipeline stage whose chunk
+// size is the kernel's working set.
+func (k Kernel) StageSpec(m *knl.Machine) *chunk.StageSpec {
+	if err := k.Validate(m); err != nil {
+		panic(err)
+	}
+	d := k.demand(m)
+	return &chunk.StageSpec{
+		Label:            k.Label,
+		Threads:          k.Threads,
+		PerThreadRate:    k.PerThread,
+		Demand:           m.Demand(d.DDR, d.MCDRAM),
+		WorkPerChunkByte: 2 * k.Passes,
+	}
+}
+
+// Flow converts the kernel into a standalone bandwidth flow over its full
+// touched bytes.
+func (k Kernel) Flow(m *knl.Machine) *bandwidth.Flow {
+	if err := k.Validate(m); err != nil {
+		panic(err)
+	}
+	d := k.demand(m)
+	return &bandwidth.Flow{
+		Label:        k.Label,
+		Threads:      k.Threads,
+		PerThreadCap: k.PerThread,
+		Demand:       m.Demand(d.DDR, d.MCDRAM),
+		Work:         k.TouchedBytes(),
+	}
+}
+
+// CopyStage builds a copy-pool stage (explicit DDR<->MCDRAM transfer):
+// every payload byte loads both devices, per the paper's Section 3.2
+// accounting.
+func CopyStage(m *knl.Machine, label string, threads int, perThread units.BytesPerSec) *chunk.StageSpec {
+	if threads <= 0 || perThread <= 0 {
+		panic(fmt.Sprintf("core: copy stage %q needs positive threads and rate", label))
+	}
+	return &chunk.StageSpec{
+		Label:            label,
+		Threads:          threads,
+		PerThreadRate:    perThread,
+		Demand:           m.Demand(1, 1),
+		WorkPerChunkByte: 1,
+		Priority:         CopyPriority,
+	}
+}
+
+// CopyPriority is the bandwidth class for explicit copy pools: allocated
+// ahead of compute flows, matching Eq. 5's assumption that copy threads
+// keep their DDR-limited rate (their MCDRAM traffic is posted writes).
+const CopyPriority = 1
+
+// Step is one sequential piece of a Plan.
+type Step interface {
+	// Simulate runs the step on the machine and returns its trace.
+	Simulate(m *knl.Machine) *trace.Trace
+	// Label names the step in reports.
+	Label() string
+}
+
+// PipelineStep runs a chunked pipeline (barrier schedule by default).
+type PipelineStep struct {
+	Name     string
+	Pipeline *chunk.Pipeline
+	// Async selects the event-driven schedule with Buffers staging
+	// buffers; Buffers defaults to 3 when Async is set and Buffers == 0.
+	Async   bool
+	Buffers int
+}
+
+// Label implements Step.
+func (s *PipelineStep) Label() string { return s.Name }
+
+// Simulate implements Step.
+func (s *PipelineStep) Simulate(m *knl.Machine) *trace.Trace {
+	if s.Async {
+		b := s.Buffers
+		if b == 0 {
+			b = 3
+		}
+		return s.Pipeline.SimulateAsync(m.System(), b)
+	}
+	return s.Pipeline.SimulateBarrier(m.System())
+}
+
+// KernelStep runs one or more kernels concurrently to completion.
+type KernelStep struct {
+	Name    string
+	Kernels []Kernel
+}
+
+// Label implements Step.
+func (s *KernelStep) Label() string { return s.Name }
+
+// Simulate implements Step.
+func (s *KernelStep) Simulate(m *knl.Machine) *trace.Trace {
+	flows := make([]*bandwidth.Flow, 0, len(s.Kernels))
+	for _, k := range s.Kernels {
+		flows = append(flows, k.Flow(m))
+	}
+	tr := &trace.Trace{Name: s.Name}
+	if len(flows) == 0 {
+		return tr
+	}
+	res := m.System().Run(flows)
+	for i, f := range flows {
+		var end units.Time
+		for _, c := range res.Completions {
+			if c.Flow == f {
+				end = c.At
+			}
+		}
+		tr.Add(trace.Phase{
+			Label:       s.Kernels[i].Label,
+			Start:       0,
+			Duration:    end,
+			DDRBytes:    units.Bytes(f.Demand[m.DDR()] * float64(f.Work)),
+			MCDRAMBytes: units.Bytes(f.Demand[m.MCDRAM()] * float64(f.Work)),
+		})
+	}
+	return tr
+}
+
+// Plan is a whole algorithm: steps run sequentially.
+type Plan struct {
+	Name  string
+	Steps []Step
+}
+
+// Simulate runs the plan and returns a combined trace whose phases carry
+// absolute start times.
+func (p *Plan) Simulate(m *knl.Machine) *trace.Trace {
+	tr := &trace.Trace{Name: p.Name}
+	var offset units.Time
+	for _, s := range p.Steps {
+		st := s.Simulate(m)
+		for _, ph := range st.Phases {
+			ph.Start += offset
+			tr.Add(ph)
+		}
+		offset += st.TotalTime()
+	}
+	return tr
+}

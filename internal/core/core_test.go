@@ -1,0 +1,232 @@
+package core
+
+import (
+	"testing"
+
+	"knlmlm/internal/bandwidth"
+	"knlmlm/internal/chunk"
+	"knlmlm/internal/knl"
+	"knlmlm/internal/mem"
+	"knlmlm/internal/units"
+)
+
+func flatMachine() *knl.Machine  { return knl.MustNew(knl.PaperConfig(mem.Flat)) }
+func cacheMachine() *knl.Machine { return knl.MustNew(knl.PaperConfig(mem.Cache)) }
+
+func streamKernel(placement Placement, passes float64, ws units.Bytes) Kernel {
+	return Kernel{
+		Label:         "stream",
+		Threads:       256,
+		PerThread:     units.GBps(6.78),
+		Passes:        passes,
+		WorkingSet:    ws,
+		WriteFraction: 0.5,
+		Placement:     placement,
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	want := map[Placement]string{
+		ScratchpadPlaced: "scratchpad",
+		DDRPlaced:        "ddr",
+		CacheManaged:     "cache-managed",
+		Placement(9):     "Placement(9)",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), s)
+		}
+	}
+}
+
+func TestKernelValidate(t *testing.T) {
+	m := flatMachine()
+	good := streamKernel(ScratchpadPlaced, 1, units.GiB)
+	if err := good.Validate(m); err != nil {
+		t.Fatalf("valid kernel rejected: %v", err)
+	}
+	muts := []func(*Kernel){
+		func(k *Kernel) { k.Threads = 0 },
+		func(k *Kernel) { k.PerThread = 0 },
+		func(k *Kernel) { k.Passes = 0 },
+		func(k *Kernel) { k.WorkingSet = 0 },
+		func(k *Kernel) { k.WriteFraction = -0.1 },
+		func(k *Kernel) { k.WriteFraction = 1.1 },
+	}
+	for i, mut := range muts {
+		k := good
+		mut(&k)
+		if err := k.Validate(m); err == nil {
+			t.Errorf("case %d: invalid kernel accepted", i)
+		}
+	}
+}
+
+func TestScratchpadPlacementRejectedInCacheMode(t *testing.T) {
+	k := streamKernel(ScratchpadPlaced, 1, units.GiB)
+	if err := k.Validate(cacheMachine()); err == nil {
+		t.Error("scratchpad placement must be invalid in cache mode")
+	}
+}
+
+func TestTouchedBytes(t *testing.T) {
+	k := streamKernel(DDRPlaced, 3, 10)
+	if got := k.TouchedBytes(); got != 60 {
+		t.Errorf("TouchedBytes = %v, want 60", got)
+	}
+}
+
+// Flat-mode scratchpad kernel saturates MCDRAM.
+func TestKernelFlowScratchpad(t *testing.T) {
+	m := flatMachine()
+	k := streamKernel(ScratchpadPlaced, 1, units.Bytes(200e9))
+	r := m.System().Run([]*bandwidth.Flow{k.Flow(m)})
+	want := 2 * 200e9 / 400e9
+	if !units.AlmostEqual(float64(r.Makespan), want, 1e-9) {
+		t.Errorf("scratchpad kernel time = %v, want %v", r.Makespan, units.Time(want))
+	}
+}
+
+// DDR-placed kernel saturates DDR instead.
+func TestKernelFlowDDR(t *testing.T) {
+	m := flatMachine()
+	k := streamKernel(DDRPlaced, 1, units.Bytes(45e9))
+	r := m.System().Run([]*bandwidth.Flow{k.Flow(m)})
+	want := 2 * 45e9 / 90e9
+	if !units.AlmostEqual(float64(r.Makespan), want, 1e-9) {
+		t.Errorf("ddr kernel time = %v, want %v", r.Makespan, units.Time(want))
+	}
+}
+
+// Cache-managed kernel whose working set fits: first sweep cold (DDR-fed),
+// later sweeps at MCDRAM speed. With many passes the DDR coefficient
+// approaches zero.
+func TestKernelDemandCacheFitsManyPasses(t *testing.T) {
+	m := cacheMachine()
+	k := streamKernel(CacheManaged, 100, units.GiB)
+	f := k.Flow(m)
+	ddrCoeff := f.Demand[m.DDR()]
+	if ddrCoeff > 0.02 {
+		t.Errorf("DDR coefficient %v should be near zero for cache-resident many-pass kernel", ddrCoeff)
+	}
+}
+
+// Cache-managed kernel far beyond cache capacity thrashes: every sweep is
+// DDR-fed regardless of pass count.
+func TestKernelDemandCacheThrash(t *testing.T) {
+	m := cacheMachine()
+	k := streamKernel(CacheManaged, 100, 48*units.GiB)
+	f := k.Flow(m)
+	if got := f.Demand[m.DDR()]; !units.AlmostEqual(got, 1.5, 1e-9) {
+		t.Errorf("thrashed DDR coefficient = %v, want 1.5", got)
+	}
+}
+
+// CacheManaged in flat mode degrades to DDR traffic (no cache exists).
+func TestKernelCacheManagedInFlatMode(t *testing.T) {
+	m := flatMachine()
+	k := streamKernel(CacheManaged, 2, units.GiB)
+	f := k.Flow(m)
+	if f.Demand[m.DDR()] != 1.5 {
+		t.Errorf("DDR coefficient = %v, want 1.5", f.Demand[m.DDR()])
+	}
+	if mc, ok := f.Demand[m.MCDRAM()]; ok && mc != 0 {
+		t.Errorf("MCDRAM coefficient = %v, want 0", mc)
+	}
+}
+
+func TestKernelStageSpec(t *testing.T) {
+	m := flatMachine()
+	k := streamKernel(ScratchpadPlaced, 4, units.GiB)
+	s := k.StageSpec(m)
+	if s.WorkPerChunkByte != 8 {
+		t.Errorf("WorkPerChunkByte = %v, want 8", s.WorkPerChunkByte)
+	}
+	if s.Threads != 256 || s.PerThreadRate != units.GBps(6.78) {
+		t.Errorf("stage = %+v", s)
+	}
+}
+
+func TestCopyStage(t *testing.T) {
+	m := flatMachine()
+	s := CopyStage(m, "copy-in", 8, units.GBps(4.8))
+	if s.Demand[m.DDR()] != 1 || s.Demand[m.MCDRAM()] != 1 {
+		t.Errorf("copy demand = %v", s.Demand)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero threads should panic")
+		}
+	}()
+	CopyStage(m, "bad", 0, units.GBps(4.8))
+}
+
+func TestKernelStepConcurrentFlows(t *testing.T) {
+	m := flatMachine()
+	step := &KernelStep{
+		Name: "mixed",
+		Kernels: []Kernel{
+			{Label: "a", Threads: 64, PerThread: units.GBps(6.78), Passes: 1,
+				WorkingSet: units.Bytes(100e9), WriteFraction: 0.5, Placement: ScratchpadPlaced},
+			{Label: "b", Threads: 64, PerThread: units.GBps(6.78), Passes: 1,
+				WorkingSet: units.Bytes(100e9), WriteFraction: 0.5, Placement: DDRPlaced},
+		},
+	}
+	tr := step.Simulate(m)
+	if tr.TotalTime() <= 0 {
+		t.Fatal("no time simulated")
+	}
+	// Flow b is DDR bound (200/90 s); flow a shares nothing with it and
+	// runs at min(64*6.78, 400) = 400... capped by threads: 64*6.78=434>400.
+	wantB := 2 * 100e9 / 90e9
+	if !units.AlmostEqual(float64(tr.TotalTime()), wantB, 1e-6) {
+		t.Errorf("makespan = %v, want %v (DDR-bound flow)", tr.TotalTime(), units.Time(wantB))
+	}
+}
+
+func TestKernelStepEmpty(t *testing.T) {
+	tr := (&KernelStep{Name: "empty"}).Simulate(flatMachine())
+	if tr.TotalTime() != 0 {
+		t.Error("empty step should take no time")
+	}
+}
+
+func TestPlanSequencesSteps(t *testing.T) {
+	m := flatMachine()
+	k := streamKernel(ScratchpadPlaced, 1, units.Bytes(200e9)) // 1s at MCDRAM
+	plan := &Plan{
+		Name: "two-step",
+		Steps: []Step{
+			&KernelStep{Name: "s1", Kernels: []Kernel{k}},
+			&KernelStep{Name: "s2", Kernels: []Kernel{k}},
+		},
+	}
+	tr := plan.Simulate(m)
+	if !units.AlmostEqual(float64(tr.TotalTime()), 2.0, 1e-9) {
+		t.Errorf("plan time = %v, want 2s", tr.TotalTime())
+	}
+	if len(tr.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(tr.Phases))
+	}
+	if tr.Phases[1].Start <= tr.Phases[0].Start {
+		t.Error("second step should start after the first")
+	}
+}
+
+func TestPipelineStepBarrierVsAsync(t *testing.T) {
+	m := flatMachine()
+	mkPipe := func() *chunk.Pipeline {
+		return &chunk.Pipeline{
+			Total:   units.Bytes(12e9),
+			Chunk:   units.Bytes(1e9),
+			CopyIn:  CopyStage(m, "copy-in", 8, units.GBps(4.8)),
+			Compute: streamKernel(ScratchpadPlaced, 2, units.Bytes(1e9)).StageSpec(m),
+			CopyOut: CopyStage(m, "copy-out", 8, units.GBps(4.8)),
+		}
+	}
+	bar := (&PipelineStep{Name: "bar", Pipeline: mkPipe()}).Simulate(m)
+	asy := (&PipelineStep{Name: "asy", Pipeline: mkPipe(), Async: true}).Simulate(m)
+	if asy.TotalTime() > bar.TotalTime() {
+		t.Errorf("async %v slower than barrier %v", asy.TotalTime(), bar.TotalTime())
+	}
+}

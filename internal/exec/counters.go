@@ -1,0 +1,49 @@
+package exec
+
+import "sync/atomic"
+
+// Counters tallies the bytes a real pipeline moves per stage, mirroring
+// the traffic accounting of the simulated pipeline (internal/chunk) so
+// tests can cross-validate the two layers byte for byte.
+type Counters struct {
+	copyIn  atomic.Int64
+	compute atomic.Int64
+	copyOut atomic.Int64
+}
+
+// CopyInBytes reports bytes staged in.
+func (c *Counters) CopyInBytes() int64 { return c.copyIn.Load() }
+
+// ComputeBytes reports bytes touched by compute.
+func (c *Counters) ComputeBytes() int64 { return c.compute.Load() }
+
+// CopyOutBytes reports bytes drained out.
+func (c *Counters) CopyOutBytes() int64 { return c.copyOut.Load() }
+
+// Instrument wraps the stage set so every stage records its traffic in the
+// returned Counters. Compute traffic is charged at touchedPerElem bytes per
+// element (2*8 for a read+write sweep of int64 keys).
+func Instrument(s Stages, touchedPerElem int64) (Stages, *Counters) {
+	c := &Counters{}
+	out := s
+	if s.CopyIn != nil {
+		inner := s.CopyIn
+		out.CopyIn = func(i int, buf []int64) {
+			c.copyIn.Add(int64(len(buf)) * 8)
+			inner(i, buf)
+		}
+	}
+	innerCompute := s.Compute
+	out.Compute = func(i int, buf []int64) {
+		c.compute.Add(int64(len(buf)) * touchedPerElem)
+		innerCompute(i, buf)
+	}
+	if s.CopyOut != nil {
+		inner := s.CopyOut
+		out.CopyOut = func(i int, buf []int64) {
+			c.copyOut.Add(int64(len(buf)) * 8)
+			inner(i, buf)
+		}
+	}
+	return out, c
+}

@@ -1,0 +1,119 @@
+package exec
+
+import (
+	"testing"
+
+	"knlmlm/internal/bandwidth"
+	"knlmlm/internal/chunk"
+	"knlmlm/internal/units"
+	"knlmlm/internal/workload"
+)
+
+// Cross-layer validation promised by DESIGN.md: for identical
+// configurations, the real pipeline's byte counters must equal the
+// simulated pipeline's traffic accounting.
+func TestRealPipelineTrafficMatchesSimulated(t *testing.T) {
+	const (
+		n        = 64_000 // elements
+		chunkLen = 8_000
+		passes   = 2.0
+	)
+	src := workload.Generate(workload.Random, n, 3)
+	dst := make([]int64, n)
+
+	// Real side: staged double-pass kernel, instrumented.
+	numChunks := n / chunkLen
+	stages := Stages{
+		NumChunks: numChunks,
+		ChunkLen:  func(int) int { return chunkLen },
+		CopyIn: func(i int, buf []int64) {
+			copy(buf, src[i*chunkLen:(i+1)*chunkLen])
+		},
+		Compute: func(i int, buf []int64) {
+			for p := 0; p < int(passes); p++ {
+				for j := range buf {
+					buf[j]++
+				}
+			}
+		},
+		CopyOut: func(i int, buf []int64) {
+			copy(dst[i*chunkLen:(i+1)*chunkLen], buf)
+		},
+	}
+	inst, counters := Instrument(stages, int64(2*passes*8))
+	if err := Run(inst, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulated side: the same shape on the fluid pipeline.
+	sys := bandwidth.NewSystem(
+		bandwidth.Device{Name: "DDR", Cap: units.GBps(90)},
+		bandwidth.Device{Name: "MCDRAM", Cap: units.GBps(400)},
+	)
+	total := units.BytesForElements(n)
+	chunkBytes := units.BytesForElements(chunkLen)
+	p := &chunk.Pipeline{
+		Total: total,
+		Chunk: chunkBytes,
+		CopyIn: &chunk.StageSpec{
+			Label: "copy-in", Threads: 4, PerThreadRate: units.GBps(4.8),
+			Demand: map[bandwidth.DeviceID]float64{0: 1, 1: 1}, WorkPerChunkByte: 1,
+		},
+		Compute: &chunk.StageSpec{
+			Label: "compute", Threads: 8, PerThreadRate: units.GBps(6.78),
+			Demand: map[bandwidth.DeviceID]float64{1: 1}, WorkPerChunkByte: 2 * passes,
+		},
+		CopyOut: &chunk.StageSpec{
+			Label: "copy-out", Threads: 4, PerThreadRate: units.GBps(4.8),
+			Demand: map[bandwidth.DeviceID]float64{0: 1, 1: 1}, WorkPerChunkByte: 1,
+		},
+	}
+	tr := p.SimulateBarrier(sys)
+
+	// Copy-in + copy-out payloads: one `total` each, on both layers.
+	realStaged := units.Bytes(counters.CopyInBytes() + counters.CopyOutBytes())
+	simStaged := tr.DDRBytes() // copy stages are the only DDR users here
+	if realStaged != 2*total {
+		t.Errorf("real staged bytes = %v, want %v", realStaged, 2*total)
+	}
+	if !units.AlmostEqual(float64(simStaged), float64(2*total), 1e-9) {
+		t.Errorf("sim staged bytes = %v, want %v", simStaged, 2*total)
+	}
+
+	// Compute touched bytes: 2*passes*total on both layers.
+	realTouched := units.Bytes(counters.ComputeBytes())
+	wantTouched := units.Bytes(2 * passes * float64(total))
+	if realTouched != wantTouched {
+		t.Errorf("real touched = %v, want %v", realTouched, wantTouched)
+	}
+	simTouched := tr.MCDRAMBytes() - 2*total // minus the copies' MCDRAM side
+	if !units.AlmostEqual(float64(simTouched), float64(wantTouched), 1e-9) {
+		t.Errorf("sim touched = %v, want %v", simTouched, wantTouched)
+	}
+
+	// And the real pipeline actually did its job.
+	for i := range dst {
+		if dst[i] != src[i]+int64(passes) {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], src[i]+int64(passes))
+		}
+	}
+}
+
+func TestInstrumentWithoutCopyStages(t *testing.T) {
+	data := make([]int64, 100)
+	s := Stages{
+		NumChunks: 10,
+		ChunkLen:  func(int) int { return 10 },
+		Compute:   func(i int, buf []int64) { _ = data },
+	}
+	inst, c := Instrument(s, 16)
+	if err := Run(inst, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.CopyInBytes() != 0 || c.CopyOutBytes() != 0 {
+		t.Error("copy counters should stay zero without copy stages")
+	}
+	if c.ComputeBytes() != 100*16 {
+		t.Errorf("compute bytes = %d, want 1600", c.ComputeBytes())
+	}
+}

@@ -1,0 +1,144 @@
+// Package exec runs chunked, buffered pipelines for real: goroutine worker
+// pools execute user-supplied copy-in / compute / copy-out functions over
+// actual data, with the same triple-buffer discipline that internal/chunk
+// simulates. The execution layer is how the repository proves the MLM
+// algorithms *correct*; the simulation layer is how it reproduces the
+// paper's *timing*.
+//
+// Host wall-time through this package is meaningless for the paper's
+// claims (this is not a KNL); only the data transformations matter.
+package exec
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Buffer is one staging area handed through the pipeline. Cap is fixed at
+// pipeline construction; Data is resliced per chunk.
+type Buffer struct {
+	Data []int64
+	full []int64
+}
+
+// Stages supplies the per-chunk work of a pipeline. CopyIn and CopyOut may
+// be nil, in which case Compute receives a buffer it must fill itself (the
+// in-place variants: MLM-ddr and implicit cache mode operate directly on
+// the source array and use only Compute).
+type Stages struct {
+	// NumChunks is the chunk count; chunks are processed in order.
+	NumChunks int
+	// ChunkLen reports chunk i's element count (buffers are sized to the
+	// largest).
+	ChunkLen func(i int) int
+	// CopyIn loads chunk i into dst (len == ChunkLen(i)).
+	CopyIn func(i int, dst []int64)
+	// Compute transforms chunk i in buf in place (or, with nil CopyIn,
+	// operates on whatever storage the caller closed over).
+	Compute func(i int, buf []int64)
+	// CopyOut drains chunk i from src to its destination.
+	CopyOut func(i int, src []int64)
+}
+
+// Validate reports whether the stage set is runnable.
+func (s *Stages) Validate() error {
+	if s.NumChunks < 0 {
+		return fmt.Errorf("exec: negative chunk count %d", s.NumChunks)
+	}
+	if s.NumChunks > 0 && s.ChunkLen == nil {
+		return fmt.Errorf("exec: ChunkLen is required")
+	}
+	if s.Compute == nil {
+		return fmt.Errorf("exec: Compute stage is required")
+	}
+	if s.CopyIn == nil && s.CopyOut != nil {
+		return fmt.Errorf("exec: CopyOut without CopyIn is not a supported pipeline shape")
+	}
+	return nil
+}
+
+// Run executes the pipeline with the given number of staging buffers
+// (>= 1; the paper's flat-mode buffering uses 3). Stages for different
+// chunks overlap exactly as in the simulated async pipeline: each stage
+// processes chunks in order, one at a time, and a chunk occupies one buffer
+// from its copy-in until its last stage finishes.
+func Run(s Stages, buffers int) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if buffers < 1 {
+		return fmt.Errorf("exec: need at least one buffer, got %d", buffers)
+	}
+	if s.NumChunks == 0 {
+		return nil
+	}
+
+	maxLen := 0
+	for i := 0; i < s.NumChunks; i++ {
+		l := s.ChunkLen(i)
+		if l < 0 {
+			return fmt.Errorf("exec: chunk %d has negative length %d", i, l)
+		}
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+
+	if s.CopyIn == nil {
+		// No staging: compute runs chunk by chunk over caller storage.
+		buf := make([]int64, maxLen)
+		for i := 0; i < s.NumChunks; i++ {
+			s.Compute(i, buf[:s.ChunkLen(i)])
+		}
+		return nil
+	}
+
+	// Buffer pool and inter-stage queues. Channel capacities cover every
+	// in-flight chunk so stage goroutines never block on sends.
+	free := make(chan *Buffer, buffers)
+	for i := 0; i < buffers; i++ {
+		free <- &Buffer{full: make([]int64, maxLen)}
+	}
+	type item struct {
+		idx int
+		buf *Buffer
+	}
+	toCompute := make(chan item, s.NumChunks)
+	toCopyOut := make(chan item, s.NumChunks)
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+
+	go func() { // copy-in pool
+		defer wg.Done()
+		defer close(toCompute)
+		for i := 0; i < s.NumChunks; i++ {
+			b := <-free
+			b.Data = b.full[:s.ChunkLen(i)]
+			s.CopyIn(i, b.Data)
+			toCompute <- item{i, b}
+		}
+	}()
+
+	go func() { // compute pool
+		defer wg.Done()
+		defer close(toCopyOut)
+		for it := range toCompute {
+			s.Compute(it.idx, it.buf.Data)
+			toCopyOut <- it
+		}
+	}()
+
+	go func() { // copy-out pool
+		defer wg.Done()
+		for it := range toCopyOut {
+			if s.CopyOut != nil {
+				s.CopyOut(it.idx, it.buf.Data)
+			}
+			free <- it.buf
+		}
+	}()
+
+	wg.Wait()
+	return nil
+}

@@ -1,0 +1,151 @@
+// Package knl assembles the simulated Knights Landing node: core/thread
+// topology, the two memory devices wired into a bandwidth arbiter, the
+// MCDRAM usage-mode configuration, and the flat-mode scratchpad.
+//
+// A Machine is the execution substrate every higher layer (the chunking
+// pipeline, the sort algorithms, the merge benchmark) runs against. It is
+// cheap to construct and carries no global state, so tests and sweeps build
+// machines freely.
+package knl
+
+import (
+	"fmt"
+
+	"knlmlm/internal/bandwidth"
+	"knlmlm/internal/mem"
+	"knlmlm/internal/units"
+)
+
+// Topology describes the processor's thread resources.
+type Topology struct {
+	Cores          int
+	ThreadsPerCore int
+}
+
+// HWThreads reports the total hardware thread count.
+func (t Topology) HWThreads() int { return t.Cores * t.ThreadsPerCore }
+
+// Validate reports whether the topology is sensible.
+func (t Topology) Validate() error {
+	if t.Cores <= 0 || t.ThreadsPerCore <= 0 {
+		return fmt.Errorf("knl: topology %d cores x %d threads must be positive", t.Cores, t.ThreadsPerCore)
+	}
+	return nil
+}
+
+// Xeon7250 is the paper's testbed topology: 68 cores, 4-way SMT, 272
+// hardware threads (the paper's runs use 256 of them).
+func Xeon7250() Topology { return Topology{Cores: 68, ThreadsPerCore: 4} }
+
+// Config fully describes a simulated node.
+type Config struct {
+	Topology Topology
+	Memory   mem.Spec
+	Mode     mem.Config
+}
+
+// Validate checks all components.
+func (c Config) Validate() error {
+	if err := c.Topology.Validate(); err != nil {
+		return err
+	}
+	if err := c.Memory.Validate(); err != nil {
+		return err
+	}
+	return c.Mode.Validate()
+}
+
+// PaperConfig returns the paper's machine in the given MCDRAM mode. Hybrid
+// mode uses the 50% split unless reconfigured by the caller.
+func PaperConfig(mode mem.Mode) Config {
+	cfg := Config{
+		Topology: Xeon7250(),
+		Memory:   mem.KNL7250(),
+		Mode:     mem.Config{Mode: mode},
+	}
+	if mode == mem.Hybrid {
+		cfg.Mode.HybridCacheFraction = 0.5
+	}
+	return cfg
+}
+
+// Machine is a ready-to-run simulated node.
+type Machine struct {
+	cfg        Config
+	system     *bandwidth.System
+	ddr, mc    bandwidth.DeviceID
+	scratchpad *mem.Scratchpad
+}
+
+// New wires a Config into a Machine. It returns an error (never panics) on
+// invalid configs so CLIs can report flag mistakes cleanly.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys := bandwidth.NewSystem(
+		bandwidth.Device{Name: "DDR", Cap: cfg.Memory.DDRBandwidth},
+		bandwidth.Device{Name: "MCDRAM", Cap: cfg.Memory.MCDRAMBandwidth},
+	)
+	return &Machine{
+		cfg:        cfg,
+		system:     sys,
+		ddr:        0,
+		mc:         1,
+		scratchpad: mem.NewScratchpad(cfg.Memory.ScratchpadCapacity(cfg.Mode)),
+	}, nil
+}
+
+// MustNew is New for static configurations known to be valid.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config reports the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// System exposes the bandwidth arbiter for flow-based simulations.
+func (m *Machine) System() *bandwidth.System { return m.system }
+
+// DDR and MCDRAM report the arbiter device ids.
+func (m *Machine) DDR() bandwidth.DeviceID    { return m.ddr }
+func (m *Machine) MCDRAM() bandwidth.DeviceID { return m.mc }
+
+// Scratchpad reports the flat-mode MCDRAM allocator. Its capacity is zero
+// in cache mode.
+func (m *Machine) Scratchpad() *mem.Scratchpad { return m.scratchpad }
+
+// CacheCapacity reports the effective MCDRAM cache capacity in the current
+// mode (zero in flat mode).
+func (m *Machine) CacheCapacity() units.Bytes {
+	return m.cfg.Memory.CacheCapacity(m.cfg.Mode)
+}
+
+// HWThreads reports the machine's hardware thread count.
+func (m *Machine) HWThreads() int { return m.cfg.Topology.HWThreads() }
+
+// Demand converts a cachemodel-style (ddr, mcdram) coefficient pair into
+// the arbiter's demand map.
+func (m *Machine) Demand(ddrCoeff, mcCoeff float64) map[bandwidth.DeviceID]float64 {
+	d := make(map[bandwidth.DeviceID]float64, 2)
+	if ddrCoeff > 0 {
+		d[m.ddr] = ddrCoeff
+	}
+	if mcCoeff > 0 {
+		d[m.mc] = mcCoeff
+	}
+	return d
+}
+
+// String summarises the machine for logs and reports.
+func (m *Machine) String() string {
+	return fmt.Sprintf("KNL[%d cores x %d SMT, DDR %v @ %v, MCDRAM %v @ %v, mode %v]",
+		m.cfg.Topology.Cores, m.cfg.Topology.ThreadsPerCore,
+		m.cfg.Memory.DDRCapacity, m.cfg.Memory.DDRBandwidth,
+		m.cfg.Memory.MCDRAMCapacity, m.cfg.Memory.MCDRAMBandwidth,
+		m.cfg.Mode.Mode)
+}

@@ -1,0 +1,140 @@
+package knl
+
+import (
+	"strings"
+	"testing"
+
+	"knlmlm/internal/bandwidth"
+	"knlmlm/internal/mem"
+	"knlmlm/internal/units"
+)
+
+func TestXeon7250Topology(t *testing.T) {
+	topo := Xeon7250()
+	if topo.HWThreads() != 272 {
+		t.Errorf("HWThreads = %d, want 272", topo.HWThreads())
+	}
+	if err := topo.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	for _, topo := range []Topology{{0, 4}, {68, 0}, {-1, 4}} {
+		if err := topo.Validate(); err == nil {
+			t.Errorf("topology %+v should be invalid", topo)
+		}
+	}
+}
+
+func TestPaperConfigModes(t *testing.T) {
+	for _, mode := range []mem.Mode{mem.Flat, mem.Cache, mem.Hybrid} {
+		cfg := PaperConfig(mode)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%v: %v", mode, err)
+		}
+		if cfg.Mode.Mode != mode {
+			t.Errorf("mode = %v, want %v", cfg.Mode.Mode, mode)
+		}
+	}
+	if f := PaperConfig(mem.Hybrid).Mode.HybridCacheFraction; f != 0.5 {
+		t.Errorf("hybrid fraction = %v, want 0.5", f)
+	}
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	cfg := PaperConfig(mem.Flat)
+	cfg.Topology.Cores = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestMustNewPanicsOnInvalid(t *testing.T) {
+	cfg := PaperConfig(mem.Flat)
+	cfg.Memory.DDRBandwidth = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on invalid config")
+		}
+	}()
+	MustNew(cfg)
+}
+
+func TestMachineWiring(t *testing.T) {
+	m := MustNew(PaperConfig(mem.Flat))
+	devs := m.System().Devices()
+	if devs[m.DDR()].Name != "DDR" || devs[m.MCDRAM()].Name != "MCDRAM" {
+		t.Errorf("device wiring: %+v", devs)
+	}
+	if devs[m.DDR()].Cap.GBpsValue() != 90 {
+		t.Errorf("DDR cap = %v", devs[m.DDR()].Cap)
+	}
+	if m.HWThreads() != 272 {
+		t.Errorf("HWThreads = %d", m.HWThreads())
+	}
+}
+
+func TestScratchpadByMode(t *testing.T) {
+	flat := MustNew(PaperConfig(mem.Flat))
+	if flat.Scratchpad().Capacity() != 16*units.GiB {
+		t.Errorf("flat scratchpad = %v", flat.Scratchpad().Capacity())
+	}
+	if flat.CacheCapacity() != 0 {
+		t.Errorf("flat cache = %v", flat.CacheCapacity())
+	}
+
+	cache := MustNew(PaperConfig(mem.Cache))
+	if cache.Scratchpad().Capacity() != 0 {
+		t.Errorf("cache-mode scratchpad = %v", cache.Scratchpad().Capacity())
+	}
+	if cache.CacheCapacity() <= 0 || cache.CacheCapacity() >= 16*units.GiB {
+		t.Errorf("cache capacity = %v, want (0, 16GiB) after tag overhead", cache.CacheCapacity())
+	}
+
+	hybrid := MustNew(PaperConfig(mem.Hybrid))
+	if hybrid.Scratchpad().Capacity() != 8*units.GiB {
+		t.Errorf("hybrid scratchpad = %v", hybrid.Scratchpad().Capacity())
+	}
+	if hybrid.CacheCapacity() <= 0 {
+		t.Errorf("hybrid cache = %v", hybrid.CacheCapacity())
+	}
+}
+
+func TestDemandMap(t *testing.T) {
+	m := MustNew(PaperConfig(mem.Flat))
+	d := m.Demand(1.5, 2.0)
+	if d[m.DDR()] != 1.5 || d[m.MCDRAM()] != 2.0 {
+		t.Errorf("demand = %v", d)
+	}
+	d = m.Demand(0, 1)
+	if _, ok := d[m.DDR()]; ok {
+		t.Error("zero DDR coefficient should be omitted")
+	}
+}
+
+// End-to-end smoke test: a copy pool on the machine's arbiter matches the
+// paper's saturated copy regime.
+func TestMachineArbiterIntegration(t *testing.T) {
+	m := MustNew(PaperConfig(mem.Flat))
+	f := &bandwidth.Flow{
+		Label:        "copy",
+		Threads:      32,
+		PerThreadCap: units.GBps(4.8),
+		Demand:       m.Demand(1, 1),
+		Work:         units.Bytes(90e9),
+	}
+	res := m.System().Run([]*bandwidth.Flow{f})
+	if !units.AlmostEqual(float64(res.Makespan), 1.0, 1e-9) {
+		t.Errorf("makespan = %v, want 1s at saturated DDR", res.Makespan)
+	}
+}
+
+func TestMachineString(t *testing.T) {
+	s := MustNew(PaperConfig(mem.Cache)).String()
+	for _, want := range []string{"68 cores", "cache", "MCDRAM"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package mlmsort
+
+import (
+	"fmt"
+	"sync"
+
+	"knlmlm/internal/psort"
+)
+
+// RunReal executes the algorithm's actual data flow over xs, sorting it in
+// place. threads is the worker count (use a small number on small hosts —
+// the algorithms' structure, not their host speed, is what this layer
+// verifies). megachunkLen is the MLM megachunk size in elements; zero
+// selects the whole array (MLM-implicit's configuration) for the MLM
+// variants and a quarter of the array for the staged variants, so that the
+// multi-megachunk code path executes.
+//
+// The five variants differ in *data flow*, which is exactly what they do on
+// real KNL hardware; memory-mode differences (where buffers live) have no
+// observable effect on a host without MCDRAM and are simulated by the
+// timing layer instead.
+func RunReal(a Algorithm, xs []int64, threads, megachunkLen int) error {
+	if threads < 1 {
+		return fmt.Errorf("mlmsort: threads %d must be positive", threads)
+	}
+	n := len(xs)
+	if n < 2 {
+		return nil
+	}
+	switch a {
+	case GNUFlat, GNUCache, GNUPreferred:
+		// GNU parallel sort: p local sorts + one parallel multiway merge.
+		// The three variants differ only in memory placement, which has no
+		// observable effect on the data flow.
+		psort.Parallel(xs, threads)
+		return nil
+	case MLMDDr, MLMSort, MLMImplicit, MLMHybrid:
+		return runRealMLM(a, xs, threads, megachunkLen)
+	case BasicChunked:
+		return runRealBasic(xs, threads, megachunkLen)
+	default:
+		return fmt.Errorf("mlmsort: unknown algorithm %v", a)
+	}
+}
+
+// megachunkBounds splits n elements into megachunks of the given length.
+func megachunkBounds(n, mcLen int) [][2]int {
+	if mcLen <= 0 || mcLen > n {
+		mcLen = n
+	}
+	var out [][2]int
+	for lo := 0; lo < n; lo += mcLen {
+		hi := lo + mcLen
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// sortMegachunkMLM sorts one megachunk the MLM way: each worker serially
+// sorts one maximal chunk, then a parallel multiway merge through scratch.
+func sortMegachunkMLM(mc []int64, threads int, scratch []int64) {
+	m := len(mc)
+	if m < 2 {
+		return
+	}
+	w := threads
+	if w > m {
+		w = m
+	}
+	runs := make([][]int64, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo, hi := m*i/w, m*(i+1)/w
+		runs[i] = mc[lo:hi]
+		wg.Add(1)
+		go func(block []int64) {
+			defer wg.Done()
+			psort.Serial(block)
+		}(runs[i])
+	}
+	wg.Wait()
+	psort.ParallelMergeK(scratch[:m], runs, w)
+	copy(mc, scratch[:m])
+}
+
+func runRealMLM(a Algorithm, xs []int64, threads, megachunkLen int) error {
+	n := len(xs)
+	if megachunkLen <= 0 {
+		if a == MLMImplicit {
+			megachunkLen = n // the paper: megachunk size equal to problem size
+		} else {
+			megachunkLen = (n + 3) / 4 // exercise the multi-megachunk path
+		}
+	}
+	bounds := megachunkBounds(n, megachunkLen)
+	maxLen := 0
+	for _, b := range bounds {
+		if l := b[1] - b[0]; l > maxLen {
+			maxLen = l
+		}
+	}
+	scratch := make([]int64, maxLen)
+
+	// Phase 1: sort each megachunk. MLM-sort (and its hybrid twin) stages
+	// the megachunk through a buffer (the flat-mode MCDRAM analog); the
+	// others sort in place.
+	staged := a == MLMSort || a == MLMHybrid
+	var staging []int64
+	if staged {
+		staging = make([]int64, maxLen)
+	}
+	for _, b := range bounds {
+		mc := xs[b[0]:b[1]]
+		if staged {
+			buf := staging[:len(mc)]
+			copy(buf, mc) // copy-in: DDR -> "MCDRAM"
+			sortMegachunkMLM(buf, threads, scratch)
+			copy(mc, buf) // megachunk merge writes back to DDR
+		} else {
+			sortMegachunkMLM(mc, threads, scratch)
+		}
+	}
+
+	// Phase 2: final multiway merge across megachunks.
+	if len(bounds) > 1 {
+		runs := make([][]int64, len(bounds))
+		for i, b := range bounds {
+			runs[i] = xs[b[0]:b[1]]
+		}
+		final := make([]int64, n)
+		psort.ParallelMergeK(final, runs, threads)
+		copy(xs, final)
+	}
+	return nil
+}
+
+// runRealBasic is Bender et al.'s basic algorithm: each megachunk is sorted
+// with the *parallel* sort, then the megachunks are multiway merged.
+func runRealBasic(xs []int64, threads, megachunkLen int) error {
+	n := len(xs)
+	if megachunkLen <= 0 {
+		megachunkLen = (n + 3) / 4
+	}
+	bounds := megachunkBounds(n, megachunkLen)
+	for _, b := range bounds {
+		psort.Parallel(xs[b[0]:b[1]], threads)
+	}
+	if len(bounds) > 1 {
+		runs := make([][]int64, len(bounds))
+		for i, b := range bounds {
+			runs[i] = xs[b[0]:b[1]]
+		}
+		final := make([]int64, n)
+		psort.ParallelMergeK(final, runs, threads)
+		copy(xs, final)
+	}
+	return nil
+}

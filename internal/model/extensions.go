@@ -1,0 +1,122 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"knlmlm/internal/units"
+)
+
+// This file extends the paper's Section 3.2 model beyond its stated
+// assumptions ("the copy-in and copy-out pools are equal in size and have
+// equivalent workloads"): asymmetric pool evaluation, the optimal
+// asymmetric split, and parameter sensitivity — the "variation of the
+// model" the paper's conclusion proposes for exploring future design
+// points.
+
+// AsymmetricPrediction extends Prediction with per-direction copy times.
+type AsymmetricPrediction struct {
+	Pools  Pools
+	TIn    units.Time // copy-in pool's time to move B
+	TOut   units.Time // copy-out pool's time to move B
+	TComp  units.Time
+	TTotal units.Time
+}
+
+// EvaluateAsymmetric generalises Eq. 1-5 to unequal copy pools. Each pool
+// moves B once; both share DDR bandwidth (progressive filling at thread
+// granularity), and compute shares MCDRAM with the combined copy traffic
+// as in Eq. 5.
+func (p Params) EvaluateAsymmetric(pools Pools, passes float64) AsymmetricPrediction {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if pools.In <= 0 || pools.Out <= 0 || pools.Comp <= 0 {
+		panic(fmt.Sprintf("model: pool sizes must be positive, got %+v", pools))
+	}
+	if passes <= 0 {
+		panic(fmt.Sprintf("model: passes %v must be positive", passes))
+	}
+	pc := float64(pools.In + pools.Out)
+
+	// Per-thread copy rate: uniform fill until S_copy or DDR saturation
+	// (both pools are copy threads, so the fill level is shared).
+	perThread := float64(p.SCopy)
+	if pc*perThread > float64(p.DDRMax) {
+		perThread = float64(p.DDRMax) / pc
+	}
+	tIn := units.Time(float64(p.BCopy) / (float64(pools.In) * perThread))
+	tOut := units.Time(float64(p.BCopy) / (float64(pools.Out) * perThread))
+
+	// Compute as in Eq. 5, charging the combined copy traffic.
+	cComp := float64(p.SComp)
+	if float64(pools.Comp)*cComp+pc*float64(p.SCopy) > float64(p.MCDRAMMax) {
+		cComp = (float64(p.MCDRAMMax) - pc*perThread) / float64(pools.Comp)
+		if cComp < 0 {
+			cComp = 0
+		}
+	}
+	tComp := units.Inf
+	if cComp > 0 {
+		tComp = units.Time(2 * float64(p.BCopy) * passes / (float64(pools.Comp) * cComp))
+	}
+
+	total := tComp
+	if tIn > total {
+		total = tIn
+	}
+	if tOut > total {
+		total = tOut
+	}
+	return AsymmetricPrediction{Pools: pools, TIn: tIn, TOut: tOut, TComp: tComp, TTotal: total}
+}
+
+// OptimalAsymmetric searches every (in, out) split with in+out <= maxCopy
+// and reports the best allocation. With symmetric workloads the optimum is
+// (near-)symmetric — confirming the paper's simplification — but the
+// search generalises to other workload shapes.
+func (p Params) OptimalAsymmetric(totalThreads, maxCopy int, passes float64) AsymmetricPrediction {
+	var best AsymmetricPrediction
+	found := false
+	for in := 1; in < maxCopy; in++ {
+		for out := 1; in+out <= maxCopy; out++ {
+			comp := totalThreads - in - out
+			if comp <= 0 {
+				continue
+			}
+			pr := p.EvaluateAsymmetric(Pools{In: in, Out: out, Comp: comp}, passes)
+			if !found || pr.TTotal < best.TTotal {
+				best = pr
+				found = true
+			}
+		}
+	}
+	if !found {
+		panic("model: empty asymmetric search")
+	}
+	return best
+}
+
+// Sensitivity reports the elasticity of the predicted total time to each
+// model parameter: d(log T) / d(log param), estimated by central
+// differences at +-1%. An elasticity of -1 means doubling the parameter
+// halves the time; 0 means the parameter is not binding at this operating
+// point. Keys: "DDRMax", "MCDRAMMax", "SCopy", "SComp".
+func (p Params) Sensitivity(pools Pools, passes float64) map[string]float64 {
+	eval := func(q Params) float64 {
+		return float64(q.Evaluate(pools, passes).TTotal)
+	}
+	out := make(map[string]float64, 4)
+	probe := func(name string, get func(*Params) *units.BytesPerSec) {
+		const h = 0.01
+		up, down := p, p
+		*get(&up) = units.BytesPerSec(float64(*get(&p)) * (1 + h))
+		*get(&down) = units.BytesPerSec(float64(*get(&p)) * (1 - h))
+		out[name] = (math.Log(eval(up)) - math.Log(eval(down))) / (2 * h)
+	}
+	probe("DDRMax", func(q *Params) *units.BytesPerSec { return &q.DDRMax })
+	probe("MCDRAMMax", func(q *Params) *units.BytesPerSec { return &q.MCDRAMMax })
+	probe("SCopy", func(q *Params) *units.BytesPerSec { return &q.SCopy })
+	probe("SComp", func(q *Params) *units.BytesPerSec { return &q.SComp })
+	return out
+}

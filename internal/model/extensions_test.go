@@ -1,0 +1,105 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"knlmlm/internal/units"
+)
+
+func TestEvaluateAsymmetricReducesToSymmetric(t *testing.T) {
+	p := PaperTable2()
+	for _, c := range []int{2, 8, 16} {
+		for _, passes := range []float64{1, 8, 64} {
+			sym := p.Evaluate(SymmetricPools(c, 256), passes)
+			asym := p.EvaluateAsymmetric(SymmetricPools(c, 256), passes)
+			if !units.AlmostEqual(float64(sym.TTotal), float64(asym.TTotal), 1e-9) {
+				t.Errorf("c=%d passes=%v: symmetric %v != asymmetric %v",
+					c, passes, sym.TTotal, asym.TTotal)
+			}
+		}
+	}
+}
+
+func TestAsymmetricSlowSideDominates(t *testing.T) {
+	p := PaperTable2()
+	pr := p.EvaluateAsymmetric(Pools{In: 2, Out: 8, Comp: 246}, 1)
+	if pr.TIn <= pr.TOut {
+		t.Errorf("2-thread copy-in (%v) should be slower than 8-thread copy-out (%v)", pr.TIn, pr.TOut)
+	}
+	if pr.TTotal < pr.TIn {
+		t.Errorf("total %v below slowest stage %v", pr.TTotal, pr.TIn)
+	}
+}
+
+// With symmetric workloads, the optimal asymmetric split is symmetric (or
+// adjacent to it) — validating the paper's simplifying assumption.
+func TestOptimalAsymmetricIsNearSymmetric(t *testing.T) {
+	p := PaperTable2()
+	for _, passes := range []float64{1, 8, 64} {
+		best := p.OptimalAsymmetric(256, 32, passes)
+		diff := best.Pools.In - best.Pools.Out
+		if diff < -1 || diff > 1 {
+			t.Errorf("passes=%v: optimal split (%d, %d) is not near-symmetric",
+				passes, best.Pools.In, best.Pools.Out)
+		}
+	}
+}
+
+func TestOptimalAsymmetricNotWorseThanSymmetric(t *testing.T) {
+	p := PaperTable2()
+	for _, passes := range []float64{1, 4, 16, 64} {
+		sym := p.Optimal(256, 32, passes)
+		asym := p.OptimalAsymmetric(256, 64, passes)
+		if float64(asym.TTotal) > float64(sym.TTotal)*(1+1e-9) {
+			t.Errorf("passes=%v: asymmetric search (%v) lost to symmetric (%v)",
+				passes, asym.TTotal, sym.TTotal)
+		}
+	}
+}
+
+func TestEvaluateAsymmetricPanics(t *testing.T) {
+	p := PaperTable2()
+	defer func() {
+		if recover() == nil {
+			t.Error("zero pool should panic")
+		}
+	}()
+	p.EvaluateAsymmetric(Pools{In: 0, Out: 1, Comp: 1}, 1)
+}
+
+// Sensitivities identify the binding resource: copy-bound points respond
+// to DDR bandwidth, compute-bound points to MCDRAM bandwidth, and the
+// elasticities are negative (more bandwidth, less time).
+func TestSensitivityIdentifiesBindingResource(t *testing.T) {
+	p := PaperTable2()
+
+	copyBound := p.Sensitivity(SymmetricPools(16, 256), 1) // DDR saturated
+	if copyBound["DDRMax"] > -0.5 {
+		t.Errorf("copy-bound DDR elasticity = %v, want near -1", copyBound["DDRMax"])
+	}
+	if math.Abs(copyBound["MCDRAMMax"]) > 0.1 {
+		t.Errorf("copy-bound MCDRAM elasticity = %v, want ~0", copyBound["MCDRAMMax"])
+	}
+
+	compBound := p.Sensitivity(SymmetricPools(2, 256), 64) // MCDRAM saturated
+	if compBound["MCDRAMMax"] > -0.5 {
+		t.Errorf("compute-bound MCDRAM elasticity = %v, want near -1", compBound["MCDRAMMax"])
+	}
+	if math.Abs(compBound["DDRMax"]) > 0.2 {
+		t.Errorf("compute-bound DDR elasticity = %v, want ~0", compBound["DDRMax"])
+	}
+}
+
+func TestSensitivityUnsaturatedPoint(t *testing.T) {
+	p := PaperTable2()
+	// Few copy threads, few compute threads: nothing saturated; per-thread
+	// rates bind instead of device bandwidths.
+	s := p.Sensitivity(Pools{In: 2, Out: 2, Comp: 20}, 1)
+	if s["SCopy"] > -0.5 {
+		t.Errorf("unsaturated copy-bound point: SCopy elasticity = %v, want near -1", s["SCopy"])
+	}
+	if math.Abs(s["DDRMax"]) > 0.1 {
+		t.Errorf("DDR not binding: elasticity = %v", s["DDRMax"])
+	}
+}

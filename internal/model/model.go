@@ -1,0 +1,232 @@
+// Package model implements the paper's Section 3.2 analytic performance
+// model for buffered multilevel-memory algorithms (Equations 1-5), and the
+// copy-thread provisioning searches built on it (Figure 8a, Table 3).
+//
+// The model describes a flat-mode chunked pipeline with three thread pools.
+// Writing B for the dataset size, the equations are:
+//
+//	T_total = max(T_copy, T_comp)                                   (1)
+//	T_copy  = 2B / ((p_in + p_out) * C_copy)                        (2)
+//	C_copy  = S_copy                      if (p_in+p_out)S_copy <= DDR_max
+//	        = DDR_max / (p_in + p_out)    otherwise                 (3)
+//	T_comp  = 2B*Passes / (p_comp * C_comp)                         (4)
+//	C_comp  = S_comp   if p_comp*S_comp + (p_in+p_out)*S_copy <= MCDRAM_max
+//	        = (MCDRAM_max - (p_in+p_out)*C_copy) / p_comp  otherwise (5)
+//
+// The model deliberately ignores pipeline fill/drain and the transient
+// regimes in which pools idle — the paper notes this simplification has
+// negligible effect when the chunk count is large. The discrete-event
+// simulator (internal/chunk) captures those effects, and the difference
+// between the two is exactly what Table 3's model-vs-empirical comparison
+// shows.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"knlmlm/internal/units"
+)
+
+// Params carries the measured machine and problem constants of the model
+// (the paper's Table 2).
+type Params struct {
+	// BCopy is the dataset size B.
+	BCopy units.Bytes
+	// DDRMax and MCDRAMMax are the STREAM-measured aggregate bandwidths.
+	DDRMax    units.BytesPerSec
+	MCDRAMMax units.BytesPerSec
+	// SCopy is one copy thread's DDR<->MCDRAM transfer rate when not
+	// bandwidth-limited.
+	SCopy units.BytesPerSec
+	// SComp is one compute thread's streaming rate when not
+	// bandwidth-limited.
+	SComp units.BytesPerSec
+}
+
+// PaperTable2 returns the constants the paper measured on its KNL testbed.
+func PaperTable2() Params {
+	return Params{
+		BCopy:     units.Bytes(14.9e9),
+		DDRMax:    units.GBps(90),
+		MCDRAMMax: units.GBps(400),
+		SCopy:     units.GBps(4.8),
+		SComp:     units.GBps(6.78),
+	}
+}
+
+// Validate reports whether the parameters are physically sensible.
+func (p Params) Validate() error {
+	switch {
+	case p.BCopy <= 0:
+		return fmt.Errorf("model: B_copy %v must be positive", p.BCopy)
+	case p.DDRMax <= 0 || p.MCDRAMMax <= 0:
+		return fmt.Errorf("model: device bandwidths must be positive")
+	case p.SCopy <= 0 || p.SComp <= 0:
+		return fmt.Errorf("model: per-thread rates must be positive")
+	}
+	return nil
+}
+
+// Pools is one thread-allocation point: p_in copy-in threads, p_out
+// copy-out threads, p_comp compute threads.
+type Pools struct {
+	In, Out, Comp int
+}
+
+// Prediction is the model's output at one allocation point.
+type Prediction struct {
+	Pools Pools
+	// CCopy and CComp are the effective per-thread rates (Eq. 3, 5).
+	CCopy units.BytesPerSec
+	CComp units.BytesPerSec
+	// TCopy, TComp and TTotal are the stage and total times (Eq. 2, 4, 1).
+	TCopy  units.Time
+	TComp  units.Time
+	TTotal units.Time
+	// CopyBound reports whether T_copy dominates.
+	CopyBound bool
+}
+
+// Evaluate applies Equations 1-5 for the given pools and pass count.
+// Pool sizes must be positive (the model has no idle-pool regimes).
+func (p Params) Evaluate(pools Pools, passes float64) Prediction {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if pools.In <= 0 || pools.Out <= 0 || pools.Comp <= 0 {
+		panic(fmt.Sprintf("model: pool sizes must be positive, got %+v", pools))
+	}
+	if passes <= 0 {
+		panic(fmt.Sprintf("model: passes %v must be positive", passes))
+	}
+	pc := float64(pools.In + pools.Out)
+
+	// Eq. 3.
+	cCopy := p.SCopy
+	if pc*float64(p.SCopy) > float64(p.DDRMax) {
+		cCopy = units.BytesPerSec(float64(p.DDRMax) / pc)
+	}
+	// Eq. 2.
+	tCopy := units.Time(2 * float64(p.BCopy) / (pc * float64(cCopy)))
+
+	// Eq. 5.
+	cComp := p.SComp
+	if float64(pools.Comp)*float64(p.SComp)+pc*float64(p.SCopy) > float64(p.MCDRAMMax) {
+		cComp = units.BytesPerSec((float64(p.MCDRAMMax) - pc*float64(cCopy)) / float64(pools.Comp))
+		if cComp < 0 {
+			cComp = 0
+		}
+	}
+	// Eq. 4.
+	tComp := units.Inf
+	if cComp > 0 {
+		tComp = units.Time(2 * float64(p.BCopy) * passes / (float64(pools.Comp) * float64(cComp)))
+	}
+
+	// Eq. 1.
+	tTotal := tCopy
+	copyBound := true
+	if tComp > tCopy {
+		tTotal = tComp
+		copyBound = false
+	}
+	return Prediction{
+		Pools: pools, CCopy: cCopy, CComp: cComp,
+		TCopy: tCopy, TComp: tComp, TTotal: tTotal, CopyBound: copyBound,
+	}
+}
+
+// SymmetricPools builds the paper's allocation scheme: p copy-in threads,
+// p copy-out threads, and the rest of totalThreads computing.
+func SymmetricPools(copyIn, totalThreads int) Pools {
+	return Pools{In: copyIn, Out: copyIn, Comp: totalThreads - 2*copyIn}
+}
+
+// Sweep evaluates the model across copy-in thread counts 1..maxCopyIn for
+// the given total thread budget, returning one prediction per point.
+// Points whose compute pool would be non-positive are skipped.
+func (p Params) Sweep(totalThreads, maxCopyIn int, passes float64) []Prediction {
+	var out []Prediction
+	for c := 1; c <= maxCopyIn; c++ {
+		pools := SymmetricPools(c, totalThreads)
+		if pools.Comp <= 0 {
+			break
+		}
+		out = append(out, p.Evaluate(pools, passes))
+	}
+	return out
+}
+
+// Optimal reports the copy-in thread count minimising predicted total time
+// over the sweep, considering every integer point (the paper's "Model"
+// column in Table 3).
+func (p Params) Optimal(totalThreads, maxCopyIn int, passes float64) Prediction {
+	preds := p.Sweep(totalThreads, maxCopyIn, passes)
+	if len(preds) == 0 {
+		panic("model: empty sweep")
+	}
+	best := preds[0]
+	for _, pr := range preds[1:] {
+		if pr.TTotal < best.TTotal {
+			best = pr
+		}
+	}
+	return best
+}
+
+// OptimalPowerOfTwo restricts the search to the powers of two the paper's
+// empirical runs test ({1, 2, 4, ..., maxCopyIn}), matching Table 3's
+// "Empirical (Powers of 2)" sampling.
+func (p Params) OptimalPowerOfTwo(totalThreads, maxCopyIn int, passes float64) Prediction {
+	var best Prediction
+	found := false
+	for c := 1; c <= maxCopyIn; c *= 2 {
+		pools := SymmetricPools(c, totalThreads)
+		if pools.Comp <= 0 {
+			break
+		}
+		pr := p.Evaluate(pools, passes)
+		if !found || pr.TTotal < best.TTotal {
+			best = pr
+			found = true
+		}
+	}
+	if !found {
+		panic("model: empty power-of-two sweep")
+	}
+	return best
+}
+
+// BandwidthBound applies Marc Snir's test, as relayed by Bender et al.:
+// a computation is memory-bandwidth bound on this machine when its
+// aggregate streaming demand (threads x per-thread rate) exceeds the
+// bandwidth of the level feeding it.
+func (p Params) BandwidthBound(threads int, perThread units.BytesPerSec, fromMCDRAM bool) bool {
+	demand := float64(threads) * float64(perThread)
+	if fromMCDRAM {
+		return demand > float64(p.MCDRAMMax)
+	}
+	return demand > float64(p.DDRMax)
+}
+
+// CrossoverPasses reports the pass count at which the model's optimum
+// shifts away from DDR saturation: below it, provisioning copy threads to
+// saturate DDR is optimal; above it, fewer copy threads suffice. It is
+// found by bisection on the predicted optimal copy-thread count.
+func (p Params) CrossoverPasses(totalThreads, maxCopyIn int) float64 {
+	satCopy := int(math.Ceil(float64(p.DDRMax) / (2 * float64(p.SCopy))))
+	lo, hi := 1.0, 4096.0
+	if p.Optimal(totalThreads, maxCopyIn, lo).Pools.In < satCopy {
+		return lo
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if p.Optimal(totalThreads, maxCopyIn, mid).Pools.In >= satCopy {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}

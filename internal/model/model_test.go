@@ -1,0 +1,240 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"knlmlm/internal/units"
+)
+
+func TestPaperTable2Values(t *testing.T) {
+	p := PaperTable2()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.BCopy != units.Bytes(14.9e9) {
+		t.Errorf("BCopy = %v", p.BCopy)
+	}
+	if p.DDRMax.GBpsValue() != 90 || p.MCDRAMMax.GBpsValue() != 400 {
+		t.Errorf("bandwidths = %v / %v", p.DDRMax, p.MCDRAMMax)
+	}
+	if p.SCopy.GBpsValue() != 4.8 || p.SComp.GBpsValue() != 6.78 {
+		t.Errorf("per-thread rates = %v / %v", p.SCopy, p.SComp)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := PaperTable2()
+	muts := []func(*Params){
+		func(p *Params) { p.BCopy = 0 },
+		func(p *Params) { p.DDRMax = 0 },
+		func(p *Params) { p.MCDRAMMax = -1 },
+		func(p *Params) { p.SCopy = 0 },
+		func(p *Params) { p.SComp = 0 },
+	}
+	for i, m := range muts {
+		p := base
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// Eq. 2+3 by hand: 10+10 copy threads saturate DDR (96 > 90), so
+// T_copy = 2B/DDR_max.
+func TestCopyTimeSaturated(t *testing.T) {
+	p := PaperTable2()
+	pr := p.Evaluate(SymmetricPools(10, 256), 1)
+	wantCopy := 2 * 14.9e9 / 90e9
+	if !units.AlmostEqual(float64(pr.TCopy), wantCopy, 1e-9) {
+		t.Errorf("TCopy = %v, want %v", pr.TCopy, units.Time(wantCopy))
+	}
+	wantC := 90e9 / 20.0
+	if !units.AlmostEqual(float64(pr.CCopy), wantC, 1e-9) {
+		t.Errorf("CCopy = %v, want %v/thread", pr.CCopy, units.BytesPerSec(wantC))
+	}
+}
+
+// Unsaturated copy: 4+4 threads at S_copy.
+func TestCopyTimeUnsaturated(t *testing.T) {
+	p := PaperTable2()
+	pr := p.Evaluate(SymmetricPools(4, 256), 1)
+	wantCopy := 2 * 14.9e9 / (8 * 4.8e9)
+	if !units.AlmostEqual(float64(pr.TCopy), wantCopy, 1e-9) {
+		t.Errorf("TCopy = %v, want %v", pr.TCopy, units.Time(wantCopy))
+	}
+	if pr.CCopy != p.SCopy {
+		t.Errorf("CCopy = %v, want S_copy", pr.CCopy)
+	}
+}
+
+// Eq. 5 saturated branch: compute gets MCDRAM_max minus copy traffic.
+func TestComputeTimeSaturated(t *testing.T) {
+	p := PaperTable2()
+	pools := SymmetricPools(8, 256) // 240 compute threads
+	pr := p.Evaluate(pools, 8)
+	wantCC := (400e9 - 16*4.8e9) / 240
+	if !units.AlmostEqual(float64(pr.CComp), wantCC, 1e-9) {
+		t.Errorf("CComp = %v, want %v", pr.CComp, units.BytesPerSec(wantCC))
+	}
+	wantTC := 2 * 14.9e9 * 8 / (240 * wantCC)
+	if !units.AlmostEqual(float64(pr.TComp), wantTC, 1e-9) {
+		t.Errorf("TComp = %v, want %v", pr.TComp, units.Time(wantTC))
+	}
+}
+
+// Unsaturated compute branch needs a small compute pool.
+func TestComputeTimeUnsaturated(t *testing.T) {
+	p := PaperTable2()
+	pools := Pools{In: 2, Out: 2, Comp: 40} // 40*6.78 + 4*4.8 = 290 < 400
+	pr := p.Evaluate(pools, 1)
+	if pr.CComp != p.SComp {
+		t.Errorf("CComp = %v, want S_comp", pr.CComp)
+	}
+}
+
+func TestTotalIsMax(t *testing.T) {
+	p := PaperTable2()
+	pr := p.Evaluate(SymmetricPools(10, 256), 1)
+	if pr.TTotal != pr.TCopy || !pr.CopyBound {
+		t.Errorf("1 pass should be copy bound: %+v", pr)
+	}
+	pr = p.Evaluate(SymmetricPools(10, 256), 64)
+	if pr.TTotal != pr.TComp || pr.CopyBound {
+		t.Errorf("64 passes should be compute bound: %+v", pr)
+	}
+}
+
+func TestEvaluatePanics(t *testing.T) {
+	p := PaperTable2()
+	for _, bad := range []Pools{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("pools %+v should panic", bad)
+				}
+			}()
+			p.Evaluate(bad, 1)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero passes should panic")
+		}
+	}()
+	p.Evaluate(SymmetricPools(1, 4), 0)
+}
+
+func TestSweepSkipsExhaustedComputePool(t *testing.T) {
+	p := PaperTable2()
+	preds := p.Sweep(16, 32, 1)
+	// 2c < 16 => c <= 7.
+	if len(preds) != 7 {
+		t.Errorf("sweep length = %d, want 7", len(preds))
+	}
+}
+
+// Copy-bound regime: optimal copy threads saturate DDR (10 for the paper's
+// constants: 2*10*4.8 = 96 >= 90).
+func TestOptimalCopyBoundRegime(t *testing.T) {
+	p := PaperTable2()
+	for _, passes := range []float64{1, 2} {
+		best := p.Optimal(256, 32, passes)
+		if best.Pools.In != 10 {
+			t.Errorf("passes=%v: optimal copy-in = %d, want 10", passes, best.Pools.In)
+		}
+	}
+}
+
+// Compute-bound regime: one copy thread pair suffices at 64 passes, as in
+// the paper's Table 3.
+func TestOptimalComputeBoundRegime(t *testing.T) {
+	p := PaperTable2()
+	best := p.Optimal(256, 32, 64)
+	if best.Pools.In != 1 {
+		t.Errorf("64 passes: optimal copy-in = %d, want 1", best.Pools.In)
+	}
+}
+
+// Monotonicity: the model's optimal copy-thread count never increases with
+// the pass count (the paper's central claim: "as the computation time gets
+// larger the need for copy threads is decreased").
+func TestOptimalMonotoneInPasses(t *testing.T) {
+	p := PaperTable2()
+	prev := 1 << 30
+	for _, passes := range []float64{1, 2, 4, 8, 16, 32, 64, 128} {
+		got := p.Optimal(256, 32, passes).Pools.In
+		if got > prev {
+			t.Errorf("optimal copy threads increased from %d to %d at %v passes", prev, got, passes)
+		}
+		prev = got
+	}
+}
+
+func TestOptimalPowerOfTwoSampling(t *testing.T) {
+	p := PaperTable2()
+	best := p.OptimalPowerOfTwo(256, 32, 1)
+	// Exact optimum is 10; the nearest sampled points are 8 and 16.
+	if best.Pools.In != 8 && best.Pools.In != 16 {
+		t.Errorf("power-of-two optimum = %d, want 8 or 16", best.Pools.In)
+	}
+	for _, passes := range []float64{1, 4, 16, 64} {
+		c := p.OptimalPowerOfTwo(256, 32, passes).Pools.In
+		if c&(c-1) != 0 {
+			t.Errorf("passes=%v: %d is not a power of two", passes, c)
+		}
+	}
+}
+
+// Property: T_copy is non-increasing in copy threads, and the saturated
+// copy rate never exceeds DDR_max.
+func TestCopyMonotonicityProperty(t *testing.T) {
+	p := PaperTable2()
+	f := func(cRaw uint8, passesRaw uint8) bool {
+		c := 1 + int(cRaw%60)
+		passes := 1 + float64(passesRaw%64)
+		a := p.Evaluate(SymmetricPools(c, 256), passes)
+		b := p.Evaluate(SymmetricPools(c+1, 256), passes)
+		if b.TCopy > a.TCopy+1e-12 {
+			return false
+		}
+		agg := float64(a.CCopy) * float64(a.Pools.In+a.Pools.Out)
+		return agg <= 90e9*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandwidthBound(t *testing.T) {
+	p := PaperTable2()
+	if !p.BandwidthBound(256, p.SComp, true) {
+		t.Error("256 streaming threads must be MCDRAM bandwidth bound")
+	}
+	if p.BandwidthBound(8, p.SComp, true) {
+		t.Error("8 threads at 6.78 GB/s are not MCDRAM bound")
+	}
+	if !p.BandwidthBound(32, p.SCopy, false) {
+		t.Error("32 copy threads must be DDR bound")
+	}
+	if p.BandwidthBound(4, p.SCopy, false) {
+		t.Error("4 copy threads are not DDR bound")
+	}
+}
+
+func TestCrossoverPasses(t *testing.T) {
+	p := PaperTable2()
+	x := p.CrossoverPasses(256, 32)
+	if x <= 1 || x >= 64 {
+		t.Errorf("crossover passes = %v, expected within (1, 64)", x)
+	}
+	// Below the crossover the optimum saturates DDR; above it doesn't.
+	if p.Optimal(256, 32, x/2).Pools.In < 10 {
+		t.Errorf("below crossover should still saturate DDR")
+	}
+	if p.Optimal(256, 32, x*2).Pools.In >= 10 {
+		t.Errorf("above crossover should use fewer copy threads")
+	}
+}

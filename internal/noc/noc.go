@@ -1,0 +1,214 @@
+// Package noc models KNL's on-die 2D mesh, the third resource the paper
+// names when warning about oversized copy pools ("the copy threads use
+// both MCDRAM and DDR bandwidth, as well as on-die resources such as
+// network-on-chip bandwidth").
+//
+// The model is deliberately first-order: tiles on a rows x cols grid,
+// eight MCDRAM controllers (EDCs) at the corners-ish positions and two DDR
+// controllers at the side midpoints (KNL's physical floorplan, per Sodani
+// et al., IEEE Micro 2016), dimension-ordered X-then-Y routing, and
+// uniform spreading of each tile's memory traffic across the controllers
+// of the targeted level. From a traffic assignment it computes per-link
+// loads and the aggregate-bandwidth ceiling at which the hottest link
+// saturates.
+//
+// Its role in the reproduction is a checked negative result: for the
+// paper's workloads the mesh ceiling sits well above the DDR and MCDRAM
+// limits, which is why neither the paper's model nor our arbiter needs a
+// mesh term (BenchmarkAblationMeshCeiling quantifies the headroom).
+package noc
+
+import (
+	"fmt"
+
+	"knlmlm/internal/units"
+)
+
+// Coord is a tile position on the mesh.
+type Coord struct{ Row, Col int }
+
+// Mesh is the on-die network.
+type Mesh struct {
+	Rows, Cols int
+	// LinkBandwidth is one mesh link's capacity per direction. KNL's mesh
+	// links carry ~96 GB/s per direction at 1.7 GHz.
+	LinkBandwidth units.BytesPerSec
+
+	edcs   []Coord // MCDRAM controllers
+	ddrMCs []Coord // DDR controllers
+}
+
+// KNLMesh returns the Xeon Phi 7250 floorplan approximation: a 6x7 grid,
+// 8 EDCs in the top and bottom rows (two per quadrant), 2 DDR memory
+// controllers at the row-middle edges.
+func KNLMesh() *Mesh {
+	m := &Mesh{Rows: 6, Cols: 7, LinkBandwidth: units.GBps(96)}
+	m.edcs = []Coord{
+		{0, 0}, {0, 2}, {0, 4}, {0, 6},
+		{5, 0}, {5, 2}, {5, 4}, {5, 6},
+	}
+	m.ddrMCs = []Coord{{2, 0}, {2, 6}}
+	return m
+}
+
+// Validate reports whether the mesh is well-formed.
+func (m *Mesh) Validate() error {
+	if m.Rows < 1 || m.Cols < 1 {
+		return fmt.Errorf("noc: mesh %dx%d must be positive", m.Rows, m.Cols)
+	}
+	if m.LinkBandwidth <= 0 {
+		return fmt.Errorf("noc: link bandwidth must be positive")
+	}
+	check := func(cs []Coord, kind string) error {
+		if len(cs) == 0 {
+			return fmt.Errorf("noc: no %s controllers", kind)
+		}
+		for _, c := range cs {
+			if c.Row < 0 || c.Row >= m.Rows || c.Col < 0 || c.Col >= m.Cols {
+				return fmt.Errorf("noc: %s controller %v outside mesh", kind, c)
+			}
+		}
+		return nil
+	}
+	if err := check(m.edcs, "MCDRAM"); err != nil {
+		return err
+	}
+	return check(m.ddrMCs, "DDR")
+}
+
+// EDCs and DDRMCs report the controller positions.
+func (m *Mesh) EDCs() []Coord   { return append([]Coord(nil), m.edcs...) }
+func (m *Mesh) DDRMCs() []Coord { return append([]Coord(nil), m.ddrMCs...) }
+
+// linkID identifies a directed link by its endpoints.
+type linkID struct{ from, to Coord }
+
+// route lists the hops of dimension-ordered X-then-Y routing from a to b.
+func route(a, b Coord) []linkID {
+	var hops []linkID
+	cur := a
+	for cur.Col != b.Col {
+		next := cur
+		if b.Col > cur.Col {
+			next.Col++
+		} else {
+			next.Col--
+		}
+		hops = append(hops, linkID{cur, next})
+		cur = next
+	}
+	for cur.Row != b.Row {
+		next := cur
+		if b.Row > cur.Row {
+			next.Row++
+		} else {
+			next.Row--
+		}
+		hops = append(hops, linkID{cur, next})
+		cur = next
+	}
+	return hops
+}
+
+// Traffic is one tile's memory demand in bytes/second.
+type Traffic struct {
+	Tile  Coord
+	ToMC  units.BytesPerSec // MCDRAM-level traffic
+	ToDDR units.BytesPerSec // DDR-level traffic
+}
+
+// LinkLoads computes the steady-state load on every directed link for the
+// given traffic, spreading each tile's level traffic uniformly across that
+// level's controllers (matching the address interleaving of the real
+// part). Request and response traffic both load the path (we charge the
+// full demand along the round trip's forward path; the return path is
+// symmetric by construction of dimension-ordered routing on a symmetric
+// controller layout).
+func (m *Mesh) LinkLoads(traffic []Traffic) map[linkID]units.BytesPerSec {
+	loads := make(map[linkID]units.BytesPerSec)
+	add := func(from, to Coord, amount units.BytesPerSec) {
+		if amount <= 0 {
+			return
+		}
+		for _, hop := range route(from, to) {
+			loads[hop] += amount
+		}
+	}
+	for _, t := range traffic {
+		if len(m.edcs) > 0 && t.ToMC > 0 {
+			share := units.BytesPerSec(float64(t.ToMC) / float64(len(m.edcs)))
+			for _, c := range m.edcs {
+				add(t.Tile, c, share)
+			}
+		}
+		if len(m.ddrMCs) > 0 && t.ToDDR > 0 {
+			share := units.BytesPerSec(float64(t.ToDDR) / float64(len(m.ddrMCs)))
+			for _, c := range m.ddrMCs {
+				add(t.Tile, c, share)
+			}
+		}
+	}
+	return loads
+}
+
+// MaxLinkUtilization reports the hottest link's load as a fraction of link
+// bandwidth.
+func (m *Mesh) MaxLinkUtilization(traffic []Traffic) float64 {
+	var max units.BytesPerSec
+	for _, load := range m.LinkLoads(traffic) {
+		if load > max {
+			max = load
+		}
+	}
+	return float64(max) / float64(m.LinkBandwidth)
+}
+
+// UniformTraffic spreads an aggregate (MCDRAM, DDR) demand evenly over all
+// tiles that are not controller stations — the natural assignment for a
+// flat OpenMP thread layout.
+func (m *Mesh) UniformTraffic(totalMC, totalDDR units.BytesPerSec) []Traffic {
+	station := make(map[Coord]bool)
+	for _, c := range m.edcs {
+		station[c] = true
+	}
+	for _, c := range m.ddrMCs {
+		station[c] = true
+	}
+	var tiles []Coord
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			if !station[Coord{r, c}] {
+				tiles = append(tiles, Coord{r, c})
+			}
+		}
+	}
+	out := make([]Traffic, 0, len(tiles))
+	for _, tile := range tiles {
+		out = append(out, Traffic{
+			Tile:  tile,
+			ToMC:  units.BytesPerSec(float64(totalMC) / float64(len(tiles))),
+			ToDDR: units.BytesPerSec(float64(totalDDR) / float64(len(tiles))),
+		})
+	}
+	return out
+}
+
+// Ceiling reports the aggregate memory bandwidth (split mcFraction to
+// MCDRAM, the rest to DDR) at which the hottest mesh link saturates under
+// a uniform tile layout. If this exceeds the memory devices' combined
+// limits, the mesh is not the bottleneck.
+func (m *Mesh) Ceiling(mcFraction float64) units.BytesPerSec {
+	if mcFraction < 0 || mcFraction > 1 {
+		panic(fmt.Sprintf("noc: MC fraction %v outside [0,1]", mcFraction))
+	}
+	const probe = 1e9 // 1 GB/s aggregate probe
+	traffic := m.UniformTraffic(
+		units.BytesPerSec(probe*mcFraction),
+		units.BytesPerSec(probe*(1-mcFraction)),
+	)
+	u := m.MaxLinkUtilization(traffic)
+	if u == 0 {
+		return units.BytesPerSec(float64(units.Inf))
+	}
+	return units.BytesPerSec(probe / u)
+}

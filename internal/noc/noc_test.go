@@ -1,0 +1,150 @@
+package noc
+
+import (
+	"testing"
+
+	"knlmlm/internal/units"
+)
+
+func TestKNLMeshValid(t *testing.T) {
+	m := KNLMesh()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.EDCs()) != 8 || len(m.DDRMCs()) != 2 {
+		t.Errorf("controllers: %d EDCs, %d DDR MCs", len(m.EDCs()), len(m.DDRMCs()))
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []*Mesh{
+		{Rows: 0, Cols: 7, LinkBandwidth: 1},
+		{Rows: 6, Cols: 7, LinkBandwidth: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid mesh accepted", i)
+		}
+	}
+	m := KNLMesh()
+	m.edcs = append(m.edcs, Coord{99, 0})
+	if err := m.Validate(); err == nil {
+		t.Error("out-of-mesh controller accepted")
+	}
+	m2 := KNLMesh()
+	m2.edcs = nil
+	if err := m2.Validate(); err == nil {
+		t.Error("mesh without EDCs accepted")
+	}
+}
+
+func TestRouteDimensionOrdered(t *testing.T) {
+	hops := route(Coord{0, 0}, Coord{2, 3})
+	if len(hops) != 5 {
+		t.Fatalf("route length = %d, want 5 (3 cols + 2 rows)", len(hops))
+	}
+	// X first: the first three hops move columns.
+	for i := 0; i < 3; i++ {
+		if hops[i].from.Row != 0 || hops[i].to.Row != 0 {
+			t.Errorf("hop %d should move along the row: %+v", i, hops[i])
+		}
+	}
+	// Then Y.
+	for i := 3; i < 5; i++ {
+		if hops[i].from.Col != 3 || hops[i].to.Col != 3 {
+			t.Errorf("hop %d should move along the column: %+v", i, hops[i])
+		}
+	}
+	if len(route(Coord{2, 2}, Coord{2, 2})) != 0 {
+		t.Error("self-route should be empty")
+	}
+}
+
+func TestLinkLoadsConservation(t *testing.T) {
+	m := KNLMesh()
+	// One tile, MCDRAM-only traffic: total link-bytes = demand/8 x total
+	// hop count to the 8 EDCs.
+	tile := Coord{3, 3}
+	demand := units.GBps(8)
+	loads := m.LinkLoads([]Traffic{{Tile: tile, ToMC: demand}})
+	var sum float64
+	for _, l := range loads {
+		sum += float64(l)
+	}
+	var hopCount int
+	for _, e := range m.EDCs() {
+		hopCount += len(route(tile, e))
+	}
+	want := float64(demand) / 8 * float64(hopCount)
+	if !units.AlmostEqual(sum, want, 1e-9) {
+		t.Errorf("total link load = %v, want %v", sum, want)
+	}
+}
+
+func TestMaxLinkUtilizationMonotone(t *testing.T) {
+	m := KNLMesh()
+	low := m.MaxLinkUtilization(m.UniformTraffic(units.GBps(100), units.GBps(20)))
+	high := m.MaxLinkUtilization(m.UniformTraffic(units.GBps(400), units.GBps(90)))
+	if low <= 0 || high <= low {
+		t.Errorf("utilization not monotone: %v -> %v", low, high)
+	}
+}
+
+func TestUniformTrafficExcludesStations(t *testing.T) {
+	m := KNLMesh()
+	traffic := m.UniformTraffic(units.GBps(42), units.GBps(42))
+	stations := map[Coord]bool{}
+	for _, c := range m.EDCs() {
+		stations[c] = true
+	}
+	for _, c := range m.DDRMCs() {
+		stations[c] = true
+	}
+	if len(traffic) != m.Rows*m.Cols-len(stations) {
+		t.Errorf("traffic covers %d tiles, want %d", len(traffic), m.Rows*m.Cols-len(stations))
+	}
+	var total float64
+	for _, tr := range traffic {
+		if stations[tr.Tile] {
+			t.Errorf("controller station %v carries compute traffic", tr.Tile)
+		}
+		total += float64(tr.ToMC)
+	}
+	if !units.AlmostEqual(total, 42e9, 1e-9) {
+		t.Errorf("MC traffic sums to %v, want 42 GB/s", total)
+	}
+}
+
+// The checked negative result: at the paper's full load (400 GB/s MCDRAM +
+// 90 GB/s DDR), the hottest mesh link stays below saturation, so the mesh
+// rightly has no term in the paper's model or our arbiter.
+func TestMeshNotBottleneckAtPaperLoads(t *testing.T) {
+	m := KNLMesh()
+	u := m.MaxLinkUtilization(m.UniformTraffic(units.GBps(400), units.GBps(90)))
+	if u >= 1 {
+		t.Errorf("mesh saturated (%.2f) at paper loads — contradicts the floorplan", u)
+	}
+	ceiling := m.Ceiling(400.0 / 490.0)
+	if float64(ceiling) < 490e9 {
+		t.Errorf("mesh ceiling %v below the 490 GB/s the devices can serve", ceiling)
+	}
+}
+
+func TestCeilingPanicsOnBadFraction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad fraction should panic")
+		}
+	}()
+	KNLMesh().Ceiling(1.5)
+}
+
+func TestCeilingScalesWithLinkBandwidth(t *testing.T) {
+	m := KNLMesh()
+	c1 := m.Ceiling(0.8)
+	m.LinkBandwidth *= 2
+	c2 := m.Ceiling(0.8)
+	if !units.AlmostEqual(float64(c2), 2*float64(c1), 1e-9) {
+		t.Errorf("ceiling should scale linearly with link bandwidth: %v vs %v", c1, c2)
+	}
+}

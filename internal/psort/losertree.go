@@ -1,0 +1,151 @@
+package psort
+
+// LoserTree is a tournament tree for k-way merging: each leaf is the head
+// of one sorted run; internal nodes store the loser of the comparison
+// below, so replacing the overall winner costs exactly ceil(log2 k)
+// comparisons. This is the classic structure used by the GNU parallel-mode
+// multiway merge the paper builds on.
+type LoserTree struct {
+	runs [][]int64 // remaining suffix of each run
+	tree []int     // tree[i] = run index of the loser at internal node i
+	k    int       // number of leaves (power-of-two padded)
+	live int       // runs not yet exhausted
+}
+
+// NewLoserTree builds a tree over the given sorted runs. Empty runs are
+// allowed and immediately count as exhausted. The runs are consumed in
+// place (the tree advances their slice headers).
+func NewLoserTree(runs [][]int64) *LoserTree {
+	n := len(runs)
+	k := 1
+	for k < n {
+		k <<= 1
+	}
+	if k == 0 {
+		k = 1
+	}
+	lt := &LoserTree{
+		runs: make([][]int64, k),
+		tree: make([]int, k),
+		k:    k,
+	}
+	copy(lt.runs, runs)
+	for _, r := range runs {
+		if len(r) > 0 {
+			lt.live++
+		}
+	}
+	lt.build()
+	return lt
+}
+
+// head reports the current first element of run i; exhausted runs compare
+// as +infinity so they always lose.
+func (lt *LoserTree) head(i int) (int64, bool) {
+	r := lt.runs[i]
+	if len(r) == 0 {
+		return 0, false
+	}
+	return r[0], true
+}
+
+// less reports whether run a's head should win against run b's head.
+// Ties break toward the lower run index, making the merge stable across
+// run order.
+func (lt *LoserTree) less(a, b int) bool {
+	va, oka := lt.head(a)
+	vb, okb := lt.head(b)
+	switch {
+	case !oka:
+		return false
+	case !okb:
+		return true
+	case va != vb:
+		return va < vb
+	default:
+		return a < b
+	}
+}
+
+// build initialises the loser tree bottom-up by running the tournament.
+func (lt *LoserTree) build() {
+	// winners[j] for internal node j computed bottom-up; node j's children
+	// are 2j and 2j+1 among internal nodes, leaves start at lt.k.
+	winners := make([]int, 2*lt.k)
+	for i := 0; i < lt.k; i++ {
+		winners[lt.k+i] = i
+	}
+	for j := lt.k - 1; j >= 1; j-- {
+		a, b := winners[2*j], winners[2*j+1]
+		if lt.less(a, b) {
+			winners[j] = a
+			lt.tree[j] = b
+		} else {
+			winners[j] = b
+			lt.tree[j] = a
+		}
+	}
+	lt.tree[0] = winners[1] // overall winner parked at the root slot
+}
+
+// Empty reports whether every run is exhausted.
+func (lt *LoserTree) Empty() bool { return lt.live == 0 }
+
+// Pop removes and returns the smallest head element. Calling Pop on an
+// empty tree panics.
+func (lt *LoserTree) Pop() int64 {
+	if lt.live == 0 {
+		panic("psort: Pop from empty LoserTree")
+	}
+	w := lt.tree[0]
+	v := lt.runs[w][0]
+	lt.runs[w] = lt.runs[w][1:]
+	if len(lt.runs[w]) == 0 {
+		lt.live--
+	}
+	// Replay the path from leaf w to the root.
+	cur := w
+	for j := (lt.k + w) / 2; j >= 1; j /= 2 {
+		if lt.less(lt.tree[j], cur) {
+			cur, lt.tree[j] = lt.tree[j], cur
+		}
+	}
+	lt.tree[0] = cur
+	return v
+}
+
+// MergeInto drains the tree into dst and reports the number of elements
+// written. dst must be large enough for all remaining elements.
+func (lt *LoserTree) MergeInto(dst []int64) int {
+	n := 0
+	for !lt.Empty() {
+		dst[n] = lt.Pop()
+		n++
+	}
+	return n
+}
+
+// MergeK merges the given sorted runs into dst using a loser tree; dst must
+// have exactly the combined length. For k==1 it degenerates to a copy and
+// for k==2 to the branch-predictable two-way merge.
+func MergeK(dst []int64, runs ...[]int64) {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	if len(dst) != total {
+		panic("psort: MergeK destination length mismatch")
+	}
+	switch len(runs) {
+	case 0:
+		return
+	case 1:
+		copy(dst, runs[0])
+		return
+	case 2:
+		Merge2(dst, runs[0], runs[1])
+		return
+	}
+	lt := NewLoserTree(runs)
+	lt.MergeInto(dst)
+}

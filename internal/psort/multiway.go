@@ -1,0 +1,197 @@
+package psort
+
+import (
+	"sort"
+	"sync"
+)
+
+// Select performs multisequence selection: given k sorted runs and a target
+// global rank r (0 <= r <= total length), it returns per-run cut positions
+// cuts[i] such that sum(cuts) == r and every element before a cut is <=
+// every element after any cut. This is how the parallel multiway merge
+// splits work between threads without communication, as in the MCSTL/GNU
+// parallel multiway merge.
+func Select(runs [][]int64, r int) []int {
+	total := 0
+	for _, run := range runs {
+		total += len(run)
+	}
+	if r < 0 || r > total {
+		panic("psort: selection rank out of range")
+	}
+	cuts := make([]int, len(runs))
+	if r == 0 {
+		return cuts
+	}
+	if r == total {
+		for i, run := range runs {
+			cuts[i] = len(run)
+		}
+		return cuts
+	}
+
+	// Binary search over the value domain for the smallest v such that
+	// count(<= v) >= r. The range can span the whole int64 domain, so the
+	// midpoint is computed through uint64 to avoid (hi - lo) overflow.
+	lo, hi := minHead(runs), maxTail(runs) // inclusive bounds
+	for lo < hi {
+		mid := int64(uint64(lo) + (uint64(hi)-uint64(lo))/2)
+		if countLE(runs, mid) >= r {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	v := lo
+
+	// Take all elements < v, then distribute elements == v until rank r.
+	taken := 0
+	for i, run := range runs {
+		cuts[i] = sort.Search(len(run), func(j int) bool { return run[j] >= v })
+		taken += cuts[i]
+	}
+	for i, run := range runs {
+		if taken == r {
+			break
+		}
+		// Extend cut i through its elements equal to v as needed.
+		for cuts[i] < len(run) && run[cuts[i]] == v && taken < r {
+			cuts[i]++
+			taken++
+		}
+	}
+	if taken != r {
+		panic("psort: selection failed to reach target rank")
+	}
+	return cuts
+}
+
+func minHead(runs [][]int64) int64 {
+	m, found := int64(0), false
+	for _, run := range runs {
+		if len(run) == 0 {
+			continue
+		}
+		if !found || run[0] < m {
+			m = run[0]
+			found = true
+		}
+	}
+	return m
+}
+
+func maxTail(runs [][]int64) int64 {
+	m, found := int64(0), false
+	for _, run := range runs {
+		if len(run) == 0 {
+			continue
+		}
+		if last := run[len(run)-1]; !found || last > m {
+			m = last
+			found = true
+		}
+	}
+	return m
+}
+
+func countLE(runs [][]int64, v int64) int {
+	n := 0
+	for _, run := range runs {
+		n += sort.Search(len(run), func(j int) bool { return run[j] > v })
+	}
+	return n
+}
+
+// ParallelMergeK merges the sorted runs into dst using p workers. Each
+// worker merges one rank-slice of the output located via multisequence
+// selection, so workers never contend. dst must have the combined length
+// and must not alias the runs.
+func ParallelMergeK(dst []int64, runs [][]int64, p int) {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	if len(dst) != total {
+		panic("psort: ParallelMergeK destination length mismatch")
+	}
+	if p < 1 {
+		panic("psort: ParallelMergeK needs at least one worker")
+	}
+	if total == 0 {
+		return
+	}
+	if p > total {
+		p = total
+	}
+
+	// Rank boundaries 0 = r0 <= r1 <= ... <= rp = total and their cuts.
+	bounds := make([][]int, p+1)
+	bounds[0] = make([]int, len(runs))
+	bounds[p] = Select(runs, total)
+	var wg sync.WaitGroup
+	for w := 1; w < p; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bounds[w] = Select(runs, total*w/p)
+		}()
+	}
+	wg.Wait()
+
+	for w := 0; w < p; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lo, hi := bounds[w], bounds[w+1]
+			slice := make([][]int64, len(runs))
+			for i := range runs {
+				slice[i] = runs[i][lo[i]:hi[i]]
+			}
+			start := total * w / p
+			end := total * (w + 1) / p
+			MergeK(dst[start:end], slice...)
+		}()
+	}
+	wg.Wait()
+}
+
+// Parallel sorts xs ascending using the structure of GNU libstdc++
+// parallel-mode sort (the paper's baseline): split into p equal blocks,
+// sort each block independently (with the serial pattern-detecting sort),
+// then one parallel p-way merge through scratch space. It allocates a
+// scratch buffer of len(xs).
+func Parallel(xs []int64, p int) {
+	if p < 1 {
+		panic("psort: Parallel needs at least one worker")
+	}
+	n := len(xs)
+	if n < 2 {
+		return
+	}
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		Serial(xs)
+		return
+	}
+
+	runs := make([][]int64, p)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		start, end := n*w/p, n*(w+1)/p
+		runs[w] = xs[start:end]
+		wg.Add(1)
+		go func(block []int64) {
+			defer wg.Done()
+			Serial(block)
+		}(runs[w])
+	}
+	wg.Wait()
+
+	scratch := make([]int64, n)
+	ParallelMergeK(scratch, runs, p)
+	copy(xs, scratch)
+}

@@ -1,0 +1,182 @@
+// Package psort is the from-scratch sorting substrate underneath the MLM
+// algorithms: a pattern-detecting serial sort (the stand-in for std::sort
+// inside each MLM-sort thread), a loser-tree k-way merge, multisequence
+// selection for splitting merges across threads, and a parallel multiway
+// mergesort equivalent in structure to GNU libstdc++ parallel mode sort
+// (the paper's baseline).
+//
+// Everything operates on []int64, the paper's element type. The package is
+// pure algorithm code — no simulated timing — and is exercised both by the
+// execution layer (real runs on real data) and, for byte accounting, by the
+// simulation layer's cost models.
+package psort
+
+// insertionThreshold is the subarray size below which quicksort falls back
+// to insertion sort; 24 matches common introsort practice.
+const insertionThreshold = 24
+
+// Serial sorts xs ascending in place using an introsort with upfront
+// run detection: fully ascending inputs return immediately and strictly
+// descending inputs are reversed in one pass. This mirrors the adaptive
+// behaviour of modern std::sort implementations that MLM-sort leans on,
+// and is the mechanism behind the paper's observation that reverse-sorted
+// inputs favour the MLM variants.
+func Serial(xs []int64) {
+	n := len(xs)
+	if n < 2 {
+		return
+	}
+	// Run detection: one linear scan settles fully ascending and strictly
+	// descending inputs.
+	if asc, desc := scanRuns(xs); asc {
+		return
+	} else if desc {
+		reverse(xs)
+		return
+	}
+	introsort(xs, 2*log2(n))
+}
+
+// scanRuns reports whether xs is entirely ascending (non-decreasing) or
+// strictly descending.
+func scanRuns(xs []int64) (asc, desc bool) {
+	asc, desc = true, true
+	for i := 1; i < len(xs) && (asc || desc); i++ {
+		if xs[i-1] > xs[i] {
+			asc = false
+		}
+		if xs[i-1] <= xs[i] {
+			desc = false
+		}
+	}
+	return asc, desc
+}
+
+func reverse(xs []int64) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+func introsort(xs []int64, depth int) {
+	for len(xs) > insertionThreshold {
+		if depth == 0 {
+			heapsort(xs)
+			return
+		}
+		depth--
+		p := partition(xs)
+		// Recurse on the smaller side, loop on the larger: O(log n) stack.
+		if p < len(xs)-p-1 {
+			introsort(xs[:p], depth)
+			xs = xs[p+1:]
+		} else {
+			introsort(xs[p+1:], depth)
+			xs = xs[:p]
+		}
+	}
+	insertion(xs)
+}
+
+// partition performs a Hoare-style partition around a median-of-three
+// pivot moved to the end, returning the pivot's final index.
+func partition(xs []int64) int {
+	n := len(xs)
+	m := n / 2
+	medianOfThree(xs, 0, m, n-1)
+	xs[m], xs[n-1] = xs[n-1], xs[m]
+	pivot := xs[n-1]
+	i := 0
+	for j := 0; j < n-1; j++ {
+		if xs[j] < pivot {
+			xs[i], xs[j] = xs[j], xs[i]
+			i++
+		}
+	}
+	xs[i], xs[n-1] = xs[n-1], xs[i]
+	return i
+}
+
+// medianOfThree orders xs[a] <= xs[b] <= xs[c].
+func medianOfThree(xs []int64, a, b, c int) {
+	if xs[b] < xs[a] {
+		xs[a], xs[b] = xs[b], xs[a]
+	}
+	if xs[c] < xs[b] {
+		xs[b], xs[c] = xs[c], xs[b]
+		if xs[b] < xs[a] {
+			xs[a], xs[b] = xs[b], xs[a]
+		}
+	}
+}
+
+func insertion(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+func heapsort(xs []int64) {
+	n := len(xs)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(xs, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		xs[0], xs[i] = xs[i], xs[0]
+		siftDown(xs, 0, i)
+	}
+}
+
+func siftDown(xs []int64, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && xs[child+1] > xs[child] {
+			child++
+		}
+		if xs[root] >= xs[child] {
+			return
+		}
+		xs[root], xs[child] = xs[child], xs[root]
+		root = child
+	}
+}
+
+// Merge2 merges the sorted runs a and b into dst, which must have length
+// len(a)+len(b) and not alias either input. It is the compute kernel of the
+// paper's streaming merge benchmark.
+func Merge2(dst, a, b []int64) {
+	if len(dst) != len(a)+len(b) {
+		panic("psort: Merge2 destination length mismatch")
+	}
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
+}

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{Title: "Demo", Headers: []string{"A", "Bee", "C"}}
+	t.AddRow("1", "2", "3")
+	t.AddRow("long-cell", "x", "y")
+	return t
+}
+
+func TestASCIIAlignment(t *testing.T) {
+	s := sample().ASCII()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// Header and rows share column offsets: "Bee" and "2" start together.
+	h := strings.Index(lines[1], "Bee")
+	r := strings.Index(lines[3], "2")
+	if h != r {
+		t.Errorf("columns misaligned: header at %d, row at %d\n%s", h, r, s)
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("missing separator: %q", lines[2])
+	}
+}
+
+func TestASCIIWithoutTitleOrHeaders(t *testing.T) {
+	tab := &Table{}
+	tab.AddRow("a", "b")
+	s := tab.ASCII()
+	if !strings.HasPrefix(s, "a") {
+		t.Errorf("ASCII = %q", s)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	s := sample().Markdown()
+	for _, want := range []string{"**Demo**", "| A | Bee | C |", "| --- | --- | --- |", "| long-cell | x | y |"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("markdown missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tab := &Table{Headers: []string{"name", "value"}}
+	tab.AddRow(`has,comma`, `has"quote`)
+	tab.AddRow("plain", "line\nbreak")
+	s := tab.CSV()
+	for _, want := range []string{`"has,comma"`, `"has""quote"`, "\"line\nbreak\""} {
+		if !strings.Contains(s, want) {
+			t.Errorf("CSV missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.HasPrefix(s, "name,value\n") {
+		t.Errorf("CSV header wrong: %q", s)
+	}
+}
+
+func TestAddRowWidthMismatchPanics(t *testing.T) {
+	tab := &Table{Headers: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched row should panic")
+		}
+	}()
+	tab.AddRow("only-one")
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Seconds(11.923); got != "11.92" {
+		t.Errorf("Seconds = %q", got)
+	}
+	if got := SpeedupCell(1.9); got != "1.90x" {
+		t.Errorf("SpeedupCell = %q", got)
+	}
+}

@@ -1,0 +1,147 @@
+// Package sim provides the discrete-event simulation engine that drives the
+// KNL memory-system model: a virtual clock and an event queue ordered by
+// simulated time.
+//
+// The engine is deliberately minimal — events are closures scheduled at
+// absolute virtual times, executed in (time, insertion) order. Determinism
+// matters more than generality here: two events at the same timestamp always
+// run in the order they were scheduled, so simulation results are exactly
+// reproducible across runs and hosts.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"knlmlm/internal/units"
+)
+
+// Event is a scheduled action. The callback receives the engine so it can
+// schedule follow-up events.
+type Event struct {
+	At units.Time
+	Fn func(*Engine)
+
+	seq   uint64 // tie-break: FIFO among equal timestamps
+	index int    // heap bookkeeping; -1 once popped or cancelled
+}
+
+// Engine owns the virtual clock and the pending-event queue.
+type Engine struct {
+	now     units.Time
+	queue   eventQueue
+	nextSeq uint64
+	steps   uint64
+}
+
+// New returns an engine with the clock at zero and no pending events.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Steps reports how many events have been executed, for diagnostics.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending reports the number of scheduled, not-yet-run events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues fn to run at absolute virtual time at. Scheduling in
+// the past is a logic error and panics: the simulated world cannot be
+// retroactively changed.
+func (e *Engine) Schedule(at units.Time, fn func(*Engine)) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &Event{At: at, Fn: fn, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After enqueues fn to run delay after the current time.
+func (e *Engine) After(delay units.Time, fn func(*Engine)) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-run or
+// already-cancelled event is a no-op and returns false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	return true
+}
+
+// Step runs the earliest pending event, advancing the clock to its
+// timestamp. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	ev.index = -1
+	e.now = ev.At
+	e.steps++
+	ev.Fn(e)
+	return true
+}
+
+// Run executes events until the queue drains and returns the final clock.
+func (e *Engine) Run() units.Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, advancing the clock
+// to the deadline if the queue drains or only later events remain.
+func (e *Engine) RunUntil(deadline units.Time) units.Time {
+	for len(e.queue) > 0 && e.queue[0].At <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// eventQueue is a min-heap on (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"knlmlm/internal/units"
+)
+
+func TestEmptyEngine(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Error("Step on empty engine should report false")
+	}
+	if got := e.Run(); got != 0 {
+		t.Errorf("Run on empty engine = %v, want 0", got)
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(3, func(*Engine) { order = append(order, 3) })
+	e.Schedule(1, func(*Engine) { order = append(order, 1) })
+	e.Schedule(2, func(*Engine) { order = append(order, 2) })
+	e.Run()
+	for i, want := range []int{1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("final clock = %v, want 3", e.Now())
+	}
+}
+
+func TestTiesAreFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(order) {
+		t.Errorf("same-time events not FIFO: %v", order)
+	}
+}
+
+func TestEventSchedulesFollowUp(t *testing.T) {
+	e := New()
+	var times []units.Time
+	var tick func(*Engine)
+	tick = func(en *Engine) {
+		times = append(times, en.Now())
+		if len(times) < 4 {
+			en.After(2, tick)
+		}
+	}
+	e.Schedule(1, tick)
+	e.Run()
+	want := []units.Time{1, 3, 5, 7}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(5, func(*Engine) {})
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	e.Schedule(1, func(*Engine) {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay should panic")
+		}
+	}()
+	e.After(-1, func(*Engine) {})
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	ran := false
+	ev := e.Schedule(1, func(*Engine) { ran = true })
+	if !e.Cancel(ev) {
+		t.Error("first Cancel should succeed")
+	}
+	if e.Cancel(ev) {
+		t.Error("second Cancel should report false")
+	}
+	e.Run()
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if e.Cancel(nil) {
+		t.Error("Cancel(nil) should report false")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New()
+	var order []int
+	evs := make([]*Event, 0, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		evs = append(evs, e.Schedule(units.Time(i), func(*Engine) { order = append(order, i) }))
+	}
+	e.Cancel(evs[2])
+	e.Run()
+	want := []int{0, 1, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var ran []units.Time
+	for _, at := range []units.Time{1, 2, 8} {
+		at := at
+		e.Schedule(at, func(en *Engine) { ran = append(ran, en.Now()) })
+	}
+	e.RunUntil(5)
+	if len(ran) != 2 || e.Now() != 5 {
+		t.Errorf("RunUntil(5): ran=%v now=%v", ran, e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(ran) != 3 || e.Now() != 8 {
+		t.Errorf("final: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestRandomizedOrdering(t *testing.T) {
+	// Property: regardless of insertion order, execution is sorted by time.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		e := New()
+		var ran []units.Time
+		n := 1 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			at := units.Time(rng.Intn(1000))
+			e.Schedule(at, func(en *Engine) { ran = append(ran, en.Now()) })
+		}
+		e.Run()
+		if len(ran) != n {
+			t.Fatalf("trial %d: ran %d of %d events", trial, len(ran), n)
+		}
+		if !sort.SliceIsSorted(ran, func(i, j int) bool { return ran[i] < ran[j] }) {
+			t.Fatalf("trial %d: out-of-order execution: %v", trial, ran)
+		}
+	}
+}
+
+func TestStepsCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 7; i++ {
+		e.Schedule(units.Time(i), func(*Engine) {})
+	}
+	e.Run()
+	if e.Steps() != 7 {
+		t.Errorf("Steps = %d, want 7", e.Steps())
+	}
+}

@@ -1,0 +1,129 @@
+// Package stats provides the small statistical toolkit used by the
+// benchmark harness: run summaries (mean, standard deviation, extrema) and
+// labelled series for figure output.
+//
+// The paper reports each Table 1 cell as the mean and sample standard
+// deviation of ten runs; Summary reproduces exactly that computation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a set of repeated measurements.
+type Summary struct {
+	N      int     // number of samples
+	Mean   float64 // arithmetic mean
+	StdDev float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary over xs. An empty input yields a zero
+// Summary; a single sample has StdDev 0.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// String renders "mean ± stddev (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (n=%d)", s.Mean, s.StdDev, s.N)
+}
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a labelled sequence of points, the unit of figure output.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// MinY returns the point with the smallest Y value. It panics on an empty
+// series: asking for the optimum of no data is a programming error.
+func (s *Series) MinY() Point {
+	if len(s.Points) == 0 {
+		panic("stats: MinY of empty series")
+	}
+	best := s.Points[0]
+	for _, p := range s.Points[1:] {
+		if p.Y < best.Y {
+			best = p
+		}
+	}
+	return best
+}
+
+// SortByX orders the points by ascending X; ties keep insertion order.
+func (s *Series) SortByX() {
+	sort.SliceStable(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+}
+
+// Speedup returns base/x — the convention of the paper's Figure 6, where
+// bars show (GNU-flat time) / (variant time).
+func Speedup(base, x float64) float64 {
+	if x == 0 {
+		return math.Inf(1)
+	}
+	return base / x
+}
+
+// GeoMean computes the geometric mean of positive values; it returns 0 for
+// an empty input and panics on a non-positive sample.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: GeoMean of non-positive value")
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// RelErr reports |a-b| / max(|a|,|b|), or 0 when both are 0. It is the
+// metric used by the cross-validation tests between the analytic models and
+// the discrete-event simulator.
+func RelErr(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / m
+}

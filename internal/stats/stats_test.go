@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.StdDev != 0 {
+		t.Errorf("Summarize(nil) = %+v, want zero", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.StdDev != 0 || s.Min != 3.5 || s.Max != 3.5 {
+		t.Errorf("Summarize single = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	// 2, 4, 4, 4, 5, 5, 7, 9: mean 5, population sd 2, sample sd sqrt(32/7).
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", s.StdDev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		if s.Min > s.Mean || s.Mean > s.Max {
+			return false
+		}
+		return s.StdDev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeriesMinY(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 3)
+	s.Add(3, 7)
+	if got := s.MinY(); got.X != 2 || got.Y != 3 {
+		t.Errorf("MinY = %+v", got)
+	}
+}
+
+func TestSeriesMinYPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MinY on empty series should panic")
+		}
+	}()
+	(&Series{}).MinY()
+}
+
+func TestSeriesSortByX(t *testing.T) {
+	var s Series
+	s.Add(3, 1)
+	s.Add(1, 2)
+	s.Add(2, 3)
+	s.SortByX()
+	for i, want := range []float64{1, 2, 3} {
+		if s.Points[i].X != want {
+			t.Errorf("point %d X = %v, want %v", i, s.Points[i].X, want)
+		}
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10, 5); got != 2 {
+		t.Errorf("Speedup(10,5) = %v", got)
+	}
+	if got := Speedup(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("Speedup(1,0) = %v, want +inf", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GeoMean with non-positive value should panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(0, 0) != 0 {
+		t.Error("RelErr(0,0) != 0")
+	}
+	if got := RelErr(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr(90,100) = %v", got)
+	}
+	if RelErr(5, 5) != 0 {
+		t.Error("RelErr(x,x) != 0")
+	}
+}

@@ -1,0 +1,145 @@
+// Package stream measures the simulated machine the way McCalpin's STREAM
+// benchmark measured the paper's testbed: saturate one memory level with
+// streaming threads and report the aggregate bandwidth. The results are the
+// Table 2 calibration constants (DDR_max, MCDRAM_max) together with the
+// single-thread probes that yield S_copy and S_comp.
+//
+// Running STREAM against the simulator is deliberately circular — the
+// simulator was configured with those bandwidths — but it validates that
+// the arbiter actually delivers its configured capacities under load, and
+// it is the measurement procedure a user would run against a *re*configured
+// machine (see the future-technology sweeps in the benchmark harness).
+package stream
+
+import (
+	"fmt"
+
+	"knlmlm/internal/bandwidth"
+	"knlmlm/internal/knl"
+	"knlmlm/internal/units"
+)
+
+// Kernel identifies a STREAM kernel. All four touch bytes at slightly
+// different read:write ratios; on the fluid simulator they saturate
+// identically, so Copy is the default. The distinction is kept for fidelity
+// of the harness output.
+type Kernel int
+
+const (
+	Copy Kernel = iota
+	Scale
+	Add
+	Triad
+)
+
+// String reports the kernel name.
+func (k Kernel) String() string {
+	switch k {
+	case Copy:
+		return "Copy"
+	case Scale:
+		return "Scale"
+	case Add:
+		return "Add"
+	case Triad:
+		return "Triad"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// Kernels lists all kernels.
+func Kernels() []Kernel { return []Kernel{Copy, Scale, Add, Triad} }
+
+// bytesPerElement reports the traffic per element (8-byte doubles) of each
+// kernel: Copy/Scale move 16 B (1 read + 1 write), Add/Triad 24 B.
+func (k Kernel) bytesPerElement() units.Bytes {
+	switch k {
+	case Copy, Scale:
+		return 16
+	case Add, Triad:
+		return 24
+	default:
+		panic(fmt.Sprintf("stream: unknown kernel %v", k))
+	}
+}
+
+// Result is one STREAM measurement.
+type Result struct {
+	Kernel    Kernel
+	Threads   int
+	Level     string // "DDR" or "MCDRAM"
+	Bandwidth units.BytesPerSec
+}
+
+// Measure streams arraySize elements with the given thread pool against one
+// memory level of the machine and reports the achieved aggregate
+// bandwidth. perThread is each thread's uncontended streaming rate.
+func Measure(m *knl.Machine, k Kernel, threads int, perThread units.BytesPerSec,
+	arraySize int64, mcdram bool) Result {
+	if threads <= 0 {
+		panic(fmt.Sprintf("stream: thread count %d must be positive", threads))
+	}
+	if arraySize <= 0 {
+		panic(fmt.Sprintf("stream: array size %d must be positive", arraySize))
+	}
+	work := units.Bytes(arraySize) * k.bytesPerElement()
+	demand := m.Demand(1, 0)
+	level := "DDR"
+	if mcdram {
+		demand = m.Demand(0, 1)
+		level = "MCDRAM"
+	}
+	f := &bandwidth.Flow{
+		Label:        fmt.Sprintf("stream-%v", k),
+		Threads:      threads,
+		PerThreadCap: perThread,
+		Demand:       demand,
+		Work:         work,
+	}
+	res := m.System().Run([]*bandwidth.Flow{f})
+	return Result{
+		Kernel:    k,
+		Threads:   threads,
+		Level:     level,
+		Bandwidth: units.BytesPerSec(float64(work) / float64(res.Makespan)),
+	}
+}
+
+// Calibration is the full Table 2 parameter set as measured on a machine.
+type Calibration struct {
+	DDRMax    units.BytesPerSec
+	MCDRAMMax units.BytesPerSec
+	SCopy     units.BytesPerSec
+	SComp     units.BytesPerSec
+}
+
+// Calibrate measures the machine: saturating sweeps for the device maxima
+// and single-thread probes for the per-thread rates.
+//
+// sCopyProbe and sCompProbe are the uncontended per-thread rates of the
+// copy and compute loops (properties of the core microarchitecture, not of
+// the memory devices); the calibration confirms them unchanged under
+// single-thread conditions and finds where aggregate scaling saturates.
+func Calibrate(m *knl.Machine, sCopyProbe, sCompProbe units.BytesPerSec) Calibration {
+	const arr = 1 << 27 // elements; large enough to dwarf transients
+
+	// Device maxima: scale threads until bandwidth stops growing.
+	saturate := func(perThread units.BytesPerSec, mcdram bool) units.BytesPerSec {
+		best := units.BytesPerSec(0)
+		for threads := 1; threads <= m.HWThreads(); threads *= 2 {
+			r := Measure(m, Triad, threads, perThread, arr, mcdram)
+			if r.Bandwidth > best {
+				best = r.Bandwidth
+			}
+		}
+		return best
+	}
+
+	return Calibration{
+		DDRMax:    saturate(sCopyProbe, false),
+		MCDRAMMax: saturate(sCompProbe, true),
+		SCopy:     Measure(m, Copy, 1, sCopyProbe, arr, false).Bandwidth,
+		SComp:     Measure(m, Copy, 1, sCompProbe, arr, true).Bandwidth,
+	}
+}

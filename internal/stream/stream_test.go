@@ -1,0 +1,116 @@
+package stream
+
+import (
+	"testing"
+
+	"knlmlm/internal/knl"
+	"knlmlm/internal/mem"
+	"knlmlm/internal/units"
+)
+
+func machine() *knl.Machine {
+	return knl.MustNew(knl.PaperConfig(mem.Flat))
+}
+
+func TestKernelNames(t *testing.T) {
+	want := []string{"Copy", "Scale", "Add", "Triad"}
+	for i, k := range Kernels() {
+		if k.String() != want[i] {
+			t.Errorf("kernel %d = %q, want %q", i, k.String(), want[i])
+		}
+	}
+	if Kernel(9).String() != "Kernel(9)" {
+		t.Error("unknown kernel name")
+	}
+}
+
+func TestSingleThreadProbeUnconstrained(t *testing.T) {
+	// One thread at 4.8 GB/s cannot saturate either device, so the probe
+	// must report exactly the per-thread rate.
+	r := Measure(machine(), Copy, 1, units.GBps(4.8), 1<<24, false)
+	if !units.AlmostEqual(float64(r.Bandwidth), 4.8e9, 1e-9) {
+		t.Errorf("single-thread probe = %v, want 4.8 GB/s", r.Bandwidth)
+	}
+	if r.Level != "DDR" || r.Threads != 1 {
+		t.Errorf("result metadata = %+v", r)
+	}
+}
+
+func TestSaturatedSweepHitsDeviceCap(t *testing.T) {
+	m := machine()
+	ddr := Measure(m, Triad, 256, units.GBps(4.8), 1<<24, false)
+	if !units.AlmostEqual(float64(ddr.Bandwidth), 90e9, 1e-9) {
+		t.Errorf("DDR saturated = %v, want 90 GB/s", ddr.Bandwidth)
+	}
+	mc := Measure(m, Triad, 256, units.GBps(6.78), 1<<24, true)
+	if !units.AlmostEqual(float64(mc.Bandwidth), 400e9, 1e-9) {
+		t.Errorf("MCDRAM saturated = %v, want 400 GB/s", mc.Bandwidth)
+	}
+}
+
+func TestKernelTrafficRatios(t *testing.T) {
+	// Add moves 24 B/element vs Copy's 16: same bandwidth, so measured
+	// bandwidths should be equal while runtimes differ. Measure reports
+	// bandwidth, so both should saturate identically.
+	m := machine()
+	c := Measure(m, Copy, 256, units.GBps(4.8), 1<<24, false)
+	a := Measure(m, Add, 256, units.GBps(4.8), 1<<24, false)
+	if !units.AlmostEqual(float64(c.Bandwidth), float64(a.Bandwidth), 1e-9) {
+		t.Errorf("Copy %v != Add %v under saturation", c.Bandwidth, a.Bandwidth)
+	}
+}
+
+func TestMeasurePanics(t *testing.T) {
+	m := machine()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero threads should panic")
+			}
+		}()
+		Measure(m, Copy, 0, units.GBps(1), 1, false)
+	}()
+	defer func() {
+		if recover() == nil {
+			t.Error("zero array should panic")
+		}
+	}()
+	Measure(m, Copy, 1, units.GBps(1), 0, false)
+}
+
+// The headline calibration: running the measurement procedure against the
+// paper-configured machine must recover the paper's Table 2 within
+// rounding. This is the reproduction of Table 2.
+func TestCalibrateRecoversTable2(t *testing.T) {
+	cal := Calibrate(machine(), units.GBps(4.8), units.GBps(6.78))
+	checks := []struct {
+		name string
+		got  units.BytesPerSec
+		want float64
+	}{
+		{"DDR_max", cal.DDRMax, 90e9},
+		{"MCDRAM_max", cal.MCDRAMMax, 400e9},
+		{"S_copy", cal.SCopy, 4.8e9},
+		{"S_comp", cal.SComp, 6.78e9},
+	}
+	for _, c := range checks {
+		if !units.AlmostEqual(float64(c.got), c.want, 1e-6) {
+			t.Errorf("%s = %v, want %v GB/s", c.name, c.got, c.want/1e9)
+		}
+	}
+}
+
+// Calibration must track a reconfigured machine (the future-technology
+// what-if from the paper's conclusion).
+func TestCalibrateTracksReconfiguredMachine(t *testing.T) {
+	cfg := knl.PaperConfig(mem.Flat)
+	cfg.Memory.MCDRAMBandwidth = units.GBps(800)
+	m := knl.MustNew(cfg)
+	cal := Calibrate(m, units.GBps(4.8), units.GBps(6.78))
+	if !units.AlmostEqual(float64(cal.MCDRAMMax), 800e9, 1e-6) {
+		t.Errorf("MCDRAM_max = %v, want 800 GB/s", cal.MCDRAMMax)
+	}
+	if !units.AlmostEqual(float64(cal.DDRMax), 90e9, 1e-6) {
+		t.Errorf("DDR_max = %v, want unchanged 90 GB/s", cal.DDRMax)
+	}
+}

@@ -1,0 +1,99 @@
+// Package trace records what a simulated run did: per-phase timings and
+// per-level byte traffic. Reports built from these records are how the
+// benchmark harness explains *why* a configuration is fast or slow (e.g.
+// the DDR-traffic reduction that Bender et al. predicted for chunked
+// sorting).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"knlmlm/internal/units"
+)
+
+// Phase is one timed stage of a simulated run.
+type Phase struct {
+	Label    string
+	Start    units.Time
+	Duration units.Time
+	// DDRBytes and MCDRAMBytes are the traffic the phase placed on each
+	// device.
+	DDRBytes    units.Bytes
+	MCDRAMBytes units.Bytes
+}
+
+// End reports when the phase finished.
+func (p Phase) End() units.Time { return p.Start + p.Duration }
+
+// Trace accumulates the phases of one run.
+type Trace struct {
+	Name   string
+	Phases []Phase
+}
+
+// Add appends a phase. Phases may overlap in time (pipelined stages).
+func (t *Trace) Add(p Phase) { t.Phases = append(t.Phases, p) }
+
+// TotalTime reports the latest phase end time (the run's makespan).
+func (t *Trace) TotalTime() units.Time {
+	var end units.Time
+	for _, p := range t.Phases {
+		if e := p.End(); e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// DDRBytes reports total DDR traffic across all phases.
+func (t *Trace) DDRBytes() units.Bytes {
+	var b units.Bytes
+	for _, p := range t.Phases {
+		b += p.DDRBytes
+	}
+	return b
+}
+
+// MCDRAMBytes reports total MCDRAM traffic across all phases.
+func (t *Trace) MCDRAMBytes() units.Bytes {
+	var b units.Bytes
+	for _, p := range t.Phases {
+		b += p.MCDRAMBytes
+	}
+	return b
+}
+
+// ByLabel aggregates phase durations and traffic under each distinct label,
+// in first-appearance order.
+func (t *Trace) ByLabel() []Phase {
+	idx := map[string]int{}
+	var out []Phase
+	for _, p := range t.Phases {
+		i, ok := idx[p.Label]
+		if !ok {
+			i = len(out)
+			idx[p.Label] = i
+			out = append(out, Phase{Label: p.Label, Start: p.Start})
+		}
+		out[i].Duration += p.Duration
+		out[i].DDRBytes += p.DDRBytes
+		out[i].MCDRAMBytes += p.MCDRAMBytes
+	}
+	return out
+}
+
+// String renders a compact per-label breakdown.
+func (t *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: total %v, DDR %v, MCDRAM %v\n",
+		t.Name, t.TotalTime(), t.DDRBytes(), t.MCDRAMBytes())
+	labels := t.ByLabel()
+	sort.SliceStable(labels, func(i, j int) bool { return labels[i].Duration > labels[j].Duration })
+	for _, p := range labels {
+		fmt.Fprintf(&b, "  %-24s %12v  DDR %12v  MCDRAM %12v\n",
+			p.Label, p.Duration, p.DDRBytes, p.MCDRAMBytes)
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"knlmlm/internal/units"
+)
+
+func sample() *Trace {
+	t := &Trace{Name: "run"}
+	t.Add(Phase{Label: "copy-in", Start: 0, Duration: 2, DDRBytes: 100, MCDRAMBytes: 100})
+	t.Add(Phase{Label: "compute", Start: 0, Duration: 3, MCDRAMBytes: 500})
+	t.Add(Phase{Label: "copy-in", Start: 3, Duration: 2, DDRBytes: 100, MCDRAMBytes: 100})
+	return t
+}
+
+func TestTotalTimeIsMakespan(t *testing.T) {
+	tr := sample()
+	if got := tr.TotalTime(); got != 5 {
+		t.Errorf("TotalTime = %v, want 5", got)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := &Trace{Name: "empty"}
+	if tr.TotalTime() != 0 || tr.DDRBytes() != 0 || tr.MCDRAMBytes() != 0 {
+		t.Error("empty trace should report zeros")
+	}
+	if len(tr.ByLabel()) != 0 {
+		t.Error("empty trace should aggregate to nothing")
+	}
+}
+
+func TestTrafficTotals(t *testing.T) {
+	tr := sample()
+	if got := tr.DDRBytes(); got != 200 {
+		t.Errorf("DDRBytes = %v, want 200", got)
+	}
+	if got := tr.MCDRAMBytes(); got != 700 {
+		t.Errorf("MCDRAMBytes = %v, want 700", got)
+	}
+}
+
+func TestByLabelAggregation(t *testing.T) {
+	agg := sample().ByLabel()
+	if len(agg) != 2 {
+		t.Fatalf("expected 2 labels, got %d", len(agg))
+	}
+	// First-appearance order: copy-in then compute.
+	if agg[0].Label != "copy-in" || agg[1].Label != "compute" {
+		t.Errorf("order = %s, %s", agg[0].Label, agg[1].Label)
+	}
+	if agg[0].Duration != 4 || agg[0].DDRBytes != 200 {
+		t.Errorf("copy-in aggregate = %+v", agg[0])
+	}
+	if agg[1].Duration != 3 || agg[1].MCDRAMBytes != 500 {
+		t.Errorf("compute aggregate = %+v", agg[1])
+	}
+}
+
+func TestPhaseEnd(t *testing.T) {
+	p := Phase{Start: 2, Duration: 3}
+	if p.End() != 5 {
+		t.Errorf("End = %v", p.End())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := sample().String()
+	for _, want := range []string{"run:", "copy-in", "compute"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOverlappingPhasesMakespan(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Phase{Label: "a", Start: 0, Duration: 10})
+	tr.Add(Phase{Label: "b", Start: 2, Duration: 3})
+	if tr.TotalTime() != units.Time(10) {
+		t.Errorf("makespan = %v", tr.TotalTime())
+	}
+}

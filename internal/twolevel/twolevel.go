@@ -1,0 +1,269 @@
+// Package twolevel implements the paper's closing future-work item: "another
+// level of memory is also conceivable, e.g., high capacity storage based on
+// non-volatile memory such as 3D-XPoint... now there may be double levels of
+// chunking to consider."
+//
+// The memory system gains a third device (NVM: huge capacity, ~6 GB/s) below
+// DDR, and the chunking recipe nests: NVM-resident data streams through DDR
+// in *megachunks* while each DDR-resident megachunk streams through MCDRAM in
+// *chunks*, exactly as in the single-level pipeline. Both staging levels are
+// double-buffered: the NVM copy of megachunk k+1 overlaps the inner pipeline
+// of megachunk k.
+package twolevel
+
+import (
+	"fmt"
+
+	"knlmlm/internal/bandwidth"
+	"knlmlm/internal/chunk"
+	"knlmlm/internal/trace"
+	"knlmlm/internal/units"
+)
+
+// Devices in the three-level system, in fixed order.
+const (
+	NVM    = bandwidth.DeviceID(0)
+	DDR    = bandwidth.DeviceID(1)
+	MCDRAM = bandwidth.DeviceID(2)
+)
+
+// Spec describes the three-level machine.
+type Spec struct {
+	NVMBandwidth    units.BytesPerSec
+	DDRBandwidth    units.BytesPerSec
+	MCDRAMBandwidth units.BytesPerSec
+	DDRCapacity     units.Bytes
+	MCDRAMCapacity  units.Bytes
+}
+
+// DefaultSpec is the paper's KNL plus a 3D-XPoint-class NVM tier.
+func DefaultSpec() Spec {
+	return Spec{
+		NVMBandwidth:    units.GBps(6),
+		DDRBandwidth:    units.GBps(90),
+		MCDRAMBandwidth: units.GBps(400),
+		DDRCapacity:     96 * units.GiB,
+		MCDRAMCapacity:  16 * units.GiB,
+	}
+}
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	if s.NVMBandwidth <= 0 || s.DDRBandwidth <= 0 || s.MCDRAMBandwidth <= 0 {
+		return fmt.Errorf("twolevel: bandwidths must be positive")
+	}
+	if s.DDRCapacity <= 0 || s.MCDRAMCapacity <= 0 {
+		return fmt.Errorf("twolevel: capacities must be positive")
+	}
+	return nil
+}
+
+// System builds the three-device arbiter.
+func (s Spec) System() *bandwidth.System {
+	return bandwidth.NewSystem(
+		bandwidth.Device{Name: "NVM", Cap: s.NVMBandwidth},
+		bandwidth.Device{Name: "DDR", Cap: s.DDRBandwidth},
+		bandwidth.Device{Name: "MCDRAM", Cap: s.MCDRAMBandwidth},
+	)
+}
+
+// Config describes a doubly-chunked streaming computation.
+type Config struct {
+	Spec Spec
+	// TotalBytes is the NVM-resident dataset.
+	TotalBytes units.Bytes
+	// MegachunkBytes is the NVM->DDR staging unit; with double buffering,
+	// 2x must fit in DDR alongside the inner pipeline's space.
+	MegachunkBytes units.Bytes
+	// ChunkBytes is the DDR->MCDRAM staging unit of the inner pipeline.
+	ChunkBytes units.Bytes
+	// OuterCopyThreads move NVM<->DDR; InnerCopyThreads move DDR<->MCDRAM.
+	OuterCopyThreads int
+	InnerCopyThreads int
+	// ComputeThreads run the kernel; SComp is their per-thread rate and
+	// Passes the kernel's read+write sweeps per chunk.
+	ComputeThreads int
+	SCopy          units.BytesPerSec
+	SComp          units.BytesPerSec
+	Passes         float64
+}
+
+// DefaultConfig stages total bytes with the paper-like thread split.
+func DefaultConfig(total units.Bytes) Config {
+	return Config{
+		Spec:             DefaultSpec(),
+		TotalBytes:       total,
+		MegachunkBytes:   32 * units.GiB,
+		ChunkBytes:       1 * units.GiB,
+		OuterCopyThreads: 4,
+		InnerCopyThreads: 8,
+		ComputeThreads:   232,
+		SCopy:            units.GBps(4.8),
+		SComp:            units.GBps(6.78),
+		Passes:           4,
+	}
+}
+
+// Validate checks the configuration, including the DDR capacity constraint
+// for double-buffered megachunks.
+func (c Config) Validate() error {
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.TotalBytes <= 0:
+		return fmt.Errorf("twolevel: total %v must be positive", c.TotalBytes)
+	case c.MegachunkBytes <= 0 || c.ChunkBytes <= 0:
+		return fmt.Errorf("twolevel: staging sizes must be positive")
+	case c.ChunkBytes > c.MegachunkBytes:
+		return fmt.Errorf("twolevel: chunk %v exceeds megachunk %v", c.ChunkBytes, c.MegachunkBytes)
+	case 2*c.MegachunkBytes > c.Spec.DDRCapacity:
+		return fmt.Errorf("twolevel: 2 x %v megachunks exceed DDR %v", c.MegachunkBytes, c.Spec.DDRCapacity)
+	case 3*c.ChunkBytes > c.Spec.MCDRAMCapacity:
+		return fmt.Errorf("twolevel: 3 x %v chunks exceed MCDRAM %v", c.ChunkBytes, c.Spec.MCDRAMCapacity)
+	case c.OuterCopyThreads < 1 || c.InnerCopyThreads < 1 || c.ComputeThreads < 1:
+		return fmt.Errorf("twolevel: thread pools must be positive")
+	case c.SCopy <= 0 || c.SComp <= 0:
+		return fmt.Errorf("twolevel: rates must be positive")
+	case c.Passes <= 0:
+		return fmt.Errorf("twolevel: passes must be positive")
+	}
+	return nil
+}
+
+// innerPipeline builds the DDR<->MCDRAM pipeline for one megachunk.
+func (c Config) innerPipeline(mcBytes units.Bytes) *chunk.Pipeline {
+	copySpec := func(label string) *chunk.StageSpec {
+		return &chunk.StageSpec{
+			Label:            label,
+			Threads:          c.InnerCopyThreads,
+			PerThreadRate:    c.SCopy,
+			Demand:           map[bandwidth.DeviceID]float64{DDR: 1, MCDRAM: 1},
+			WorkPerChunkByte: 1,
+			Priority:         1,
+		}
+	}
+	return &chunk.Pipeline{
+		Total:  mcBytes,
+		Chunk:  c.ChunkBytes,
+		CopyIn: copySpec("inner-copy-in"),
+		Compute: &chunk.StageSpec{
+			Label:            "compute",
+			Threads:          c.ComputeThreads,
+			PerThreadRate:    c.SComp,
+			Demand:           map[bandwidth.DeviceID]float64{MCDRAM: 1},
+			WorkPerChunkByte: 2 * c.Passes,
+		},
+		CopyOut: copySpec("inner-copy-out"),
+	}
+}
+
+// Result reports a doubly-chunked run.
+type Result struct {
+	Time units.Time
+	// OuterCopyTime and InnerTime decompose the bound: the run is limited
+	// by the slower of the NVM staging and the per-megachunk inner
+	// pipelines.
+	OuterCopyTime units.Time
+	InnerTime     units.Time
+	Trace         *trace.Trace
+}
+
+// Simulate runs the doubly-chunked pipeline. The outer level is
+// double-buffered: megachunk k's inner pipeline overlaps megachunk k+1's
+// NVM->DDR copy-in and megachunk k-1's copy-out; each outer step costs
+// max(outer staging, inner pipeline). The outer copy pool contends with the
+// inner pipeline on DDR through the shared arbiter.
+func (c Config) Simulate() (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	sys := c.Spec.System()
+	n := int((c.TotalBytes + c.MegachunkBytes - 1) / c.MegachunkBytes)
+
+	tr := &trace.Trace{Name: "two-level"}
+	var now, outerTotal, innerTotal units.Time
+
+	mcSize := func(i int) units.Bytes {
+		if i == n-1 {
+			if rem := c.TotalBytes - units.Bytes(n-1)*c.MegachunkBytes; rem > 0 {
+				return rem
+			}
+		}
+		return c.MegachunkBytes
+	}
+
+	// Outer steps: step s stages megachunk s in from NVM while megachunk
+	// s-1 runs its inner pipeline and megachunk s-2 drains back to NVM.
+	for step := 0; step < n+2; step++ {
+		var flows []*bandwidth.Flow
+		outerFlow := func(label string, idx int) *bandwidth.Flow {
+			return &bandwidth.Flow{
+				Label:        fmt.Sprintf("%s[%d]", label, idx),
+				Threads:      c.OuterCopyThreads,
+				PerThreadCap: c.SCopy,
+				Demand:       map[bandwidth.DeviceID]float64{NVM: 1, DDR: 1},
+				Work:         mcSize(idx),
+				Priority:     2, // outer staging outranks inner traffic on DDR
+			}
+		}
+		if step < n {
+			flows = append(flows, outerFlow("nvm-copy-in", step))
+		}
+		if step >= 2 && step-2 < n {
+			flows = append(flows, outerFlow("nvm-copy-out", step-2))
+		}
+
+		var stepOuter units.Time
+		if len(flows) > 0 {
+			res := sys.Run(flows)
+			stepOuter = res.Makespan
+			for _, f := range flows {
+				tr.Add(trace.Phase{
+					Label:    "nvm-staging",
+					Start:    now,
+					Duration: stepOuter,
+					DDRBytes: units.Bytes(float64(f.Work)),
+				})
+			}
+		}
+
+		var stepInner units.Time
+		if step >= 1 && step-1 < n {
+			inner := c.innerPipeline(mcSize(step - 1)).SimulateBarrier(sys)
+			stepInner = inner.TotalTime()
+			for _, p := range inner.Phases {
+				p.Start += now
+				tr.Add(p)
+			}
+		}
+
+		outerTotal += stepOuter
+		innerTotal += stepInner
+		if stepInner > stepOuter {
+			now += stepInner
+		} else {
+			now += stepOuter
+		}
+	}
+	return Result{Time: now, OuterCopyTime: outerTotal, InnerTime: innerTotal, Trace: tr}, nil
+}
+
+// SingleLevelBaseline simulates the same computation with the data accessed
+// directly from NVM (no staging): the compute flow demands NVM bandwidth.
+// It is the do-nothing comparator that shows why double chunking matters.
+func (c Config) SingleLevelBaseline() (units.Time, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	sys := c.Spec.System()
+	f := &bandwidth.Flow{
+		Label:        "compute-from-nvm",
+		Threads:      c.ComputeThreads,
+		PerThreadCap: c.SComp,
+		Demand:       map[bandwidth.DeviceID]float64{NVM: 1},
+		Work:         units.Bytes(2 * c.Passes * float64(c.TotalBytes)),
+	}
+	res := sys.Run([]*bandwidth.Flow{f})
+	return res.Makespan, nil
+}

@@ -1,0 +1,153 @@
+package twolevel
+
+import (
+	"testing"
+
+	"knlmlm/internal/units"
+)
+
+func TestDefaultSpecValid(t *testing.T) {
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig(256 * units.GiB)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	muts := []func(*Config){
+		func(c *Config) { c.TotalBytes = 0 },
+		func(c *Config) { c.MegachunkBytes = 0 },
+		func(c *Config) { c.ChunkBytes = 0 },
+		func(c *Config) { c.ChunkBytes = c.MegachunkBytes * 2 },
+		func(c *Config) { c.MegachunkBytes = 64 * units.GiB }, // 2x exceeds DDR
+		func(c *Config) { c.ChunkBytes = 8 * units.GiB },      // 3x exceeds MCDRAM
+		func(c *Config) { c.OuterCopyThreads = 0 },
+		func(c *Config) { c.InnerCopyThreads = 0 },
+		func(c *Config) { c.ComputeThreads = 0 },
+		func(c *Config) { c.SCopy = 0 },
+		func(c *Config) { c.SComp = 0 },
+		func(c *Config) { c.Passes = 0 },
+		func(c *Config) { c.Spec.NVMBandwidth = 0 },
+	}
+	for i, m := range muts {
+		c := good
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestSimulateBeatsDirectNVMAccess(t *testing.T) {
+	c := DefaultConfig(256 * units.GiB)
+	res, err := c.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := c.SingleLevelBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 || base <= 0 {
+		t.Fatal("non-positive times")
+	}
+	// Streaming 4 passes from 6 GB/s NVM directly is far slower than
+	// staging once and computing at MCDRAM speed.
+	if float64(res.Time) > float64(base)*0.6 {
+		t.Errorf("double chunking (%v) should beat direct NVM (%v) by a wide margin", res.Time, base)
+	}
+}
+
+// The run is bounded below by the NVM staging time (the dataset crosses
+// NVM twice at 6 GB/s, shared between in/out pools).
+func TestSimulateNVMLowerBound(t *testing.T) {
+	c := DefaultConfig(256 * units.GiB)
+	res, err := c.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := 2 * float64(c.TotalBytes) / float64(c.Spec.NVMBandwidth)
+	if float64(res.Time) < lower*(1-1e-6) {
+		t.Errorf("time %v below NVM staging bound %v", res.Time, units.Time(lower))
+	}
+}
+
+// With heavy compute, the inner pipelines dominate; with trivial compute,
+// NVM staging dominates — the two regimes of the doubled model.
+func TestSimulateRegimes(t *testing.T) {
+	light := DefaultConfig(128 * units.GiB)
+	light.Passes = 0.5
+	lr, err := light.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.OuterCopyTime <= lr.InnerTime {
+		t.Errorf("light compute should be NVM-staging bound: outer %v vs inner %v",
+			lr.OuterCopyTime, lr.InnerTime)
+	}
+
+	heavy := DefaultConfig(128 * units.GiB)
+	heavy.Passes = 128 // 2 passes/GB of NVM bandwidth puts the crossover near 64
+	hr, err := heavy.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.InnerTime <= hr.OuterCopyTime {
+		t.Errorf("heavy compute should be inner-bound: inner %v vs outer %v",
+			hr.InnerTime, hr.OuterCopyTime)
+	}
+	if hr.Time <= lr.Time {
+		t.Error("more compute must take longer")
+	}
+}
+
+// Partial final megachunk: total not divisible by megachunk size.
+func TestSimulatePartialMegachunk(t *testing.T) {
+	c := DefaultConfig(100 * units.GiB) // 32 GiB megachunks -> 3 full + 4 GiB tail
+	res, err := c.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Fatal("non-positive time")
+	}
+	// Traffic: the trace's staged DDR bytes cover in+out of the dataset
+	// plus the inner pipeline's DDR side.
+	if res.Trace == nil || len(res.Trace.Phases) == 0 {
+		t.Error("missing trace")
+	}
+}
+
+func TestSimulateInvalidConfig(t *testing.T) {
+	c := DefaultConfig(256 * units.GiB)
+	c.Passes = -1
+	if _, err := c.Simulate(); err == nil {
+		t.Error("invalid config accepted by Simulate")
+	}
+	if _, err := c.SingleLevelBaseline(); err == nil {
+		t.Error("invalid config accepted by SingleLevelBaseline")
+	}
+}
+
+// Faster NVM shrinks the staging-bound runtime (the what-if the paper's
+// conclusion gestures at).
+func TestFasterNVMHelpsWhenStagingBound(t *testing.T) {
+	slow := DefaultConfig(256 * units.GiB)
+	slow.Passes = 1
+	fast := slow
+	fast.Spec.NVMBandwidth = units.GBps(24)
+	sr, err := slow.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := fast.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Time >= sr.Time {
+		t.Errorf("4x NVM bandwidth did not help: %v vs %v", fr.Time, sr.Time)
+	}
+}

@@ -1,0 +1,135 @@
+// Package units provides the physical quantities used throughout the
+// simulator: byte counts, bandwidths (bytes per second) and simulated time.
+//
+// All simulated time in the repository is a units.Time (a float64 number of
+// seconds), never a time.Duration: the simulation clock is virtual and has
+// no relation to host wall time. Bandwidths are float64 bytes/second so that
+// fluid-flow arithmetic (rate sharing, water-filling) is exact enough and
+// cheap.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bytes is a size in bytes. Negative values are invalid everywhere.
+type Bytes float64
+
+// Common byte sizes (IEC binary multiples, matching how the paper and the
+// memkind ecosystem describe MCDRAM capacity: "16GB" MCDRAM is 16 GiB).
+const (
+	Byte Bytes = 1
+	KiB  Bytes = 1 << 10
+	MiB  Bytes = 1 << 20
+	GiB  Bytes = 1 << 30
+	TiB  Bytes = 1 << 40
+)
+
+// Decimal multiples, used for bandwidths quoted in GB/s (STREAM convention).
+const (
+	KB Bytes = 1e3
+	MB Bytes = 1e6
+	GB Bytes = 1e9
+)
+
+// BytesPerSec is a bandwidth in bytes per second.
+type BytesPerSec float64
+
+// GBps constructs a bandwidth from a decimal-gigabyte-per-second figure,
+// the convention used by STREAM and by the paper's Table 2.
+func GBps(v float64) BytesPerSec { return BytesPerSec(v * 1e9) }
+
+// GBpsValue reports the bandwidth in decimal GB/s.
+func (b BytesPerSec) GBpsValue() float64 { return float64(b) / 1e9 }
+
+// Time is a point on (or span of) the simulated clock, in seconds.
+type Time float64
+
+// Seconds reports the time as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// Milliseconds reports the time in milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) * 1e3 }
+
+// Inf is an unreachable future time, used as "never" by schedulers.
+const Inf = Time(math.MaxFloat64)
+
+// TimeToMove reports how long moving n bytes takes at bandwidth bw.
+// A zero or negative bandwidth with positive n yields Inf ("never").
+func TimeToMove(n Bytes, bw BytesPerSec) Time {
+	if n <= 0 {
+		return 0
+	}
+	if bw <= 0 {
+		return Inf
+	}
+	return Time(float64(n) / float64(bw))
+}
+
+// String renders a byte count with a binary-multiple suffix, e.g. "1.50GiB".
+func (b Bytes) String() string {
+	abs := math.Abs(float64(b))
+	switch {
+	case abs >= float64(TiB):
+		return fmt.Sprintf("%.2fTiB", float64(b)/float64(TiB))
+	case abs >= float64(GiB):
+		return fmt.Sprintf("%.2fGiB", float64(b)/float64(GiB))
+	case abs >= float64(MiB):
+		return fmt.Sprintf("%.2fMiB", float64(b)/float64(MiB))
+	case abs >= float64(KiB):
+		return fmt.Sprintf("%.2fKiB", float64(b)/float64(KiB))
+	default:
+		return fmt.Sprintf("%.0fB", float64(b))
+	}
+}
+
+// String renders a bandwidth in decimal GB/s, the STREAM convention.
+func (b BytesPerSec) String() string {
+	return fmt.Sprintf("%.2fGB/s", b.GBpsValue())
+}
+
+// String renders a time with an adaptive unit.
+func (t Time) String() string {
+	s := float64(t)
+	abs := math.Abs(s)
+	switch {
+	case t == Inf:
+		return "inf"
+	case abs >= 1:
+		return fmt.Sprintf("%.3fs", s)
+	case abs >= 1e-3:
+		return fmt.Sprintf("%.3fms", s*1e3)
+	case abs >= 1e-6:
+		return fmt.Sprintf("%.3fus", s*1e6)
+	case abs == 0:
+		return "0s"
+	default:
+		return fmt.Sprintf("%.3fns", s*1e9)
+	}
+}
+
+// ElementSize is the size of the 64-bit integer keys sorted throughout the
+// paper's evaluation.
+const ElementSize Bytes = 8
+
+// BytesForElements reports the footprint of n int64 elements.
+func BytesForElements(n int64) Bytes { return Bytes(n) * ElementSize }
+
+// ElementsForBytes reports how many int64 elements fit in b bytes.
+func ElementsForBytes(b Bytes) int64 { return int64(b / ElementSize) }
+
+// AlmostEqual reports whether a and b differ by at most rel of their
+// magnitude (or an absolute 1e-12 near zero). The simulator's fluid
+// arithmetic accumulates rounding, so comparisons use this everywhere.
+func AlmostEqual(a, b, rel float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	d := math.Abs(a - b)
+	if d <= 1e-12 {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= rel*m
+}

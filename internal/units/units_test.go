@@ -1,0 +1,122 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGBpsRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 4.8, 6.78, 90, 400, 1e-3} {
+		if got := GBps(v).GBpsValue(); !AlmostEqual(got, v, 1e-12) {
+			t.Errorf("GBps(%v).GBpsValue() = %v", v, got)
+		}
+	}
+}
+
+func TestTimeToMove(t *testing.T) {
+	tests := []struct {
+		n    Bytes
+		bw   BytesPerSec
+		want Time
+	}{
+		{0, GBps(90), 0},
+		{-5, GBps(90), 0},
+		{Bytes(90e9), GBps(90), 1},
+		{Bytes(45e9), GBps(90), 0.5},
+		{Bytes(1), 0, Inf},
+		{Bytes(1), -1, Inf},
+	}
+	for _, tc := range tests {
+		if got := TimeToMove(tc.n, tc.bw); got != tc.want {
+			t.Errorf("TimeToMove(%v, %v) = %v, want %v", tc.n, tc.bw, got, tc.want)
+		}
+	}
+}
+
+func TestTimeToMoveProperty(t *testing.T) {
+	// Moving n bytes at bw takes t such that t*bw == n (for positive inputs).
+	f := func(nRaw, bwRaw uint32) bool {
+		n := Bytes(nRaw%1e6 + 1)
+		bw := BytesPerSec(bwRaw%1e6 + 1)
+		tt := TimeToMove(n, bw)
+		return AlmostEqual(float64(tt)*float64(bw), float64(n), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElementConversions(t *testing.T) {
+	if got := BytesForElements(2_000_000_000); got != Bytes(16_000_000_000) {
+		t.Errorf("BytesForElements(2e9) = %v", got)
+	}
+	if got := ElementsForBytes(16 * GiB); got != 2147483648 {
+		t.Errorf("ElementsForBytes(16GiB) = %d", got)
+	}
+	// Round trip for arbitrary counts.
+	f := func(n uint32) bool {
+		return ElementsForBytes(BytesForElements(int64(n))) == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	tests := []struct {
+		b    Bytes
+		want string
+	}{
+		{512, "512B"},
+		{KiB, "1.00KiB"},
+		{1536 * MiB, "1.50GiB"},
+		{16 * GiB, "16.00GiB"},
+		{2 * TiB, "2.00TiB"},
+	}
+	for _, tc := range tests {
+		if got := tc.b.String(); got != tc.want {
+			t.Errorf("(%v).String() = %q, want %q", float64(tc.b), got, tc.want)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	tests := []struct {
+		tm   Time
+		want string
+	}{
+		{0, "0s"},
+		{1.5, "1.500s"},
+		{0.0025, "2.500ms"},
+		{2.5e-6, "2.500us"},
+		{3e-9, "3.000ns"},
+		{Inf, "inf"},
+	}
+	for _, tc := range tests {
+		if got := tc.tm.String(); got != tc.want {
+			t.Errorf("(%v).String() = %q, want %q", float64(tc.tm), got, tc.want)
+		}
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	if got := GBps(90).String(); got != "90.00GB/s" {
+		t.Errorf("GBps(90).String() = %q", got)
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1, 1+1e-13, 1e-9) {
+		t.Error("tiny absolute difference should compare equal")
+	}
+	if !AlmostEqual(1e9, 1e9*(1+1e-10), 1e-9) {
+		t.Error("tiny relative difference should compare equal")
+	}
+	if AlmostEqual(1, 2, 1e-9) {
+		t.Error("1 and 2 must differ")
+	}
+	if AlmostEqual(math.Inf(1), 1, 1e-9) {
+		t.Error("inf and 1 must differ")
+	}
+}

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateLengths(t *testing.T) {
+	for _, o := range Orders() {
+		for _, n := range []int{0, 1, 2, 100, 1001} {
+			xs := Generate(o, n, 1)
+			if len(xs) != n {
+				t.Errorf("Generate(%v, %d) length = %d", o, n, len(xs))
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, o := range Orders() {
+		a := Generate(o, 500, 7)
+		b := Generate(o, 500, 7)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%v: not deterministic at %d", o, i)
+				break
+			}
+		}
+	}
+}
+
+func TestGenerateRandomSeedsDiffer(t *testing.T) {
+	a := Generate(Random, 100, 1)
+	b := Generate(Random, 100, 2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical random inputs")
+	}
+}
+
+func TestGenerateNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative length should panic")
+		}
+	}()
+	Generate(Random, -1, 1)
+}
+
+func TestReverseIsStrictlyDescending(t *testing.T) {
+	xs := Generate(Reverse, 100, 1)
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] <= xs[i] {
+			t.Fatalf("not descending at %d: %d, %d", i, xs[i-1], xs[i])
+		}
+	}
+}
+
+func TestSortedIsAscending(t *testing.T) {
+	if !IsSorted(Generate(Sorted, 100, 1)) {
+		t.Error("Sorted input not ascending")
+	}
+}
+
+func TestOrganPipeShape(t *testing.T) {
+	xs := Generate(OrganPipe, 10, 1)
+	if !sort.SliceIsSorted(xs[:5], func(i, j int) bool { return xs[i] < xs[j] }) {
+		t.Error("first half not ascending")
+	}
+	for i := 6; i < 10; i++ {
+		if xs[i-1] < xs[i] {
+			t.Errorf("second half not descending at %d", i)
+		}
+	}
+}
+
+func TestFewUniqueAlphabet(t *testing.T) {
+	xs := Generate(FewUnique, 1000, 3)
+	seen := map[int64]bool{}
+	for _, v := range xs {
+		if v < 0 || v >= 16 {
+			t.Fatalf("value %d outside alphabet", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Error("expected multiple distinct values")
+	}
+}
+
+func TestNearlySortedMostlyInPlace(t *testing.T) {
+	n := 1 << 12
+	xs := Generate(NearlySorted, n, 5)
+	inPlace := 0
+	for i, v := range xs {
+		if v == int64(i) {
+			inPlace++
+		}
+	}
+	if inPlace < n*9/10 {
+		t.Errorf("only %d/%d elements in place", inPlace, n)
+	}
+}
+
+func TestOrderStringAndParse(t *testing.T) {
+	for _, o := range Orders() {
+		got, err := ParseOrder(o.String())
+		if err != nil || got != o {
+			t.Errorf("ParseOrder(%q) = %v, %v", o.String(), got, err)
+		}
+	}
+	if _, err := ParseOrder("bogus"); err == nil {
+		t.Error("ParseOrder(bogus) should fail")
+	}
+	if s := Order(99).String(); s != "Order(99)" {
+		t.Errorf("unknown order String = %q", s)
+	}
+}
+
+func TestPaperOrders(t *testing.T) {
+	po := PaperOrders()
+	if len(po) != 2 || po[0] != Random || po[1] != Reverse {
+		t.Errorf("PaperOrders() = %v", po)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	r := ProfileFor(Random)
+	if r.SerialSortWorkFactor != 1 || r.ComparisonSortWorkFactor != 1 {
+		t.Errorf("random profile should be the 1.0 baseline: %+v", r)
+	}
+	for _, o := range Orders() {
+		p := ProfileFor(o)
+		if p.SerialSortWorkFactor <= 0 || p.SerialSortWorkFactor > 1 {
+			t.Errorf("%v: serial factor %v out of (0,1]", o, p.SerialSortWorkFactor)
+		}
+		if p.ComparisonSortWorkFactor <= 0 || p.ComparisonSortWorkFactor > 1 {
+			t.Errorf("%v: comparison factor %v out of (0,1]", o, p.ComparisonSortWorkFactor)
+		}
+		if o != Random && p.SerialSortWorkFactor > p.ComparisonSortWorkFactor {
+			// The MLM serial sort exploits structure at least as well as the
+			// parallel mergesort — that asymmetry is the paper's observation.
+			t.Errorf("%v: serial factor %v exceeds comparison factor %v",
+				o, p.SerialSortWorkFactor, p.ComparisonSortWorkFactor)
+		}
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted(nil) || !IsSorted([]int64{1}) || !IsSorted([]int64{1, 1, 2}) {
+		t.Error("IsSorted false negatives")
+	}
+	if IsSorted([]int64{2, 1}) {
+		t.Error("IsSorted false positive")
+	}
+}
+
+func TestFingerprintPermutationInvariant(t *testing.T) {
+	f := func(xs []int64) bool {
+		if len(xs) < 2 {
+			return true
+		}
+		ys := append([]int64(nil), xs...)
+		// Deterministic permutation: reverse.
+		for i, j := 0, len(ys)-1; i < j; i, j = i+1, j-1 {
+			ys[i], ys[j] = ys[j], ys[i]
+		}
+		return Fingerprint(xs) == Fingerprint(ys)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFingerprintDetectsMutation(t *testing.T) {
+	xs := Generate(Random, 1000, 1)
+	orig := Fingerprint(xs)
+	xs[500]++
+	if Fingerprint(xs) == orig {
+		t.Error("fingerprint missed a single-element mutation")
+	}
+	xs[500]--
+	xs[3] = xs[4] // duplicate one element over another
+	if Fingerprint(xs) == orig && xs[3] != xs[4]-0 {
+		t.Error("fingerprint missed duplication")
+	}
+}

@@ -1,0 +1,234 @@
+package knlmlm
+
+import (
+	"strings"
+	"testing"
+
+	"knlmlm/internal/mlmsort"
+	"knlmlm/internal/units"
+	"knlmlm/internal/workload"
+)
+
+func TestTable1ShapeAndContent(t *testing.T) {
+	rows := Table1(1)
+	// 2 orders x 3 sizes x 5 algorithms.
+	if len(rows) != 30 {
+		t.Fatalf("Table1 has %d rows, want 30", len(rows))
+	}
+	for _, r := range rows {
+		if r.Summary.N != Table1Runs {
+			t.Errorf("%v/%v/%v: %d runs, want %d", r.Elements, r.Order, r.Algorithm, r.Summary.N, Table1Runs)
+		}
+		if r.Summary.Mean <= 0 {
+			t.Errorf("%v/%v/%v: non-positive mean", r.Elements, r.Order, r.Algorithm)
+		}
+		if r.Summary.StdDev <= 0 {
+			t.Errorf("%v/%v/%v: zero noise", r.Elements, r.Order, r.Algorithm)
+		}
+	}
+	// Deterministic in seed.
+	again := Table1(1)
+	for i := range rows {
+		if rows[i].Summary.Mean != again[i].Summary.Mean {
+			t.Fatal("Table1 not deterministic in seed")
+		}
+	}
+}
+
+func TestTable1ReportRendering(t *testing.T) {
+	tab := Table1Report(Table1(1))
+	s := tab.ASCII()
+	for _, want := range []string{"GNU-flat", "MLM-implicit", "random", "reverse", "2000000000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 report missing %q", want)
+		}
+	}
+	if md := tab.Markdown(); !strings.Contains(md, "| Elements |") {
+		t.Error("markdown rendering broken")
+	}
+	if csv := tab.CSV(); !strings.Contains(csv, "Elements,Input Order") {
+		t.Error("csv rendering broken")
+	}
+}
+
+func TestFig6SpeedupBand(t *testing.T) {
+	rows := Table1(1)
+	for _, order := range workload.PaperOrders() {
+		f := Fig6(rows, order)
+		if len(f) != 15 {
+			t.Fatalf("Fig6 %v has %d bars, want 15", order, len(f))
+		}
+		for _, r := range f {
+			if r.Algorithm == mlmsort.GNUFlat {
+				if !units.AlmostEqual(r.Speedup, 1, 1e-9) {
+					t.Errorf("GNU-flat speedup = %v, want 1", r.Speedup)
+				}
+				continue
+			}
+			if r.Speedup <= 1.0 || r.Speedup > 2.5 {
+				t.Errorf("%v/%v n=%d: speedup %.2f outside plausible band",
+					order, r.Algorithm, r.Elements, r.Speedup)
+			}
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	pts := Fig7()
+	if len(pts) != 2*len(Fig7ChunkSizes()) {
+		t.Fatalf("Fig7 has %d points", len(pts))
+	}
+	// Flat-mode (MLM-sort) series: larger chunks are faster, infeasible
+	// beyond MCDRAM.
+	var flat, implicit []Fig7Point
+	for _, p := range pts {
+		if p.Algorithm == mlmsort.MLMSort {
+			flat = append(flat, p)
+		} else {
+			implicit = append(implicit, p)
+		}
+	}
+	// Flat series: larger chunks trend faster. Adjacent points may ripple
+	// by a small margin where the megachunk count quantises (K = ceil(N/M)
+	// drops in steps), so the assertions are: no adjacent rise above 2%,
+	// and a substantial end-to-end improvement.
+	const rippleTol = 1.02
+	var firstFlat, lastFlat float64
+	for i, p := range flat {
+		if !p.Feasible {
+			if units.BytesForElements(p.ChunkElements) <= MCDRAMCapacity() {
+				t.Errorf("chunk %d marked infeasible but fits", p.ChunkElements)
+			}
+			continue
+		}
+		if firstFlat == 0 {
+			firstFlat = p.Seconds
+		}
+		if i > 0 && flat[i-1].Feasible && p.Seconds > flat[i-1].Seconds*rippleTol {
+			t.Errorf("MLM-sort: chunk %d (%.2fs) rose more than 2%% over chunk %d (%.2fs)",
+				p.ChunkElements, p.Seconds, flat[i-1].ChunkElements, flat[i-1].Seconds)
+		}
+		lastFlat = p.Seconds
+	}
+	if lastFlat >= firstFlat*0.97 {
+		t.Errorf("MLM-sort: largest chunk (%.2fs) should clearly beat smallest (%.2fs)", lastFlat, firstFlat)
+	}
+	// Implicit series: feasible at every size, same ripple bound, and the
+	// best point lies beyond MCDRAM capacity — the figure's headline
+	// ("MLM-implicit can continue improving as megachunk size exceeds
+	// MCDRAM").
+	best := implicit[0]
+	for i, p := range implicit {
+		if !p.Feasible {
+			t.Fatalf("implicit point %d infeasible", i)
+		}
+		if i > 0 && p.Seconds > implicit[i-1].Seconds*rippleTol {
+			t.Errorf("MLM-implicit: chunk %d (%.2fs) rose more than 2%% over previous (%.2fs)",
+				p.ChunkElements, p.Seconds, implicit[i-1].Seconds)
+		}
+		if p.Seconds < best.Seconds {
+			best = p
+		}
+	}
+	if units.BytesForElements(best.ChunkElements) <= MCDRAMCapacity() {
+		t.Errorf("implicit's best chunk (%d elements, %.2fs) should exceed MCDRAM capacity",
+			best.ChunkElements, best.Seconds)
+	}
+}
+
+func TestTable2RecoversPaperValues(t *testing.T) {
+	cal := Table2()
+	if !units.AlmostEqual(float64(cal.DDRMax), 90e9, 1e-6) ||
+		!units.AlmostEqual(float64(cal.MCDRAMMax), 400e9, 1e-6) ||
+		!units.AlmostEqual(float64(cal.SCopy), 4.8e9, 1e-6) ||
+		!units.AlmostEqual(float64(cal.SComp), 6.78e9, 1e-6) {
+		t.Errorf("Table 2 calibration = %+v", cal)
+	}
+	if s := Table2Report(cal).ASCII(); !strings.Contains(s, "S_copy") {
+		t.Error("Table 2 report missing rows")
+	}
+}
+
+func TestFig8aGrid(t *testing.T) {
+	pts := Fig8a()
+	if len(pts) != len(Fig8Repeats())*32 {
+		t.Fatalf("Fig8a has %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Seconds <= 0 {
+			t.Fatalf("non-positive model time at %+v", p)
+		}
+	}
+}
+
+func TestFig8bGrid(t *testing.T) {
+	pts := Fig8b()
+	if len(pts) != len(Fig8Repeats())*len(Fig8CopyThreads()) {
+		t.Fatalf("Fig8b has %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Seconds <= 0 {
+			t.Fatalf("non-positive simulated time at %+v", p)
+		}
+	}
+}
+
+// Table 3's shape: both columns non-increasing in repeats; copy-bound end
+// saturates DDR (>= 8 copy threads), compute-bound end uses 1-2.
+func TestTable3Shape(t *testing.T) {
+	rows := Table3()
+	if len(rows) != len(Fig8Repeats()) {
+		t.Fatalf("Table3 has %d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Model > rows[i-1].Model {
+			t.Errorf("model column not non-increasing at repeats=%d", rows[i].Repeats)
+		}
+		if rows[i].Empirical > rows[i-1].Empirical {
+			t.Errorf("empirical column not non-increasing at repeats=%d", rows[i].Repeats)
+		}
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if first.Model < 8 || first.Empirical < 8 {
+		t.Errorf("repeats=1 optima (%d, %d) should saturate DDR", first.Model, first.Empirical)
+	}
+	if last.Model > 2 || last.Empirical > 2 {
+		t.Errorf("repeats=64 optima (%d, %d) should be 1-2", last.Model, last.Empirical)
+	}
+	if s := Table3Report(rows).ASCII(); !strings.Contains(s, "Empirical") {
+		t.Error("Table 3 report missing header")
+	}
+}
+
+func TestBenderCorroborationShape(t *testing.T) {
+	r := Bender()
+	if r.GainOverFlat < 1.1 || r.GainOverFlat > 1.6 {
+		t.Errorf("gain over flat = %.2f, expected ~1.3", r.GainOverFlat)
+	}
+	if r.BeatsCacheMode {
+		t.Error("basic chunked should not beat GNU-cache (the paper's finding)")
+	}
+}
+
+func TestSortFacade(t *testing.T) {
+	if s := Sort(mlmsort.MLMSort, 2_000_000_000, workload.Random); s <= 0 {
+		t.Error("Sort returned non-positive time")
+	}
+	xs := workload.Generate(workload.Random, 10_000, 1)
+	if err := SortReal(mlmsort.MLMImplicit, xs, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !workload.IsSorted(xs) {
+		t.Error("SortReal output not sorted")
+	}
+}
+
+func TestPaperSizes(t *testing.T) {
+	s := PaperSizes()
+	if len(s) != 3 || s[0] != 2_000_000_000 || s[2] != 6_000_000_000 {
+		t.Errorf("PaperSizes = %v", s)
+	}
+	if MCDRAMCapacity() != 16*units.GiB {
+		t.Errorf("MCDRAMCapacity = %v", MCDRAMCapacity())
+	}
+}
