@@ -8,16 +8,28 @@
 //	mergebench -repeats 8 -copy 4        # one configuration
 //	mergebench -repeats 8 -copy 4 -async # event-driven schedule (extension)
 //	mergebench -real -n 1000000          # execute the real data flow
+//	mergebench -real -n 4000000 -repeats 4 -trace out.json -metrics
+//	mergebench -repeats 8 -copy 4 -bench-json BENCH_merge.json
+//
+// With -trace / -metrics the run is captured by the telemetry subsystem
+// (Chrome trace-event JSON and Prometheus text format); real runs also
+// print the occupancy/stall report and the Eq. 1–5 model-drift table.
+// -bench-json appends a perf-trajectory record (config, makespan, overlap
+// efficiency).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"knlmlm/internal/knl"
 	"knlmlm/internal/mem"
 	"knlmlm/internal/mergebench"
+	"knlmlm/internal/model"
+	"knlmlm/internal/telemetry"
+	"knlmlm/internal/units"
 	"knlmlm/internal/workload"
 )
 
@@ -29,16 +41,18 @@ func main() {
 	real := flag.Bool("real", false, "execute the real data flow on the host")
 	n := flag.Int("n", 1_000_000, "element count for -real")
 	verbose := flag.Bool("v", false, "print the phase trace")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+	metrics := flag.Bool("metrics", false, "print Prometheus-format metrics for the run")
+	benchJSON := flag.String("bench-json", "", "write a BENCH-style JSON record (config, makespan, overlap efficiency) to this file")
 	flag.Parse()
 
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "mergebench: %v\n", err)
+		os.Exit(2)
+	}
+
 	if *real {
-		xs := workload.Generate(workload.Random, *n, 1)
-		out, err := mergebench.RunReal(xs, 1<<16, max(1, *repeats), *buffers)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mergebench: %v\n", err)
-			os.Exit(2)
-		}
-		fmt.Printf("real merge benchmark processed %d elements through %d-buffer staging\n", len(out), *buffers)
+		runReal(*n, max(1, *repeats), *buffers, *tracePath, *metrics, *benchJSON, fail)
 		return
 	}
 
@@ -56,7 +70,11 @@ func main() {
 		if *verbose {
 			fmt.Print(res.Trace.String())
 		}
+		emitSimTelemetry(m, cfg, res, *async, *buffers, *tracePath, *metrics, *benchJSON, fail)
 		return
+	}
+	if *tracePath != "" || *metrics || *benchJSON != "" {
+		fmt.Fprintln(os.Stderr, "mergebench: -trace/-metrics/-bench-json need a single configuration (-repeats and -copy) or -real; ignoring for the sweep")
 	}
 
 	repeatsGrid := []int{1, 2, 4, 8, 16, 32, 64}
@@ -77,6 +95,139 @@ func main() {
 			}
 		}
 		fmt.Printf("  %d\n", copyGrid[best])
+	}
+}
+
+// runReal executes the host pipeline, optionally captured by telemetry.
+func runReal(n, repeats, buffers int, tracePath string, metrics bool, benchJSON string, fail func(error)) {
+	const chunkLen = 1 << 16
+	xs := workload.Generate(workload.Random, n, 1)
+	telemetryOn := tracePath != "" || metrics || benchJSON != ""
+	var rec *telemetry.Recorder
+	if telemetryOn {
+		rec = telemetry.NewRecorder()
+	}
+	start := time.Now()
+	var out []int64
+	var err error
+	if rec != nil {
+		out, err = mergebench.RunRealObserved(xs, chunkLen, repeats, buffers, rec)
+	} else {
+		out, err = mergebench.RunReal(xs, chunkLen, repeats, buffers)
+	}
+	if err != nil {
+		fail(err)
+	}
+	wall := time.Since(start)
+	fmt.Printf("real merge benchmark processed %d elements through %d-buffer staging in %v\n",
+		len(out), buffers, wall)
+	if !telemetryOn {
+		return
+	}
+
+	spans := rec.Spans()
+	reg := telemetry.NewRegistry()
+	a := telemetry.Publish(reg, spans)
+
+	// File artifacts land before any further stdout writing: if stdout is
+	// a pipe truncated early (e.g. | head), the process dies on the next
+	// print and the files must already exist.
+	if tracePath != "" {
+		var ct telemetry.ChromeTrace
+		ct.AddProcessName(1, "merge benchmark (real)")
+		ct.AddSpans(1, spans)
+		if err := ct.WriteFile(tracePath); err != nil {
+			fail(err)
+		}
+	}
+	if benchJSON != "" {
+		recd := telemetry.NewBenchRecord("mergebench-real")
+		recd.Config["n"] = n
+		recd.Config["chunk_len"] = chunkLen
+		recd.Config["repeats"] = repeats
+		recd.Config["buffers"] = buffers
+		recd.FromAnalysis(a)
+		recd.MakespanSeconds = wall.Seconds() // full run incl. setup
+		if err := recd.WriteFile(benchJSON); err != nil {
+			fail(err)
+		}
+	}
+
+	fmt.Println()
+	fmt.Print(a.StallReport().ASCII())
+	// The real pipeline runs one goroutine per stage, so the model sees
+	// pools {1, 1, 1} with `repeats` passes over B = the array's bytes.
+	p := model.PaperTable2()
+	p.BCopy = units.BytesForElements(int64(n))
+	pred := p.Evaluate(model.Pools{In: 1, Out: 1, Comp: 1}, float64(repeats))
+	fmt.Println()
+	fmt.Print(a.ModelDriftReport(pred).ASCII())
+	if tracePath != "" {
+		fmt.Printf("\nwrote Chrome trace (%d spans) to %s\n", len(spans), tracePath)
+	}
+	if benchJSON != "" {
+		fmt.Printf("wrote bench record to %s\n", benchJSON)
+	}
+	if metrics {
+		fmt.Println()
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// emitSimTelemetry exports a single simulated configuration: bridged
+// Chrome trace, metrics over the simulation clock, bench record, and the
+// simulated-vs-model drift table (Table 3's comparison for one cell).
+func emitSimTelemetry(m *knl.Machine, cfg mergebench.Config, res mergebench.Result, async bool, buffers int, tracePath string, metrics bool, benchJSON string, fail func(error)) {
+	if tracePath == "" && !metrics && benchJSON == "" {
+		return
+	}
+	spans := telemetry.SimSpans(res.Trace)
+	reg := telemetry.NewRegistry()
+	a := telemetry.Publish(reg, spans)
+
+	// File artifacts before stdout reporting, as in runReal.
+	if tracePath != "" {
+		var ct telemetry.ChromeTrace
+		ct.AddProcessName(1, "merge benchmark (simulated)")
+		ct.AddSimTrace(1, res.Trace)
+		if err := ct.WriteFile(tracePath); err != nil {
+			fail(err)
+		}
+	}
+	if benchJSON != "" {
+		recd := telemetry.NewBenchRecord("mergebench-sim")
+		recd.Config["repeats"] = cfg.Repeats
+		recd.Config["copy_threads"] = cfg.CopyThreads
+		recd.Config["total_threads"] = cfg.TotalThreads
+		recd.Config["async"] = async
+		if async {
+			recd.Config["buffers"] = buffers
+		}
+		recd.Simulated = true
+		recd.FromAnalysis(a)
+		recd.MakespanSeconds = res.Time.Seconds() // simulated seconds
+		if err := recd.WriteFile(benchJSON); err != nil {
+			fail(err)
+		}
+	}
+
+	pred := cfg.ModelParams(m).Evaluate(
+		model.SymmetricPools(cfg.CopyThreads, cfg.TotalThreads), float64(cfg.Repeats))
+	fmt.Println()
+	fmt.Print(a.ModelDriftReport(pred).ASCII())
+	if tracePath != "" {
+		fmt.Printf("\nwrote simulated Chrome trace to %s\n", tracePath)
+	}
+	if benchJSON != "" {
+		fmt.Printf("wrote bench record to %s\n", benchJSON)
+	}
+	if metrics {
+		fmt.Println()
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fail(err)
+		}
 	}
 }
 

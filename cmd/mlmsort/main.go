@@ -7,14 +7,25 @@
 //	mlmsort -alg MLM-sort -n 2000000000 -order random
 //	mlmsort -alg MLM-implicit -n 6000000000 -order reverse -chunk 1500000000
 //	mlmsort -real -alg MLM-sort -n 1000000 -threads 8
+//	mlmsort -real -alg MLM-sort -n 4000000 -trace out.json -metrics
+//
+// With -trace and/or -metrics, the run is captured by the telemetry
+// subsystem: -trace writes a Chrome trace-event JSON (open in Perfetto or
+// chrome://tracing), -metrics prints Prometheus-format metrics, and real
+// runs additionally print the occupancy/stall report and the measured-vs-
+// model (Section 3.2, Eq. 1–5) drift table.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"knlmlm/internal/mlmsort"
+	"knlmlm/internal/model"
+	"knlmlm/internal/telemetry"
+	"knlmlm/internal/units"
 	"knlmlm/internal/workload"
 )
 
@@ -27,6 +38,17 @@ func parseAlg(s string) (mlmsort.Algorithm, error) {
 	return 0, fmt.Errorf("unknown algorithm %q", s)
 }
 
+// driftPrediction maps the real run onto the Section 3.2 model: Table 2
+// rates, B = the array's bytes, one copy-in and one copy-out stream (the
+// staged variants copy serially on the driver), threads computing, one
+// pass. Absolute seconds model a KNL, not this host — the drift report's
+// scale-free rows are the meaningful comparison.
+func driftPrediction(n int64, threads int) model.Prediction {
+	p := model.PaperTable2()
+	p.BCopy = units.BytesForElements(n)
+	return p.Evaluate(model.Pools{In: 1, Out: 1, Comp: threads}, 1)
+}
+
 func main() {
 	algName := flag.String("alg", "MLM-sort", "algorithm: GNU-flat, GNU-cache, MLM-ddr, MLM-sort, MLM-implicit, Basic-chunked")
 	n := flag.Int64("n", 2_000_000_000, "element count")
@@ -36,6 +58,8 @@ func main() {
 	real := flag.Bool("real", false, "execute the real data flow on the host instead of simulating")
 	repeats := flag.Int("runs", 1, "simulated repetitions (with the run-to-run noise model)")
 	verbose := flag.Bool("v", false, "print the phase trace")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+	metrics := flag.Bool("metrics", false, "print Prometheus-format metrics for the run")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -51,19 +75,29 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	telemetryOn := *tracePath != "" || *metrics
 
 	if *real {
 		if *n > 1<<28 {
 			fail(fmt.Errorf("real mode sorts host data; use -n <= %d", 1<<28))
 		}
 		xs := workload.Generate(order, int(*n), 1)
-		if err := mlmsort.RunReal(alg, xs, *threads, int(*chunk)); err != nil {
+		var rec *telemetry.Recorder
+		if telemetryOn {
+			rec = telemetry.NewRecorder()
+		}
+		start := time.Now()
+		if err := mlmsort.RunRealObserved(alg, xs, *threads, int(*chunk), rec); err != nil {
 			fail(err)
 		}
+		wall := time.Since(start)
 		if !workload.IsSorted(xs) {
 			fail(fmt.Errorf("output not sorted — algorithm bug"))
 		}
-		fmt.Printf("%s sorted %d %s elements on the host (verified)\n", alg, *n, order)
+		fmt.Printf("%s sorted %d %s elements on the host in %v (verified)\n", alg, *n, order, wall)
+		if telemetryOn {
+			emitRealTelemetry(rec, *tracePath, *metrics, *n, *threads, alg.String())
+		}
 		return
 	}
 
@@ -71,6 +105,9 @@ func main() {
 	cfg.Threads = *threads
 	cfg.MegachunkElements = *chunk
 	if *repeats > 1 {
+		if telemetryOn {
+			fmt.Fprintln(os.Stderr, "mlmsort: -trace/-metrics apply to single runs; ignoring with -runs > 1")
+		}
 		s := mlmsort.Repeated(alg, cfg, *repeats, 1)
 		fmt.Printf("%s  n=%d  %s: %.2fs ± %.4fs (n=%d)\n", alg, *n, order, s.Mean, s.StdDev, s.N)
 		return
@@ -79,5 +116,56 @@ func main() {
 	fmt.Printf("%s  n=%d  %s: %.2fs (simulated)\n", alg, *n, order, res.Time.Seconds())
 	if *verbose {
 		fmt.Print(res.Trace.String())
+	}
+	if *tracePath != "" {
+		var ct telemetry.ChromeTrace
+		ct.AddProcessName(1, fmt.Sprintf("%s (simulated)", alg))
+		ct.AddSimTrace(1, res.Trace)
+		if err := ct.WriteFile(*tracePath); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote simulated Chrome trace to %s\n", *tracePath)
+	}
+	if *metrics {
+		reg := telemetry.NewRegistry()
+		telemetry.Publish(reg, telemetry.SimSpans(res.Trace))
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// emitRealTelemetry renders the captured run: stall/overlap report, model
+// drift, Chrome trace file, Prometheus metrics.
+func emitRealTelemetry(rec *telemetry.Recorder, tracePath string, metrics bool, n int64, threads int, alg string) {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "mlmsort: %v\n", err)
+		os.Exit(2)
+	}
+	spans := rec.Spans()
+	reg := telemetry.NewRegistry()
+	a := telemetry.Publish(reg, spans)
+	// Trace file first: if stdout is a pipe truncated early (e.g. | head),
+	// the process dies on a later print and the file must already exist.
+	if tracePath != "" {
+		var ct telemetry.ChromeTrace
+		ct.AddProcessName(1, fmt.Sprintf("%s (real)", alg))
+		ct.AddSpans(1, spans)
+		if err := ct.WriteFile(tracePath); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Println()
+	fmt.Print(a.StallReport().ASCII())
+	fmt.Println()
+	fmt.Print(a.ModelDriftReport(driftPrediction(n, threads)).ASCII())
+	if tracePath != "" {
+		fmt.Printf("\nwrote Chrome trace (%d spans) to %s\n", len(spans), tracePath)
+	}
+	if metrics {
+		fmt.Println()
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fail(err)
+		}
 	}
 }

@@ -7,9 +7,15 @@
 //	paperrepro -exp table1      # one experiment
 //	paperrepro -format markdown # markdown tables (default ascii)
 //	paperrepro -csv             # CSV to stdout (for plotting)
+//	paperrepro -trace out.json  # side-by-side Chrome trace of all variants
 //
 // Experiments: table1, fig6a, fig6b, fig7, table2, fig8a, fig8b, table3,
 // bender, all.
+//
+// -trace simulates every Table 1 variant at the given -trace-n size and
+// writes one Chrome trace-event JSON with a process lane per variant, so
+// the phase schedules can be compared side by side in Perfetto or
+// chrome://tracing.
 package main
 
 import (
@@ -18,9 +24,25 @@ import (
 	"os"
 
 	"knlmlm"
+	"knlmlm/internal/mlmsort"
 	"knlmlm/internal/report"
+	"knlmlm/internal/telemetry"
 	"knlmlm/internal/workload"
 )
+
+// writeVariantTrace simulates each Table 1 variant and bridges the phase
+// traces into one combined timeline.
+func writeVariantTrace(path string, n int64, order workload.Order) error {
+	var ct telemetry.ChromeTrace
+	for pid, alg := range mlmsort.Algorithms() {
+		cfg := mlmsort.PaperSortConfig(n, order)
+		res := mlmsort.Simulate(alg, cfg)
+		ct.AddSimTrace(pid+1, res.Trace)
+		// Named after AddSimTrace so this label wins over the trace's own.
+		ct.AddProcessName(pid+1, fmt.Sprintf("%s  (%.2fs simulated)", alg, res.Time.Seconds()))
+	}
+	return ct.WriteFile(path)
+}
 
 func render(t *report.Table, format string) string {
 	switch format {
@@ -37,7 +59,27 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (table1, fig6a, fig6b, fig7, table2, fig8a, fig8b, table3, bender, all)")
 	format := flag.String("format", "ascii", "output format: ascii, markdown, csv")
 	seed := flag.Int64("seed", 1, "noise-model seed for repeated runs")
+	tracePath := flag.String("trace", "", "write a side-by-side Chrome trace of every Table 1 variant to this file")
+	traceN := flag.Int64("trace-n", 2_000_000_000, "element count for -trace")
+	traceOrder := flag.String("trace-order", "random", "input order for -trace")
 	flag.Parse()
+
+	if *tracePath != "" {
+		order, err := workload.ParseOrder(*traceOrder)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+			os.Exit(2)
+		}
+		if err := writeVariantTrace(*tracePath, *traceN, order); err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote side-by-side Chrome trace of %d variants to %s\n",
+			len(mlmsort.Algorithms()), *tracePath)
+		if *exp == "all" {
+			return // -trace alone doesn't trigger the full regeneration
+		}
+	}
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 	ran := false

@@ -22,10 +22,14 @@ func (c *Counters) CopyOutBytes() int64 { return c.copyOut.Load() }
 
 // Instrument wraps the stage set so every stage records its traffic in the
 // returned Counters. Compute traffic is charged at touchedPerElem bytes per
-// element (2*8 for a read+write sweep of int64 keys).
+// element (2*8 for a read+write sweep of int64 keys). The same charge is
+// propagated to the stage set's telemetry attribution (TouchedPerElem), so
+// an Observer attached to the instrumented stages sees byte totals that
+// match the Counters byte for byte.
 func Instrument(s Stages, touchedPerElem int64) (Stages, *Counters) {
 	c := &Counters{}
 	out := s
+	out.TouchedPerElem = touchedPerElem
 	if s.CopyIn != nil {
 		inner := s.CopyIn
 		out.CopyIn = func(i int, buf []int64) {
@@ -45,5 +49,16 @@ func Instrument(s Stages, touchedPerElem int64) (Stages, *Counters) {
 			inner(i, buf)
 		}
 	}
+	return out, c
+}
+
+// InstrumentObserved is Instrument plus a span hook: the returned stage
+// set both counts traffic in the Counters and emits per-stage span events
+// (work and wait) to obs when the pipeline runs. The two accountings use
+// the same per-stage byte attribution, so telemetry totals can be
+// cross-validated against the Counters exactly.
+func InstrumentObserved(s Stages, touchedPerElem int64, obs Observer) (Stages, *Counters) {
+	out, c := Instrument(s, touchedPerElem)
+	out.Observer = obs
 	return out, c
 }

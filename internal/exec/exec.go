@@ -12,7 +12,67 @@ package exec
 import (
 	"fmt"
 	"sync"
+	"time"
 )
+
+// Stage identifies one per-chunk pipeline stage for observability. The
+// *Wait stages are the times a stage goroutine spent blocked before its
+// work could start: copy-in waits for a free buffer, compute waits for a
+// staged chunk, copy-out waits for a computed chunk. Wait time is exactly
+// the starvation the paper's Section 3.2 model assumes away, which is why
+// the telemetry layer records it separately.
+type Stage uint8
+
+const (
+	StageCopyInWait Stage = iota
+	StageCopyIn
+	StageComputeWait
+	StageCompute
+	StageCopyOutWait
+	StageCopyOut
+	// NumStages is the number of distinct stages (for dense indexing).
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"copy-in-wait", "copy-in", "compute-wait", "compute", "copy-out-wait", "copy-out",
+}
+
+// String reports the stage's canonical label.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("Stage(%d)", uint8(s))
+}
+
+// IsWait reports whether the stage is a starvation interval rather than
+// productive work.
+func (s Stage) IsWait() bool {
+	return s == StageCopyInWait || s == StageComputeWait || s == StageCopyOutWait
+}
+
+// StageEvent is one observed stage execution: worker ran stage for chunk
+// over [Start, End) wall-clock time, moving (or touching) Bytes bytes.
+// Wait events carry zero bytes and the chunk the stage was about to
+// process.
+type StageEvent struct {
+	Stage Stage
+	Chunk int
+	// Worker is the stage goroutine's id within the pipeline
+	// (0 copy-in, 1 compute, 2 copy-out in Run's pool structure).
+	Worker     int
+	Start, End time.Time
+	Bytes      int64
+}
+
+// Observer receives stage events from a running pipeline. Implementations
+// must be safe for concurrent use: the three stage goroutines emit events
+// concurrently. A nil Observer on Stages adds zero overhead — the hot
+// path takes no timestamps and performs no allocations per chunk.
+type Observer interface {
+	StageEvent(StageEvent)
+}
 
 // Buffer is one staging area handed through the pipeline. Cap is fixed at
 // pipeline construction; Data is resliced per chunk.
@@ -38,6 +98,22 @@ type Stages struct {
 	Compute func(i int, buf []int64)
 	// CopyOut drains chunk i from src to its destination.
 	CopyOut func(i int, src []int64)
+	// Observer, when non-nil, receives per-chunk stage events (work and
+	// wait spans). Nil means telemetry off: no timestamps are taken and
+	// the per-chunk hot path allocates nothing extra.
+	Observer Observer
+	// TouchedPerElem is the bytes charged per element for the compute
+	// stage's telemetry events, matching Instrument's accounting. Zero
+	// selects the read+write sweep default (2*8 bytes).
+	TouchedPerElem int64
+}
+
+// touchedPerElem resolves the compute-stage byte attribution.
+func (s *Stages) touchedPerElem() int64 {
+	if s.TouchedPerElem != 0 {
+		return s.TouchedPerElem
+	}
+	return 16 // one read + one write of an int64 key
 }
 
 // Validate reports whether the stage set is runnable.
@@ -84,11 +160,24 @@ func Run(s Stages, buffers int) error {
 		}
 	}
 
+	obs := s.Observer
+	touched := s.touchedPerElem()
+
 	if s.CopyIn == nil {
 		// No staging: compute runs chunk by chunk over caller storage.
 		buf := make([]int64, maxLen)
 		for i := 0; i < s.NumChunks; i++ {
-			s.Compute(i, buf[:s.ChunkLen(i)])
+			b := buf[:s.ChunkLen(i)]
+			if obs == nil {
+				s.Compute(i, b)
+				continue
+			}
+			t0 := time.Now()
+			s.Compute(i, b)
+			obs.StageEvent(StageEvent{
+				Stage: StageCompute, Chunk: i, Worker: 1,
+				Start: t0, End: time.Now(), Bytes: int64(len(b)) * touched,
+			})
 		}
 		return nil
 	}
@@ -113,9 +202,23 @@ func Run(s Stages, buffers int) error {
 		defer wg.Done()
 		defer close(toCompute)
 		for i := 0; i < s.NumChunks; i++ {
+			if obs == nil {
+				b := <-free
+				b.Data = b.full[:s.ChunkLen(i)]
+				s.CopyIn(i, b.Data)
+				toCompute <- item{i, b}
+				continue
+			}
+			t0 := time.Now()
 			b := <-free
+			t1 := time.Now()
+			obs.StageEvent(StageEvent{Stage: StageCopyInWait, Chunk: i, Worker: 0, Start: t0, End: t1})
 			b.Data = b.full[:s.ChunkLen(i)]
 			s.CopyIn(i, b.Data)
+			obs.StageEvent(StageEvent{
+				Stage: StageCopyIn, Chunk: i, Worker: 0,
+				Start: t1, End: time.Now(), Bytes: int64(len(b.Data)) * 8,
+			})
 			toCompute <- item{i, b}
 		}
 	}()
@@ -123,17 +226,55 @@ func Run(s Stages, buffers int) error {
 	go func() { // compute pool
 		defer wg.Done()
 		defer close(toCopyOut)
-		for it := range toCompute {
+		if obs == nil {
+			for it := range toCompute {
+				s.Compute(it.idx, it.buf.Data)
+				toCopyOut <- it
+			}
+			return
+		}
+		for {
+			t0 := time.Now()
+			it, ok := <-toCompute
+			if !ok {
+				return
+			}
+			t1 := time.Now()
+			obs.StageEvent(StageEvent{Stage: StageComputeWait, Chunk: it.idx, Worker: 1, Start: t0, End: t1})
 			s.Compute(it.idx, it.buf.Data)
+			obs.StageEvent(StageEvent{
+				Stage: StageCompute, Chunk: it.idx, Worker: 1,
+				Start: t1, End: time.Now(), Bytes: int64(len(it.buf.Data)) * touched,
+			})
 			toCopyOut <- it
 		}
 	}()
 
 	go func() { // copy-out pool
 		defer wg.Done()
-		for it := range toCopyOut {
+		if obs == nil {
+			for it := range toCopyOut {
+				if s.CopyOut != nil {
+					s.CopyOut(it.idx, it.buf.Data)
+				}
+				free <- it.buf
+			}
+			return
+		}
+		for {
+			t0 := time.Now()
+			it, ok := <-toCopyOut
+			if !ok {
+				return
+			}
+			t1 := time.Now()
+			obs.StageEvent(StageEvent{Stage: StageCopyOutWait, Chunk: it.idx, Worker: 2, Start: t0, End: t1})
 			if s.CopyOut != nil {
 				s.CopyOut(it.idx, it.buf.Data)
+				obs.StageEvent(StageEvent{
+					Stage: StageCopyOut, Chunk: it.idx, Worker: 2,
+					Start: t1, End: time.Now(), Bytes: int64(len(it.buf.Data)) * 8,
+				})
 			}
 			free <- it.buf
 		}

@@ -219,6 +219,17 @@ func (c Config) ModelParams(m *knl.Machine) model.Params {
 // n is the element count (kept small in tests; the data flow, not the
 // scale, is what executes here).
 func RunReal(src []int64, chunkLen, repeats, buffers int) ([]int64, error) {
+	return RunRealObserved(src, chunkLen, repeats, buffers, nil)
+}
+
+// RunRealObserved is RunReal with an observability hook: obs (typically a
+// telemetry.Recorder) receives per-chunk stage spans — including
+// buffer-wait starvation — from the executing pipeline. Compute spans are
+// charged 2*repeats read+write sweeps per byte, matching both
+// exec.Instrument's convention and the simulated pipeline's
+// WorkPerChunkByte, so telemetry totals line up across all three layers.
+// A nil obs adds zero overhead.
+func RunRealObserved(src []int64, chunkLen, repeats, buffers int, obs exec.Observer) ([]int64, error) {
 	if chunkLen < 2 {
 		return nil, fmt.Errorf("mergebench: chunk length %d must be at least 2", chunkLen)
 	}
@@ -266,6 +277,8 @@ func RunReal(src []int64, chunkLen, repeats, buffers int) ([]int64, error) {
 			lo, hi := bounds(i)
 			copy(out[lo:hi], buf)
 		},
+		Observer:       obs,
+		TouchedPerElem: int64(2 * repeats * 8),
 	}
 	if err := exec.Run(stages, buffers); err != nil {
 		return nil, err

@@ -3,9 +3,11 @@ package mergebench
 import (
 	"testing"
 
+	"knlmlm/internal/exec"
 	"knlmlm/internal/knl"
 	"knlmlm/internal/mem"
 	"knlmlm/internal/model"
+	"knlmlm/internal/telemetry"
 	"knlmlm/internal/units"
 	"knlmlm/internal/workload"
 )
@@ -209,5 +211,35 @@ func TestRunRealErrors(t *testing.T) {
 	}
 	if _, err := RunReal(src, 2, 0, 3); err == nil {
 		t.Error("repeats < 1 should error")
+	}
+}
+
+// TestRunRealObservedTelemetry: the observed pipeline must record every
+// chunk in every stage with byte totals matching the staged payload, and
+// with a genuinely pipelined (triple-buffered) schedule driving the
+// occupancy analyzer.
+func TestRunRealObservedTelemetry(t *testing.T) {
+	const n, chunkLen, repeats = 40_000, 4_096, 2
+	src := workload.Generate(workload.Random, n, 11)
+	rec := telemetry.NewRecorder()
+	out, err := RunRealObserved(src, chunkLen, repeats, 3, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if workload.Fingerprint(out) != workload.Fingerprint(src) {
+		t.Fatal("output not a permutation")
+	}
+	numChunks := (n + chunkLen - 1) / chunkLen
+	a := telemetry.Analyze(rec.Spans())
+	if a.Chunks != numChunks {
+		t.Errorf("analyzer saw %d chunks, want %d", a.Chunks, numChunks)
+	}
+	bytes := rec.BytesByStage()
+	if want := int64(n) * 8; bytes[exec.StageCopyIn] != want || bytes[exec.StageCopyOut] != want {
+		t.Errorf("staged bytes = %d in / %d out, want %d each",
+			bytes[exec.StageCopyIn], bytes[exec.StageCopyOut], want)
+	}
+	if want := int64(n) * 2 * repeats * 8; bytes[exec.StageCompute] != want {
+		t.Errorf("compute bytes = %d, want %d", bytes[exec.StageCompute], want)
 	}
 }

@@ -3,8 +3,11 @@ package mlmsort
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"knlmlm/internal/exec"
 	"knlmlm/internal/psort"
+	"knlmlm/internal/telemetry"
 )
 
 // RunReal executes the algorithm's actual data flow over xs, sorting it in
@@ -20,6 +23,15 @@ import (
 // observable effect on a host without MCDRAM and are simulated by the
 // timing layer instead.
 func RunReal(a Algorithm, xs []int64, threads, megachunkLen int) error {
+	return RunRealObserved(a, xs, threads, megachunkLen, nil)
+}
+
+// RunRealObserved is RunReal with telemetry: when rec is non-nil, every
+// megachunk's copy-in / compute / copy-out (and the final cross-megachunk
+// merge) is recorded as a span, so the run can be exported as a Chrome
+// trace and analyzed for copy↔compute overlap. A nil rec records nothing
+// and adds no timestamps.
+func RunRealObserved(a Algorithm, xs []int64, threads, megachunkLen int, rec *telemetry.Recorder) error {
 	if threads < 1 {
 		return fmt.Errorf("mlmsort: threads %d must be positive", threads)
 	}
@@ -31,15 +43,38 @@ func RunReal(a Algorithm, xs []int64, threads, megachunkLen int) error {
 	case GNUFlat, GNUCache, GNUPreferred:
 		// GNU parallel sort: p local sorts + one parallel multiway merge.
 		// The three variants differ only in memory placement, which has no
-		// observable effect on the data flow.
+		// observable effect on the data flow. Telemetry sees it as one
+		// whole-array compute span.
+		done := spanStart(rec)
 		psort.Parallel(xs, threads)
+		done(exec.StageCompute, wholeArray, touchedBytes(n))
 		return nil
 	case MLMDDr, MLMSort, MLMImplicit, MLMHybrid:
-		return runRealMLM(a, xs, threads, megachunkLen)
+		return runRealMLM(a, xs, threads, megachunkLen, rec)
 	case BasicChunked:
-		return runRealBasic(xs, threads, megachunkLen)
+		return runRealBasic(xs, threads, megachunkLen, rec)
 	default:
 		return fmt.Errorf("mlmsort: unknown algorithm %v", a)
+	}
+}
+
+// wholeArray is the chunk index recorded for work that spans the full
+// array (the final multiway merge, the GNU sorts).
+const wholeArray = -1
+
+// touchedBytes charges a compute span the read+write sweep convention.
+func touchedBytes(elems int) int64 { return int64(elems) * 16 }
+
+// spanStart begins a telemetry span and returns its closer. With a nil
+// recorder it returns a no-op and takes no timestamp, so unobserved runs
+// pay nothing.
+func spanStart(rec *telemetry.Recorder) func(stage exec.Stage, chunk int, bytes int64) {
+	if rec == nil {
+		return func(exec.Stage, int, int64) {}
+	}
+	t0 := time.Now()
+	return func(stage exec.Stage, chunk int, bytes int64) {
+		rec.Record(stage, chunk, 0, t0, time.Now(), bytes)
 	}
 }
 
@@ -86,7 +121,7 @@ func sortMegachunkMLM(mc []int64, threads int, scratch []int64) {
 	copy(mc, scratch[:m])
 }
 
-func runRealMLM(a Algorithm, xs []int64, threads, megachunkLen int) error {
+func runRealMLM(a Algorithm, xs []int64, threads, megachunkLen int, rec *telemetry.Recorder) error {
 	n := len(xs)
 	if megachunkLen <= 0 {
 		if a == MLMImplicit {
@@ -112,15 +147,23 @@ func runRealMLM(a Algorithm, xs []int64, threads, megachunkLen int) error {
 	if staged {
 		staging = make([]int64, maxLen)
 	}
-	for _, b := range bounds {
+	for mi, b := range bounds {
 		mc := xs[b[0]:b[1]]
 		if staged {
 			buf := staging[:len(mc)]
+			done := spanStart(rec)
 			copy(buf, mc) // copy-in: DDR -> "MCDRAM"
+			done(exec.StageCopyIn, mi, int64(len(mc))*8)
+			done = spanStart(rec)
 			sortMegachunkMLM(buf, threads, scratch)
+			done(exec.StageCompute, mi, touchedBytes(len(mc)))
+			done = spanStart(rec)
 			copy(mc, buf) // megachunk merge writes back to DDR
+			done(exec.StageCopyOut, mi, int64(len(mc))*8)
 		} else {
+			done := spanStart(rec)
 			sortMegachunkMLM(mc, threads, scratch)
+			done(exec.StageCompute, mi, touchedBytes(len(mc)))
 		}
 	}
 
@@ -131,22 +174,26 @@ func runRealMLM(a Algorithm, xs []int64, threads, megachunkLen int) error {
 			runs[i] = xs[b[0]:b[1]]
 		}
 		final := make([]int64, n)
+		done := spanStart(rec)
 		psort.ParallelMergeK(final, runs, threads)
 		copy(xs, final)
+		done(exec.StageCompute, wholeArray, touchedBytes(n))
 	}
 	return nil
 }
 
 // runRealBasic is Bender et al.'s basic algorithm: each megachunk is sorted
 // with the *parallel* sort, then the megachunks are multiway merged.
-func runRealBasic(xs []int64, threads, megachunkLen int) error {
+func runRealBasic(xs []int64, threads, megachunkLen int, rec *telemetry.Recorder) error {
 	n := len(xs)
 	if megachunkLen <= 0 {
 		megachunkLen = (n + 3) / 4
 	}
 	bounds := megachunkBounds(n, megachunkLen)
-	for _, b := range bounds {
+	for mi, b := range bounds {
+		done := spanStart(rec)
 		psort.Parallel(xs[b[0]:b[1]], threads)
+		done(exec.StageCompute, mi, touchedBytes(b[1]-b[0]))
 	}
 	if len(bounds) > 1 {
 		runs := make([][]int64, len(bounds))
@@ -154,8 +201,10 @@ func runRealBasic(xs []int64, threads, megachunkLen int) error {
 			runs[i] = xs[b[0]:b[1]]
 		}
 		final := make([]int64, n)
+		done := spanStart(rec)
 		psort.ParallelMergeK(final, runs, threads)
 		copy(xs, final)
+		done(exec.StageCompute, wholeArray, touchedBytes(n))
 	}
 	return nil
 }

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// BenchRecord is one benchmark measurement in the repository's
+// BENCH_*.json convention: enough context to regenerate the point
+// (config), the headline quantity (makespan), and the pipeline-health
+// number this PR starts tracking (overlap efficiency). Appending one
+// record per run gives the perf trajectory across PRs.
+type BenchRecord struct {
+	Name      string         `json:"name"`
+	Timestamp string         `json:"timestamp"`
+	Config    map[string]any `json:"config"`
+	// MakespanSeconds is wall time for real runs, simulated seconds for
+	// simulated runs (Simulated tells them apart).
+	MakespanSeconds   float64 `json:"makespan_seconds"`
+	OverlapEfficiency float64 `json:"overlap_efficiency"`
+	Simulated         bool    `json:"simulated"`
+	// Metrics carries any extra named quantities (e.g. bytes per stage).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// NewBenchRecord stamps a record with the current time (RFC 3339).
+func NewBenchRecord(name string) BenchRecord {
+	return BenchRecord{
+		Name:      name,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Config:    map[string]any{},
+		Metrics:   map[string]float64{},
+	}
+}
+
+// FromAnalysis copies the analyzer's headline quantities into the record.
+func (r *BenchRecord) FromAnalysis(a Analysis) {
+	r.MakespanSeconds = a.Wall.Seconds()
+	r.OverlapEfficiency = a.OverlapEfficiency
+	r.Metrics["pipeline_efficiency"] = a.PipelineEfficiency
+	r.Metrics["t_copy_seconds"] = a.TCopy.Seconds()
+	r.Metrics["t_comp_seconds"] = a.TComp.Seconds()
+}
+
+// WriteFile writes the record as indented JSON at path.
+func (r BenchRecord) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"knlmlm/internal/exec"
+	"knlmlm/internal/trace"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format. Only the
+// "X" (complete) and "M" (metadata) phases are emitted; timestamps and
+// durations are microseconds, as the format requires.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace accumulates trace events from any mix of sources — real
+// pipeline spans and simulated phase traces — so a telemetry capture and
+// a simulation of the same configuration can be compared side by side in
+// one Perfetto / chrome://tracing timeline. Each source should use its
+// own pid; the viewer renders one process lane per pid.
+type ChromeTrace struct {
+	events []chromeEvent
+}
+
+// AddProcessName labels a pid lane in the viewer.
+func (c *ChromeTrace) AddProcessName(pid int, name string) {
+	c.events = append(c.events, chromeEvent{
+		Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// AddThreadName labels a tid row within a pid lane.
+func (c *ChromeTrace) AddThreadName(pid, tid int, name string) {
+	c.events = append(c.events, chromeEvent{
+		Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// AddSpans renders recorder spans under the given pid, one thread row per
+// worker. Wait spans are categorised "wait" so the viewer can colour or
+// filter them separately from work.
+func (c *ChromeTrace) AddSpans(pid int, spans []Span) {
+	workers := map[int]bool{}
+	for _, s := range spans {
+		cat := "work"
+		if s.Stage.IsWait() {
+			cat = "wait"
+		}
+		args := map[string]any{"chunk": s.Chunk}
+		if s.Bytes != 0 {
+			args["bytes"] = s.Bytes
+		}
+		c.events = append(c.events, chromeEvent{
+			Name: s.Stage.String(), Cat: cat, Ph: "X",
+			TS:  micros(s.Start),
+			Dur: micros(s.Dur),
+			PID: pid, TID: s.Worker, Args: args,
+		})
+		workers[s.Worker] = true
+	}
+	for w := range workers {
+		c.AddThreadName(pid, w, fmt.Sprintf("worker %d", w))
+	}
+}
+
+// AddSimTrace bridges a simulated phase trace into the same timeline.
+// Each distinct phase label gets its own thread row (simulated stages
+// have no worker identity); the simulation clock's seconds map directly
+// onto the viewer's microsecond axis.
+func (c *ChromeTrace) AddSimTrace(pid int, tr *trace.Trace) {
+	if tr == nil {
+		return
+	}
+	tids := map[string]int{}
+	for _, p := range tr.Phases {
+		base, _ := splitPhaseLabel(p.Label)
+		tid, ok := tids[base]
+		if !ok {
+			tid = len(tids)
+			tids[base] = tid
+			c.AddThreadName(pid, tid, base)
+		}
+		c.events = append(c.events, chromeEvent{
+			Name: p.Label, Cat: "sim", Ph: "X",
+			TS:  p.Start.Seconds() * 1e6,
+			Dur: p.Duration.Seconds() * 1e6,
+			PID: pid, TID: tid,
+			Args: map[string]any{
+				"ddr_bytes":    float64(p.DDRBytes),
+				"mcdram_bytes": float64(p.MCDRAMBytes),
+			},
+		})
+	}
+	if tr.Name != "" {
+		c.AddProcessName(pid, tr.Name)
+	}
+}
+
+// Write emits the accumulated events as a Chrome trace-event JSON
+// object.
+func (c *ChromeTrace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     c.events,
+		"displayTimeUnit": "ms",
+	})
+}
+
+// WriteFile writes the trace to path.
+func (c *ChromeTrace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Len reports the number of accumulated events (metadata included).
+func (c *ChromeTrace) Len() int { return len(c.events) }
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// splitPhaseLabel splits a simulated phase label like "copy-in[7]" into
+// its base label and chunk index (-1 when the label carries none).
+func splitPhaseLabel(label string) (base string, chunk int) {
+	chunk = -1
+	if !strings.HasSuffix(label, "]") {
+		return label, chunk
+	}
+	i := strings.LastIndexByte(label, '[')
+	if i < 0 {
+		return label, chunk
+	}
+	n, err := strconv.Atoi(label[i+1 : len(label)-1])
+	if err != nil {
+		return label, chunk
+	}
+	return label[:i], n
+}
+
+// SimSpans converts a simulated phase trace into telemetry spans on the
+// simulation clock (1 simulated second = 1s span time), classifying each
+// phase label onto the pipeline stage taxonomy: labels containing
+// "copy-in"/"copy-out" become copy stages, "-spin" phases become the
+// matching wait stage (an idle copy pool's busy-wait is starvation), and
+// everything else is compute. This lets the same occupancy/stall analyzer
+// run over simulated and real executions.
+func SimSpans(tr *trace.Trace) []Span {
+	if tr == nil {
+		return nil
+	}
+	out := make([]Span, 0, len(tr.Phases))
+	seq := map[string]int{}
+	for _, p := range tr.Phases {
+		base, chunk := splitPhaseLabel(p.Label)
+		if chunk < 0 {
+			chunk = seq[base]
+			seq[base]++
+		}
+		out = append(out, Span{
+			Stage: classifyLabel(base),
+			Chunk: chunk,
+			// Worker encodes the stage row (stable small ints).
+			Worker: int(classifyLabel(base)),
+			Start:  time.Duration(p.Start.Seconds() * float64(time.Second)),
+			Dur:    time.Duration(p.Duration.Seconds() * float64(time.Second)),
+			Bytes:  int64(p.DDRBytes + p.MCDRAMBytes),
+		})
+	}
+	return out
+}
+
+func classifyLabel(base string) exec.Stage {
+	spin := strings.Contains(base, "spin")
+	switch {
+	case strings.Contains(base, "copy-in"):
+		if spin {
+			return exec.StageCopyInWait
+		}
+		return exec.StageCopyIn
+	case strings.Contains(base, "copy-out"):
+		if spin {
+			return exec.StageCopyOutWait
+		}
+		return exec.StageCopyOut
+	default:
+		if spin {
+			return exec.StageComputeWait
+		}
+		return exec.StageCompute
+	}
+}

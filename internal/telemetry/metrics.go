@@ -1,0 +1,243 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels attaches constant dimensions to a metric series (e.g.
+// stage="copy-in"). Label sets are rendered in sorted key order, so a
+// given set always names the same series.
+type Labels map[string]string
+
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be non-negative).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable float metric.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value reports the last stored value (zero if never set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram. Bucket i counts observations
+// v <= Bounds[i]; an implicit +Inf bucket catches the rest. Observe is
+// lock-free (binary search + one atomic add), so it is safe on hot paths.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1, last is +Inf
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		s := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds reports the bucket upper bounds (excluding +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Cumulative reports the cumulative count at each bound plus +Inf —
+// Prometheus bucket semantics.
+func (h *Histogram) Cumulative() []int64 {
+	out := make([]int64, len(h.counts))
+	var acc int64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		out[i] = acc
+	}
+	return out
+}
+
+// ExponentialBuckets returns count bounds starting at start, each factor
+// times the previous — the standard shape for latency histograms.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("telemetry: invalid exponential bucket spec")
+	}
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefLatencyBuckets covers host-scale chunk latencies: 1 µs to ~4 s.
+func DefLatencyBuckets() []float64 { return ExponentialBuckets(1e-6, 4, 12) }
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// series is one (name, labels) instance inside a family.
+type series struct {
+	labels    string
+	counter   *Counter
+	gauge     *Gauge
+	histogram *Histogram
+}
+
+// family groups the series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]*series
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format (see prometheus.go). Lookups that create metrics take
+// a mutex; the returned metric handles are lock-free, so callers should
+// resolve handles once and hold them across the hot path.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help string, kind metricKind) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: map[string]*series{}}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered with conflicting types", name))
+	}
+	return f
+}
+
+// Counter returns (registering if needed) the counter series name{labels}.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindCounter)
+	key := labels.render()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key, counter: &Counter{}}
+		f.series[key] = s
+	}
+	return s.counter
+}
+
+// Gauge returns (registering if needed) the gauge series name{labels}.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindGauge)
+	key := labels.render()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key, gauge: &Gauge{}}
+		f.series[key] = s
+	}
+	return s.gauge
+}
+
+// Histogram returns (registering if needed) the histogram series
+// name{labels} with the given bucket bounds (used only on first
+// registration of the series; bounds must be sorted ascending).
+func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("telemetry: histogram %q bounds not sorted", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindHistogram)
+	key := labels.render()
+	s, ok := f.series[key]
+	if !ok {
+		h := &Histogram{bounds: append([]float64(nil), bounds...)}
+		h.counts = make([]atomic.Int64, len(bounds)+1)
+		s = &series{labels: key, histogram: h}
+		f.series[key] = s
+	}
+	return s.histogram
+}
+
+// sortedFamilies snapshots the families in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// sortedSeries lists a family's series in label order.
+func (f *family) sortedSeries() []*series {
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].labels < out[j].labels })
+	return out
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("requests_total", "Requests.", nil)
+	c.Add(3)
+	c.Add(4)
+	if c.Value() != 7 {
+		t.Errorf("counter = %d, want 7", c.Value())
+	}
+	// Same name+labels returns the same instance.
+	if reg.Counter("requests_total", "Requests.", nil) != c {
+		t.Error("re-registration returned a different counter")
+	}
+	g := reg.Gauge("temp", "Temperature.", Labels{"loc": "core"})
+	g.Set(42.5)
+	if g.Value() != 42.5 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on type conflict")
+		}
+	}()
+	reg.Gauge("x", "", nil)
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "Latency.", nil, []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	cum := h.Cumulative()
+	// le=1: {0.5, 1}; le=10: +{5}; le=100: +{50}; +Inf: +{500}.
+	want := []int64{2, 3, 4, 5}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Errorf("cumulative[%d] = %d, want %d", i, cum[i], want[i])
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 556.5 {
+		t.Errorf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "", nil, ExponentialBuckets(1, 2, 8))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i % 300))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d, want 8000", h.Count())
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	b := ExponentialBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Errorf("bucket[%d] = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("bytes_total", "Bytes moved.", Labels{"stage": "copy-in"}).Add(100)
+	reg.Counter("bytes_total", "Bytes moved.", Labels{"stage": "copy-out"}).Add(50)
+	reg.Gauge("efficiency", "Overlap efficiency.", nil).Set(0.875)
+	reg.Histogram("lat_seconds", "Latency.", nil, []float64{0.1, 1}).Observe(0.5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP bytes_total Bytes moved.",
+		"# TYPE bytes_total counter",
+		`bytes_total{stage="copy-in"} 100`,
+		`bytes_total{stage="copy-out"} 50`,
+		"# TYPE efficiency gauge",
+		"efficiency 0.875",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 0`,
+		`lat_seconds_bucket{le="1"} 1`,
+		`lat_seconds_bucket{le="+Inf"} 1`,
+		"lat_seconds_sum 0.5",
+		"lat_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Families must appear in sorted name order.
+	if strings.Index(out, "bytes_total") > strings.Index(out, "efficiency") {
+		t.Error("families not sorted")
+	}
+	// Series within a family sorted by label set.
+	if strings.Index(out, `stage="copy-in"`) > strings.Index(out, `stage="copy-out"`) {
+		t.Error("series not sorted")
+	}
+}

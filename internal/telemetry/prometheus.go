@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, series
+// sorted by label set, histograms expanded into cumulative _bucket /
+// _sum / _count series. The output is deterministic for a given registry
+// state, which the tests rely on.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind.promName()); err != nil {
+			return err
+		}
+		for _, s := range f.sortedSeries() {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (k metricKind) promName() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.counter.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(s.gauge.Value()))
+		return err
+	}
+	h := s.histogram
+	cum := h.Cumulative()
+	for i, bound := range h.Bounds() {
+		if err := writeBucket(w, f.name, s.labels, formatFloat(bound), cum[i]); err != nil {
+			return err
+		}
+	}
+	if err := writeBucket(w, f.name, s.labels, "+Inf", cum[len(cum)-1]); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, h.Count())
+	return err
+}
+
+// writeBucket emits one cumulative histogram bucket, splicing the le
+// label into any existing label set.
+func writeBucket(w io.Writer, name, labels, le string, count int64) error {
+	var lb string
+	if labels == "" {
+		lb = fmt.Sprintf("{le=%q}", le)
+	} else {
+		lb = strings.TrimSuffix(labels, "}") + fmt.Sprintf(",le=%q}", le)
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, lb, count)
+	return err
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"knlmlm/internal/exec"
+)
+
+func at(r *Recorder, off time.Duration) time.Time { return r.Epoch().Add(off) }
+
+func TestRecorderSpansSortedAndComplete(t *testing.T) {
+	r := NewRecorder()
+	r.Record(exec.StageCompute, 1, 1, at(r, 30*time.Millisecond), at(r, 40*time.Millisecond), 160)
+	r.Record(exec.StageCopyIn, 0, 0, at(r, 0), at(r, 10*time.Millisecond), 80)
+	r.Record(exec.StageCopyOut, 0, 2, at(r, 20*time.Millisecond), at(r, 25*time.Millisecond), 80)
+	spans := r.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Errorf("spans not sorted by start: %v then %v", spans[i-1].Start, spans[i].Start)
+		}
+	}
+	if spans[0].Stage != exec.StageCopyIn || spans[0].Dur != 10*time.Millisecond {
+		t.Errorf("first span = %+v", spans[0])
+	}
+}
+
+func TestRecorderImplementsObserver(t *testing.T) {
+	var _ exec.Observer = NewRecorder()
+}
+
+func TestRecorderConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Add(Span{Stage: exec.StageCompute, Chunk: i, Worker: w, Dur: time.Microsecond, Bytes: 8})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Len(); got != workers*per {
+		t.Errorf("recorded %d spans, want %d", got, workers*per)
+	}
+	if got := r.BytesByStage()[exec.StageCompute]; got != workers*per*8 {
+		t.Errorf("compute bytes = %d, want %d", got, workers*per*8)
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Span{Stage: exec.StageCopyIn, Bytes: 8})
+	r.Reset()
+	if r.Len() != 0 {
+		t.Errorf("len after reset = %d", r.Len())
+	}
+}
+
+func TestBytesByStage(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Span{Stage: exec.StageCopyIn, Worker: 0, Bytes: 100})
+	r.Add(Span{Stage: exec.StageCopyIn, Worker: 0, Bytes: 50})
+	r.Add(Span{Stage: exec.StageCopyOut, Worker: 2, Bytes: 70})
+	b := r.BytesByStage()
+	if b[exec.StageCopyIn] != 150 || b[exec.StageCopyOut] != 70 || b[exec.StageCompute] != 0 {
+		t.Errorf("bytes by stage = %v", b)
+	}
+}
+
+func TestStageStringAndIsWait(t *testing.T) {
+	if exec.StageCopyInWait.String() != "copy-in-wait" || exec.StageCompute.String() != "compute" {
+		t.Error("stage names wrong")
+	}
+	if !exec.StageComputeWait.IsWait() || exec.StageCopyOut.IsWait() {
+		t.Error("IsWait classification wrong")
+	}
+}
