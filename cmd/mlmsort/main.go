@@ -8,6 +8,12 @@
 //	mlmsort -alg MLM-implicit -n 6000000000 -order reverse -chunk 1500000000
 //	mlmsort -real -alg MLM-sort -n 1000000 -threads 8
 //	mlmsort -real -alg MLM-sort -n 4000000 -trace out.json -metrics
+//	mlmsort -chaos -chaos-seed 7 -n 400000 -threads 4
+//
+// With -chaos, the real run executes under a randomized, seeded fault
+// plan (stage errors/panics/latency, MCDRAM allocation failures, an
+// undersized staging heap) and prints the injection/retry/degradation
+// tally; see cmd/chaos for the multi-seed soak harness.
 //
 // With -trace and/or -metrics, the run is captured by the telemetry
 // subsystem: -trace writes a Chrome trace-event JSON (open in Perfetto or
@@ -17,11 +23,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"knlmlm/internal/fault"
+	"knlmlm/internal/memkind"
 	"knlmlm/internal/mlmsort"
 	"knlmlm/internal/model"
 	"knlmlm/internal/telemetry"
@@ -60,7 +69,12 @@ func main() {
 	verbose := flag.Bool("v", false, "print the phase trace")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 	metrics := flag.Bool("metrics", false, "print Prometheus-format metrics for the run")
+	chaos := flag.Bool("chaos", false, "run the real sort under a randomized fault-injection plan (implies -real)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos plan seed (with -chaos)")
 	flag.Parse()
+	if *chaos {
+		*real = true
+	}
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "mlmsort: %v\n", err)
@@ -86,8 +100,26 @@ func main() {
 		if telemetryOn {
 			rec = telemetry.NewRecorder()
 		}
+		opts := mlmsort.RealOptions{Recorder: rec}
+		var inj *fault.Injector
+		var res *telemetry.Resilience
+		if *chaos {
+			plan := fault.NewPlan(*chaosSeed, units.BytesForElements(*n))
+			inj = plan.Injector()
+			res = telemetry.NewResilience(telemetry.NewRegistry())
+			inj.Metrics = res
+			opts.Heap = memkind.NewHeap(plan.HBWCapacity, 1<<42)
+			opts.AllocFaults = inj
+			opts.Resilience = res
+			opts.Wrap = inj.Wrap
+			opts.Retry = plan.Retry
+			opts.ChunkTimeout = plan.ChunkTimeout
+			opts.Buffers = 3
+			fmt.Println(plan)
+		}
 		start := time.Now()
-		if err := mlmsort.RunRealObserved(alg, xs, *threads, int(*chunk), rec); err != nil {
+		stats, err := mlmsort.RunRealResilient(context.Background(), alg, xs, *threads, int(*chunk), opts)
+		if err != nil {
 			fail(err)
 		}
 		wall := time.Since(start)
@@ -95,6 +127,10 @@ func main() {
 			fail(fmt.Errorf("output not sorted — algorithm bug"))
 		}
 		fmt.Printf("%s sorted %d %s elements on the host in %v (verified)\n", alg, *n, order, wall)
+		if *chaos {
+			fmt.Printf("chaos: %v; retries=%d degradations=%d (%d/%d megachunks staged)\n",
+				inj, res.Retries(), res.Degradations(), stats.Staged, stats.Megachunks)
+		}
 		if telemetryOn {
 			emitRealTelemetry(rec, *tracePath, *metrics, *n, *threads, alg.String())
 		}

@@ -117,15 +117,17 @@ func main() {
 	st := exec.Stages{
 		NumChunks: 8,
 		ChunkLen:  func(int) int { return n / 8 },
-		CopyIn: func(i int, buf []int64) {
+		CopyIn: func(i int, buf []int64) error {
 			copy(buf, src[i*n/8:(i+1)*n/8])
+			return nil
 		},
-		Compute: func(i int, buf []int64) {
+		Compute: func(i int, buf []int64) error {
 			for _, v := range buf {
 				counts[((v%251)+251)%251]++
 			}
+			return nil
 		},
-		CopyOut: func(i int, buf []int64) {},
+		CopyOut: func(i int, buf []int64) error { return nil },
 	}
 	if err := exec.Run(st, 3); err != nil {
 		log.Fatal(err)

@@ -1,0 +1,165 @@
+package exec_test
+
+// Cancellation race tests (external package: they cross-check telemetry
+// against counters, and telemetry sits above exec). A cancelled pipeline
+// must return promptly with the context's error, leak no goroutines, and
+// leave the observability record internally consistent no matter where in
+// the pipeline the cancellation lands.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"knlmlm/internal/exec"
+	"knlmlm/internal/telemetry"
+	"knlmlm/internal/workload"
+)
+
+func cancelLeakCheck(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > base {
+			if time.Now().After(deadline) {
+				t.Fatalf("goroutine leak after cancellation: %d at start, %d now",
+					base, runtime.NumGoroutine())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+func TestCancellationRaces(t *testing.T) {
+	const (
+		n        = 8_000
+		chunkLen = 500
+	)
+	numChunks := n / chunkLen
+	cases := []struct {
+		name    string
+		stage   exec.Stage
+		atChunk int
+	}{
+		{"mid-copy-in", exec.StageCopyIn, numChunks / 2},
+		{"mid-compute", exec.StageCompute, numChunks / 2},
+		{"after-last-chunk-staged", exec.StageCopyIn, numChunks - 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer cancelLeakCheck(t)()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+
+			src := workload.Generate(workload.Random, n, 41)
+			dst := make([]int64, n)
+			s := stagedIncrement(src, dst, chunkLen, 1)
+			// Trigger the cancellation from inside the chosen stage at the
+			// chosen chunk — the stage itself completes, the pipeline must
+			// then unwind.
+			switch tc.stage {
+			case exec.StageCopyIn:
+				in := s.CopyIn
+				s.CopyIn = func(i int, buf []int64) error {
+					err := in(i, buf)
+					if i == tc.atChunk {
+						cancel()
+					}
+					return err
+				}
+			case exec.StageCompute:
+				comp := s.Compute
+				s.Compute = func(i int, buf []int64) error {
+					err := comp(i, buf)
+					if i == tc.atChunk {
+						cancel()
+					}
+					return err
+				}
+			}
+			rec := telemetry.NewRecorder()
+			inst, counters := exec.InstrumentObserved(s, 16, rec)
+
+			done := make(chan error, 1)
+			go func() { done <- exec.RunContext(ctx, inst, 3) }()
+			var err error
+			select {
+			case err = <-done:
+			case <-time.After(5 * time.Second):
+				t.Fatal("cancelled pipeline did not return promptly")
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("got %v, want context.Canceled", err)
+			}
+
+			// Observability consistency: telemetry byte totals must equal
+			// the counters exactly — both account per attempt, and a
+			// cancelled stage emits either both records or neither.
+			got := rec.BytesByStage()
+			if got[exec.StageCopyIn] != counters.CopyInBytes() {
+				t.Errorf("copy-in bytes: telemetry %d, counters %d", got[exec.StageCopyIn], counters.CopyInBytes())
+			}
+			if got[exec.StageCompute] != counters.ComputeBytes() {
+				t.Errorf("compute bytes: telemetry %d, counters %d", got[exec.StageCompute], counters.ComputeBytes())
+			}
+			if got[exec.StageCopyOut] != counters.CopyOutBytes() {
+				t.Errorf("copy-out bytes: telemetry %d, counters %d", got[exec.StageCopyOut], counters.CopyOutBytes())
+			}
+
+			// Pipeline monotonicity survives cancellation: a chunk can
+			// only reach a stage if it passed the previous one.
+			seen := map[exec.Stage]map[int]bool{}
+			for _, sp := range rec.Spans() {
+				if sp.Dur < 0 {
+					t.Errorf("negative span duration: %+v", sp)
+				}
+				if seen[sp.Stage] == nil {
+					seen[sp.Stage] = map[int]bool{}
+				}
+				seen[sp.Stage][sp.Chunk] = true
+			}
+			for c := range seen[exec.StageCompute] {
+				if !seen[exec.StageCopyIn][c] {
+					t.Errorf("chunk %d computed without copy-in", c)
+				}
+			}
+			for c := range seen[exec.StageCopyOut] {
+				if !seen[exec.StageCompute][c] {
+					t.Errorf("chunk %d copied out without compute", c)
+				}
+			}
+		})
+	}
+}
+
+// TestCancelDuringBackoff: a pipeline sleeping out a retry backoff must
+// wake immediately on cancellation instead of finishing the sleep.
+func TestCancelDuringBackoff(t *testing.T) {
+	defer cancelLeakCheck(t)()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := workload.Generate(workload.Random, 1_000, 43)
+	dst := make([]int64, len(src))
+	s := stagedIncrement(src, dst, 250, 1)
+	comp := s.Compute
+	s.Compute = func(i int, buf []int64) error {
+		if i == 1 {
+			cancel() // fail and cancel: the backoff sleep must be cut short
+			return errors.New("boom")
+		}
+		return comp(i, buf)
+	}
+	s.Retry = exec.RetryPolicy{MaxAttempts: 5, BaseDelay: 30 * time.Second}
+	start := time.Now()
+	err := exec.RunContext(ctx, s, 3)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation waited out the backoff: %v", elapsed)
+	}
+}

@@ -25,28 +25,31 @@ func (c *Counters) CopyOutBytes() int64 { return c.copyOut.Load() }
 // element (2*8 for a read+write sweep of int64 keys). The same charge is
 // propagated to the stage set's telemetry attribution (TouchedPerElem), so
 // an Observer attached to the instrumented stages sees byte totals that
-// match the Counters byte for byte.
+// match the Counters byte for byte. Under retries both accountings are
+// per attempt, so the correspondence holds for fault-free and retried
+// runs alike (deadline-abandoned attempts excepted: their counter side
+// settles only when the abandoned stage function returns).
 func Instrument(s Stages, touchedPerElem int64) (Stages, *Counters) {
 	c := &Counters{}
 	out := s
 	out.TouchedPerElem = touchedPerElem
 	if s.CopyIn != nil {
 		inner := s.CopyIn
-		out.CopyIn = func(i int, buf []int64) {
+		out.CopyIn = func(i int, buf []int64) error {
 			c.copyIn.Add(int64(len(buf)) * 8)
-			inner(i, buf)
+			return inner(i, buf)
 		}
 	}
 	innerCompute := s.Compute
-	out.Compute = func(i int, buf []int64) {
+	out.Compute = func(i int, buf []int64) error {
 		c.compute.Add(int64(len(buf)) * touchedPerElem)
-		innerCompute(i, buf)
+		return innerCompute(i, buf)
 	}
 	if s.CopyOut != nil {
 		inner := s.CopyOut
-		out.CopyOut = func(i int, buf []int64) {
+		out.CopyOut = func(i int, buf []int64) error {
 			c.copyOut.Add(int64(len(buf)) * 8)
-			inner(i, buf)
+			return inner(i, buf)
 		}
 	}
 	return out, c

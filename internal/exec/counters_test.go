@@ -26,18 +26,21 @@ func TestRealPipelineTrafficMatchesSimulated(t *testing.T) {
 	stages := Stages{
 		NumChunks: numChunks,
 		ChunkLen:  func(int) int { return chunkLen },
-		CopyIn: func(i int, buf []int64) {
+		CopyIn: func(i int, buf []int64) error {
 			copy(buf, src[i*chunkLen:(i+1)*chunkLen])
+			return nil
 		},
-		Compute: func(i int, buf []int64) {
+		Compute: func(i int, buf []int64) error {
 			for p := 0; p < int(passes); p++ {
 				for j := range buf {
 					buf[j]++
 				}
 			}
+			return nil
 		},
-		CopyOut: func(i int, buf []int64) {
+		CopyOut: func(i int, buf []int64) error {
 			copy(dst[i*chunkLen:(i+1)*chunkLen], buf)
+			return nil
 		},
 	}
 	inst, counters := Instrument(stages, int64(2*passes*8))
@@ -104,7 +107,7 @@ func TestInstrumentWithoutCopyStages(t *testing.T) {
 	s := Stages{
 		NumChunks: 10,
 		ChunkLen:  func(int) int { return 10 },
-		Compute:   func(i int, buf []int64) { _ = data },
+		Compute:   func(i int, buf []int64) error { _ = data; return nil },
 	}
 	inst, c := Instrument(s, 16)
 	if err := Run(inst, 1); err != nil {

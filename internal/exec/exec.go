@@ -5,11 +5,22 @@
 // algorithms *correct*; the simulation layer is how it reproduces the
 // paper's *timing*.
 //
+// The pipeline has first-class failure semantics: stage functions return
+// errors, panics are recovered into chunk failures, each stage attempt can
+// be bounded by a per-chunk deadline, failed attempts are retried under a
+// capped exponential backoff (RetryPolicy), and the whole run accepts a
+// context.Context for cancellation. When a chunk's retry budget runs out
+// the pipeline aborts cleanly: every stage goroutine is joined, channels
+// are closed exactly once, and the returned ChunkError names the stage,
+// chunk, and underlying cause.
+//
 // Host wall-time through this package is meaningless for the paper's
 // claims (this is not a KNL); only the data transformations matter.
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -55,7 +66,8 @@ func (s Stage) IsWait() bool {
 // StageEvent is one observed stage execution: worker ran stage for chunk
 // over [Start, End) wall-clock time, moving (or touching) Bytes bytes.
 // Wait events carry zero bytes and the chunk the stage was about to
-// process.
+// process. Under retries, each attempt (including failed ones) emits its
+// own event; a fault-free run emits exactly one event per stage per chunk.
 type StageEvent struct {
 	Stage Stage
 	Chunk int
@@ -85,6 +97,11 @@ type Buffer struct {
 // be nil, in which case Compute receives a buffer it must fill itself (the
 // in-place variants: MLM-ddr and implicit cache mode operate directly on
 // the source array and use only Compute).
+//
+// Stage functions report failure by returning an error; a panicking stage
+// is recovered and treated as an error. A failed attempt is retried under
+// Retry; compute retries on a staged pipeline re-run CopyIn first, so the
+// retried compute starts from freshly staged (uncorrupted) data.
 type Stages struct {
 	// NumChunks is the chunk count; chunks are processed in order.
 	NumChunks int
@@ -92,12 +109,12 @@ type Stages struct {
 	// largest).
 	ChunkLen func(i int) int
 	// CopyIn loads chunk i into dst (len == ChunkLen(i)).
-	CopyIn func(i int, dst []int64)
+	CopyIn func(i int, dst []int64) error
 	// Compute transforms chunk i in buf in place (or, with nil CopyIn,
 	// operates on whatever storage the caller closed over).
-	Compute func(i int, buf []int64)
+	Compute func(i int, buf []int64) error
 	// CopyOut drains chunk i from src to its destination.
-	CopyOut func(i int, src []int64)
+	CopyOut func(i int, src []int64) error
 	// Observer, when non-nil, receives per-chunk stage events (work and
 	// wait spans). Nil means telemetry off: no timestamps are taken and
 	// the per-chunk hot path allocates nothing extra.
@@ -106,6 +123,20 @@ type Stages struct {
 	// stage's telemetry events, matching Instrument's accounting. Zero
 	// selects the read+write sweep default (2*8 bytes).
 	TouchedPerElem int64
+	// Retry bounds per-chunk stage attempts. The zero value runs each
+	// stage once: any failure aborts the pipeline immediately.
+	Retry RetryPolicy
+	// ChunkTimeout bounds each stage attempt on one chunk; zero means
+	// unbounded. A timed-out attempt cannot be interrupted — it is
+	// abandoned (its buffer is withdrawn and replaced) and reported as
+	// ErrDeadline. Deadline overruns are retried only for copy-in, whose
+	// re-execution is always safe; an abandoned compute or copy-out may
+	// still be mutating shared state, so its deadline is terminal.
+	ChunkTimeout time.Duration
+	// OnRetry, when non-nil, receives one event per failed stage attempt
+	// (Final marks the failure that aborts the pipeline). Called
+	// concurrently from the stage goroutines.
+	OnRetry func(RetryEvent)
 }
 
 // touchedPerElem resolves the compute-stage byte attribution.
@@ -116,7 +147,8 @@ func (s *Stages) touchedPerElem() int64 {
 	return 16 // one read + one write of an int64 key
 }
 
-// Validate reports whether the stage set is runnable.
+// Validate reports whether the stage set is runnable, catching up front
+// the configurations that would otherwise deadlock or panic mid-run.
 func (s *Stages) Validate() error {
 	if s.NumChunks < 0 {
 		return fmt.Errorf("exec: negative chunk count %d", s.NumChunks)
@@ -130,6 +162,12 @@ func (s *Stages) Validate() error {
 	if s.CopyIn == nil && s.CopyOut != nil {
 		return fmt.Errorf("exec: CopyOut without CopyIn is not a supported pipeline shape")
 	}
+	if err := s.Retry.validate(); err != nil {
+		return err
+	}
+	if s.ChunkTimeout < 0 {
+		return fmt.Errorf("exec: negative chunk timeout %v", s.ChunkTimeout)
+	}
 	return nil
 }
 
@@ -139,11 +177,60 @@ func (s *Stages) Validate() error {
 // processes chunks in order, one at a time, and a chunk occupies one buffer
 // from its copy-in until its last stage finishes.
 func Run(s Stages, buffers int) error {
+	return RunContext(context.Background(), s, buffers)
+}
+
+// item is one staged chunk in flight between stages.
+type item struct {
+	idx int
+	buf *Buffer
+}
+
+// runner carries one RunContext invocation's shared state: the first
+// failure wins and cancels the run-scoped context, which unblocks every
+// stage goroutine.
+type runner struct {
+	s       *Stages
+	obs     Observer
+	touched int64
+	cancel  context.CancelFunc
+
+	mu  sync.Mutex
+	err error
+}
+
+// fail records the pipeline's first error and cancels the run.
+func (r *runner) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+	r.cancel()
+}
+
+// firstErr reports the recorded abort cause, if any.
+func (r *runner) firstErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// RunContext is Run with cancellation: the pipeline stops promptly when
+// ctx is cancelled (or its deadline passes) and returns ctx's error. All
+// stage goroutines are joined before RunContext returns, in every path —
+// success, stage failure, and cancellation — so a finished call never
+// leaks goroutines (stage attempts abandoned by ChunkTimeout excepted:
+// those drain as soon as the stage function returns).
+func RunContext(ctx context.Context, s Stages, buffers int) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
 	if buffers < 1 {
 		return fmt.Errorf("exec: need at least one buffer, got %d", buffers)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if s.NumChunks == 0 {
 		return nil
@@ -160,37 +247,37 @@ func Run(s Stages, buffers int) error {
 		}
 	}
 
-	obs := s.Observer
-	touched := s.touchedPerElem()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	r := &runner{s: &s, obs: s.Observer, touched: s.touchedPerElem(), cancel: cancel}
 
 	if s.CopyIn == nil {
 		// No staging: compute runs chunk by chunk over caller storage.
-		buf := make([]int64, maxLen)
+		b := &Buffer{full: make([]int64, maxLen)}
 		for i := 0; i < s.NumChunks; i++ {
-			b := buf[:s.ChunkLen(i)]
-			if obs == nil {
-				s.Compute(i, b)
-				continue
+			if err := runCtx.Err(); err != nil {
+				return err
 			}
-			t0 := time.Now()
-			s.Compute(i, b)
-			obs.StageEvent(StageEvent{
-				Stage: StageCompute, Chunk: i, Worker: 1,
-				Start: t0, End: time.Now(), Bytes: int64(len(b)) * touched,
-			})
+			b.Data = b.full[:s.ChunkLen(i)]
+			var err error
+			b, err = r.runStage(runCtx, StageCompute, i, 1, b, nil, s.Compute)
+			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return err
+			}
 		}
-		return nil
+		return ctx.Err()
 	}
 
 	// Buffer pool and inter-stage queues. Channel capacities cover every
-	// in-flight chunk so stage goroutines never block on sends.
+	// in-flight chunk so stage goroutines never block on sends; receives
+	// select against cancellation, so an aborted pipeline unwinds without
+	// draining.
 	free := make(chan *Buffer, buffers)
 	for i := 0; i < buffers; i++ {
 		free <- &Buffer{full: make([]int64, maxLen)}
-	}
-	type item struct {
-		idx int
-		buf *Buffer
 	}
 	toCompute := make(chan item, s.NumChunks)
 	toCopyOut := make(chan item, s.NumChunks)
@@ -202,23 +289,25 @@ func Run(s Stages, buffers int) error {
 		defer wg.Done()
 		defer close(toCompute)
 		for i := 0; i < s.NumChunks; i++ {
-			if obs == nil {
-				b := <-free
-				b.Data = b.full[:s.ChunkLen(i)]
-				s.CopyIn(i, b.Data)
-				toCompute <- item{i, b}
-				continue
+			var t0 time.Time
+			if r.obs != nil {
+				t0 = time.Now()
 			}
-			t0 := time.Now()
-			b := <-free
-			t1 := time.Now()
-			obs.StageEvent(StageEvent{Stage: StageCopyInWait, Chunk: i, Worker: 0, Start: t0, End: t1})
+			var b *Buffer
+			select {
+			case b = <-free:
+			case <-runCtx.Done():
+				return
+			}
+			if r.obs != nil {
+				r.obs.StageEvent(StageEvent{Stage: StageCopyInWait, Chunk: i, Worker: 0, Start: t0, End: time.Now()})
+			}
 			b.Data = b.full[:s.ChunkLen(i)]
-			s.CopyIn(i, b.Data)
-			obs.StageEvent(StageEvent{
-				Stage: StageCopyIn, Chunk: i, Worker: 0,
-				Start: t1, End: time.Now(), Bytes: int64(len(b.Data)) * 8,
-			})
+			b, err := r.runStage(runCtx, StageCopyIn, i, 0, b, nil, s.CopyIn)
+			if err != nil {
+				r.fail(err)
+				return
+			}
 			toCompute <- item{i, b}
 		}
 	}()
@@ -226,60 +315,175 @@ func Run(s Stages, buffers int) error {
 	go func() { // compute pool
 		defer wg.Done()
 		defer close(toCopyOut)
-		if obs == nil {
-			for it := range toCompute {
-				s.Compute(it.idx, it.buf.Data)
-				toCopyOut <- it
-			}
-			return
-		}
 		for {
-			t0 := time.Now()
-			it, ok := <-toCompute
-			if !ok {
+			var t0 time.Time
+			if r.obs != nil {
+				t0 = time.Now()
+			}
+			var it item
+			var ok bool
+			select {
+			case it, ok = <-toCompute:
+				if !ok {
+					return
+				}
+			case <-runCtx.Done():
 				return
 			}
-			t1 := time.Now()
-			obs.StageEvent(StageEvent{Stage: StageComputeWait, Chunk: it.idx, Worker: 1, Start: t0, End: t1})
-			s.Compute(it.idx, it.buf.Data)
-			obs.StageEvent(StageEvent{
-				Stage: StageCompute, Chunk: it.idx, Worker: 1,
-				Start: t1, End: time.Now(), Bytes: int64(len(it.buf.Data)) * touched,
-			})
-			toCopyOut <- it
+			if r.obs != nil {
+				r.obs.StageEvent(StageEvent{Stage: StageComputeWait, Chunk: it.idx, Worker: 1, Start: t0, End: time.Now()})
+			}
+			// A retried compute re-stages the chunk first: the failed
+			// attempt may have left the buffer partially transformed, and
+			// re-running a sort (or any non-idempotent kernel) over
+			// corrupted data would silently produce wrong output.
+			b, err := r.runStage(runCtx, StageCompute, it.idx, 1, it.buf, s.CopyIn, s.Compute)
+			if err != nil {
+				r.fail(err)
+				return
+			}
+			toCopyOut <- item{it.idx, b}
 		}
 	}()
 
 	go func() { // copy-out pool
 		defer wg.Done()
-		if obs == nil {
-			for it := range toCopyOut {
-				if s.CopyOut != nil {
-					s.CopyOut(it.idx, it.buf.Data)
-				}
-				free <- it.buf
-			}
-			return
-		}
 		for {
-			t0 := time.Now()
-			it, ok := <-toCopyOut
-			if !ok {
+			var t0 time.Time
+			if r.obs != nil {
+				t0 = time.Now()
+			}
+			var it item
+			var ok bool
+			select {
+			case it, ok = <-toCopyOut:
+				if !ok {
+					return
+				}
+			case <-runCtx.Done():
 				return
 			}
-			t1 := time.Now()
-			obs.StageEvent(StageEvent{Stage: StageCopyOutWait, Chunk: it.idx, Worker: 2, Start: t0, End: t1})
-			if s.CopyOut != nil {
-				s.CopyOut(it.idx, it.buf.Data)
-				obs.StageEvent(StageEvent{
-					Stage: StageCopyOut, Chunk: it.idx, Worker: 2,
-					Start: t1, End: time.Now(), Bytes: int64(len(it.buf.Data)) * 8,
-				})
+			if r.obs != nil {
+				r.obs.StageEvent(StageEvent{Stage: StageCopyOutWait, Chunk: it.idx, Worker: 2, Start: t0, End: time.Now()})
 			}
-			free <- it.buf
+			b := it.buf
+			if s.CopyOut != nil {
+				var err error
+				b, err = r.runStage(runCtx, StageCopyOut, it.idx, 2, b, nil, s.CopyOut)
+				if err != nil {
+					r.fail(err)
+					return
+				}
+			}
+			free <- b
 		}
 	}()
 
 	wg.Wait()
-	return nil
+	if err := r.firstErr(); err != nil {
+		// A cancellation observed inside a stage surfaces as the parent
+		// context's error, not as a chunk failure.
+		if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return ctx.Err()
+		}
+		return err
+	}
+	return ctx.Err()
+}
+
+// stageBytes reports the telemetry byte attribution for one stage attempt
+// over n elements.
+func (r *runner) stageBytes(stage Stage, n int) int64 {
+	if stage == StageCompute {
+		return int64(n) * r.touched
+	}
+	return int64(n) * 8
+}
+
+// runStage drives one stage's attempt loop for chunk i: panic recovery,
+// optional deadline, retries with capped backoff, and buffer replacement
+// after an abandoned (timed-out) attempt. prepare, when non-nil, re-primes
+// the buffer before each retry attempt (compute retries re-stage via
+// CopyIn). It returns the buffer to hand downstream — a fresh one if the
+// original was abandoned to a still-running attempt.
+func (r *runner) runStage(ctx context.Context, stage Stage, i, worker int, b *Buffer, prepare, fn func(int, []int64) error) (*Buffer, error) {
+	attempts := r.s.Retry.attempts()
+	for attempt := 1; ; attempt++ {
+		run := fn
+		if prepare != nil && attempt > 1 {
+			p := prepare
+			run = func(i int, data []int64) error {
+				if err := p(i, data); err != nil {
+					return err
+				}
+				return fn(i, data)
+			}
+		}
+		var t0 time.Time
+		if r.obs != nil {
+			t0 = time.Now()
+		}
+		err, abandoned := r.attempt(ctx, i, b.Data, run)
+		if r.obs != nil {
+			r.obs.StageEvent(StageEvent{
+				Stage: stage, Chunk: i, Worker: worker,
+				Start: t0, End: time.Now(), Bytes: r.stageBytes(stage, len(b.Data)),
+			})
+		}
+		if err == nil {
+			return b, nil
+		}
+		if abandoned {
+			// The timed-out attempt may still be writing the old backing
+			// array; withdraw it and continue with a fresh one.
+			nb := &Buffer{full: make([]int64, len(b.full))}
+			nb.Data = nb.full[:len(b.Data)]
+			b = nb
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return b, cerr
+		}
+		retryable := attempt < attempts &&
+			!(errors.Is(err, ErrDeadline) && stage != StageCopyIn)
+		var backoff time.Duration
+		if retryable {
+			backoff = r.s.Retry.Backoff(attempt)
+		}
+		if r.s.OnRetry != nil {
+			r.s.OnRetry(RetryEvent{
+				Stage: stage, Chunk: i, Attempt: attempt,
+				Err: err, Backoff: backoff, Final: !retryable,
+			})
+		}
+		if !retryable {
+			return b, &ChunkError{Stage: stage, Chunk: i, Attempts: attempt, Err: err}
+		}
+		if serr := sleepCtx(ctx, backoff); serr != nil {
+			return b, serr
+		}
+	}
+}
+
+// attempt executes fn once over data with panic recovery. With no
+// ChunkTimeout the call is direct (no goroutine, no allocation); with one,
+// fn runs on its own goroutine and a timer fire abandons it — abandoned
+// reports that fn may still be running and data must not be reused.
+func (r *runner) attempt(ctx context.Context, i int, data []int64, fn func(int, []int64) error) (err error, abandoned bool) {
+	if r.s.ChunkTimeout <= 0 {
+		return safeStage(fn, i, data), false
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- safeStage(fn, i, data)
+	}()
+	timer := time.NewTimer(r.s.ChunkTimeout)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err, false
+	case <-timer.C:
+		return ErrDeadline, true
+	case <-ctx.Done():
+		return ctx.Err(), true
+	}
 }

@@ -28,18 +28,21 @@ func chunkedDouble(src, dst []int64, chunkLen int) Stages {
 			lo, hi := bounds(i)
 			return hi - lo
 		},
-		CopyIn: func(i int, buf []int64) {
+		CopyIn: func(i int, buf []int64) error {
 			lo, hi := bounds(i)
 			copy(buf, src[lo:hi])
+			return nil
 		},
-		Compute: func(i int, buf []int64) {
+		Compute: func(i int, buf []int64) error {
 			for j := range buf {
 				buf[j] *= 2
 			}
+			return nil
 		},
-		CopyOut: func(i int, buf []int64) {
+		CopyOut: func(i int, buf []int64) error {
 			lo, hi := bounds(i)
 			copy(dst[lo:hi], buf)
+			return nil
 		},
 	}
 }
@@ -71,7 +74,7 @@ func TestPipelineChunkLargerThanData(t *testing.T) {
 }
 
 func TestPipelineZeroChunks(t *testing.T) {
-	err := Run(Stages{NumChunks: 0, Compute: func(int, []int64) {}}, 3)
+	err := Run(Stages{NumChunks: 0, Compute: func(int, []int64) error { return nil }}, 3)
 	if err != nil {
 		t.Errorf("zero chunks: %v", err)
 	}
@@ -86,8 +89,9 @@ func TestPipelineComputeOnly(t *testing.T) {
 	err := Run(Stages{
 		NumChunks: 10,
 		ChunkLen:  func(int) int { return chunkLen },
-		Compute: func(i int, _ []int64) {
+		Compute: func(i int, _ []int64) error {
 			psort.Serial(data[i*chunkLen : (i+1)*chunkLen])
+			return nil
 		},
 	}, 1)
 	if err != nil {
@@ -106,19 +110,19 @@ func TestPipelineValidation(t *testing.T) {
 		s    Stages
 		bufs int
 	}{
-		{"negative chunks", Stages{NumChunks: -1, Compute: func(int, []int64) {}}, 1},
+		{"negative chunks", Stages{NumChunks: -1, Compute: func(int, []int64) error { return nil }}, 1},
 		{"missing compute", Stages{NumChunks: 1, ChunkLen: func(int) int { return 1 }}, 1},
-		{"missing chunklen", Stages{NumChunks: 1, Compute: func(int, []int64) {}}, 1},
+		{"missing chunklen", Stages{NumChunks: 1, Compute: func(int, []int64) error { return nil }}, 1},
 		{"copyout without copyin", Stages{
 			NumChunks: 1,
 			ChunkLen:  func(int) int { return 1 },
-			Compute:   func(int, []int64) {},
-			CopyOut:   func(int, []int64) {},
+			Compute:   func(int, []int64) error { return nil },
+			CopyOut:   func(int, []int64) error { return nil },
 		}, 1},
 		{"zero buffers", Stages{
 			NumChunks: 1,
 			ChunkLen:  func(int) int { return 1 },
-			Compute:   func(int, []int64) {},
+			Compute:   func(int, []int64) error { return nil },
 		}, 0},
 	}
 	for _, tc := range cases {
@@ -132,7 +136,7 @@ func TestPipelineNegativeChunkLen(t *testing.T) {
 	s := Stages{
 		NumChunks: 1,
 		ChunkLen:  func(int) int { return -1 },
-		Compute:   func(int, []int64) {},
+		Compute:   func(int, []int64) error { return nil },
 	}
 	if err := Run(s, 1); err == nil {
 		t.Error("negative chunk length should error")
@@ -155,14 +159,15 @@ func TestPipelineStageOrdering(t *testing.T) {
 	s := Stages{
 		NumChunks: n,
 		ChunkLen:  func(int) int { return 4 },
-		CopyIn: func(i int, buf []int64) {
+		CopyIn: func(i int, buf []int64) error {
 			if !atomic.CompareAndSwapInt32(&lastIn, int32(i-1), int32(i)) {
 				t.Errorf("copy-in out of order at %d", i)
 			}
 			buf[0] = int64(i)
 			rec("in", i)
+			return nil
 		},
-		Compute: func(i int, buf []int64) {
+		Compute: func(i int, buf []int64) error {
 			if buf[0] != int64(i) {
 				t.Errorf("compute %d saw buffer of chunk %d", i, buf[0])
 			}
@@ -170,12 +175,14 @@ func TestPipelineStageOrdering(t *testing.T) {
 				t.Errorf("compute out of order at %d", i)
 			}
 			rec("comp", i)
+			return nil
 		},
-		CopyOut: func(i int, buf []int64) {
+		CopyOut: func(i int, buf []int64) error {
 			if !atomic.CompareAndSwapInt32(&lastOut, int32(i-1), int32(i)) {
 				t.Errorf("copy-out out of order at %d", i)
 			}
 			rec("out", i)
+			return nil
 		},
 	}
 	if err := Run(s, 3); err != nil {
@@ -194,7 +201,7 @@ func TestPipelineBufferBound(t *testing.T) {
 		s := Stages{
 			NumChunks: 30,
 			ChunkLen:  func(int) int { return 1 },
-			CopyIn: func(i int, buf []int64) {
+			CopyIn: func(i int, buf []int64) error {
 				v := atomic.AddInt32(&inflight, 1)
 				for {
 					m := atomic.LoadInt32(&maxInflight)
@@ -202,10 +209,12 @@ func TestPipelineBufferBound(t *testing.T) {
 						break
 					}
 				}
+				return nil
 			},
-			Compute: func(int, []int64) {},
-			CopyOut: func(int, []int64) {
+			Compute: func(int, []int64) error { return nil },
+			CopyOut: func(int, []int64) error {
 				atomic.AddInt32(&inflight, -1)
+				return nil
 			},
 		}
 		if err := Run(s, buffers); err != nil {
@@ -240,14 +249,16 @@ func TestPipelineSortAndMerge(t *testing.T) {
 			lo, hi := bounds(i)
 			return hi - lo
 		},
-		CopyIn: func(i int, buf []int64) {
+		CopyIn: func(i int, buf []int64) error {
 			lo, hi := bounds(i)
 			copy(buf, src[lo:hi])
+			return nil
 		},
-		Compute: func(i int, buf []int64) { psort.Serial(buf) },
-		CopyOut: func(i int, buf []int64) {
+		Compute: func(i int, buf []int64) error { psort.Serial(buf); return nil },
+		CopyOut: func(i int, buf []int64) error {
 			lo, hi := bounds(i)
 			copy(sorted[lo:hi], buf)
+			return nil
 		},
 	}
 	if err := Run(s, 3); err != nil {

@@ -32,20 +32,23 @@ func stagedIncrement(src, dst []int64, chunkLen, passes int) exec.Stages {
 			lo, hi := bounds(i)
 			return hi - lo
 		},
-		CopyIn: func(i int, buf []int64) {
+		CopyIn: func(i int, buf []int64) error {
 			lo, hi := bounds(i)
 			copy(buf, src[lo:hi])
+			return nil
 		},
-		Compute: func(i int, buf []int64) {
+		Compute: func(i int, buf []int64) error {
 			for p := 0; p < passes; p++ {
 				for j := range buf {
 					buf[j]++
 				}
 			}
+			return nil
 		},
-		CopyOut: func(i int, buf []int64) {
+		CopyOut: func(i int, buf []int64) error {
 			lo, hi := bounds(i)
 			copy(dst[lo:hi], buf)
+			return nil
 		},
 	}
 }

@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"knlmlm/internal/exec"
+	"knlmlm/internal/units"
+)
+
+// Plan is one chaos scenario: a fault mix plus the resilience knobs that
+// make it survivable. Plans built by NewPlan are survivable *by
+// construction*: every failure spec's per-chunk budget is bounded so the
+// summed worst-case failures at any (stage, chunk) stay below the retry
+// budget, injected latency stays well under the chunk deadline, and
+// allocation failures only ever trigger the DDR degradation path, never
+// an abort. A chaos run that does not end in correctly sorted output is
+// therefore a real bug, not an unlucky roll.
+type Plan struct {
+	Seed         int64
+	Specs        []Spec
+	Retry        exec.RetryPolicy
+	ChunkTimeout time.Duration
+	// HBWCapacity is the simulated MCDRAM capacity for the run's staging
+	// heap. Plans pick it to sometimes be smaller than a megachunk, so
+	// genuine (not just injected) exhaustion exercises the degradation
+	// path.
+	HBWCapacity units.Bytes
+}
+
+// NewPlan derives a randomized, survivable chaos plan from the seed for a
+// pipeline processing dataBytes of input. The rand stream here only
+// *builds* the plan; the injector's own decisions re-derive from the seed
+// per site, so two runs of the same plan inject identically.
+func NewPlan(seed int64, dataBytes units.Bytes) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	retry := exec.RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   200 * time.Microsecond,
+		MaxDelay:    2 * time.Millisecond,
+	}
+	// Failure budget per (stage, chunk): one error and one panic per
+	// stage. The binding worst case is a compute site: compute retries
+	// re-stage through the wrapped CopyIn, so a compute attempt can also
+	// consume copy-in injections — up to 2 (compute) + 2 (copy-in) = 4
+	// failures against the five-attempt budget.
+	var specs []Spec
+	for _, stage := range []exec.Stage{exec.StageCopyIn, exec.StageCompute, exec.StageCopyOut} {
+		specs = append(specs,
+			Spec{Stage: stage, Kind: Error, Rate: 0.10 + 0.25*rng.Float64(), PerChunkHits: 1},
+			Spec{Stage: stage, Kind: Panic, Rate: 0.05 + 0.15*rng.Float64(), PerChunkHits: 1},
+			Spec{Stage: stage, Kind: Latency, Rate: 0.10 + 0.20*rng.Float64(),
+				Latency: time.Duration(100+rng.Intn(400)) * time.Microsecond, PerChunkHits: 2},
+		)
+	}
+	// Allocation exhaustion: injected on top of whatever genuine
+	// exhaustion the undersized heap produces.
+	specs = append(specs, Spec{Kind: AllocFail, Rate: 0.15 + 0.35*rng.Float64(), PerChunkHits: 1})
+
+	// Heap capacity between half a megachunk and 2x the dataset: small
+	// draws force genuine HBW_POLICY_BIND failures.
+	capScale := 0.5 + 1.5*rng.Float64()
+	return Plan{
+		Seed:         seed,
+		Specs:        specs,
+		Retry:        retry,
+		ChunkTimeout: 2 * time.Second, // active, but far above injected latency
+		HBWCapacity:  units.Bytes(capScale * float64(dataBytes)),
+	}
+}
+
+// Injector builds the plan's injector.
+func (p Plan) Injector() *Injector {
+	return MustNewInjector(p.Seed, p.Specs...)
+}
+
+// String summarizes the plan.
+func (p Plan) String() string {
+	return fmt.Sprintf("chaos plan seed=%d specs=%d retry=%d hbw=%v timeout=%v",
+		p.Seed, len(p.Specs), p.Retry.MaxAttempts, p.HBWCapacity, p.ChunkTimeout)
+}

@@ -16,6 +16,7 @@
 package mergebench
 
 import (
+	"context"
 	"fmt"
 
 	"knlmlm/internal/chunk"
@@ -23,7 +24,6 @@ import (
 	"knlmlm/internal/exec"
 	"knlmlm/internal/knl"
 	"knlmlm/internal/model"
-	"knlmlm/internal/psort"
 	"knlmlm/internal/trace"
 	"knlmlm/internal/units"
 )
@@ -230,58 +230,6 @@ func RunReal(src []int64, chunkLen, repeats, buffers int) ([]int64, error) {
 // WorkPerChunkByte, so telemetry totals line up across all three layers.
 // A nil obs adds zero overhead.
 func RunRealObserved(src []int64, chunkLen, repeats, buffers int, obs exec.Observer) ([]int64, error) {
-	if chunkLen < 2 {
-		return nil, fmt.Errorf("mergebench: chunk length %d must be at least 2", chunkLen)
-	}
-	if repeats < 1 {
-		return nil, fmt.Errorf("mergebench: repeats %d must be at least 1", repeats)
-	}
-	n := len(src)
-	out := make([]int64, n)
-	numChunks := (n + chunkLen - 1) / chunkLen
-	bounds := func(i int) (int, int) {
-		lo := i * chunkLen
-		hi := lo + chunkLen
-		if hi > n {
-			hi = n
-		}
-		return lo, hi
-	}
-	scratch := make([]int64, chunkLen)
-	stages := exec.Stages{
-		NumChunks: numChunks,
-		ChunkLen: func(i int) int {
-			lo, hi := bounds(i)
-			return hi - lo
-		},
-		CopyIn: func(i int, buf []int64) {
-			lo, hi := bounds(i)
-			copy(buf, src[lo:hi])
-		},
-		Compute: func(i int, buf []int64) {
-			// The benchmark's kernel: sort each half once so the merges
-			// operate on sorted runs, then merge the halves repeatedly.
-			half := len(buf) / 2
-			psort.Serial(buf[:half])
-			psort.Serial(buf[half:])
-			s := scratch[:len(buf)]
-			for r := 0; r < repeats; r++ {
-				psort.Merge2(s, buf[:half], buf[half:])
-				copy(buf, s)
-				// After the first merge the buffer is fully sorted; further
-				// repeats re-merge the (sorted) halves, which is exactly
-				// the artificial re-work the paper's repeats knob creates.
-			}
-		},
-		CopyOut: func(i int, buf []int64) {
-			lo, hi := bounds(i)
-			copy(out[lo:hi], buf)
-		},
-		Observer:       obs,
-		TouchedPerElem: int64(2 * repeats * 8),
-	}
-	if err := exec.Run(stages, buffers); err != nil {
-		return nil, err
-	}
-	return out, nil
+	out, _, err := RunRealResilient(context.Background(), src, chunkLen, repeats, buffers, RealOptions{Observer: obs})
+	return out, err
 }

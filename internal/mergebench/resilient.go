@@ -1,0 +1,205 @@
+package mergebench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"knlmlm/internal/exec"
+	"knlmlm/internal/memkind"
+	"knlmlm/internal/psort"
+	"knlmlm/internal/telemetry"
+	"knlmlm/internal/units"
+)
+
+// AllocFaults injects staging-buffer allocation failures; fault.Injector
+// satisfies it. A nil AllocFaults never fails.
+type AllocFaults interface {
+	FailAlloc(chunk int) bool
+}
+
+// RealOptions configures RunRealResilient. The zero value reproduces
+// RunReal exactly: no telemetry, no simulated heap, no faults, no
+// retries.
+type RealOptions struct {
+	// Observer, when non-nil, receives per-chunk stage spans from the
+	// pipeline (typically a telemetry.Recorder).
+	Observer exec.Observer
+	// Heap, when non-nil, is the simulated two-level heap the staging
+	// buffers are placed on: each buffer tries HBW_POLICY_BIND first and
+	// degrades to DDR when MCDRAM is exhausted.
+	Heap *memkind.Heap
+	// AllocFaults, when non-nil, injects additional buffer-allocation
+	// failures on top of genuine heap exhaustion (keyed by buffer index).
+	AllocFaults AllocFaults
+	// Resilience, when non-nil, receives retry, degradation, and run
+	// outcome counters.
+	Resilience *telemetry.Resilience
+	// Wrap, when non-nil, rewrites the stage set before it runs — the
+	// fault injector's Wrap plugs in here.
+	Wrap func(exec.Stages) exec.Stages
+	// Retry bounds per-chunk stage attempts.
+	Retry exec.RetryPolicy
+	// ChunkTimeout bounds each stage attempt per chunk; zero means
+	// unbounded.
+	ChunkTimeout time.Duration
+}
+
+// RealStats summarizes one resilient run's buffer placement.
+type RealStats struct {
+	// Buffers is the staging-buffer count the pipeline actually ran with.
+	Buffers int
+	// HBWBuffers counts buffers placed in MCDRAM.
+	HBWBuffers int
+	// DegradedBuffers counts buffers that fell back to DDR.
+	DegradedBuffers int
+	// DroppedBuffers counts buffers that fit on neither level; the
+	// pipeline runs narrower instead of failing, as long as one buffer
+	// remains.
+	DroppedBuffers int
+	// AllocFailures counts failed HBW placements (injected or genuine).
+	AllocFailures int
+}
+
+// RunRealResilient is RunRealObserved with full failure semantics: the
+// run is cancellable through ctx, per-chunk stage failures are retried
+// under opts.Retry, and staging buffers that cannot be placed in
+// simulated MCDRAM degrade to DDR (or are dropped, narrowing the
+// pipeline) instead of failing the benchmark.
+func RunRealResilient(ctx context.Context, src []int64, chunkLen, repeats, buffers int, opts RealOptions) ([]int64, RealStats, error) {
+	out, stats, err := runRealResilient(ctx, src, chunkLen, repeats, buffers, opts)
+	if opts.Resilience != nil {
+		opts.Resilience.RecordOutcome(err)
+	}
+	return out, stats, err
+}
+
+// placeBuffers places the staging buffers on the simulated heap,
+// degrading per buffer from MCDRAM to DDR. It returns the placement tally
+// and the live allocations the caller must free after the run.
+func placeBuffers(buffers int, chunkBytes units.Bytes, o RealOptions) (RealStats, []*memkind.Allocation, error) {
+	var stats RealStats
+	var allocs []*memkind.Allocation
+	degrade := func() {
+		stats.DegradedBuffers++
+		stats.Buffers++
+		if o.Resilience != nil {
+			o.Resilience.RecordDegradation("mergebench-buffer")
+		}
+	}
+	for bi := 0; bi < buffers; bi++ {
+		injected := o.AllocFaults != nil && o.AllocFaults.FailAlloc(bi)
+		if o.Heap == nil {
+			// No simulated heap: an injected failure still exercises the
+			// degradation bookkeeping; placement itself is notional.
+			if injected {
+				stats.AllocFailures++
+				degrade()
+			} else {
+				stats.HBWBuffers++
+				stats.Buffers++
+			}
+			continue
+		}
+		if !injected {
+			if a, err := o.Heap.Alloc(memkind.PolicyHBWBind, chunkBytes, 0); err == nil {
+				allocs = append(allocs, a)
+				stats.HBWBuffers++
+				stats.Buffers++
+				continue
+			}
+		}
+		stats.AllocFailures++
+		if a, err := o.Heap.Alloc(memkind.PolicyDDR, chunkBytes, 0); err == nil {
+			allocs = append(allocs, a)
+			degrade()
+			continue
+		}
+		stats.DroppedBuffers++
+	}
+	if stats.Buffers == 0 {
+		return stats, allocs, fmt.Errorf("mergebench: no staging buffer placeable on either memory level")
+	}
+	return stats, allocs, nil
+}
+
+func runRealResilient(ctx context.Context, src []int64, chunkLen, repeats, buffers int, opts RealOptions) ([]int64, RealStats, error) {
+	if chunkLen < 2 {
+		return nil, RealStats{}, fmt.Errorf("mergebench: chunk length %d must be at least 2", chunkLen)
+	}
+	if repeats < 1 {
+		return nil, RealStats{}, fmt.Errorf("mergebench: repeats %d must be at least 1", repeats)
+	}
+	if buffers < 1 {
+		return nil, RealStats{}, fmt.Errorf("mergebench: need at least one buffer, got %d", buffers)
+	}
+	stats, allocs, err := placeBuffers(buffers, units.BytesForElements(int64(chunkLen)), opts)
+	defer func() {
+		for _, a := range allocs {
+			opts.Heap.Free(a)
+		}
+	}()
+	if err != nil {
+		return nil, stats, err
+	}
+
+	n := len(src)
+	out := make([]int64, n)
+	numChunks := (n + chunkLen - 1) / chunkLen
+	bounds := func(i int) (int, int) {
+		lo := i * chunkLen
+		hi := lo + chunkLen
+		if hi > n {
+			hi = n
+		}
+		return lo, hi
+	}
+	scratch := make([]int64, chunkLen)
+	stages := exec.Stages{
+		NumChunks: numChunks,
+		ChunkLen: func(i int) int {
+			lo, hi := bounds(i)
+			return hi - lo
+		},
+		CopyIn: func(i int, buf []int64) error {
+			lo, hi := bounds(i)
+			copy(buf, src[lo:hi])
+			return nil
+		},
+		Compute: func(i int, buf []int64) error {
+			// The benchmark's kernel: sort each half once so the merges
+			// operate on sorted runs, then merge the halves repeatedly.
+			half := len(buf) / 2
+			psort.Serial(buf[:half])
+			psort.Serial(buf[half:])
+			s := scratch[:len(buf)]
+			for r := 0; r < repeats; r++ {
+				psort.Merge2(s, buf[:half], buf[half:])
+				copy(buf, s)
+				// After the first merge the buffer is fully sorted; further
+				// repeats re-merge the (sorted) halves, which is exactly
+				// the artificial re-work the paper's repeats knob creates.
+			}
+			return nil
+		},
+		CopyOut: func(i int, buf []int64) error {
+			lo, hi := bounds(i)
+			copy(out[lo:hi], buf)
+			return nil
+		},
+		Observer:       opts.Observer,
+		TouchedPerElem: int64(2 * repeats * 8),
+		Retry:          opts.Retry,
+		ChunkTimeout:   opts.ChunkTimeout,
+	}
+	if opts.Resilience != nil {
+		stages.OnRetry = opts.Resilience.ObserveRetry
+	}
+	if opts.Wrap != nil {
+		stages = opts.Wrap(stages)
+	}
+	if err := exec.RunContext(ctx, stages, stats.Buffers); err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}

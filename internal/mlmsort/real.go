@@ -1,6 +1,7 @@
 package mlmsort
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"knlmlm/internal/exec"
 	"knlmlm/internal/psort"
 	"knlmlm/internal/telemetry"
+	"knlmlm/internal/units"
 )
 
 // RunReal executes the algorithm's actual data flow over xs, sorting it in
@@ -32,12 +34,18 @@ func RunReal(a Algorithm, xs []int64, threads, megachunkLen int) error {
 // trace and analyzed for copy↔compute overlap. A nil rec records nothing
 // and adds no timestamps.
 func RunRealObserved(a Algorithm, xs []int64, threads, megachunkLen int, rec *telemetry.Recorder) error {
+	_, err := RunRealResilient(context.Background(), a, xs, threads, megachunkLen, RealOptions{Recorder: rec})
+	return err
+}
+
+// runRealResilient dispatches a resilient real run by algorithm.
+func runRealResilient(ctx context.Context, a Algorithm, xs []int64, threads, megachunkLen int, opts RealOptions) (RealStats, error) {
 	if threads < 1 {
-		return fmt.Errorf("mlmsort: threads %d must be positive", threads)
+		return RealStats{}, fmt.Errorf("mlmsort: threads %d must be positive", threads)
 	}
 	n := len(xs)
 	if n < 2 {
-		return nil
+		return RealStats{}, ctx.Err()
 	}
 	switch a {
 	case GNUFlat, GNUCache, GNUPreferred:
@@ -45,16 +53,19 @@ func RunRealObserved(a Algorithm, xs []int64, threads, megachunkLen int, rec *te
 		// The three variants differ only in memory placement, which has no
 		// observable effect on the data flow. Telemetry sees it as one
 		// whole-array compute span.
-		done := spanStart(rec)
+		if err := ctx.Err(); err != nil {
+			return RealStats{}, err
+		}
+		done := spanStart(opts.Recorder)
 		psort.Parallel(xs, threads)
 		done(exec.StageCompute, wholeArray, touchedBytes(n))
-		return nil
+		return RealStats{}, ctx.Err()
 	case MLMDDr, MLMSort, MLMImplicit, MLMHybrid:
-		return runRealMLM(a, xs, threads, megachunkLen, rec)
+		return runRealMLM(ctx, a, xs, threads, megachunkLen, opts)
 	case BasicChunked:
-		return runRealBasic(xs, threads, megachunkLen, rec)
+		return runRealBasic(ctx, xs, threads, megachunkLen, opts)
 	default:
-		return fmt.Errorf("mlmsort: unknown algorithm %v", a)
+		return RealStats{}, fmt.Errorf("mlmsort: unknown algorithm %v", a)
 	}
 }
 
@@ -121,7 +132,28 @@ func sortMegachunkMLM(mc []int64, threads int, scratch []int64) {
 	copy(mc, scratch[:m])
 }
 
-func runRealMLM(a Algorithm, xs []int64, threads, megachunkLen int, rec *telemetry.Recorder) error {
+// finalMerge is phase 2 of the chunked algorithms: the multiway merge
+// across sorted megachunks, recorded as one whole-array compute span.
+func finalMerge(ctx context.Context, xs []int64, bounds [][2]int, threads int, rec *telemetry.Recorder) error {
+	if len(bounds) < 2 {
+		return ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	runs := make([][]int64, len(bounds))
+	for i, b := range bounds {
+		runs[i] = xs[b[0]:b[1]]
+	}
+	final := make([]int64, len(xs))
+	done := spanStart(rec)
+	psort.ParallelMergeK(final, runs, threads)
+	copy(xs, final)
+	done(exec.StageCompute, wholeArray, touchedBytes(len(xs)))
+	return ctx.Err()
+}
+
+func runRealMLM(ctx context.Context, a Algorithm, xs []int64, threads, megachunkLen int, opts RealOptions) (RealStats, error) {
 	n := len(xs)
 	if megachunkLen <= 0 {
 		if a == MLMImplicit {
@@ -138,73 +170,89 @@ func runRealMLM(a Algorithm, xs []int64, threads, megachunkLen int, rec *telemet
 		}
 	}
 	scratch := make([]int64, maxLen)
+	stats := RealStats{Megachunks: len(bounds)}
 
-	// Phase 1: sort each megachunk. MLM-sort (and its hybrid twin) stages
-	// the megachunk through a buffer (the flat-mode MCDRAM analog); the
-	// others sort in place.
-	staged := a == MLMSort || a == MLMHybrid
-	var staging []int64
-	if staged {
-		staging = make([]int64, maxLen)
+	// Phase 1: sort each megachunk, on the exec pipeline so megachunks
+	// inherit its full failure semantics (retries, panic recovery,
+	// deadlines, cancellation). MLM-sort (and its hybrid twin) stages each
+	// megachunk through a buffer (the flat-mode MCDRAM analog); when the
+	// staging allocation fails — simulated heap exhaustion or an injected
+	// fault — that megachunk degrades to the in-place DDR-direct flow. The
+	// other variants sort in place throughout.
+	s := exec.Stages{
+		NumChunks: len(bounds),
+		ChunkLen:  func(i int) int { return bounds[i][1] - bounds[i][0] },
 	}
-	for mi, b := range bounds {
-		mc := xs[b[0]:b[1]]
-		if staged {
-			buf := staging[:len(mc)]
-			done := spanStart(rec)
-			copy(buf, mc) // copy-in: DDR -> "MCDRAM"
-			done(exec.StageCopyIn, mi, int64(len(mc))*8)
-			done = spanStart(rec)
-			sortMegachunkMLM(buf, threads, scratch)
-			done(exec.StageCompute, mi, touchedBytes(len(mc)))
-			done = spanStart(rec)
-			copy(mc, buf) // megachunk merge writes back to DDR
-			done(exec.StageCopyOut, mi, int64(len(mc))*8)
-		} else {
-			done := spanStart(rec)
-			sortMegachunkMLM(mc, threads, scratch)
-			done(exec.StageCompute, mi, touchedBytes(len(mc)))
+	staged := a == MLMSort || a == MLMHybrid
+	var table *stagingTable
+	if staged {
+		table = newStagingTable(opts.Heap, len(bounds))
+		s.CopyIn = func(i int, dst []int64) error {
+			lo, hi := bounds[i][0], bounds[i][1]
+			if !table.stage(i, units.BytesForElements(int64(hi-lo)), opts) {
+				return nil // degraded: the megachunk stays in DDR
+			}
+			copy(dst, xs[lo:hi]) // copy-in: DDR -> "MCDRAM"
+			return nil
 		}
+		s.Compute = func(i int, buf []int64) error {
+			if table.isDegraded(i) {
+				lo, hi := bounds[i][0], bounds[i][1]
+				sortMegachunkMLM(xs[lo:hi], threads, scratch)
+				return nil
+			}
+			sortMegachunkMLM(buf, threads, scratch)
+			return nil
+		}
+		s.CopyOut = func(i int, src []int64) error {
+			if table.isDegraded(i) {
+				return nil
+			}
+			lo, hi := bounds[i][0], bounds[i][1]
+			copy(xs[lo:hi], src) // megachunk merge writes back to DDR
+			table.release(i)
+			return nil
+		}
+	} else {
+		s.Compute = func(i int, _ []int64) error {
+			lo, hi := bounds[i][0], bounds[i][1]
+			sortMegachunkMLM(xs[lo:hi], threads, scratch)
+			return nil
+		}
+	}
+	err := exec.RunContext(ctx, opts.finish(s), opts.buffers())
+	if table != nil {
+		stats.Degraded, stats.AllocFailures = table.drain()
+		stats.Staged = stats.Megachunks - stats.Degraded
+	}
+	if err != nil {
+		return stats, err
 	}
 
 	// Phase 2: final multiway merge across megachunks.
-	if len(bounds) > 1 {
-		runs := make([][]int64, len(bounds))
-		for i, b := range bounds {
-			runs[i] = xs[b[0]:b[1]]
-		}
-		final := make([]int64, n)
-		done := spanStart(rec)
-		psort.ParallelMergeK(final, runs, threads)
-		copy(xs, final)
-		done(exec.StageCompute, wholeArray, touchedBytes(n))
-	}
-	return nil
+	return stats, finalMerge(ctx, xs, bounds, threads, opts.Recorder)
 }
 
 // runRealBasic is Bender et al.'s basic algorithm: each megachunk is sorted
 // with the *parallel* sort, then the megachunks are multiway merged.
-func runRealBasic(xs []int64, threads, megachunkLen int, rec *telemetry.Recorder) error {
+func runRealBasic(ctx context.Context, xs []int64, threads, megachunkLen int, opts RealOptions) (RealStats, error) {
 	n := len(xs)
 	if megachunkLen <= 0 {
 		megachunkLen = (n + 3) / 4
 	}
 	bounds := megachunkBounds(n, megachunkLen)
-	for mi, b := range bounds {
-		done := spanStart(rec)
-		psort.Parallel(xs[b[0]:b[1]], threads)
-		done(exec.StageCompute, mi, touchedBytes(b[1]-b[0]))
+	stats := RealStats{Megachunks: len(bounds)}
+	s := exec.Stages{
+		NumChunks: len(bounds),
+		ChunkLen:  func(i int) int { return bounds[i][1] - bounds[i][0] },
+		Compute: func(i int, _ []int64) error {
+			lo, hi := bounds[i][0], bounds[i][1]
+			psort.Parallel(xs[lo:hi], threads)
+			return nil
+		},
 	}
-	if len(bounds) > 1 {
-		runs := make([][]int64, len(bounds))
-		for i, b := range bounds {
-			runs[i] = xs[b[0]:b[1]]
-		}
-		final := make([]int64, n)
-		done := spanStart(rec)
-		psort.ParallelMergeK(final, runs, threads)
-		copy(xs, final)
-		done(exec.StageCompute, wholeArray, touchedBytes(n))
+	if err := exec.RunContext(ctx, opts.finish(s), opts.buffers()); err != nil {
+		return stats, err
 	}
-	return nil
+	return stats, finalMerge(ctx, xs, bounds, threads, opts.Recorder)
 }

@@ -1,0 +1,199 @@
+package mlmsort
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"knlmlm/internal/exec"
+	"knlmlm/internal/memkind"
+	"knlmlm/internal/telemetry"
+	"knlmlm/internal/units"
+)
+
+// AllocFaults injects scratchpad allocation failures into the real path;
+// fault.Injector satisfies it. A nil AllocFaults never fails.
+type AllocFaults interface {
+	FailAlloc(chunk int) bool
+}
+
+// RealOptions configures RunRealResilient. The zero value reproduces
+// RunReal exactly: no telemetry, no simulated heap, no faults, no retries.
+type RealOptions struct {
+	// Recorder, when non-nil, receives per-megachunk stage spans (work and
+	// buffer-wait) from the staging pipeline plus the final-merge span.
+	Recorder *telemetry.Recorder
+	// Heap, when non-nil, is the simulated two-level heap that staging
+	// buffers are placed on. Each staged megachunk performs an
+	// HBW_POLICY_BIND allocation for its residency; when MCDRAM is
+	// exhausted the megachunk degrades to the DDR-direct (MLM-ddr) data
+	// flow instead of failing the sort.
+	Heap *memkind.Heap
+	// AllocFaults, when non-nil, injects additional allocation failures on
+	// top of genuine heap exhaustion.
+	AllocFaults AllocFaults
+	// Resilience, when non-nil, receives retry, degradation, and run
+	// outcome counters.
+	Resilience *telemetry.Resilience
+	// Wrap, when non-nil, rewrites the staging pipeline's stage set before
+	// it runs — the hook the fault injector's Wrap plugs into.
+	Wrap func(exec.Stages) exec.Stages
+	// Retry bounds per-megachunk stage attempts (see exec.RetryPolicy).
+	Retry exec.RetryPolicy
+	// ChunkTimeout bounds each stage attempt per megachunk; zero means
+	// unbounded.
+	ChunkTimeout time.Duration
+	// Buffers is the staging-buffer count for the megachunk pipeline.
+	// Zero selects 1, which serializes the stages exactly like the
+	// original driver loop; 3 is the paper's triple buffering.
+	Buffers int
+}
+
+// buffers resolves the staging-buffer count.
+func (o RealOptions) buffers() int {
+	if o.Buffers > 0 {
+		return o.Buffers
+	}
+	return 1
+}
+
+// finish applies the resilience and observability knobs to a stage set.
+func (o RealOptions) finish(s exec.Stages) exec.Stages {
+	if o.Recorder != nil {
+		s.Observer = o.Recorder
+	}
+	s.Retry = o.Retry
+	s.ChunkTimeout = o.ChunkTimeout
+	if o.Resilience != nil {
+		s.OnRetry = o.Resilience.ObserveRetry
+	}
+	if o.Wrap != nil {
+		s = o.Wrap(s)
+	}
+	return s
+}
+
+// RealStats summarizes one resilient run's megachunk placement.
+type RealStats struct {
+	// Megachunks is the megachunk count of the run.
+	Megachunks int
+	// Staged counts megachunks that went through the MCDRAM staging path.
+	Staged int
+	// Degraded counts megachunks that fell back to the DDR-direct path
+	// because their staging allocation failed.
+	Degraded int
+	// AllocFailures counts failed staging allocations (injected or
+	// genuine), including ones on retried attempts.
+	AllocFailures int
+}
+
+// RunRealResilient is RunRealObserved with full failure semantics: the
+// run is cancellable through ctx, per-megachunk stage failures are
+// retried under opts.Retry, injected or genuine MCDRAM exhaustion
+// degrades megachunks to the DDR-direct data flow instead of failing the
+// sort, and every retry/degradation/outcome is visible through
+// opts.Resilience.
+//
+// Degraded megachunks still traverse the staging pipeline — their copy
+// stages are no-ops and their compute sorts the megachunk in place — so
+// their telemetry spans exist but describe skipped copies.
+func RunRealResilient(ctx context.Context, a Algorithm, xs []int64, threads, megachunkLen int, opts RealOptions) (RealStats, error) {
+	stats, err := runRealResilient(ctx, a, xs, threads, megachunkLen, opts)
+	if opts.Resilience != nil {
+		opts.Resilience.RecordOutcome(err)
+	}
+	return stats, err
+}
+
+// stagingTable tracks the live scratchpad allocation and the
+// staged-vs-degraded decision behind each megachunk. The copy-in
+// goroutine, compute-retry re-staging, and (with a chunk deadline)
+// abandoned attempts can all touch a slot, and the underlying Scratchpad
+// is not itself thread-safe, so every heap call happens under the
+// table's lock. The table keeps at most one live allocation per
+// megachunk and frees stragglers on drain.
+type stagingTable struct {
+	heap *memkind.Heap
+
+	mu       sync.Mutex
+	live     []*memkind.Allocation
+	degraded []bool
+	failures int
+}
+
+func newStagingTable(heap *memkind.Heap, n int) *stagingTable {
+	return &stagingTable{
+		heap:     heap,
+		live:     make([]*memkind.Allocation, n),
+		degraded: make([]bool, n),
+	}
+}
+
+// stage decides megachunk i's placement for one copy-in attempt:
+// true means the megachunk is MCDRAM-staged (allocation held until
+// release), false means it degrades to the DDR-direct path.
+func (t *stagingTable) stage(i int, size units.Bytes, o RealOptions) bool {
+	failed := o.AllocFaults != nil && o.AllocFaults.FailAlloc(i)
+	t.mu.Lock()
+	var alloc *memkind.Allocation
+	if !failed && t.heap != nil {
+		a, err := t.heap.Alloc(memkind.PolicyHBWBind, size, 0)
+		if err != nil {
+			failed = true
+		} else {
+			alloc = a
+		}
+	}
+	if old := t.live[i]; old != nil {
+		// A previous attempt's allocation (e.g. before a compute retry
+		// re-staged the chunk) is superseded.
+		t.heap.Free(old)
+	}
+	t.live[i] = alloc
+	t.degraded[i] = failed
+	if failed {
+		t.failures++
+	}
+	t.mu.Unlock()
+	if failed && o.Resilience != nil {
+		o.Resilience.RecordDegradation("mlmsort-megachunk")
+	}
+	return !failed
+}
+
+// isDegraded reports megachunk i's current placement decision.
+func (t *stagingTable) isDegraded(i int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.degraded[i]
+}
+
+// release frees megachunk i's staging allocation after copy-out.
+func (t *stagingTable) release(i int) {
+	t.mu.Lock()
+	if a := t.live[i]; a != nil {
+		t.heap.Free(a)
+		t.live[i] = nil
+	}
+	t.mu.Unlock()
+}
+
+// drain frees every remaining allocation (aborted or cancelled runs leave
+// in-flight megachunks staged) and reports the degraded-megachunk count
+// and the allocation-failure tally.
+func (t *stagingTable) drain() (degraded, failures int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, a := range t.live {
+		if a != nil {
+			t.heap.Free(a)
+			t.live[i] = nil
+		}
+	}
+	for _, d := range t.degraded {
+		if d {
+			degraded++
+		}
+	}
+	return degraded, t.failures
+}
