@@ -1,0 +1,246 @@
+// Command kernelbench measures the sort and merge kernel pairs — the
+// previous implementation against its replacement — and writes the
+// results as a JSON benchmark record. It is the programmatic twin of the
+// benchmarks in internal/psort/kernel_bench_test.go and produced the
+// committed BENCH_PR3.json.
+//
+// Pairs:
+//
+//   - serial introsort vs LSD radix sort (1e5 and 1e6 elements)
+//   - per-element loser-tree drain vs adaptive gallop-batched drain
+//     (k=8 and k=16 random runs, plus k=8 blocky runs)
+//   - linear two-way merge vs galloping Merge2 (random and disjoint)
+//
+// Usage:
+//
+//	kernelbench                    # print the table, write BENCH_PR3.json
+//	kernelbench -out bench.json    # write elsewhere
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"knlmlm/internal/psort"
+	"knlmlm/internal/workload"
+)
+
+// measurement is one side of a benchmark pair.
+type measurement struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	MBPerS  float64 `json:"mb_per_s"`
+	Iters   int     `json:"iterations"`
+}
+
+// pair is one old-vs-new comparison. Speedup > 1 means the candidate is
+// faster than the baseline.
+type pair struct {
+	Name      string      `json:"name"`
+	Baseline  measurement `json:"baseline"`
+	Candidate measurement `json:"candidate"`
+	Speedup   float64     `json:"speedup"`
+}
+
+type record struct {
+	Suite     string `json:"suite"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	Pairs     []pair `json:"pairs"`
+}
+
+func measure(name string, fn func(b *testing.B)) measurement {
+	r := testing.Benchmark(fn)
+	m := measurement{
+		Name:    name,
+		NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N),
+		Iters:   r.N,
+	}
+	if r.Bytes > 0 && r.T > 0 {
+		m.MBPerS = float64(r.Bytes) * float64(r.N) / r.T.Seconds() / 1e6
+	}
+	return m
+}
+
+func compare(name string, baseName string, base func(b *testing.B), candName string, cand func(b *testing.B)) pair {
+	b := measure(baseName, base)
+	c := measure(candName, cand)
+	return pair{Name: name, Baseline: b, Candidate: c, Speedup: b.NsPerOp / c.NsPerOp}
+}
+
+// benchSort mirrors internal/psort's benchSort: the copy-back is outside
+// the timed region.
+func benchSort(n int, sortFn func([]int64)) func(b *testing.B) {
+	return func(b *testing.B) {
+		src := workload.Generate(workload.Random, n, 1)
+		buf := make([]int64, n)
+		b.SetBytes(int64(n * 8))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			copy(buf, src)
+			b.StartTimer()
+			sortFn(buf)
+		}
+	}
+}
+
+func randomRuns(k, runLen int) [][]int64 {
+	runs := make([][]int64, k)
+	for i := range runs {
+		r := workload.Generate(workload.Random, runLen, int64(i+1))
+		psort.Serial(r)
+		runs[i] = r
+	}
+	return runs
+}
+
+// blockyRuns deals contiguous key blocks round-robin across the runs —
+// the shape range-partitioned producers emit, where batch copies win big.
+func blockyRuns(k, runLen, blockLen int) [][]int64 {
+	runs := make([][]int64, k)
+	next := int64(0)
+	for len(runs[k-1]) < runLen {
+		for i := 0; i < k; i++ {
+			for j := 0; j < blockLen && len(runs[i]) < runLen; j++ {
+				runs[i] = append(runs[i], next)
+				next++
+			}
+		}
+	}
+	return runs
+}
+
+func benchMergeK(src [][]int64, batched bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		k := len(src)
+		total := 0
+		for _, r := range src {
+			total += len(r)
+		}
+		work := make([][]int64, k)
+		dst := make([]int64, total)
+		b.SetBytes(int64(total * 8))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			copy(work, src) // headers only; the tree consumes headers, not data
+			lt := psort.NewLoserTree(work)
+			b.StartTimer()
+			if batched {
+				lt.MergeIntoBatched(dst)
+			} else {
+				lt.MergeInto(dst)
+			}
+		}
+	}
+}
+
+// merge2Linear is the pre-galloping two-way merge, kept here as the
+// baseline side of the Merge2 pair (the internal reference copy is
+// unexported). Ties go to a, matching Merge2's stability rule.
+func merge2Linear(dst, a, b []int64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j] < a[i] {
+			dst[k] = b[j]
+			j++
+		} else {
+			dst[k] = a[i]
+			i++
+		}
+		k++
+	}
+	k += copy(dst[k:], a[i:])
+	copy(dst[k:], b[j:])
+}
+
+func benchMerge2(a, bb []int64, fn func(dst, a, b []int64)) func(b *testing.B) {
+	return func(b *testing.B) {
+		dst := make([]int64, len(a)+len(bb))
+		b.SetBytes(int64(len(dst) * 8))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fn(dst, a, bb)
+		}
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "kernelbench: %v\n", err)
+		os.Exit(2)
+	}
+
+	sortedRandom := func(n int, seed int64) []int64 {
+		xs := workload.Generate(workload.Random, n, seed)
+		psort.Serial(xs)
+		return xs
+	}
+	disjoint := func(n int, base int64) []int64 {
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = base + int64(i)
+		}
+		return xs
+	}
+
+	radix := func(n int) func([]int64) {
+		scratch := make([]int64, n)
+		return func(xs []int64) { psort.RadixSortScratch(xs, scratch) }
+	}
+
+	rec := record{
+		Suite:     "kernelbench-pr3",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	add := func(p pair) {
+		rec.Pairs = append(rec.Pairs, p)
+		fmt.Printf("%-22s %-14s %10.0f ns/op   %-14s %10.0f ns/op   %5.2fx\n",
+			p.Name, p.Baseline.Name, p.Baseline.NsPerOp, p.Candidate.Name, p.Candidate.NsPerOp, p.Speedup)
+	}
+
+	add(compare("sort-1e5", "serial", benchSort(100_000, psort.Serial),
+		"radix", benchSort(100_000, radix(100_000))))
+	add(compare("sort-1e6", "serial", benchSort(1_000_000, psort.Serial),
+		"radix", benchSort(1_000_000, radix(1_000_000))))
+
+	k8 := randomRuns(8, 100_000)
+	add(compare("mergek-8-random", "per-element", benchMergeK(k8, false),
+		"batched", benchMergeK(k8, true)))
+	k16 := randomRuns(16, 50_000)
+	add(compare("mergek-16-random", "per-element", benchMergeK(k16, false),
+		"batched", benchMergeK(k16, true)))
+	k8b := blockyRuns(8, 100_000, 512)
+	add(compare("mergek-8-blocky", "per-element", benchMergeK(k8b, false),
+		"batched", benchMergeK(k8b, true)))
+
+	a, b := sortedRandom(500_000, 7), sortedRandom(500_000, 8)
+	add(compare("merge2-random", "linear", benchMerge2(a, b, merge2Linear),
+		"gallop", benchMerge2(a, b, psort.Merge2)))
+	da, db := disjoint(500_000, 0), disjoint(500_000, 500_000)
+	add(compare("merge2-disjoint", "linear", benchMerge2(da, db, merge2Linear),
+		"gallop", benchMerge2(da, db, psort.Merge2)))
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -15,7 +15,8 @@
 // (Chrome trace-event JSON and Prometheus text format); real runs also
 // print the occupancy/stall report and the Eq. 1–5 model-drift table.
 // -bench-json appends a perf-trajectory record (config, makespan, overlap
-// efficiency).
+// efficiency). -cpuprofile/-memprofile write standard pprof profiles of
+// the whole run.
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"knlmlm/internal/mem"
 	"knlmlm/internal/mergebench"
 	"knlmlm/internal/model"
+	"knlmlm/internal/prof"
 	"knlmlm/internal/telemetry"
 	"knlmlm/internal/units"
 	"knlmlm/internal/workload"
@@ -44,12 +46,24 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 	metrics := flag.Bool("metrics", false, "print Prometheus-format metrics for the run")
 	benchJSON := flag.String("bench-json", "", "write a BENCH-style JSON record (config, makespan, overlap efficiency) to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "mergebench: %v\n", err)
 		os.Exit(2)
 	}
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "mergebench: %v\n", err)
+		}
+	}()
 
 	if *real {
 		runReal(*n, max(1, *repeats), *buffers, *tracePath, *metrics, *benchJSON, fail)

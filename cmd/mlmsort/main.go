@@ -8,12 +8,18 @@
 //	mlmsort -alg MLM-implicit -n 6000000000 -order reverse -chunk 1500000000
 //	mlmsort -real -alg MLM-sort -n 1000000 -threads 8
 //	mlmsort -real -alg MLM-sort -n 4000000 -trace out.json -metrics
+//	mlmsort -real -alg MLM-sort -n 4000000 -autotune -cpuprofile cpu.pprof
 //	mlmsort -chaos -chaos-seed 7 -n 400000 -threads 4
 //
 // With -chaos, the real run executes under a randomized, seeded fault
 // plan (stage errors/panics/latency, MCDRAM allocation failures, an
 // undersized staging heap) and prints the injection/retry/degradation
 // tally; see cmd/chaos for the multi-seed soak harness.
+//
+// With -autotune, a staged real run measures per-thread copy and compute
+// rates over its first megachunks, re-solves the Eq. 1–5 copy/compute
+// split with the measured rates, and re-provisions the pipeline mid-run.
+// -cpuprofile/-memprofile write standard pprof profiles of the whole run.
 //
 // With -trace and/or -metrics, the run is captured by the telemetry
 // subsystem: -trace writes a Chrome trace-event JSON (open in Perfetto or
@@ -33,6 +39,7 @@ import (
 	"knlmlm/internal/memkind"
 	"knlmlm/internal/mlmsort"
 	"knlmlm/internal/model"
+	"knlmlm/internal/prof"
 	"knlmlm/internal/telemetry"
 	"knlmlm/internal/units"
 	"knlmlm/internal/workload"
@@ -71,6 +78,10 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print Prometheus-format metrics for the run")
 	chaos := flag.Bool("chaos", false, "run the real sort under a randomized fault-injection plan (implies -real)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos plan seed (with -chaos)")
+	autotune := flag.Bool("autotune", false, "re-provision copy/compute widths mid-run from measured rates (staged variants, with -real)")
+	tuneThreads := flag.Int("tune-threads", 0, "thread budget for -autotune (0 = threads+2, the run's initial split)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if *chaos {
 		*real = true
@@ -80,6 +91,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mlmsort: %v\n", err)
 		os.Exit(2)
 	}
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "mlmsort: %v\n", err)
+		}
+	}()
 
 	alg, err := parseAlg(*algName)
 	if err != nil {
@@ -101,6 +122,17 @@ func main() {
 			rec = telemetry.NewRecorder()
 		}
 		opts := mlmsort.RealOptions{Recorder: rec}
+		if *autotune {
+			opts.Autotune = &mlmsort.AutotuneOptions{
+				TotalThreads: *tuneThreads,
+				Registry:     telemetry.NewRegistry(),
+			}
+			if opts.Buffers == 0 {
+				// Re-provisioning only pays off when the stages actually
+				// overlap; give the pipeline the paper's triple buffering.
+				opts.Buffers = 3
+			}
+		}
 		var inj *fault.Injector
 		var res *telemetry.Resilience
 		if *chaos {
@@ -127,6 +159,15 @@ func main() {
 			fail(fmt.Errorf("output not sorted — algorithm bug"))
 		}
 		fmt.Printf("%s sorted %d %s elements on the host in %v (verified)\n", alg, *n, order, wall)
+		if *autotune {
+			if stats.Retunes > 0 {
+				p := stats.TunedPools
+				fmt.Printf("autotune: re-provisioned to copy-in=%d copy-out=%d compute=%d after warmup\n",
+					p.In, p.Out, p.Comp)
+			} else {
+				fmt.Println("autotune: no re-provisioning (variant has no copy pools or warmup never completed)")
+			}
+		}
 		if *chaos {
 			fmt.Printf("chaos: %v; retries=%d degradations=%d (%d/%d megachunks staged)\n",
 				inj, res.Retries(), res.Degradations(), stats.Staged, stats.Megachunks)

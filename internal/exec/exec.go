@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"knlmlm/internal/mem"
 )
 
 // Stage identifies one per-chunk pipeline stage for observability. The
@@ -137,6 +139,12 @@ type Stages struct {
 	// (Final marks the failure that aborts the pipeline). Called
 	// concurrently from the stage goroutines.
 	OnRetry func(RetryEvent)
+	// Pool, when non-nil, supplies the staging buffers' backing arrays and
+	// receives them back when the run finishes, so repeated runs (the
+	// megachunk loop) reach a steady state with no per-run buffer
+	// allocations. Buffers abandoned to a timed-out stage attempt are
+	// never returned — the rogue goroutine may still be writing them.
+	Pool *mem.SlicePool
 }
 
 // touchedPerElem resolves the compute-stage byte attribution.
@@ -193,10 +201,31 @@ type runner struct {
 	s       *Stages
 	obs     Observer
 	touched int64
+	pool    *mem.SlicePool
 	cancel  context.CancelFunc
 
 	mu  sync.Mutex
 	err error
+}
+
+// newBuffer supplies one staging buffer, pooled when the Stages carry a
+// pool and freshly allocated otherwise.
+func (r *runner) newBuffer(n int) *Buffer {
+	if r.pool != nil {
+		return &Buffer{full: r.pool.Get(n)}
+	}
+	return &Buffer{full: make([]int64, n)}
+}
+
+// reclaim returns a buffer's backing array to the pool. Callers must only
+// reclaim buffers no stage goroutine can still touch; buffers abandoned to
+// timed-out attempts are replaced in runStage and never reach here.
+func (r *runner) reclaim(b *Buffer) {
+	if r.pool == nil || b == nil || b.full == nil {
+		return
+	}
+	r.pool.Put(b.full)
+	b.full, b.Data = nil, nil
 }
 
 // fail records the pipeline's first error and cancels the run.
@@ -249,11 +278,12 @@ func RunContext(ctx context.Context, s Stages, buffers int) error {
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	r := &runner{s: &s, obs: s.Observer, touched: s.touchedPerElem(), cancel: cancel}
+	r := &runner{s: &s, obs: s.Observer, touched: s.touchedPerElem(), pool: s.Pool, cancel: cancel}
 
 	if s.CopyIn == nil {
 		// No staging: compute runs chunk by chunk over caller storage.
-		b := &Buffer{full: make([]int64, maxLen)}
+		b := r.newBuffer(maxLen)
+		defer func() { r.reclaim(b) }()
 		for i := 0; i < s.NumChunks; i++ {
 			if err := runCtx.Err(); err != nil {
 				return err
@@ -277,7 +307,7 @@ func RunContext(ctx context.Context, s Stages, buffers int) error {
 	// draining.
 	free := make(chan *Buffer, buffers)
 	for i := 0; i < buffers; i++ {
-		free <- &Buffer{full: make([]int64, maxLen)}
+		free <- r.newBuffer(maxLen)
 	}
 	toCompute := make(chan item, s.NumChunks)
 	toCopyOut := make(chan item, s.NumChunks)
@@ -380,6 +410,26 @@ func RunContext(ctx context.Context, s Stages, buffers int) error {
 	}()
 
 	wg.Wait()
+	// All stage goroutines are joined: every buffer still referenced by
+	// the run's channels is idle and safe to recycle. toCompute/toCopyOut
+	// are closed by their producers on every exit path; free never closes.
+	if r.pool != nil {
+		for it := range toCompute {
+			r.reclaim(it.buf)
+		}
+		for it := range toCopyOut {
+			r.reclaim(it.buf)
+		}
+	drain:
+		for {
+			select {
+			case b := <-free:
+				r.reclaim(b)
+			default:
+				break drain
+			}
+		}
+	}
 	if err := r.firstErr(); err != nil {
 		// A cancellation observed inside a stage surfaces as the parent
 		// context's error, not as a chunk failure.
@@ -435,8 +485,9 @@ func (r *runner) runStage(ctx context.Context, stage Stage, i, worker int, b *Bu
 		}
 		if abandoned {
 			// The timed-out attempt may still be writing the old backing
-			// array; withdraw it and continue with a fresh one.
-			nb := &Buffer{full: make([]int64, len(b.full))}
+			// array; withdraw it and continue with a fresh one. The old
+			// buffer is deliberately leaked, never pooled.
+			nb := r.newBuffer(len(b.full))
 			nb.Data = nb.full[:len(b.Data)]
 			b = nb
 		}

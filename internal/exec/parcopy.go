@@ -1,0 +1,33 @@
+package exec
+
+import "sync"
+
+// CopyParallel copies src into dst (len(dst) >= len(src)) using the given
+// number of copier goroutines over disjoint ranges. It is the real
+// execution of the paper's copy-in/copy-out thread pools: one pipeline
+// stage goroutine drives the stage, but the bytes move with p_in (or
+// p_out) ways of parallelism, which is the width the Section 3.2 model's
+// copy terms count. workers <= 1, or a short copy, degenerates to the
+// plain single-threaded copy.
+func CopyParallel(dst, src []int64, workers int) {
+	n := len(src)
+	// Below this, goroutine startup costs more than the copy.
+	const minPerWorker = 64 << 10
+	if workers > n/minPerWorker {
+		workers = n / minPerWorker
+	}
+	if workers <= 1 {
+		copy(dst, src)
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		lo, hi := n*i/workers, n*(i+1)/workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			copy(dst[lo:hi], src[lo:hi])
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,118 @@
+package exec
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"knlmlm/internal/mem"
+	"knlmlm/internal/workload"
+)
+
+func TestPooledRunRecyclesBuffers(t *testing.T) {
+	pool := mem.NewSlicePool()
+	run := func() {
+		src := workload.Generate(workload.Random, 10_000, 5)
+		dst := make([]int64, len(src))
+		s := chunkedDouble(src, dst, 1000)
+		s.Pool = pool
+		if err := Run(s, 3); err != nil {
+			t.Fatal(err)
+		}
+		for i := range src {
+			if dst[i] != 2*src[i] {
+				t.Fatalf("dst[%d] = %d, want %d", i, dst[i], 2*src[i])
+			}
+		}
+	}
+	run()
+	st := pool.Stats()
+	if st.Puts < 3 {
+		t.Fatalf("first run returned %d buffers, want >= 3", st.Puts)
+	}
+	before := st
+	run()
+	st = pool.Stats()
+	if gets, hits := st.Gets-before.Gets, st.Hits-before.Hits; gets != hits {
+		t.Errorf("second run missed the pool: %d gets, %d hits", gets, hits)
+	}
+}
+
+func TestPooledRunNoStagingPath(t *testing.T) {
+	pool := mem.NewSlicePool()
+	s := Stages{
+		NumChunks: 4,
+		ChunkLen:  func(int) int { return 256 },
+		Compute:   func(int, []int64) error { return nil },
+		Pool:      pool,
+	}
+	if err := Run(s, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := pool.Stats(); st.Puts != 1 {
+		t.Errorf("no-staging run returned %d buffers, want 1", st.Puts)
+	}
+	if err := Run(s, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := pool.Stats(); st.Hits != 1 {
+		t.Errorf("second no-staging run hit the pool %d times, want 1", st.Hits)
+	}
+}
+
+func TestPooledRunAbandonedBufferNeverPooled(t *testing.T) {
+	pool := mem.NewSlicePool()
+	src := workload.Generate(workload.Random, 4_000, 9)
+	dst := make([]int64, len(src))
+	s := chunkedDouble(src, dst, 1000)
+	s.Pool = pool
+	slow := make(chan struct{})
+	inner := s.CopyIn
+	var tripped atomic.Bool // the abandoned attempt races the retry here
+	s.CopyIn = func(i int, buf []int64) error {
+		if i == 0 && tripped.CompareAndSwap(false, true) {
+			<-slow // overruns the deadline; released after the run
+		}
+		return inner(i, buf)
+	}
+	s.ChunkTimeout = 20 * time.Millisecond
+	s.Retry = RetryPolicy{MaxAttempts: 3}
+	if err := Run(s, 3); err != nil {
+		t.Fatal(err)
+	}
+	close(slow)
+	for i := range src {
+		if dst[i] != 2*src[i] {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], 2*src[i])
+		}
+	}
+	// Three buffers were staged plus one replacement for the abandoned
+	// attempt; exactly the three safe ones may come back.
+	if st := pool.Stats(); st.Puts != 3 {
+		t.Errorf("run returned %d buffers, want 3 (abandoned one leaked on purpose)", st.Puts)
+	}
+}
+
+func TestPooledRunReclaimsOnFailure(t *testing.T) {
+	pool := mem.NewSlicePool()
+	src := workload.Generate(workload.Random, 4_000, 11)
+	dst := make([]int64, len(src))
+	s := chunkedDouble(src, dst, 1000)
+	s.Pool = pool
+	boom := errors.New("boom")
+	s.Compute = func(i int, buf []int64) error {
+		if i == 2 {
+			return boom
+		}
+		return nil
+	}
+	if err := Run(s, 3); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The aborted run must still recycle the buffers parked in its
+	// channels (the failed chunk's buffer may be dropped).
+	if st := pool.Stats(); st.Puts < 2 {
+		t.Errorf("aborted run returned %d buffers, want >= 2", st.Puts)
+	}
+}

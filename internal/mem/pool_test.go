@@ -1,0 +1,143 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+
+	"knlmlm/internal/race"
+)
+
+func TestSlicePoolReuse(t *testing.T) {
+	p := NewSlicePool()
+	a := p.Get(1000)
+	if len(a) != 1000 || cap(a) != 1024 {
+		t.Fatalf("Get(1000): len=%d cap=%d, want 1000/1024", len(a), cap(a))
+	}
+	a[0], a[999] = 7, 9
+	p.Put(a)
+	b := p.Get(900) // same class (2^10), must reuse a's backing array
+	if cap(b) != 1024 {
+		t.Fatalf("Get(900) after Put: cap=%d, want 1024", cap(b))
+	}
+	if len(b) != 900 {
+		t.Fatalf("Get(900): len=%d", len(b))
+	}
+	if &b[:1024][1023] != &a[:1024][1023] {
+		t.Error("Get did not reuse the pooled backing array")
+	}
+	st := p.Stats()
+	if st.Gets != 2 || st.Hits != 1 || st.Puts != 1 || st.Drops != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSlicePoolClassSeparation(t *testing.T) {
+	p := NewSlicePool()
+	small := p.Get(10)
+	p.Put(small)
+	big := p.Get(5000) // class 2^13, must not get the 2^4 slice
+	if cap(big) < 5000 {
+		t.Fatalf("cap=%d too small", cap(big))
+	}
+	if p.Stats().Hits != 0 {
+		t.Error("cross-class hit")
+	}
+}
+
+func TestSlicePoolForeignSliceDropped(t *testing.T) {
+	p := NewSlicePool()
+	p.Put(make([]int64, 0, 1000)) // not a power-of-two capacity
+	if got := p.FreeSlices(); got != 0 {
+		t.Errorf("foreign slice retained: %d free", got)
+	}
+	if st := p.Stats(); st.Drops != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSlicePoolDepthBounded(t *testing.T) {
+	p := NewSlicePool()
+	var held [][]int64
+	for i := 0; i < classDepth+5; i++ {
+		held = append(held, p.Get(64))
+	}
+	for _, s := range held {
+		p.Put(s)
+	}
+	if got := p.FreeSlices(); got != classDepth {
+		t.Errorf("free slices = %d, want %d", got, classDepth)
+	}
+}
+
+func TestSlicePoolEdgeSizes(t *testing.T) {
+	p := NewSlicePool()
+	if p.Get(0) != nil {
+		t.Error("Get(0) should be nil")
+	}
+	p.Put(nil) // no-op
+	one := p.Get(1)
+	if len(one) != 1 || cap(one) != 1 {
+		t.Errorf("Get(1): len=%d cap=%d", len(one), cap(one))
+	}
+	p.Put(one)
+	if p.Get(1); p.Stats().Hits != 1 {
+		t.Error("exact power-of-two size not recycled")
+	}
+	// Exact powers of two map to their own size, not the next class up.
+	s := p.Get(1024)
+	if cap(s) != 1024 {
+		t.Errorf("Get(1024): cap=%d", cap(s))
+	}
+}
+
+func TestSlicePoolWarm(t *testing.T) {
+	p := NewSlicePool()
+	p.Warm(100, 100, 5000)
+	if got := p.FreeSlices(); got != 3 {
+		t.Fatalf("after Warm: %d free slices, want 3", got)
+	}
+	before := p.Stats()
+	p.Get(100)
+	p.Get(77) // same class as 100
+	p.Get(4097)
+	if st := p.Stats(); st.Hits-before.Hits != st.Gets-before.Gets {
+		t.Errorf("warmed gets missed: %+v", st)
+	}
+}
+
+func TestSlicePoolAllocationFreeSteadyState(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counting is unreliable under -race")
+	}
+	p := NewSlicePool()
+	p.Warm(1 << 16)
+	allocs := testing.AllocsPerRun(100, func() {
+		s := p.Get(1 << 16)
+		p.Put(s)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Get/Put allocates %.1f times per cycle", allocs)
+	}
+}
+
+func TestSlicePoolConcurrent(t *testing.T) {
+	p := NewSlicePool()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := p.Get(100 + w*100)
+				for j := range s {
+					s[j] = int64(w)
+				}
+				p.Put(s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := p.Stats(); st.Gets != 1600 || st.Puts != 1600 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"knlmlm/internal/exec"
+	"knlmlm/internal/mem"
 	"knlmlm/internal/memkind"
 	"knlmlm/internal/psort"
 	"knlmlm/internal/telemetry"
@@ -154,7 +155,10 @@ func runRealResilient(ctx context.Context, src []int64, chunkLen, repeats, buffe
 		}
 		return lo, hi
 	}
-	scratch := make([]int64, chunkLen)
+	// Compute scratch comes from the shared pool. It is returned only on
+	// clean completion: an aborted run with a chunk deadline may have
+	// abandoned a compute attempt that still writes it.
+	scratch := mem.Pool.Get(chunkLen)
 	stages := exec.Stages{
 		NumChunks: numChunks,
 		ChunkLen: func(i int) int {
@@ -169,9 +173,12 @@ func runRealResilient(ctx context.Context, src []int64, chunkLen, repeats, buffe
 		Compute: func(i int, buf []int64) error {
 			// The benchmark's kernel: sort each half once so the merges
 			// operate on sorted runs, then merge the halves repeatedly.
+			// The halves sort through the adaptive dispatcher (radix for
+			// large chunks), each borrowing its own disjoint slice of the
+			// merge scratch as radix scratch.
 			half := len(buf) / 2
-			psort.Serial(buf[:half])
-			psort.Serial(buf[half:])
+			psort.SortAdaptive(buf[:half], scratch[:half])
+			psort.SortAdaptive(buf[half:], scratch[half:len(buf)])
 			s := scratch[:len(buf)]
 			for r := 0; r < repeats; r++ {
 				psort.Merge2(s, buf[:half], buf[half:])
@@ -191,6 +198,7 @@ func runRealResilient(ctx context.Context, src []int64, chunkLen, repeats, buffe
 		TouchedPerElem: int64(2 * repeats * 8),
 		Retry:          opts.Retry,
 		ChunkTimeout:   opts.ChunkTimeout,
+		Pool:           mem.Pool,
 	}
 	if opts.Resilience != nil {
 		stages.OnRetry = opts.Resilience.ObserveRetry
@@ -201,5 +209,6 @@ func runRealResilient(ctx context.Context, src []int64, chunkLen, repeats, buffe
 	if err := exec.RunContext(ctx, stages, stats.Buffers); err != nil {
 		return nil, stats, err
 	}
+	mem.Pool.Put(scratch) // clean completion: no abandoned attempt holds it
 	return out, stats, nil
 }

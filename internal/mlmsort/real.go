@@ -4,11 +4,15 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"knlmlm/internal/exec"
+	"knlmlm/internal/mem"
+	"knlmlm/internal/model"
 	"knlmlm/internal/psort"
 	"knlmlm/internal/telemetry"
+	"knlmlm/internal/tune"
 	"knlmlm/internal/units"
 )
 
@@ -105,30 +109,54 @@ func megachunkBounds(n, mcLen int) [][2]int {
 	return out
 }
 
-// sortMegachunkMLM sorts one megachunk the MLM way: each worker serially
-// sorts one maximal chunk, then a parallel multiway merge through scratch.
-func sortMegachunkMLM(mc []int64, threads int, scratch []int64) {
+// megachunkSorter sorts megachunks the MLM way — each worker sorts one
+// maximal block, then a parallel multiway merge through scratch — with a
+// tunable worker width (the autotuner's compute-pool knob) and a reusable
+// run table, so the steady state of a multi-megachunk run performs no
+// per-megachunk allocation. Blocks are sorted with the adaptive kernel:
+// each worker's disjoint segment of scratch doubles as its radix scratch.
+type megachunkSorter struct {
+	width atomic.Int32
+	runs  [][]int64
+}
+
+func newMegachunkSorter(threads int) *megachunkSorter {
+	ms := &megachunkSorter{}
+	ms.width.Store(int32(threads))
+	return ms
+}
+
+// sort sorts one megachunk in place; scratch must be at least as long.
+// Only the pipeline's single compute goroutine calls it, so the run table
+// needs no lock (the same discipline the shared scratch relies on).
+func (ms *megachunkSorter) sort(mc, scratch []int64) {
 	m := len(mc)
 	if m < 2 {
 		return
 	}
-	w := threads
+	w := int(ms.width.Load())
 	if w > m {
 		w = m
 	}
-	runs := make([][]int64, w)
+	if w <= 1 {
+		// Single-worker fast path: no goroutines, no merge, no run table.
+		psort.SortAdaptive(mc, scratch[:m])
+		return
+	}
+	ms.runs = ms.runs[:0]
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
 		lo, hi := m*i/w, m*(i+1)/w
-		runs[i] = mc[lo:hi]
+		block := mc[lo:hi]
+		ms.runs = append(ms.runs, block)
 		wg.Add(1)
-		go func(block []int64) {
+		go func(block, blockScratch []int64) {
 			defer wg.Done()
-			psort.Serial(block)
-		}(runs[i])
+			psort.SortAdaptive(block, blockScratch)
+		}(block, scratch[lo:hi])
 	}
 	wg.Wait()
-	psort.ParallelMergeK(scratch[:m], runs, w)
+	psort.ParallelMergeK(scratch[:m], ms.runs, w)
 	copy(mc, scratch[:m])
 }
 
@@ -145,11 +173,15 @@ func finalMerge(ctx context.Context, xs []int64, bounds [][2]int, threads int, r
 	for i, b := range bounds {
 		runs[i] = xs[b[0]:b[1]]
 	}
-	final := make([]int64, len(xs))
+	// The merge target comes from the shared pool rather than a per-run
+	// make: ParallelMergeK joins its workers before returning, so the
+	// buffer is idle again by the Put.
+	final := mem.Pool.Get(len(xs))
 	done := spanStart(rec)
 	psort.ParallelMergeK(final, runs, threads)
 	copy(xs, final)
 	done(exec.StageCompute, wholeArray, touchedBytes(len(xs)))
+	mem.Pool.Put(final)
 	return ctx.Err()
 }
 
@@ -169,8 +201,15 @@ func runRealMLM(ctx context.Context, a Algorithm, xs []int64, threads, megachunk
 			maxLen = l
 		}
 	}
-	scratch := make([]int64, maxLen)
+	// Scratch comes from the shared pool; it is returned only on clean
+	// completion — an aborted run with a chunk deadline may have abandoned
+	// a compute attempt that still writes scratch, and a buffer a rogue
+	// goroutine can touch must never be recycled.
+	scratch := mem.Pool.Get(maxLen)
 	stats := RealStats{Megachunks: len(bounds)}
+	sorter := newMegachunkSorter(threads)
+	var copyW atomic.Int32
+	copyW.Store(1) // the paper's baseline: one copy thread each way
 
 	// Phase 1: sort each megachunk, on the exec pipeline so megachunks
 	// inherit its full failure semantics (retries, panic recovery,
@@ -192,16 +231,17 @@ func runRealMLM(ctx context.Context, a Algorithm, xs []int64, threads, megachunk
 			if !table.stage(i, units.BytesForElements(int64(hi-lo)), opts) {
 				return nil // degraded: the megachunk stays in DDR
 			}
-			copy(dst, xs[lo:hi]) // copy-in: DDR -> "MCDRAM"
+			// copy-in: DDR -> "MCDRAM", at the tunable copy-pool width
+			exec.CopyParallel(dst, xs[lo:hi], int(copyW.Load()))
 			return nil
 		}
 		s.Compute = func(i int, buf []int64) error {
 			if table.isDegraded(i) {
 				lo, hi := bounds[i][0], bounds[i][1]
-				sortMegachunkMLM(xs[lo:hi], threads, scratch)
+				sorter.sort(xs[lo:hi], scratch)
 				return nil
 			}
-			sortMegachunkMLM(buf, threads, scratch)
+			sorter.sort(buf, scratch)
 			return nil
 		}
 		s.CopyOut = func(i int, src []int64) error {
@@ -209,18 +249,51 @@ func runRealMLM(ctx context.Context, a Algorithm, xs []int64, threads, megachunk
 				return nil
 			}
 			lo, hi := bounds[i][0], bounds[i][1]
-			copy(xs[lo:hi], src) // megachunk merge writes back to DDR
+			// megachunk merge writes back to DDR
+			exec.CopyParallel(xs[lo:hi], src, int(copyW.Load()))
 			table.release(i)
 			return nil
 		}
 	} else {
 		s.Compute = func(i int, _ []int64) error {
 			lo, hi := bounds[i][0], bounds[i][1]
-			sortMegachunkMLM(xs[lo:hi], threads, scratch)
+			sorter.sort(xs[lo:hi], scratch)
 			return nil
 		}
 	}
-	err := exec.RunContext(ctx, opts.finish(s), opts.buffers())
+	fs := opts.finish(s)
+	var tuner *tune.PipelineTuner
+	if at := opts.Autotune; at != nil && staged {
+		total := at.TotalThreads
+		if total <= 0 {
+			total = threads + 2 // the run's current split: 1+1 copy, threads compute
+		}
+		tuner = tune.NewPipelineTuner(tune.Config{
+			Initial:      model.Pools{In: 1, Out: 1, Comp: threads},
+			TotalThreads: total,
+			MaxCopyIn:    at.MaxCopyIn,
+			WarmupChunks: at.WarmupChunks,
+			Bytes:        units.BytesForElements(int64(n)),
+			Registry:     at.Registry,
+			Next:         fs.Observer,
+			OnProvision: func(p model.Prediction) {
+				if p.Pools.In > 0 {
+					copyW.Store(int32(p.Pools.In))
+				}
+				if p.Pools.Comp > 0 {
+					sorter.width.Store(int32(p.Pools.Comp))
+				}
+			},
+		})
+		fs.Observer = tuner
+	}
+	err := exec.RunContext(ctx, fs, opts.buffers())
+	if tuner != nil {
+		if dec, ok := tuner.Decision(); ok {
+			stats.Retunes = 1
+			stats.TunedPools = dec.Pools
+		}
+	}
 	if table != nil {
 		stats.Degraded, stats.AllocFailures = table.drain()
 		stats.Staged = stats.Megachunks - stats.Degraded
@@ -228,6 +301,7 @@ func runRealMLM(ctx context.Context, a Algorithm, xs []int64, threads, megachunk
 	if err != nil {
 		return stats, err
 	}
+	mem.Pool.Put(scratch) // clean completion: no abandoned attempt holds it
 
 	// Phase 2: final multiway merge across megachunks.
 	return stats, finalMerge(ctx, xs, bounds, threads, opts.Recorder)

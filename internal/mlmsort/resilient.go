@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"knlmlm/internal/exec"
+	"knlmlm/internal/mem"
 	"knlmlm/internal/memkind"
+	"knlmlm/internal/model"
 	"knlmlm/internal/telemetry"
 	"knlmlm/internal/units"
 )
@@ -47,6 +49,30 @@ type RealOptions struct {
 	// Zero selects 1, which serializes the stages exactly like the
 	// original driver loop; 3 is the paper's triple buffering.
 	Buffers int
+	// Autotune, when non-nil, measures per-thread copy and compute rates
+	// over the first megachunks and re-provisions the staged pipeline's
+	// copy and compute widths from the Section 3.2 model solved with the
+	// measured rates. Only the staged variants (MLM-sort, MLM-hybrid)
+	// have copy pools to tune; others ignore it.
+	Autotune *AutotuneOptions
+}
+
+// AutotuneOptions configures mid-run re-provisioning. The zero value is
+// usable: warmup is one megachunk and the thread budget is inferred from
+// the run's current split.
+type AutotuneOptions struct {
+	// TotalThreads is the budget the re-solve distributes between copy
+	// and compute pools; zero selects threads+2 (the initial split).
+	TotalThreads int
+	// MaxCopyIn bounds the copy-in widths swept; zero selects
+	// TotalThreads/2.
+	MaxCopyIn int
+	// WarmupChunks is how many megachunks to measure before solving;
+	// zero selects 1.
+	WarmupChunks int
+	// Registry, when non-nil, receives autotune_reprovisions_total and
+	// the solved-width gauges.
+	Registry *telemetry.Registry
 }
 
 // buffers resolves the staging-buffer count.
@@ -67,6 +93,9 @@ func (o RealOptions) finish(s exec.Stages) exec.Stages {
 	if o.Resilience != nil {
 		s.OnRetry = o.Resilience.ObserveRetry
 	}
+	// All real pipelines draw staging buffers from the shared pool, so
+	// repeated runs reuse backing arrays instead of re-allocating them.
+	s.Pool = mem.Pool
 	if o.Wrap != nil {
 		s = o.Wrap(s)
 	}
@@ -85,6 +114,11 @@ type RealStats struct {
 	// AllocFailures counts failed staging allocations (injected or
 	// genuine), including ones on retried attempts.
 	AllocFailures int
+	// Retunes counts autotune re-provisioning decisions applied (0 or 1).
+	Retunes int
+	// TunedPools is the thread split the autotuner settled on, when
+	// Retunes > 0.
+	TunedPools model.Pools
 }
 
 // RunRealResilient is RunRealObserved with full failure semantics: the

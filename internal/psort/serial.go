@@ -159,10 +159,78 @@ func siftDown(xs []int64, root, end int) {
 	}
 }
 
+// gallopMin is the consecutive-win streak at which Merge2 switches from
+// element-wise merging to galloping bulk copies, and the gallop length
+// below which it switches back. Seven-ish matches timsort practice: long
+// enough that random interleavings never gallop, short enough that real
+// structure is exploited quickly.
+const gallopMin = 8
+
 // Merge2 merges the sorted runs a and b into dst, which must have length
-// len(a)+len(b) and not alias either input. It is the compute kernel of the
-// paper's streaming merge benchmark.
+// len(a)+len(b) and not alias either input. It is the compute kernel of
+// the paper's streaming merge benchmark.
+//
+// The merge is adaptive: it runs the branch-predictable element-wise loop
+// until one side wins gallopMin times in a row, then switches to gallop
+// mode — exponential-search the end of each side's winning streak and
+// memmove the whole prefix — dropping back to element-wise when streaks
+// shrink. Output is identical to the plain linear merge (ties go to a).
 func Merge2(dst, a, b []int64) {
+	if len(dst) != len(a)+len(b) {
+		panic("psort: Merge2 destination length mismatch")
+	}
+	k := 0
+	galloping := false
+	for len(a) > 0 && len(b) > 0 {
+		if galloping {
+			// Alternate bulk copies. Each round emits at least one
+			// element: if a's streak is empty then b[0] < a[0], so b's
+			// streak is not.
+			ma := gallopLE(a, b[0])
+			copy(dst[k:], a[:ma])
+			k += ma
+			a = a[ma:]
+			if len(a) == 0 {
+				break
+			}
+			mb := gallopLT(b, a[0])
+			copy(dst[k:], b[:mb])
+			k += mb
+			b = b[mb:]
+			if ma < gallopMin && mb < gallopMin {
+				galloping = false
+			}
+			continue
+		}
+		streakA, streakB := 0, 0
+		for len(a) > 0 && len(b) > 0 {
+			if a[0] <= b[0] {
+				dst[k] = a[0]
+				k++
+				a = a[1:]
+				streakA++
+				streakB = 0
+			} else {
+				dst[k] = b[0]
+				k++
+				b = b[1:]
+				streakB++
+				streakA = 0
+			}
+			if streakA >= gallopMin || streakB >= gallopMin {
+				galloping = true
+				break
+			}
+		}
+	}
+	copy(dst[k:], a)
+	copy(dst[k+len(a):], b)
+}
+
+// merge2Linear is the pre-gallop element-wise merge, kept as the
+// reference implementation for differential tests and the old-vs-new
+// kernel benchmarks.
+func merge2Linear(dst, a, b []int64) {
 	if len(dst) != len(a)+len(b) {
 		panic("psort: Merge2 destination length mismatch")
 	}

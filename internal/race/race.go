@@ -1,0 +1,10 @@
+//go:build race
+
+// Package race reports whether the race detector is compiled in. The
+// allocation-discipline tests assert exact malloc counts, which race
+// instrumentation inflates; they skip themselves under -race instead of
+// failing spuriously.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true
