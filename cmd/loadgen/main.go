@@ -1,0 +1,327 @@
+// Command loadgen is an open-loop load generator for the sort service
+// (cmd/mlmserve). It sweeps a list of offered arrival rates; at each
+// level it issues POST /v1/sort requests on a fixed arrival clock —
+// independent of completions, so queueing delay shows up as latency
+// rather than throttled offered load — and records, per level:
+//
+//   - goodput: verified-sorted jobs completed per second,
+//   - latency percentiles (p50/p95/p99) of submit→terminal,
+//   - typed rejections (HTTP 429 backpressure) and failures.
+//
+// The sweep is written as JSON (default BENCH_PR4.json), the committed
+// artifact EXPERIMENTS.md documents.
+//
+// Examples:
+//
+//	loadgen -url http://127.0.0.1:8080 -rates 25,50,100,200 -duration 3s
+//	loadgen -url http://127.0.0.1:8080 -quick -out /dev/stdout
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type config struct {
+	url      string
+	rates    []float64
+	duration time.Duration
+	nMin     int
+	nMax     int
+	seed     int64
+	out      string
+	verify   bool
+}
+
+// sortRequest mirrors internal/serve's POST /v1/sort body.
+type sortRequest struct {
+	Keys     []int64 `json:"keys"`
+	Priority int     `json:"priority,omitempty"`
+	Wait     bool    `json:"wait,omitempty"`
+}
+
+type jobStatus struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Error     string `json:"error,omitempty"`
+	ResultURL string `json:"result_url,omitempty"`
+}
+
+// levelResult is one offered-load point of the sweep.
+type levelResult struct {
+	OfferedRPS  float64 `json:"offered_rps"`
+	DurationSec float64 `json:"duration_s"`
+	Submitted   int     `json:"submitted"`
+	Completed   int     `json:"completed"`
+	Rejected    int     `json:"rejected"`
+	Failed      int     `json:"failed"`
+	GoodputRPS  float64 `json:"goodput_rps"`
+	Latency     latency `json:"latency_ms"`
+}
+
+type latency struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// benchFile is the BENCH_PR4.json document.
+type benchFile struct {
+	Bench     string        `json:"bench"`
+	Target    string        `json:"target"`
+	Seed      int64         `json:"seed"`
+	ElemRange [2]int        `json:"elem_range"`
+	Verified  bool          `json:"verified_sorted"`
+	Levels    []levelResult `json:"levels"`
+}
+
+func main() {
+	cfg := config{}
+	var ratesFlag string
+	quick := flag.Bool("quick", false, "one short low-rate level (CI smoke)")
+	flag.StringVar(&cfg.url, "url", "http://127.0.0.1:8080", "mlmserve base URL")
+	flag.StringVar(&ratesFlag, "rates", "25,50,100,200", "offered arrival rates to sweep, jobs/sec")
+	flag.DurationVar(&cfg.duration, "duration", 3*time.Second, "time spent at each offered rate")
+	flag.IntVar(&cfg.nMin, "n-min", 1000, "minimum keys per job")
+	flag.IntVar(&cfg.nMax, "n-max", 50000, "maximum keys per job")
+	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed")
+	flag.StringVar(&cfg.out, "out", "BENCH_PR4.json", "output JSON path")
+	flag.BoolVar(&cfg.verify, "verify", true, "download and verify every completed result is sorted")
+	flag.Parse()
+
+	if *quick {
+		ratesFlag = "20"
+		cfg.duration = 1 * time.Second
+		cfg.nMax = 8000
+	}
+	for _, f := range strings.Split(ratesFlag, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || r <= 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: bad rate %q\n", f)
+			os.Exit(1)
+		}
+		cfg.rates = append(cfg.rates, r)
+	}
+
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config) error {
+	client := &http.Client{Timeout: 60 * time.Second}
+	if err := waitHealthy(client, cfg.url, 10*time.Second); err != nil {
+		return err
+	}
+
+	doc := benchFile{
+		Bench:     "sort-service open-loop sweep",
+		Target:    cfg.url,
+		Seed:      cfg.seed,
+		ElemRange: [2]int{cfg.nMin, cfg.nMax},
+		Verified:  cfg.verify,
+	}
+	for _, rate := range cfg.rates {
+		lvl := runLevel(client, cfg, rate)
+		doc.Levels = append(doc.Levels, lvl)
+		fmt.Printf("rate %6.1f/s: %d submitted, %d ok, %d rejected, %d failed — goodput %.1f/s, p50 %.1fms p95 %.1fms p99 %.1fms\n",
+			rate, lvl.Submitted, lvl.Completed, lvl.Rejected, lvl.Failed,
+			lvl.GoodputRPS, lvl.Latency.P50, lvl.Latency.P95, lvl.Latency.P99)
+	}
+
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(cfg.out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", cfg.out)
+	return nil
+}
+
+// waitHealthy polls /healthz until the server answers 200.
+func waitHealthy(client *http.Client, url string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(url + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server never became healthy: %v", err)
+			}
+			return fmt.Errorf("server never became healthy")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// runLevel drives one offered-load level: arrivals fire on a fixed clock
+// for cfg.duration regardless of how many requests are still in flight
+// (open loop), then the level waits for its stragglers.
+func runLevel(client *http.Client, cfg config, rate float64) levelResult {
+	interval := time.Duration(float64(time.Second) / rate)
+	rng := rand.New(rand.NewSource(cfg.seed))
+
+	var (
+		mu        sync.Mutex
+		latencies []float64 // milliseconds, completed jobs only
+		completed int
+		rejected  int
+		failed    int
+	)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	submitted := 0
+	for next := start; time.Since(start) < cfg.duration; next = next.Add(interval) {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		n := cfg.nMin
+		if cfg.nMax > cfg.nMin {
+			n += rng.Intn(cfg.nMax - cfg.nMin)
+		}
+		seed := rng.Int63()
+		submitted++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ms, outcome := oneJob(client, cfg, n, seed)
+			mu.Lock()
+			defer mu.Unlock()
+			switch outcome {
+			case "ok":
+				completed++
+				latencies = append(latencies, ms)
+			case "rejected":
+				rejected++
+			default:
+				failed++
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return levelResult{
+		OfferedRPS:  rate,
+		DurationSec: elapsed.Seconds(),
+		Submitted:   submitted,
+		Completed:   completed,
+		Rejected:    rejected,
+		Failed:      failed,
+		GoodputRPS:  float64(completed) / elapsed.Seconds(),
+		Latency:     summarize(latencies),
+	}
+}
+
+// oneJob submits one wait-mode sort and (optionally) verifies the result.
+// Outcome is "ok", "rejected" (typed 429 backpressure), or "failed".
+func oneJob(client *http.Client, cfg config, n int, seed int64) (ms float64, outcome string) {
+	keys := make([]int64, n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range keys {
+		keys[i] = rng.Int63()
+	}
+	body, err := json.Marshal(sortRequest{Keys: keys, Wait: true})
+	if err != nil {
+		return 0, "failed"
+	}
+
+	start := time.Now()
+	resp, err := client.Post(cfg.url+"/v1/sort", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "failed"
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	elapsed := time.Since(start)
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		return 0, "rejected"
+	default:
+		return 0, "failed"
+	}
+	var st jobStatus
+	if err := json.Unmarshal(raw, &st); err != nil || st.State != "done" {
+		return 0, "failed"
+	}
+	if cfg.verify {
+		if !verifySorted(client, cfg.url+st.ResultURL, n) {
+			return 0, "failed"
+		}
+	}
+	return float64(elapsed.Nanoseconds()) / 1e6, "ok"
+}
+
+// verifySorted downloads a result and checks order and length.
+func verifySorted(client *http.Client, url string, wantN int) bool {
+	resp, err := client.Get(url)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var keys []int64
+	if err := json.NewDecoder(resp.Body).Decode(&keys); err != nil {
+		return false
+	}
+	if len(keys) != wantN {
+		return false
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// summarize reduces a latency sample to the percentiles the sweep reports.
+func summarize(ms []float64) latency {
+	if len(ms) == 0 {
+		return latency{}
+	}
+	sort.Float64s(ms)
+	var sum float64
+	for _, v := range ms {
+		sum += v
+	}
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(ms)-1))
+		return ms[i]
+	}
+	return latency{
+		P50:  pct(0.50),
+		P95:  pct(0.95),
+		P99:  pct(0.99),
+		Mean: sum / float64(len(ms)),
+		Max:  ms[len(ms)-1],
+	}
+}

@@ -9,6 +9,7 @@
 //	mergebench -repeats 8 -copy 4 -async # event-driven schedule (extension)
 //	mergebench -real -n 1000000          # execute the real data flow
 //	mergebench -real -n 4000000 -repeats 4 -trace out.json -metrics
+//	mergebench -chaos -chaos-seed 7 -n 400000 -metrics
 //	mergebench -repeats 8 -copy 4 -bench-json BENCH_merge.json
 //
 // With -trace / -metrics the run is captured by the telemetry subsystem
@@ -17,16 +18,26 @@
 // -bench-json appends a perf-trajectory record (config, makespan, overlap
 // efficiency). -cpuprofile/-memprofile write standard pprof profiles of
 // the whole run.
+//
+// With -chaos (implies -real), the pipeline runs under a randomized,
+// seeded fault plan — stage errors/panics/latency, staging-buffer
+// allocation failures, an undersized MCDRAM — and prints the
+// injection/retry/degradation tally; the faults_* and pipeline_*
+// counters land in the same registry -metrics prints, so the flags
+// compose exactly as in cmd/mlmsort.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"knlmlm/internal/fault"
 	"knlmlm/internal/knl"
 	"knlmlm/internal/mem"
+	"knlmlm/internal/memkind"
 	"knlmlm/internal/mergebench"
 	"knlmlm/internal/model"
 	"knlmlm/internal/prof"
@@ -46,9 +57,14 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 	metrics := flag.Bool("metrics", false, "print Prometheus-format metrics for the run")
 	benchJSON := flag.String("bench-json", "", "write a BENCH-style JSON record (config, makespan, overlap efficiency) to this file")
+	chaos := flag.Bool("chaos", false, "run the real pipeline under a randomized fault-injection plan (implies -real)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos plan seed (with -chaos)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	if *chaos {
+		*real = true
+	}
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "mergebench: %v\n", err)
@@ -66,7 +82,7 @@ func main() {
 	}()
 
 	if *real {
-		runReal(*n, max(1, *repeats), *buffers, *tracePath, *metrics, *benchJSON, fail)
+		runReal(*n, max(1, *repeats), *buffers, *chaos, *chaosSeed, *tracePath, *metrics, *benchJSON, fail)
 		return
 	}
 
@@ -112,8 +128,11 @@ func main() {
 	}
 }
 
-// runReal executes the host pipeline, optionally captured by telemetry.
-func runReal(n, repeats, buffers int, tracePath string, metrics bool, benchJSON string, fail func(error)) {
+// runReal executes the host pipeline, optionally captured by telemetry
+// and/or perturbed by a chaos plan. Every metric family the run emits —
+// span-derived, faults_*, pipeline_* — shares one registry, so -chaos
+// and -metrics compose.
+func runReal(n, repeats, buffers int, chaos bool, chaosSeed int64, tracePath string, metrics bool, benchJSON string, fail func(error)) {
 	const chunkLen = 1 << 16
 	xs := workload.Generate(workload.Random, n, 1)
 	telemetryOn := tracePath != "" || metrics || benchJSON != ""
@@ -121,26 +140,44 @@ func runReal(n, repeats, buffers int, tracePath string, metrics bool, benchJSON 
 	if telemetryOn {
 		rec = telemetry.NewRecorder()
 	}
-	start := time.Now()
-	var out []int64
-	var err error
+	reg := telemetry.NewRegistry()
+	opts := mergebench.RealOptions{}
 	if rec != nil {
-		out, err = mergebench.RunRealObserved(xs, chunkLen, repeats, buffers, rec)
-	} else {
-		out, err = mergebench.RunReal(xs, chunkLen, repeats, buffers)
+		opts.Observer = rec
 	}
+	var inj *fault.Injector
+	var res *telemetry.Resilience
+	if chaos {
+		plan := fault.NewPlan(chaosSeed, units.BytesForElements(int64(n)))
+		inj = plan.Injector()
+		res = telemetry.NewResilience(reg)
+		inj.Metrics = res
+		opts.Heap = memkind.NewHeap(plan.HBWCapacity, 1<<42)
+		opts.AllocFaults = inj
+		opts.Resilience = res
+		opts.Wrap = inj.Wrap
+		opts.Retry = plan.Retry
+		opts.ChunkTimeout = plan.ChunkTimeout
+		fmt.Println(plan)
+	}
+	start := time.Now()
+	out, stats, err := mergebench.RunRealResilient(context.Background(), xs, chunkLen, repeats, buffers, opts)
 	if err != nil {
 		fail(err)
 	}
 	wall := time.Since(start)
 	fmt.Printf("real merge benchmark processed %d elements through %d-buffer staging in %v\n",
-		len(out), buffers, wall)
+		len(out), stats.Buffers, wall)
+	if chaos {
+		fmt.Printf("chaos: %v; retries=%d degradations=%d (%d hbw, %d degraded, %d dropped buffers)\n",
+			inj, res.Retries(), res.Degradations(),
+			stats.HBWBuffers, stats.DegradedBuffers, stats.DroppedBuffers)
+	}
 	if !telemetryOn {
 		return
 	}
 
 	spans := rec.Spans()
-	reg := telemetry.NewRegistry()
 	a := telemetry.Publish(reg, spans)
 
 	// File artifacts land before any further stdout writing: if stdout is

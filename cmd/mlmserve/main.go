@@ -1,0 +1,132 @@
+// Command mlmserve runs the sort service: the MCDRAM-budget scheduler
+// (internal/sched) behind the HTTP/JSON front end (internal/serve).
+//
+// Examples:
+//
+//	mlmserve -addr :8080 -budget-mb 64 -workers 4
+//	mlmserve -addr 127.0.0.1:0 -budget-mb 16 -autotune -chaos -chaos-seed 7
+//
+// The chosen listen address is printed on one line ("mlmserve listening
+// on ...") so wrappers binding port 0 can discover the port. SIGINT or
+// SIGTERM triggers a graceful stop: /healthz flips to 503, admissions are
+// refused with 429, every queued and running job is drained, then the
+// HTTP listener shuts down.
+//
+// With -chaos, every job pipeline runs under a seeded fault-injection
+// plan (stage errors/panics/latency, MCDRAM allocation failures) — the
+// serving analog of cmd/chaos — so resilience can be exercised against
+// live traffic.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"knlmlm/internal/fault"
+	"knlmlm/internal/memkind"
+	"knlmlm/internal/sched"
+	"knlmlm/internal/serve"
+	"knlmlm/internal/telemetry"
+	"knlmlm/internal/units"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	budgetMB := flag.Int64("budget-mb", 64, "MCDRAM staging budget leased to jobs, in MiB")
+	workers := flag.Int("workers", 0, "concurrent pipelines (0 = scheduler default)")
+	queueLimit := flag.Int("queue", 0, "admission queue bound (0 = scheduler default)")
+	threads := flag.Int("threads", 0, "thread budget fair-shared across staged jobs (0 = GOMAXPROCS)")
+	retain := flag.Int("retain", 4096, "terminal jobs retained for status/result lookup")
+	autotune := flag.Bool("autotune", false, "measure per-thread rates on staged jobs and feed them to the fair-share solver")
+	chaos := flag.Bool("chaos", false, "run every job pipeline under a seeded fault-injection plan")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos plan seed (with -chaos)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on shutdown")
+	flag.Parse()
+
+	if err := run(*addr, *budgetMB, *workers, *queueLimit, *threads, *retain,
+		*autotune, *chaos, *chaosSeed, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "mlmserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, budgetMB int64, workers, queueLimit, threads, retain int,
+	autotune, chaos bool, chaosSeed int64, drainTimeout time.Duration) error {
+	if budgetMB <= 0 {
+		return fmt.Errorf("-budget-mb must be positive")
+	}
+	budget := units.Bytes(budgetMB) * units.MiB
+
+	reg := telemetry.NewRegistry()
+	cfg := sched.Config{
+		MCDRAMBudget: budget,
+		Workers:      workers,
+		QueueLimit:   queueLimit,
+		TotalThreads: threads,
+		RetainJobs:   retain,
+		Registry:     reg,
+		Resilience:   telemetry.NewResilience(reg),
+		Autotune:     autotune,
+	}
+	if chaos {
+		plan := fault.NewPlan(chaosSeed, budget)
+		inj := plan.Injector()
+		cfg.Heap = memkind.NewHeap(plan.HBWCapacity, units.GiB)
+		cfg.AllocFaults = inj
+		cfg.Wrap = inj.Wrap
+		cfg.Retry = plan.Retry
+		cfg.ChunkTimeout = plan.ChunkTimeout
+		fmt.Printf("mlmserve chaos plan seed=%d: %s\n", chaosSeed, plan)
+	}
+
+	sc, err := sched.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+
+	srv, err := serve.New(serve.Config{Scheduler: sc, Registry: reg})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mlmserve listening on %s (budget %v)\n", ln.Addr(), budget)
+
+	hs := &http.Server{Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Printf("mlmserve: %v — draining\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "mlmserve: drain:", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	snap := sc.Snapshot()
+	fmt.Printf("mlmserve: drained — %d jobs submitted, %d batches, high water %v\n",
+		snap.Submitted, snap.Batches, snap.HighWaterBytes)
+	return nil
+}

@@ -122,31 +122,13 @@ func main() {
 			rec = telemetry.NewRecorder()
 		}
 		opts := mlmsort.RealOptions{Recorder: rec}
-		if *autotune {
-			opts.Autotune = &mlmsort.AutotuneOptions{
-				TotalThreads: *tuneThreads,
-				Registry:     telemetry.NewRegistry(),
-			}
-			if opts.Buffers == 0 {
-				// Re-provisioning only pays off when the stages actually
-				// overlap; give the pipeline the paper's triple buffering.
-				opts.Buffers = 3
-			}
-		}
-		var inj *fault.Injector
-		var res *telemetry.Resilience
+		// One registry for every family the run emits — autotune_*,
+		// faults_*/pipeline_*, and the span-derived metrics — so the
+		// -autotune, -chaos, and -metrics flags compose: a single scrape
+		// sees all of them side by side.
+		reg := telemetry.NewRegistry()
+		inj, res, plan := wireReal(&opts, reg, *autotune, *tuneThreads, *chaos, *chaosSeed, *n)
 		if *chaos {
-			plan := fault.NewPlan(*chaosSeed, units.BytesForElements(*n))
-			inj = plan.Injector()
-			res = telemetry.NewResilience(telemetry.NewRegistry())
-			inj.Metrics = res
-			opts.Heap = memkind.NewHeap(plan.HBWCapacity, 1<<42)
-			opts.AllocFaults = inj
-			opts.Resilience = res
-			opts.Wrap = inj.Wrap
-			opts.Retry = plan.Retry
-			opts.ChunkTimeout = plan.ChunkTimeout
-			opts.Buffers = 3
 			fmt.Println(plan)
 		}
 		start := time.Now()
@@ -173,7 +155,7 @@ func main() {
 				inj, res.Retries(), res.Degradations(), stats.Staged, stats.Megachunks)
 		}
 		if telemetryOn {
-			emitRealTelemetry(rec, *tracePath, *metrics, *n, *threads, alg.String())
+			emitRealTelemetry(rec, reg, *tracePath, *metrics, *n, *threads, alg.String())
 		}
 		return
 	}
@@ -212,15 +194,53 @@ func main() {
 	}
 }
 
+// wireReal attaches the -autotune and -chaos machinery to one real-run
+// option set, publishing every family into the same registry so the two
+// flags compose with -metrics: one scrape sees autotune_* next to
+// faults_* and pipeline_* counters instead of each subsystem keeping a
+// private, discarded registry.
+func wireReal(opts *mlmsort.RealOptions, reg *telemetry.Registry,
+	autotune bool, tuneThreads int, chaos bool, chaosSeed, n int64) (*fault.Injector, *telemetry.Resilience, fault.Plan) {
+	var inj *fault.Injector
+	var res *telemetry.Resilience
+	var plan fault.Plan
+	if autotune {
+		opts.Autotune = &mlmsort.AutotuneOptions{
+			TotalThreads: tuneThreads,
+			Registry:     reg,
+		}
+		if opts.Buffers == 0 {
+			// Re-provisioning only pays off when the stages actually
+			// overlap; give the pipeline the paper's triple buffering.
+			opts.Buffers = 3
+		}
+	}
+	if chaos {
+		plan = fault.NewPlan(chaosSeed, units.BytesForElements(n))
+		inj = plan.Injector()
+		res = telemetry.NewResilience(reg)
+		inj.Metrics = res
+		opts.Heap = memkind.NewHeap(plan.HBWCapacity, 1<<42)
+		opts.AllocFaults = inj
+		opts.Resilience = res
+		opts.Wrap = inj.Wrap
+		opts.Retry = plan.Retry
+		opts.ChunkTimeout = plan.ChunkTimeout
+		opts.Buffers = 3
+	}
+	return inj, res, plan
+}
+
 // emitRealTelemetry renders the captured run: stall/overlap report, model
-// drift, Chrome trace file, Prometheus metrics.
-func emitRealTelemetry(rec *telemetry.Recorder, tracePath string, metrics bool, n int64, threads int, alg string) {
+// drift, Chrome trace file, Prometheus metrics. It publishes the span-
+// derived metrics into the run's shared registry, alongside whatever the
+// autotuner and fault injector already recorded there.
+func emitRealTelemetry(rec *telemetry.Recorder, reg *telemetry.Registry, tracePath string, metrics bool, n int64, threads int, alg string) {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "mlmsort: %v\n", err)
 		os.Exit(2)
 	}
 	spans := rec.Spans()
-	reg := telemetry.NewRegistry()
 	a := telemetry.Publish(reg, spans)
 	// Trace file first: if stdout is a pipe truncated early (e.g. | head),
 	// the process dies on a later print and the file must already exist.

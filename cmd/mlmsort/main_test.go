@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"knlmlm/internal/mlmsort"
+	"knlmlm/internal/telemetry"
+	"knlmlm/internal/workload"
+)
+
+// TestAutotuneAndChaosShareOneRegistry is the regression test for the
+// flag-composition bug this wiring fixes: -autotune and -chaos used to
+// publish into separate, discarded registries, so -metrics could never
+// show both families from one run. The unified wiring must put
+// autotune_*, faults_*, and pipeline_* into the SAME scrape — and the
+// run must still sort correctly with both subsystems active.
+func TestAutotuneAndChaosShareOneRegistry(t *testing.T) {
+	const n = 300_000
+	xs := workload.Generate(workload.Random, n, 1)
+
+	reg := telemetry.NewRegistry()
+	opts := mlmsort.RealOptions{}
+	inj, res, _ := wireReal(&opts, reg, true, 6, true, 7, n)
+	if inj == nil || res == nil {
+		t.Fatal("wireReal did not build the chaos machinery")
+	}
+
+	stats, err := mlmsort.RunRealResilient(context.Background(), mlmsort.MLMSort, xs, 4, 0, opts)
+	if err != nil {
+		t.Fatalf("RunRealResilient: %v", err)
+	}
+	if !workload.IsSorted(xs) {
+		t.Fatal("output not sorted with -autotune -chaos composed")
+	}
+	if stats.Megachunks == 0 || stats.Staged == 0 {
+		t.Fatalf("run did not stage: %+v", stats)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	scrape := buf.String()
+	for _, family := range []string{
+		"autotune_reprovisions_total", // -autotune's registry output
+		"autotune_copy_in_threads",
+		"faults_injected_total", // -chaos's resilience output
+		"pipeline_completions_total",
+	} {
+		if !strings.Contains(scrape, family) {
+			t.Errorf("one-registry scrape is missing %s:\n%s", family, scrape)
+		}
+	}
+}

@@ -24,6 +24,12 @@ type SlicePool struct {
 	mu      sync.Mutex
 	classes [maxClass + 1][][]int64
 	stats   PoolStats
+	// budget, when positive, caps the pool's footprint (see SetBudget).
+	budget int64
+	// footprint is the bytes of every pool-shaped slice this pool has
+	// allocated and not yet dropped: freelist contents plus slices
+	// currently handed out by Get. It is what the budget bounds.
+	footprint int64
 }
 
 // maxClass bounds the size classes at 2^36 elements (512 GiB of int64),
@@ -43,13 +49,57 @@ type PoolStats struct {
 	// Puts counts Put calls; Drops the subset discarded because the
 	// class was full or the slice was not pool-shaped.
 	Puts, Drops int64
+	// Refusals counts Gets denied because allocating would have pushed
+	// the footprint past the budget (see SetBudget).
+	Refusals int64
 }
 
 // Misses reports Gets that had to allocate.
 func (s PoolStats) Misses() int64 { return s.Gets - s.Hits }
 
-// NewSlicePool returns an empty pool.
+// NewSlicePool returns an empty pool with no byte budget.
 func NewSlicePool() *SlicePool { return &SlicePool{} }
+
+// NewSlicePoolBudget returns an empty pool capped at budget bytes.
+func NewSlicePoolBudget(budget int64) *SlicePool {
+	p := &SlicePool{}
+	p.SetBudget(budget)
+	return p
+}
+
+// SetBudget caps the pool's footprint — freelist bytes plus the bytes of
+// slices handed out and not yet returned — at budget bytes (0 removes the
+// cap). Past the cap, Get returns nil instead of allocating, so a caller
+// doing its own MCDRAM lease accounting (internal/sched) cannot have that
+// accounting silently exceeded by pool growth: demand beyond the budget
+// is refused loudly rather than absorbed.
+//
+// Requests too large for any size class (beyond maxClass) bypass the pool
+// and its budget; at sane budgets (well under 512 GiB) every request the
+// budget could matter for is poolable.
+func (p *SlicePool) SetBudget(budget int64) {
+	p.mu.Lock()
+	p.budget = budget
+	p.mu.Unlock()
+}
+
+// BudgetBytes reports the configured footprint cap (0 = uncapped).
+func (p *SlicePool) BudgetBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.budget
+}
+
+// FootprintBytes reports the bytes currently pinned by the pool: freelist
+// contents plus outstanding Get slices.
+func (p *SlicePool) FootprintBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.footprint
+}
+
+// classBytes is the byte size of one class-c slice's backing array.
+func classBytes(c int) int64 { return 8 << c }
 
 // Pool is the process-wide shared pool the execution paths default to,
 // so scratch buffers survive across runs, megachunks, and chaos retries.
@@ -67,7 +117,9 @@ func classFor(n int) (int, bool) {
 
 // Get returns a slice of length n. When a free slice of n's size class is
 // available it is reused (contents unspecified); otherwise a fresh slice
-// with the class capacity is allocated. Get(0) returns nil.
+// with the class capacity is allocated. Get(0) returns nil. On a budgeted
+// pool (SetBudget), a Get that would grow the footprint past the budget
+// returns nil instead — callers owning a budget must check.
 func (p *SlicePool) Get(n int) []int64 {
 	c, ok := classFor(n)
 	if !ok {
@@ -86,6 +138,12 @@ func (p *SlicePool) Get(n int) []int64 {
 		p.mu.Unlock()
 		return s[:n]
 	}
+	if p.budget > 0 && p.footprint+classBytes(c) > p.budget {
+		p.stats.Refusals++
+		p.mu.Unlock()
+		return nil
+	}
+	p.footprint += classBytes(c)
 	p.mu.Unlock()
 	return make([]int64, n, 1<<c)
 }
@@ -109,6 +167,14 @@ func (p *SlicePool) Put(s []int64) {
 	p.stats.Puts++
 	if len(p.classes[c]) >= classDepth {
 		p.stats.Drops++
+		// The dropped slice leaves the pool's custody for the GC, so it
+		// stops counting against the budget (clamped: a pool-shaped slice
+		// the pool never allocated must not drive the footprint negative).
+		if b := classBytes(c); p.footprint >= b {
+			p.footprint -= b
+		} else {
+			p.footprint = 0
+		}
 	} else {
 		p.classes[c] = append(p.classes[c], s[:0])
 	}

@@ -120,6 +120,87 @@ func TestSlicePoolAllocationFreeSteadyState(t *testing.T) {
 	}
 }
 
+func TestSlicePoolBudgetRefusesPastCap(t *testing.T) {
+	// Budget covers exactly one 2^10 class slice (8 KiB).
+	p := NewSlicePoolBudget(8 * 1024)
+	a := p.Get(1000)
+	if a == nil {
+		t.Fatal("first Get within budget refused")
+	}
+	if got := p.FootprintBytes(); got != 8*1024 {
+		t.Fatalf("footprint = %d, want %d", got, 8*1024)
+	}
+	if b := p.Get(1000); b != nil {
+		t.Fatal("Get past the budget should return nil")
+	}
+	if st := p.Stats(); st.Refusals != 1 {
+		t.Errorf("stats = %+v, want 1 refusal", st)
+	}
+	// Returning the slice does not shrink the footprint (the freelist
+	// still pins it) but makes the class servable again without growth.
+	p.Put(a)
+	if got := p.FootprintBytes(); got != 8*1024 {
+		t.Fatalf("footprint after Put = %d, want %d", got, 8*1024)
+	}
+	if c := p.Get(800); c == nil {
+		t.Fatal("freelist hit must not be budget-refused")
+	}
+}
+
+func TestSlicePoolBudgetDropReleasesFootprint(t *testing.T) {
+	const slice = 8 * 16 // one class-4 slice
+	p := NewSlicePoolBudget((classDepth + 1) * slice)
+	var held [][]int64
+	for i := 0; i < classDepth+1; i++ {
+		s := p.Get(16)
+		if s == nil {
+			t.Fatalf("Get %d refused within budget", i)
+		}
+		held = append(held, s)
+	}
+	if p.Get(16) != nil {
+		t.Fatal("Get past budget should refuse")
+	}
+	for _, s := range held {
+		p.Put(s)
+	}
+	// classDepth slices were retained; the extra Put dropped, and the
+	// dropped bytes left the budget, making room to allocate again.
+	if got, want := p.FootprintBytes(), int64(classDepth*slice); got != want {
+		t.Fatalf("footprint after drop = %d, want %d", got, want)
+	}
+	for i := 0; i < classDepth+1; i++ { // classDepth hits + 1 fresh alloc
+		if p.Get(16) == nil {
+			t.Fatalf("Get %d refused after drop freed budget", i)
+		}
+	}
+	if p.Get(16) != nil {
+		t.Fatal("budget must cap growth again once re-filled")
+	}
+}
+
+func TestSlicePoolBudgetForeignPutClamps(t *testing.T) {
+	p := NewSlicePoolBudget(1 << 20)
+	// A pool-shaped slice the pool never allocated: fill the class so the
+	// Put drops it; the clamp must keep the footprint non-negative.
+	for i := 0; i < classDepth; i++ {
+		p.Put(make([]int64, 0, 64))
+	}
+	p.Put(make([]int64, 0, 64))
+	if got := p.FootprintBytes(); got != 0 {
+		t.Fatalf("foreign drops drove footprint to %d", got)
+	}
+}
+
+func TestSlicePoolZeroBudgetUncapped(t *testing.T) {
+	p := NewSlicePool()
+	for i := 0; i < 50; i++ {
+		if p.Get(1<<12) == nil {
+			t.Fatal("uncapped pool refused a Get")
+		}
+	}
+}
+
 func TestSlicePoolConcurrent(t *testing.T) {
 	p := NewSlicePool()
 	var wg sync.WaitGroup

@@ -14,6 +14,7 @@ package memkind
 
 import (
 	"fmt"
+	"sync"
 
 	"knlmlm/internal/mem"
 	"knlmlm/internal/units"
@@ -64,8 +65,11 @@ func ParsePolicy(s string) (Policy, error) {
 	return 0, fmt.Errorf("memkind: unknown policy %q", s)
 }
 
-// Heap is a two-level simulated heap.
+// Heap is a two-level simulated heap. Alloc and Free are safe for
+// concurrent use — the job scheduler shares one heap across every
+// running pipeline, exactly as memkind shares the physical MCDRAM.
 type Heap struct {
+	mu  sync.Mutex
 	hbw *mem.Scratchpad
 	ddr *mem.Scratchpad
 }
@@ -113,9 +117,11 @@ func (h *Heap) Alloc(policy Policy, n units.Bytes, chunk units.Bytes) (*Allocati
 	if chunk <= 0 {
 		chunk = 64 * units.MiB
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	a := &Allocation{heap: h}
 	fail := func(err error) (*Allocation, error) {
-		h.Free(a)
+		h.freeLocked(a)
 		return nil, err
 	}
 
@@ -185,6 +191,12 @@ func (h *Heap) Alloc(policy Policy, n units.Bytes, chunk units.Bytes) (*Allocati
 
 // Free releases an allocation's blocks on both levels.
 func (h *Heap) Free(a *Allocation) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.freeLocked(a)
+}
+
+func (h *Heap) freeLocked(a *Allocation) {
 	if a == nil {
 		return
 	}
@@ -201,11 +213,24 @@ func (h *Heap) Free(a *Allocation) {
 }
 
 // HBWInUse and DDRInUse report current usage per level.
-func (h *Heap) HBWInUse() units.Bytes { return h.hbw.InUse() }
-func (h *Heap) DDRInUse() units.Bytes { return h.ddr.InUse() }
+func (h *Heap) HBWInUse() units.Bytes {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.hbw.InUse()
+}
+
+func (h *Heap) DDRInUse() units.Bytes {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ddr.InUse()
+}
 
 // HBWAvailable reports remaining MCDRAM.
-func (h *Heap) HBWAvailable() units.Bytes { return h.hbw.Available() }
+func (h *Heap) HBWAvailable() units.Bytes {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.hbw.Available()
+}
 
 // BlendedDemand derives bandwidth-demand coefficients for a streaming
 // kernel over an allocation: the MCDRAM-resident fraction streams from

@@ -116,12 +116,12 @@ func megachunkBounds(n, mcLen int) [][2]int {
 // per-megachunk allocation. Blocks are sorted with the adaptive kernel:
 // each worker's disjoint segment of scratch doubles as its radix scratch.
 type megachunkSorter struct {
-	width atomic.Int32
+	width *atomic.Int32
 	runs  [][]int64
 }
 
 func newMegachunkSorter(threads int) *megachunkSorter {
-	ms := &megachunkSorter{}
+	ms := &megachunkSorter{width: new(atomic.Int32)}
 	ms.width.Store(int32(threads))
 	return ms
 }
@@ -201,15 +201,34 @@ func runRealMLM(ctx context.Context, a Algorithm, xs []int64, threads, megachunk
 			maxLen = l
 		}
 	}
-	// Scratch comes from the shared pool; it is returned only on clean
+	// Scratch comes from the run's pool; it is returned only on clean
 	// completion — an aborted run with a chunk deadline may have abandoned
 	// a compute attempt that still writes scratch, and a buffer a rogue
-	// goroutine can touch must never be recycled.
-	scratch := mem.Pool.Get(maxLen)
+	// goroutine can touch must never be recycled. A budget-capped pool
+	// refusing the request degrades to an unpooled (DDR) allocation.
+	scratchPool := opts.pool()
+	scratch := scratchPool.Get(maxLen)
+	if scratch == nil && maxLen > 0 {
+		scratch = make([]int64, maxLen)
+		scratchPool = nil
+	}
 	stats := RealStats{Megachunks: len(bounds)}
 	sorter := newMegachunkSorter(threads)
-	var copyW atomic.Int32
+	copyW := new(atomic.Int32)
 	copyW.Store(1) // the paper's baseline: one copy thread each way
+	if opts.Widths != nil {
+		// External width control: the run starts from the control's
+		// current pools (defaulting any unset width) and both the copy
+		// stages and the megachunk sorter read it live thereafter.
+		copyW = &opts.Widths.copyIn
+		sorter.width = &opts.Widths.comp
+		if copyW.Load() <= 0 {
+			copyW.Store(1)
+		}
+		if sorter.width.Load() <= 0 {
+			sorter.width.Store(int32(threads))
+		}
+	}
 
 	// Phase 1: sort each megachunk, on the exec pipeline so megachunks
 	// inherit its full failure semantics (retries, panic recovery,
@@ -269,7 +288,7 @@ func runRealMLM(ctx context.Context, a Algorithm, xs []int64, threads, megachunk
 			total = threads + 2 // the run's current split: 1+1 copy, threads compute
 		}
 		tuner = tune.NewPipelineTuner(tune.Config{
-			Initial:      model.Pools{In: 1, Out: 1, Comp: threads},
+			Initial:      model.Pools{In: int(copyW.Load()), Out: int(copyW.Load()), Comp: int(sorter.width.Load())},
 			TotalThreads: total,
 			MaxCopyIn:    at.MaxCopyIn,
 			WarmupChunks: at.WarmupChunks,
@@ -277,11 +296,18 @@ func runRealMLM(ctx context.Context, a Algorithm, xs []int64, threads, megachunk
 			Registry:     at.Registry,
 			Next:         fs.Observer,
 			OnProvision: func(p model.Prediction) {
-				if p.Pools.In > 0 {
-					copyW.Store(int32(p.Pools.In))
+				if opts.Widths != nil {
+					opts.Widths.SetPools(p.Pools)
+				} else {
+					if p.Pools.In > 0 {
+						copyW.Store(int32(p.Pools.In))
+					}
+					if p.Pools.Comp > 0 {
+						sorter.width.Store(int32(p.Pools.Comp))
+					}
 				}
-				if p.Pools.Comp > 0 {
-					sorter.width.Store(int32(p.Pools.Comp))
+				if at.OnDecision != nil {
+					at.OnDecision(p)
 				}
 			},
 		})
@@ -301,7 +327,9 @@ func runRealMLM(ctx context.Context, a Algorithm, xs []int64, threads, megachunk
 	if err != nil {
 		return stats, err
 	}
-	mem.Pool.Put(scratch) // clean completion: no abandoned attempt holds it
+	if scratchPool != nil {
+		scratchPool.Put(scratch) // clean completion: no abandoned attempt holds it
+	}
 
 	// Phase 2: final multiway merge across megachunks.
 	return stats, finalMerge(ctx, xs, bounds, threads, opts.Recorder)

@@ -55,6 +55,18 @@ type RealOptions struct {
 	// measured rates. Only the staged variants (MLM-sort, MLM-hybrid)
 	// have copy pools to tune; others ignore it.
 	Autotune *AutotuneOptions
+	// Widths, when non-nil, hands the staged pipeline's copy and compute
+	// pool widths to an external controller (the scheduler's fair-share
+	// split across concurrent jobs). The run starts from the control's
+	// current pools and tracks later SetPools calls; when Autotune is
+	// also set, the tuner's decision is written through the same control.
+	Widths *WidthControl
+	// Pool, when non-nil, replaces the process-wide shared pool as the
+	// source of this run's staging buffers and sort scratch — the hook
+	// the scheduler uses to draw job staging from its budget-capped pool.
+	// The final-merge buffer still comes from the shared pool: merge
+	// space is DDR-side in the paper's data flow, not MCDRAM.
+	Pool *mem.SlicePool
 }
 
 // AutotuneOptions configures mid-run re-provisioning. The zero value is
@@ -73,6 +85,11 @@ type AutotuneOptions struct {
 	// Registry, when non-nil, receives autotune_reprovisions_total and
 	// the solved-width gauges.
 	Registry *telemetry.Registry
+	// OnDecision, when non-nil, receives the tuner's solved prediction
+	// (measured effective rates included) right after it is applied —
+	// the scheduler's hook for folding measured rates back into its
+	// fair-share solves. Runs inline on a stage goroutine; keep it quick.
+	OnDecision func(model.Prediction)
 }
 
 // buffers resolves the staging-buffer count.
@@ -81,6 +98,14 @@ func (o RealOptions) buffers() int {
 		return o.Buffers
 	}
 	return 1
+}
+
+// pool resolves the slice pool the run draws from.
+func (o RealOptions) pool() *mem.SlicePool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return mem.Pool
 }
 
 // finish applies the resilience and observability knobs to a stage set.
@@ -93,9 +118,10 @@ func (o RealOptions) finish(s exec.Stages) exec.Stages {
 	if o.Resilience != nil {
 		s.OnRetry = o.Resilience.ObserveRetry
 	}
-	// All real pipelines draw staging buffers from the shared pool, so
-	// repeated runs reuse backing arrays instead of re-allocating them.
-	s.Pool = mem.Pool
+	// All real pipelines draw staging buffers from a slice pool, so
+	// repeated runs reuse backing arrays instead of re-allocating them;
+	// o.Pool lets a scheduler substitute its budget-capped pool.
+	s.Pool = o.pool()
 	if o.Wrap != nil {
 		s = o.Wrap(s)
 	}

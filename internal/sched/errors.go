@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"knlmlm/internal/units"
+)
+
+// Sentinel errors for errors.Is classification. The typed errors below
+// carry the details (queue depth, retry hint, sizes) and match these
+// sentinels, so callers can branch on class without losing the payload.
+var (
+	// ErrOverloaded classifies admission rejections that a client should
+	// retry later: full queue, draining scheduler, unmeetable deadline.
+	ErrOverloaded = errors.New("sched: overloaded")
+	// ErrTooLarge classifies jobs whose minimal MCDRAM lease exceeds the
+	// scheduler's whole budget — retrying cannot help.
+	ErrTooLarge = errors.New("sched: job exceeds MCDRAM budget")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("sched: scheduler closed")
+	// ErrCanceled is the terminal error of a canceled job.
+	ErrCanceled = errors.New("sched: job canceled")
+	// ErrDeadlineExpired is the terminal error of a job whose deadline
+	// passed before it could start.
+	ErrDeadlineExpired = errors.New("sched: job deadline expired before start")
+)
+
+// OverloadError is the typed admission rejection: the scheduler cannot
+// take the job now, but an identical submission may succeed after
+// RetryAfter. It matches ErrOverloaded under errors.Is — the HTTP layer
+// maps it to 429 with a Retry-After header.
+type OverloadError struct {
+	// Reason is "queue-full", "draining", or "deadline" (the job's
+	// deadline cannot be met given the estimated queue wait).
+	Reason string
+	// QueueDepth is the queue occupancy at rejection time.
+	QueueDepth int
+	// RetryAfter is the scheduler's estimate of when capacity frees up.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("sched: overloaded (%s, queue depth %d, retry after %v)",
+		e.Reason, e.QueueDepth, e.RetryAfter)
+}
+
+// Is matches the ErrOverloaded class.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// TooLargeError reports a job that can never be admitted: even with the
+// smallest megachunk the scheduler allows, the staging lease would exceed
+// the entire MCDRAM budget. It matches ErrTooLarge under errors.Is.
+type TooLargeError struct {
+	// Lease is the minimal lease the job would need; Budget the
+	// scheduler's total MCDRAM budget.
+	Lease, Budget units.Bytes
+}
+
+func (e *TooLargeError) Error() string {
+	return fmt.Sprintf("sched: job needs a %v MCDRAM lease, budget is %v", e.Lease, e.Budget)
+}
+
+// Is matches the ErrTooLarge class.
+func (e *TooLargeError) Is(target error) bool { return target == ErrTooLarge }

@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"knlmlm/internal/mlmsort"
+	"knlmlm/internal/telemetry"
+)
+
+// State is a job's lifecycle position.
+type State int32
+
+const (
+	// Queued: admitted, waiting for a worker slot and an MCDRAM lease.
+	Queued State = iota
+	// Running: dispatched onto a pipeline.
+	Running
+	// Done: finished with sorted output available.
+	Done
+	// Failed: finished with an error (retry budget exhausted, deadline
+	// expired before start, scheduler shutdown).
+	Failed
+	// Canceled: canceled by the client before completion.
+	Canceled
+)
+
+var stateNames = [...]string{"queued", "running", "done", "failed", "canceled"}
+
+// String reports the wire name used by the HTTP API.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return "unknown"
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
+
+// JobSpec describes one sort job.
+type JobSpec struct {
+	// Data is the keys to sort. The scheduler takes ownership: the slice
+	// is sorted in place and must not be touched until the job is
+	// terminal.
+	Data []int64
+	// Priority orders admission: higher runs sooner. Zero is the default
+	// class; negative deprioritizes.
+	Priority int
+	// Deadline, when non-zero, is the latest acceptable start time. Jobs
+	// that cannot start by it are rejected at submission (when the
+	// estimated queue wait already overshoots) or failed at dispatch.
+	Deadline time.Time
+	// Algorithm is the sort variant for non-batched jobs; zero value
+	// selects MLM-sort, the paper's staged flat-mode algorithm.
+	Algorithm mlmsort.Algorithm
+	// MegachunkLen overrides the scheduler's budget-aware megachunk
+	// sizing (elements; 0 = automatic).
+	MegachunkLen int
+}
+
+// Job is a submitted sort tracked through the scheduler.
+type Job struct {
+	id    string
+	spec  JobSpec
+	n     int
+	seq   int64
+	state atomic.Int32
+
+	// enqueued/started/finished stamp the lifecycle; guarded by mu after
+	// construction.
+	mu       sync.Mutex
+	err      error
+	enqueued time.Time
+	started  time.Time
+	finished time.Time
+
+	done chan struct{}
+
+	// vdl is the queue's virtual deadline (EDF key); heapIdx the job's
+	// position in the queue heap, -1 once popped. Guarded by the
+	// scheduler's lock.
+	vdl     time.Time
+	heapIdx int
+
+	// batchable jobs ride a shared pipeline pass; staged jobs get their
+	// own megachunked pipeline and a fair-share width control.
+	batchable bool
+	megachunk int
+	widths    *mlmsort.WidthControl
+
+	lease    *Lease
+	canceled atomic.Bool
+	runCtx   context.Context
+	cancel   context.CancelFunc
+	recorder *telemetry.Recorder
+	sched    *Scheduler
+}
+
+// ID reports the job's identifier ("job-000042").
+func (j *Job) ID() string { return j.id }
+
+// N reports the job's element count.
+func (j *Job) N() int { return j.n }
+
+// State reports the current lifecycle state.
+func (j *Job) State() State { return State(j.state.Load()) }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job is terminal or ctx expires.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return j.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Err reports the terminal error (nil while running or on success).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Result returns the sorted keys after a successful completion; before a
+// terminal state, or after failure/cancellation, it returns nil and the
+// job's error.
+func (j *Job) Result() ([]int64, error) {
+	if !j.State().Terminal() {
+		return nil, nil
+	}
+	if err := j.Err(); err != nil {
+		return nil, err
+	}
+	return j.spec.Data, nil
+}
+
+// Times reports the lifecycle stamps (zero where not reached).
+func (j *Job) Times() (enqueued, started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.enqueued, j.started, j.finished
+}
+
+// QueueWait reports time from admission to dispatch (or to now while
+// still queued).
+func (j *Job) QueueWait() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.enqueued.IsZero() {
+		return 0
+	}
+	if j.started.IsZero() {
+		if j.finished.IsZero() {
+			return time.Since(j.enqueued)
+		}
+		return j.finished.Sub(j.enqueued)
+	}
+	return j.started.Sub(j.enqueued)
+}
+
+// Spans reports the job's recorded pipeline spans (nil unless the
+// scheduler was configured with JobSpans).
+func (j *Job) Spans() []telemetry.Span {
+	if j.recorder == nil {
+		return nil
+	}
+	return j.recorder.Spans()
+}
+
+// LeaseBytes reports the MCDRAM lease the job held (its own for staged
+// jobs, the enclosing batch's for batched jobs); 0 before dispatch.
+func (j *Job) LeaseBytes() int64 { return int64(j.lease.Bytes()) }
+
+// Cancel stops the job: a queued job terminates immediately without ever
+// taking a lease; a running job's context is canceled and the pipeline
+// unwinds. Cancel after a terminal state is a no-op.
+func (j *Job) Cancel() { j.sched.cancelJob(j) }

@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"container/heap"
+	"time"
+)
+
+// jobQueue is an earliest-virtual-deadline-first heap. Each queued job
+// carries a fixed virtual deadline assigned at admission (enqueue time
+// plus a priority-derived slack, overridden by an earlier explicit
+// deadline); because a waiting job's key never moves later while new
+// arrivals are keyed from "now", every job's key eventually becomes the
+// minimum — aging makes the queue starvation-free even under sustained
+// higher-priority traffic.
+type jobQueue []*Job
+
+func (q jobQueue) Len() int { return len(q) }
+
+func (q jobQueue) Less(i, j int) bool {
+	if !q[i].vdl.Equal(q[j].vdl) {
+		return q[i].vdl.Before(q[j].vdl)
+	}
+	if q[i].spec.Priority != q[j].spec.Priority {
+		return q[i].spec.Priority > q[j].spec.Priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q jobQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].heapIdx = i
+	q[j].heapIdx = j
+}
+
+func (q *jobQueue) Push(x any) {
+	j := x.(*Job)
+	j.heapIdx = len(*q)
+	*q = append(*q, j)
+}
+
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIdx = -1
+	*q = old[:n-1]
+	return j
+}
+
+// push admits a job to the queue.
+func (q *jobQueue) push(j *Job) { heap.Push(q, j) }
+
+// peek returns the earliest-deadline job without removing it.
+func (q jobQueue) peek() *Job {
+	if len(q) == 0 {
+		return nil
+	}
+	return q[0]
+}
+
+// pop removes and returns the earliest-deadline job.
+func (q *jobQueue) pop() *Job {
+	if len(*q) == 0 {
+		return nil
+	}
+	return heap.Pop(q).(*Job)
+}
+
+// remove deletes a job anywhere in the queue (cancellation).
+func (q *jobQueue) remove(j *Job) bool {
+	if j.heapIdx < 0 || j.heapIdx >= len(*q) || (*q)[j.heapIdx] != j {
+		return false
+	}
+	heap.Remove(q, j.heapIdx)
+	return true
+}
+
+// virtualDeadline computes a job's EDF key: enqueue time plus a slack
+// that shrinks as priority grows, so higher-priority jobs sort earlier
+// among contemporaries without ever pinning lower-priority ones — an
+// old low-priority key is still earlier than a fresh high-priority one.
+// An explicit earlier deadline overrides the derived key.
+func virtualDeadline(enqueued time.Time, priority int, deadline time.Time, baseSlack time.Duration) time.Time {
+	slack := baseSlack
+	switch {
+	case priority > 0:
+		slack = baseSlack / time.Duration(priority+1)
+	case priority < 0:
+		slack = baseSlack * time.Duration(1-priority)
+	}
+	vd := enqueued.Add(slack)
+	if !deadline.IsZero() && deadline.Before(vd) {
+		vd = deadline
+	}
+	return vd
+}

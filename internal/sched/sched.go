@@ -1,0 +1,911 @@
+// Package sched turns the repository's single-run MLM-sort pipelines into a
+// multi-tenant service core. The paper's Section 3.2 model provisions one
+// sort against the whole 16 GB MCDRAM scratchpad; a service must instead
+// split that scratchpad — and the machine's threads — between concurrent
+// jobs. The scheduler does three things the single-run code cannot:
+//
+//   - MCDRAM admission control. A Budget ledger leases staging bytes to
+//     each dispatched job; the sum of live leases provably never exceeds
+//     the configured budget, and jobs whose minimal lease cannot fit are
+//     rejected with a typed, non-retryable error.
+//   - Priority- and deadline-aware queueing with backpressure. Admission
+//     past a bounded queue fails fast with a typed retryable error carrying
+//     a Retry-After hint; queued jobs run earliest-virtual-deadline-first,
+//     with priority folded into the deadline so no class starves.
+//   - Batching and fair-share provisioning. Jobs too small to deserve
+//     their own staged pipeline ride together as chunks of one pipeline
+//     pass; large jobs get staged pipelines whose copy/compute widths are
+//     re-solved from Equations 1-5 each time the set of concurrent jobs
+//     changes, using per-thread rates measured by the autotuner.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"time"
+
+	"knlmlm/internal/exec"
+	"knlmlm/internal/mem"
+	"knlmlm/internal/memkind"
+	"knlmlm/internal/mlmsort"
+	"knlmlm/internal/model"
+	"knlmlm/internal/psort"
+	"knlmlm/internal/telemetry"
+	"knlmlm/internal/units"
+)
+
+// Config describes a Scheduler. MCDRAMBudget is required; every other
+// field has a usable default.
+type Config struct {
+	// MCDRAMBudget is the total staging capacity jobs lease from — the
+	// service analog of the paper's 16 GB scratchpad partition.
+	MCDRAMBudget units.Bytes
+	// Workers bounds concurrently running pipelines (staged jobs and
+	// batches each occupy one slot). Zero selects 2.
+	Workers int
+	// QueueLimit bounds admitted-but-not-running jobs; submissions past
+	// it are rejected with OverloadError{Reason: "queue-full"}. Zero
+	// selects 64.
+	QueueLimit int
+	// TotalThreads is the thread budget fair-shared across running staged
+	// jobs. Zero selects GOMAXPROCS (floor 3: the model needs all three
+	// pools populated).
+	TotalThreads int
+	// Buffers is the staging-buffer count per pipeline (the paper's
+	// triple buffering). Zero selects 3.
+	Buffers int
+	// BatchMaxElems is the batchable-job threshold: jobs of at most this
+	// many elements share one pipeline pass instead of running their own
+	// megachunked pipeline. Zero selects a budget-derived power of two
+	// (1/4 of the largest admissible megachunk, capped at 64 Ki).
+	BatchMaxElems int
+	// BatchMaxJobs bounds jobs per batch. Zero selects 8.
+	BatchMaxJobs int
+	// AgingSlack is the base virtual-deadline slack (see virtualDeadline):
+	// smaller means priorities decay faster into plain FIFO. Zero selects
+	// 2 s.
+	AgingSlack time.Duration
+	// RetainJobs bounds terminal jobs kept for Lookup. Zero selects 256.
+	RetainJobs int
+	// Rates seeds the fair-share solver's model parameters. The zero
+	// value selects the paper's Table 2 constants; measured autotuner
+	// rates refine SCopy/SComp either way.
+	Rates model.Params
+
+	// Registry, when non-nil, receives the sched_* metric families.
+	Registry *telemetry.Registry
+	// Resilience, when non-nil, receives retry/degradation/outcome
+	// counters from job pipelines.
+	Resilience *telemetry.Resilience
+	// Heap, when non-nil, is the simulated two-level heap staged jobs
+	// place megachunk residency on.
+	Heap *memkind.Heap
+	// AllocFaults/Wrap plug the fault injector into every job pipeline.
+	AllocFaults mlmsort.AllocFaults
+	Wrap        func(exec.Stages) exec.Stages
+	// Retry/ChunkTimeout are passed through to job pipelines.
+	Retry        exec.RetryPolicy
+	ChunkTimeout time.Duration
+	// Autotune enables per-job rate measurement on staged jobs; measured
+	// rates feed back into the fair-share solver.
+	Autotune bool
+	// JobSpans attaches a telemetry recorder to each job (Job.Spans).
+	JobSpans bool
+}
+
+func (c Config) norm() (Config, error) {
+	if c.MCDRAMBudget <= 0 {
+		return c, fmt.Errorf("sched: MCDRAMBudget %v must be positive", c.MCDRAMBudget)
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 64
+	}
+	if c.TotalThreads <= 0 {
+		c.TotalThreads = runtime.GOMAXPROCS(0)
+	}
+	if c.TotalThreads < 3 {
+		c.TotalThreads = 3
+	}
+	if c.Buffers <= 0 {
+		c.Buffers = 3
+	}
+	if c.BatchMaxJobs <= 0 {
+		c.BatchMaxJobs = 8
+	}
+	maxMc := floorPow2(int(int64(c.MCDRAMBudget) / (8 * int64(c.Buffers+1))))
+	if maxMc < 2 {
+		return c, fmt.Errorf("sched: MCDRAMBudget %v cannot stage even one 2-element megachunk under %d buffers",
+			c.MCDRAMBudget, c.Buffers)
+	}
+	if c.BatchMaxElems <= 0 {
+		c.BatchMaxElems = maxMc / 4
+		if c.BatchMaxElems > 64*1024 {
+			c.BatchMaxElems = 64 * 1024
+		}
+		if c.BatchMaxElems < 2 {
+			c.BatchMaxElems = 2
+		}
+	}
+	batchLease := units.Bytes(int64(c.Buffers+1) * int64(ceilPow2(c.BatchMaxElems)) * 8)
+	if batchLease > c.MCDRAMBudget {
+		return c, fmt.Errorf("sched: BatchMaxElems %d needs a %v batch lease, budget is %v",
+			c.BatchMaxElems, batchLease, c.MCDRAMBudget)
+	}
+	if c.AgingSlack <= 0 {
+		c.AgingSlack = 2 * time.Second
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 256
+	}
+	if c.Rates.BCopy == 0 {
+		c.Rates = model.PaperTable2()
+	}
+	return c, nil
+}
+
+func floorPow2(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return 1 << (bits.Len(uint(n)) - 1)
+}
+
+func ceilPow2(n int) int {
+	if n < 2 {
+		return 2
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Scheduler is the service core: admission control, queueing, dispatch,
+// and fair-share provisioning over one MCDRAM budget.
+type Scheduler struct {
+	cfg    Config
+	budget *Budget
+	// pool is the budget-capped staging pool all job pipelines draw from:
+	// the byte-accounting second line of defense under the lease ledger.
+	// A refused Get degrades that buffer to an unpooled (DDR) allocation
+	// instead of failing the job, mirroring the paper's graceful
+	// flat-mode degradation.
+	pool *mem.SlicePool
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+
+	mu            sync.Mutex
+	queue         jobQueue
+	running       map[*Job]struct{}
+	pipelines     int
+	runningStaged int
+	jobs          map[string]*Job
+	retired       []string
+	seq           int64
+	draining      bool
+	closed        bool
+
+	kick     chan struct{}
+	dispDone chan struct{}
+	wg       sync.WaitGroup
+
+	rates   *rateEstimator
+	metrics *schedMetrics
+
+	submitted int64
+	batches   int64
+}
+
+// New builds and starts a Scheduler; callers must Close it.
+func New(cfg Config) (*Scheduler, error) {
+	cfg, err := cfg.norm()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:        cfg,
+		budget:     NewBudget(cfg.MCDRAMBudget),
+		pool:       mem.NewSlicePoolBudget(int64(cfg.MCDRAMBudget)),
+		rootCtx:    ctx,
+		rootCancel: cancel,
+		running:    make(map[*Job]struct{}),
+		jobs:       make(map[string]*Job),
+		kick:       make(chan struct{}, 1),
+		dispDone:   make(chan struct{}),
+		rates:      newRateEstimator(cfg.Rates),
+		metrics:    newSchedMetrics(cfg.Registry),
+	}
+	s.metrics.budgetBytes.Set(float64(cfg.MCDRAMBudget))
+	go s.dispatch()
+	return s, nil
+}
+
+// Budget reports the scheduler's MCDRAM ledger (read-only observation).
+func (s *Scheduler) Budget() *Budget { return s.budget }
+
+// PoolStats reports the budget-capped staging pool's counters.
+func (s *Scheduler) PoolStats() mem.PoolStats { return s.pool.Stats() }
+
+// plan is the admission-time sizing decision for one job.
+type plan struct {
+	batchable bool
+	megachunk int
+	lease     units.Bytes
+}
+
+// planFor sizes a job: batchable jobs ride the shared pass; staged jobs
+// get a power-of-two megachunk (so pool size classes match the lease
+// exactly) clamped to what the budget can stage.
+func (s *Scheduler) planFor(spec JobSpec) (plan, error) {
+	n := len(spec.Data)
+	perBuf := int64(s.cfg.Buffers + 1) // Buffers staging buffers + 1 sort scratch
+	if spec.MegachunkLen <= 0 && n <= s.cfg.BatchMaxElems {
+		return plan{batchable: true, lease: s.batchLease()}, nil
+	}
+	mc := spec.MegachunkLen
+	if mc <= 0 {
+		maxMc := floorPow2(int(int64(s.cfg.MCDRAMBudget) / (8 * perBuf)))
+		mc = floorPow2(n / 4)
+		if mc < 4096 {
+			mc = 4096
+		}
+		if mc > maxMc {
+			mc = maxMc
+		}
+	}
+	lease := units.Bytes(perBuf * int64(ceilPow2(mc)) * 8)
+	if lease > s.cfg.MCDRAMBudget {
+		return plan{}, &TooLargeError{Lease: lease, Budget: s.cfg.MCDRAMBudget}
+	}
+	return plan{megachunk: mc, lease: lease}, nil
+}
+
+// batchLease is the fixed worst-case lease for one batch pass: Buffers
+// staging buffers plus one scratch, each sized to the largest batchable
+// job's power-of-two size class.
+func (s *Scheduler) batchLease() units.Bytes {
+	return units.Bytes(int64(s.cfg.Buffers+1) * int64(ceilPow2(s.cfg.BatchMaxElems)) * 8)
+}
+
+// Submit admits a job or rejects it with a typed error: ErrClosed after
+// Close, OverloadError (retryable; matches ErrOverloaded) when draining,
+// when the queue is full, or when the deadline already passed, and
+// TooLargeError (not retryable; matches ErrTooLarge) when the job's
+// minimal MCDRAM lease exceeds the whole budget.
+func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	if spec.Algorithm == mlmsort.GNUFlat {
+		// The service serves the paper's staged algorithm by default; the
+		// zero Algorithm (GNU-flat) is not individually addressable.
+		spec.Algorithm = mlmsort.MLMSort
+	}
+	p, perr := s.planFor(spec)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		s.metrics.reject("closed")
+		return nil, ErrClosed
+	case s.draining:
+		s.metrics.reject("draining")
+		return nil, &OverloadError{Reason: "draining", QueueDepth: len(s.queue), RetryAfter: s.retryAfterLocked()}
+	}
+	if perr != nil {
+		s.metrics.reject("too-large")
+		return nil, perr
+	}
+	now := time.Now()
+	if !spec.Deadline.IsZero() && !spec.Deadline.After(now) {
+		s.metrics.reject("deadline")
+		return nil, &OverloadError{Reason: "deadline", QueueDepth: len(s.queue), RetryAfter: 0}
+	}
+	if len(s.queue) >= s.cfg.QueueLimit {
+		s.metrics.reject("queue-full")
+		return nil, &OverloadError{Reason: "queue-full", QueueDepth: len(s.queue), RetryAfter: s.retryAfterLocked()}
+	}
+
+	s.seq++
+	s.submitted++
+	j := &Job{
+		id:        fmt.Sprintf("job-%06d", s.seq),
+		spec:      spec,
+		n:         len(spec.Data),
+		seq:       s.seq,
+		done:      make(chan struct{}),
+		enqueued:  now,
+		heapIdx:   -1,
+		batchable: p.batchable,
+		megachunk: p.megachunk,
+		sched:     s,
+	}
+	j.vdl = virtualDeadline(now, spec.Priority, spec.Deadline, s.cfg.AgingSlack)
+	if s.cfg.JobSpans {
+		j.recorder = telemetry.NewRecorder()
+	}
+	s.jobs[j.id] = j
+	s.queue.push(j)
+	s.metrics.queueDepth.Set(float64(len(s.queue)))
+	s.kickLocked()
+	return j, nil
+}
+
+// retryAfterLocked estimates when capacity frees: one queue's worth of
+// dispatch intervals, clamped to a polite range.
+func (s *Scheduler) retryAfterLocked() time.Duration {
+	d := 250 * time.Millisecond * time.Duration(1+len(s.queue)/s.cfg.Workers)
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+// Lookup finds a job by id (running, queued, or retained terminal).
+func (s *Scheduler) Lookup(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Stats is a point-in-time scheduler snapshot.
+type Stats struct {
+	Queued, Running int
+	Submitted       int64
+	Batches         int64
+	LeasedBytes     units.Bytes
+	HighWaterBytes  units.Bytes
+	BudgetBytes     units.Bytes
+	Draining        bool
+}
+
+// Snapshot reports current occupancy and ledger state.
+func (s *Scheduler) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Queued:         len(s.queue),
+		Running:        len(s.running),
+		Submitted:      s.submitted,
+		Batches:        s.batches,
+		LeasedBytes:    s.budget.Leased(),
+		HighWaterBytes: s.budget.HighWater(),
+		BudgetBytes:    s.budget.Capacity(),
+		Draining:       s.draining,
+	}
+}
+
+func (s *Scheduler) kickLocked() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// dispatch is the scheduler's single dispatcher goroutine: it drains the
+// queue head-of-line (never skipping the earliest-deadline job, so a lease
+// that doesn't fit today blocks later jobs rather than starving the head)
+// and parks until kicked by a submit, a job finishing, or Close.
+func (s *Scheduler) dispatch() {
+	defer close(s.dispDone)
+	for {
+		s.mu.Lock()
+		for s.tryDispatchLocked() {
+		}
+		if s.closed {
+			s.failQueuedLocked(ErrClosed)
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		<-s.kick
+	}
+}
+
+// tryDispatchLocked makes at most one unit of progress (one job resolved
+// or one pipeline launched), reporting whether it did anything.
+func (s *Scheduler) tryDispatchLocked() bool {
+	head := s.queue.peek()
+	if head == nil {
+		return false
+	}
+	// Canceled and expired jobs resolve without a worker slot or lease.
+	if head.canceled.Load() {
+		s.queue.pop()
+		s.finishLocked(head, Canceled, ErrCanceled)
+		return true
+	}
+	if !head.spec.Deadline.IsZero() && !head.spec.Deadline.After(time.Now()) {
+		s.queue.pop()
+		s.finishLocked(head, Failed, ErrDeadlineExpired)
+		return true
+	}
+	if s.pipelines >= s.cfg.Workers {
+		return false
+	}
+	if head.batchable {
+		lease, ok := s.budget.TryLease(s.batchLease())
+		if !ok {
+			return false
+		}
+		batch := s.gatherBatchLocked()
+		for _, j := range batch {
+			s.startLocked(j, lease)
+		}
+		s.pipelines++
+		s.batches++
+		s.metrics.batches.Add(1)
+		s.metrics.batchedJobs.Add(int64(len(batch)))
+		s.wg.Add(1)
+		go s.runBatch(batch, lease)
+		return true
+	}
+	lease, ok := s.budget.TryLease(head.stagedLease())
+	if !ok {
+		return false
+	}
+	j := s.queue.pop()
+	// The width control must exist before the job enters the running set:
+	// refairLocked reads it under the scheduler lock.
+	j.widths = mlmsort.NewWidthControl(model.Pools{})
+	s.startLocked(j, lease)
+	s.pipelines++
+	s.runningStaged++
+	s.refairLocked()
+	s.wg.Add(1)
+	go s.runStaged(j, lease)
+	return true
+}
+
+// stagedLease computes the staged job's lease size (pipeline buffers +
+// sort scratch, each at the job's megachunk size class).
+func (j *Job) stagedLease() units.Bytes {
+	return units.Bytes(int64(j.sched.cfg.Buffers+1) * int64(ceilPow2(j.megachunk)) * 8)
+}
+
+// gatherBatchLocked pops the head plus any immediately-following batchable
+// jobs, preserving EDF order (it stops at the first non-batchable head
+// rather than searching past it).
+func (s *Scheduler) gatherBatchLocked() []*Job {
+	batch := []*Job{s.queue.pop()}
+	for len(batch) < s.cfg.BatchMaxJobs {
+		next := s.queue.peek()
+		if next == nil || !next.batchable {
+			break
+		}
+		s.queue.pop()
+		if next.canceled.Load() {
+			s.finishLocked(next, Canceled, ErrCanceled)
+			continue
+		}
+		batch = append(batch, next)
+	}
+	return batch
+}
+
+// startLocked transitions a popped job to Running under the scheduler lock.
+func (s *Scheduler) startLocked(j *Job, lease *Lease) {
+	now := time.Now()
+	j.mu.Lock()
+	j.started = now
+	j.mu.Unlock()
+	j.lease = lease
+	j.state.Store(int32(Running))
+	if !j.batchable {
+		j.runCtx, j.cancel = context.WithCancel(s.rootCtx)
+	}
+	// Batched jobs keep nil runCtx/cancel: one job cannot cancel the
+	// shared pipeline; cancellation is observed per chunk by the batch's
+	// stage functions.
+	s.running[j] = struct{}{}
+	s.metrics.queueDepth.Set(float64(len(s.queue)))
+	s.metrics.running.Set(float64(len(s.running)))
+	s.metrics.leased.Set(float64(s.budget.Leased()))
+	s.metrics.queueWait.Observe(now.Sub(j.enqueued).Seconds())
+}
+
+// finishLocked resolves a job to a terminal state exactly once.
+func (s *Scheduler) finishLocked(j *Job, st State, err error) {
+	if State(j.state.Load()).Terminal() {
+		return
+	}
+	now := time.Now()
+	j.mu.Lock()
+	j.err = err
+	j.finished = now
+	j.mu.Unlock()
+	j.state.Store(int32(st))
+	close(j.done)
+	delete(s.running, j)
+	s.metrics.queueDepth.Set(float64(len(s.queue)))
+	s.metrics.running.Set(float64(len(s.running)))
+	s.metrics.completed(st)
+	s.metrics.latency.Observe(now.Sub(j.enqueued).Seconds())
+	s.retireLocked(j)
+}
+
+// retireLocked keeps terminal jobs addressable by Lookup up to the
+// retention bound, evicting oldest-first.
+func (s *Scheduler) retireLocked(j *Job) {
+	s.retired = append(s.retired, j.id)
+	for len(s.retired) > s.cfg.RetainJobs {
+		delete(s.jobs, s.retired[0])
+		s.retired = s.retired[1:]
+	}
+}
+
+// failQueuedLocked resolves every queued job (scheduler shutdown).
+func (s *Scheduler) failQueuedLocked(err error) {
+	for {
+		j := s.queue.pop()
+		if j == nil {
+			return
+		}
+		s.finishLocked(j, Failed, err)
+	}
+}
+
+// refairLocked re-solves Equations 1-5 for the current concurrency level
+// and pushes the per-job thread split into every running staged job's
+// width control. Called whenever the staged active set changes.
+func (s *Scheduler) refairLocked() {
+	if s.runningStaged == 0 {
+		return
+	}
+	per := s.cfg.TotalThreads / s.runningStaged
+	if per < 3 {
+		per = 3
+	}
+	maxIn := per / 2
+	if maxIn < 1 {
+		maxIn = 1
+	}
+	pools := s.rates.params().Optimal(per, maxIn, 1).Pools
+	for j := range s.running {
+		if j.widths != nil {
+			j.widths.SetPools(pools)
+		}
+	}
+	s.metrics.fairShare.Set(float64(per))
+}
+
+// runStaged executes one large job on its own megachunked pipeline.
+func (s *Scheduler) runStaged(j *Job, lease *Lease) {
+	defer s.wg.Done()
+	per := s.fairShareThreads()
+	opts := mlmsort.RealOptions{
+		Recorder:     j.recorder,
+		Heap:         s.cfg.Heap,
+		AllocFaults:  s.cfg.AllocFaults,
+		Resilience:   s.cfg.Resilience,
+		Wrap:         s.cfg.Wrap,
+		Retry:        s.cfg.Retry,
+		ChunkTimeout: s.cfg.ChunkTimeout,
+		Buffers:      s.cfg.Buffers,
+		Widths:       j.widths,
+		Pool:         s.pool,
+	}
+	if s.cfg.Autotune {
+		opts.Autotune = &mlmsort.AutotuneOptions{
+			TotalThreads: per,
+			OnDecision:   s.rates.observe,
+		}
+	}
+	_, err := mlmsort.RunRealResilient(j.runCtx, j.spec.Algorithm, j.spec.Data, per, j.megachunk, opts)
+	lease.Release()
+
+	st := Done
+	switch {
+	case err == nil:
+		st = Done
+		err = nil
+	case j.canceled.Load():
+		st, err = Canceled, ErrCanceled
+	case s.rootCtx.Err() != nil:
+		st, err = Failed, ErrClosed
+	default:
+		st = Failed
+	}
+	s.mu.Lock()
+	s.pipelines--
+	s.runningStaged--
+	s.finishLocked(j, st, err)
+	s.refairLocked()
+	s.metrics.leased.Set(float64(s.budget.Leased()))
+	s.kickLocked()
+	s.mu.Unlock()
+}
+
+// fairShareThreads reports the per-job thread share at current staged
+// concurrency.
+func (s *Scheduler) fairShareThreads() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := s.runningStaged
+	if k < 1 {
+		k = 1
+	}
+	per := s.cfg.TotalThreads / k
+	if per < 3 {
+		per = 3
+	}
+	return per
+}
+
+// runBatch executes a set of small jobs as the chunks of one pipeline
+// pass: chunk i copy-in stages job i into MCDRAM, compute sorts it with
+// the adaptive kernel, copy-out drains it back and completes the job —
+// so batched jobs finish one by one as the pipeline streams, not all at
+// the end.
+func (s *Scheduler) runBatch(batch []*Job, lease *Lease) {
+	defer s.wg.Done()
+	maxN := 0
+	for _, j := range batch {
+		if j.n > maxN {
+			maxN = j.n
+		}
+	}
+	scratch := s.pool.Get(maxN)
+	pooledScratch := scratch != nil
+	if scratch == nil && maxN > 0 {
+		scratch = make([]int64, maxN)
+	}
+
+	// The batch pipeline's spans land on the first job's recorder (one
+	// pass sorts all of them; per-chunk spans are per job but the recorder
+	// granularity is per pipeline). The other jobs keep empty recorders.
+	var rec *telemetry.Recorder
+	if s.cfg.JobSpans {
+		rec = batch[0].recorder
+	}
+	stages := exec.Stages{
+		NumChunks: len(batch),
+		ChunkLen:  func(i int) int { return batch[i].n },
+		CopyIn: func(i int, dst []int64) error {
+			if batch[i].canceled.Load() {
+				return nil
+			}
+			copy(dst, batch[i].spec.Data)
+			return nil
+		},
+		Compute: func(i int, buf []int64) error {
+			if batch[i].canceled.Load() {
+				return nil
+			}
+			psort.SortAdaptive(buf, scratch[:len(buf)])
+			return nil
+		},
+		CopyOut: func(i int, src []int64) error {
+			j := batch[i]
+			if !j.canceled.Load() {
+				copy(j.spec.Data, src)
+			}
+			s.completeBatched(j)
+			return nil
+		},
+		Retry:        s.cfg.Retry,
+		ChunkTimeout: s.cfg.ChunkTimeout,
+		Pool:         s.pool,
+	}
+	if rec != nil {
+		stages.Observer = rec
+	}
+	if s.cfg.Resilience != nil {
+		stages.OnRetry = s.cfg.Resilience.ObserveRetry
+	}
+	if s.cfg.Wrap != nil {
+		stages = s.cfg.Wrap(stages)
+	}
+	err := exec.RunContext(s.rootCtx, stages, s.cfg.Buffers)
+	if pooledScratch {
+		s.pool.Put(scratch)
+	}
+	lease.Release()
+	if s.cfg.Resilience != nil {
+		s.cfg.Resilience.RecordOutcome(err)
+	}
+
+	s.mu.Lock()
+	s.pipelines--
+	for _, j := range batch {
+		if State(j.state.Load()).Terminal() {
+			continue
+		}
+		// Chunks past the failure point never reached copy-out.
+		st, jerr := Failed, err
+		if err == nil {
+			st, jerr = Done, nil
+		}
+		if j.canceled.Load() {
+			st, jerr = Canceled, ErrCanceled
+		} else if err != nil && s.rootCtx.Err() != nil {
+			jerr = ErrClosed
+		}
+		s.finishLocked(j, st, jerr)
+	}
+	s.metrics.leased.Set(float64(s.budget.Leased()))
+	s.kickLocked()
+	s.mu.Unlock()
+}
+
+// completeBatched resolves one batched job as its chunk drains.
+func (s *Scheduler) completeBatched(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.canceled.Load() {
+		s.finishLocked(j, Canceled, ErrCanceled)
+		return
+	}
+	s.finishLocked(j, Done, nil)
+}
+
+// cancelJob implements Job.Cancel: a queued job resolves immediately
+// (it holds no lease, so there is nothing to leak); a running staged job
+// has its context canceled and unwinds through the pipeline; a running
+// batched job is flagged and its remaining stages become no-ops.
+func (s *Scheduler) cancelJob(j *Job) {
+	s.mu.Lock()
+	if State(j.state.Load()).Terminal() {
+		s.mu.Unlock()
+		return
+	}
+	j.canceled.Store(true)
+	if j.heapIdx >= 0 && s.queue.remove(j) {
+		s.finishLocked(j, Canceled, ErrCanceled)
+		s.mu.Unlock()
+		return
+	}
+	cancel := j.cancel
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Drain stops admitting (submissions get OverloadError{Reason:"draining"})
+// and waits for every queued and running job to resolve, or for ctx.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.kickLocked()
+	s.mu.Unlock()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		idle := len(s.queue) == 0 && len(s.running) == 0
+		s.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Close shuts the scheduler down: queued jobs fail with ErrClosed,
+// running pipelines are canceled, and Close returns once every goroutine
+// has exited. Close is idempotent.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.dispDone
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.draining = true
+	s.kickLocked()
+	s.mu.Unlock()
+	s.rootCancel()
+	<-s.dispDone
+	s.wg.Wait()
+}
+
+// rateEstimator folds autotuner-measured per-thread rates into the
+// fair-share solver's model parameters with an exponentially weighted
+// moving average, so repeated solves track the machine rather than the
+// paper's testbed constants.
+type rateEstimator struct {
+	mu   sync.Mutex
+	base model.Params
+}
+
+func newRateEstimator(seed model.Params) *rateEstimator {
+	return &rateEstimator{base: seed}
+}
+
+const rateAlpha = 0.3
+
+// observe is the AutotuneOptions.OnDecision hook.
+func (r *rateEstimator) observe(p model.Prediction) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p.CCopy > 0 {
+		r.base.SCopy = units.BytesPerSec((1-rateAlpha)*float64(r.base.SCopy) + rateAlpha*float64(p.CCopy))
+	}
+	if p.CComp > 0 {
+		r.base.SComp = units.BytesPerSec((1-rateAlpha)*float64(r.base.SComp) + rateAlpha*float64(p.CComp))
+	}
+}
+
+// params reports the current blended parameter set.
+func (r *rateEstimator) params() model.Params {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.base
+}
+
+// schedMetrics is the sched_* metric family set. With a nil registry a
+// private one is used so the hot paths stay branch-free.
+type schedMetrics struct {
+	budgetBytes *telemetry.Gauge
+	leased      *telemetry.Gauge
+	queueDepth  *telemetry.Gauge
+	running     *telemetry.Gauge
+	fairShare   *telemetry.Gauge
+	rejected    map[string]*telemetry.Counter
+	done        map[State]*telemetry.Counter
+	batches     *telemetry.Counter
+	batchedJobs *telemetry.Counter
+	latency     *telemetry.Histogram
+	queueWait   *telemetry.Histogram
+
+	mu  sync.Mutex
+	reg *telemetry.Registry
+}
+
+func newSchedMetrics(reg *telemetry.Registry) *schedMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	m := &schedMetrics{
+		reg:         reg,
+		budgetBytes: reg.Gauge("sched_mcdram_budget_bytes", "Configured MCDRAM staging budget.", nil),
+		leased:      reg.Gauge("sched_mcdram_leased_bytes", "MCDRAM bytes currently out on lease to running jobs.", nil),
+		queueDepth:  reg.Gauge("sched_queue_depth", "Admitted jobs waiting for dispatch.", nil),
+		running:     reg.Gauge("sched_jobs_running", "Jobs currently running.", nil),
+		fairShare:   reg.Gauge("sched_fair_share_threads", "Per-job thread share at current staged concurrency.", nil),
+		rejected:    make(map[string]*telemetry.Counter),
+		done:        make(map[State]*telemetry.Counter),
+		batches:     reg.Counter("sched_batches_total", "Batch pipeline passes launched.", nil),
+		batchedJobs: reg.Counter("sched_batched_jobs_total", "Jobs that rode a shared batch pass.", nil),
+		latency: reg.Histogram("sched_job_latency_seconds", "Submit-to-terminal job latency.",
+			nil, telemetry.DefLatencyBuckets()),
+		queueWait: reg.Histogram("sched_queue_wait_seconds", "Submit-to-dispatch queue wait.",
+			nil, telemetry.DefLatencyBuckets()),
+	}
+	return m
+}
+
+func (m *schedMetrics) reject(reason string) {
+	m.mu.Lock()
+	c, ok := m.rejected[reason]
+	if !ok {
+		c = m.reg.Counter("sched_rejected_total", "Submissions rejected at admission.",
+			telemetry.Labels{"reason": reason})
+		m.rejected[reason] = c
+	}
+	m.mu.Unlock()
+	c.Add(1)
+}
+
+func (m *schedMetrics) completed(st State) {
+	m.mu.Lock()
+	c, ok := m.done[st]
+	if !ok {
+		c = m.reg.Counter("sched_jobs_completed_total", "Jobs resolved to a terminal state.",
+			telemetry.Labels{"outcome": st.String()})
+		m.done[st] = c
+	}
+	m.mu.Unlock()
+	c.Add(1)
+}

@@ -1,0 +1,599 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"knlmlm/internal/exec"
+	"knlmlm/internal/mlmsort"
+	"knlmlm/internal/telemetry"
+	"knlmlm/internal/units"
+	"knlmlm/internal/workload"
+)
+
+const testBudget = units.Bytes(4 << 20) // 4 MiB: room for 8 concurrent 256 KiB leases
+
+func testConfig() Config {
+	return Config{
+		MCDRAMBudget: testBudget,
+		Workers:      2,
+		TotalThreads: 8,
+	}
+}
+
+func newTestScheduler(t *testing.T, cfg Config) *Scheduler {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func waitDone(t *testing.T, j *Job) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil && ctx.Err() != nil {
+		t.Fatalf("job %s did not finish: %v", j.ID(), err)
+	}
+}
+
+func mustSorted(t *testing.T, j *Job) {
+	t.Helper()
+	out, err := j.Result()
+	if err != nil {
+		t.Fatalf("job %s failed: %v", j.ID(), err)
+	}
+	if !workload.IsSorted(out) {
+		t.Fatalf("job %s output not sorted", j.ID())
+	}
+}
+
+// gate blocks wrapped pipelines until released, giving tests deterministic
+// control over when running jobs finish.
+type gate struct {
+	ch   chan struct{}
+	once sync.Once
+}
+
+func newGate() *gate  { return &gate{ch: make(chan struct{})} }
+func (g *gate) open() { g.once.Do(func() { close(g.ch) }) }
+func (g *gate) wrap() func(exec.Stages) exec.Stages {
+	return func(s exec.Stages) exec.Stages {
+		inner := s.Compute
+		s.Compute = func(i int, buf []int64) error {
+			<-g.ch
+			return inner(i, buf)
+		}
+		return s
+	}
+}
+
+// eventually polls cond for up to 10s.
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestConcurrentJobsRespectBudget is the PR's acceptance test: at least 8
+// concurrent staged sort jobs, with total leased MCDRAM provably at or
+// under the budget while all of them run, exported through the
+// sched_mcdram_leased_bytes gauge.
+func TestConcurrentJobsRespectBudget(t *testing.T) {
+	const jobs = 8
+	g := newGate()
+	reg := telemetry.NewRegistry()
+	cfg := testConfig()
+	cfg.Workers = jobs
+	cfg.Registry = reg
+	cfg.Wrap = g.wrap()
+	s := newTestScheduler(t, cfg)
+	defer g.open()
+
+	var js []*Job
+	for i := 0; i < jobs; i++ {
+		// 40000 elements: above the batchable threshold, so each job gets
+		// its own staged pipeline and its own lease.
+		j, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 40000, int64(i+1))})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if j.N() != 40000 {
+			t.Fatalf("job %d: N = %d", i, j.N())
+		}
+		js = append(js, j)
+	}
+	eventually(t, "all jobs running", func() bool { return s.Snapshot().Running == jobs })
+
+	snap := s.Snapshot()
+	if snap.LeasedBytes <= 0 || snap.LeasedBytes > snap.BudgetBytes {
+		t.Fatalf("leased %v out of range (0, %v]", snap.LeasedBytes, snap.BudgetBytes)
+	}
+	var sum units.Bytes
+	for _, j := range js {
+		lb := units.Bytes(j.LeaseBytes())
+		if lb <= 0 {
+			t.Fatalf("running job %s has no lease", j.ID())
+		}
+		sum += lb
+	}
+	if sum != snap.LeasedBytes {
+		t.Fatalf("lease sum %v != ledger %v", sum, snap.LeasedBytes)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := b.String()
+	if !strings.Contains(text, "sched_mcdram_leased_bytes") {
+		t.Fatalf("metrics missing sched_mcdram_leased_bytes:\n%s", text)
+	}
+	if !strings.Contains(text, "sched_mcdram_budget_bytes") {
+		t.Fatalf("metrics missing sched_mcdram_budget_bytes:\n%s", text)
+	}
+
+	g.open()
+	for _, j := range js {
+		waitDone(t, j)
+		mustSorted(t, j)
+	}
+	if got := s.Budget().Leased(); got != 0 {
+		t.Fatalf("leased %v after all jobs done, want 0", got)
+	}
+	if hw := s.Budget().HighWater(); hw > testBudget {
+		t.Fatalf("high water %v exceeded budget %v", hw, testBudget)
+	}
+}
+
+func TestBatchingSortsSmallJobs(t *testing.T) {
+	cfg := testConfig()
+	s := newTestScheduler(t, cfg)
+	var js []*Job
+	for i := 0; i < 20; i++ {
+		j, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 500+i*37, int64(i))})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if !j.batchable {
+			t.Fatalf("job %d (n=%d) should be batchable under threshold %d", i, j.N(), cfg.BatchMaxElems)
+		}
+		js = append(js, j)
+	}
+	for _, j := range js {
+		waitDone(t, j)
+		mustSorted(t, j)
+	}
+	if s.Snapshot().Batches == 0 {
+		t.Fatal("no batch passes launched for 20 small jobs")
+	}
+	// Batched jobs complete as their chunks drain, slightly before the
+	// batch pipeline itself unwinds and releases its lease.
+	eventually(t, "batch leases released", func() bool { return s.Budget().Leased() == 0 })
+}
+
+func TestSubmitQueueFullTypedOverload(t *testing.T) {
+	g := newGate()
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.QueueLimit = 2
+	cfg.Wrap = g.wrap()
+	s := newTestScheduler(t, cfg)
+	defer g.open()
+
+	blocker, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 40000, 1)})
+	if err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	eventually(t, "blocker running", func() bool { return blocker.State() == Running })
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 40000, int64(i+2))}); err != nil {
+			t.Fatalf("queued %d: %v", i, err)
+		}
+	}
+	_, err = s.Submit(JobSpec{Data: workload.Generate(workload.Random, 40000, 9)})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err %T is not *OverloadError", err)
+	}
+	if oe.Reason != "queue-full" || oe.QueueDepth != 2 || oe.RetryAfter <= 0 {
+		t.Fatalf("unexpected overload payload: %+v", oe)
+	}
+}
+
+func TestSubmitTooLargeTyped(t *testing.T) {
+	s := newTestScheduler(t, testConfig())
+	// An explicit megachunk bigger than the whole budget can never lease.
+	spec := JobSpec{
+		Data:         workload.Generate(workload.Random, 40000, 1),
+		MegachunkLen: int(testBudget), // elements; x8 bytes x(buffers+1) >> budget
+	}
+	_, err := s.Submit(spec)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	var te *TooLargeError
+	if !errors.As(err, &te) {
+		t.Fatalf("err %T is not *TooLargeError", err)
+	}
+	if te.Budget != testBudget || te.Lease <= te.Budget {
+		t.Fatalf("unexpected payload: %+v", te)
+	}
+	// Retrying cannot help, and the class is distinct from overload.
+	if errors.Is(err, ErrOverloaded) {
+		t.Fatal("TooLargeError must not match ErrOverloaded")
+	}
+}
+
+func TestAutoMegachunkAlwaysFits(t *testing.T) {
+	s := newTestScheduler(t, testConfig())
+	// Auto-sized jobs clamp their megachunk to the budget instead of
+	// rejecting: a dataset much larger than MCDRAM still sorts.
+	j, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 3_000_000, 7)})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if units.Bytes(8*(s.cfg.Buffers+1)*ceilPow2(j.megachunk)) > testBudget {
+		t.Fatalf("megachunk %d overshoots budget", j.megachunk)
+	}
+	waitDone(t, j)
+	mustSorted(t, j)
+}
+
+func TestExpiredDeadlineRejectedAndQueuedDeadlineFails(t *testing.T) {
+	g := newGate()
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.Wrap = g.wrap()
+	s := newTestScheduler(t, cfg)
+	defer g.open()
+
+	_, err := s.Submit(JobSpec{
+		Data:     workload.Generate(workload.Random, 1000, 1),
+		Deadline: time.Now().Add(-time.Second),
+	})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("expired-deadline submit: err = %v, want ErrOverloaded", err)
+	}
+
+	blocker, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 40000, 2)})
+	if err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	eventually(t, "blocker running", func() bool { return blocker.State() == Running })
+	j, err := s.Submit(JobSpec{
+		Data:     workload.Generate(workload.Random, 40000, 3),
+		Deadline: time.Now().Add(30 * time.Millisecond),
+	})
+	if err != nil {
+		t.Fatalf("deadline job: %v", err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	g.open()
+	waitDone(t, j)
+	if j.State() != Failed || !errors.Is(j.Err(), ErrDeadlineExpired) {
+		t.Fatalf("state %v err %v, want Failed/ErrDeadlineExpired", j.State(), j.Err())
+	}
+}
+
+func TestCancelQueuedNeverLeaks(t *testing.T) {
+	g := newGate()
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.Wrap = g.wrap()
+	s := newTestScheduler(t, cfg)
+	defer g.open()
+
+	blocker, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 40000, 1)})
+	if err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	eventually(t, "blocker running", func() bool { return blocker.State() == Running })
+	leasedWithOne := s.Budget().Leased()
+
+	j, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 40000, 2)})
+	if err != nil {
+		t.Fatalf("queued: %v", err)
+	}
+	j.Cancel()
+	waitDone(t, j)
+	if j.State() != Canceled || !errors.Is(j.Err(), ErrCanceled) {
+		t.Fatalf("state %v err %v, want Canceled/ErrCanceled", j.State(), j.Err())
+	}
+	if j.LeaseBytes() != 0 {
+		t.Fatalf("canceled queued job holds a %d-byte lease", j.LeaseBytes())
+	}
+	if got := s.Budget().Leased(); got != leasedWithOne {
+		t.Fatalf("ledger moved on queued cancel: %v -> %v", leasedWithOne, got)
+	}
+	j.Cancel() // idempotent
+	g.open()
+	waitDone(t, blocker)
+	mustSorted(t, blocker)
+}
+
+func TestCancelRunningReleasesLease(t *testing.T) {
+	g := newGate()
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.Wrap = g.wrap()
+	s := newTestScheduler(t, cfg)
+	defer g.open()
+
+	j, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 40000, 1)})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	eventually(t, "running", func() bool { return j.State() == Running })
+	j.Cancel()
+	g.open()
+	waitDone(t, j)
+	if j.State() != Canceled {
+		t.Fatalf("state %v, want Canceled", j.State())
+	}
+	if _, err := j.Result(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Result err = %v, want ErrCanceled", err)
+	}
+	eventually(t, "lease released", func() bool { return s.Budget().Leased() == 0 })
+}
+
+func TestPriorityAgingNoStarvation(t *testing.T) {
+	g := newGate()
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.QueueLimit = 128
+	cfg.AgingSlack = 20 * time.Millisecond
+	cfg.Wrap = g.wrap()
+	s := newTestScheduler(t, cfg)
+	defer g.open()
+
+	blocker, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 40000, 1)})
+	if err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	eventually(t, "blocker running", func() bool { return blocker.State() == Running })
+
+	low, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 1000, 2), Priority: -2})
+	if err != nil {
+		t.Fatalf("low: %v", err)
+	}
+	// Give the low-priority job's virtual deadline time to age past the
+	// slack of the high-priority traffic that follows.
+	time.Sleep(5 * cfg.AgingSlack)
+	for i := 0; i < 50; i++ {
+		if _, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 1000, int64(i+3)), Priority: 10}); err != nil {
+			t.Fatalf("high %d: %v", i, err)
+		}
+	}
+	g.open()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := low.Wait(ctx); err != nil {
+		t.Fatalf("low-priority job starved: %v", err)
+	}
+	mustSorted(t, low)
+}
+
+func TestPriorityOrdersQueue(t *testing.T) {
+	g := newGate()
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.Wrap = g.wrap()
+	s := newTestScheduler(t, cfg)
+	defer g.open()
+
+	blocker, _ := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 40000, 1)})
+	eventually(t, "blocker running", func() bool { return blocker.State() == Running })
+	// Same instant, different priorities: the high one must start first.
+	lo, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 40000, 2), Priority: 0})
+	if err != nil {
+		t.Fatalf("lo: %v", err)
+	}
+	hi, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 40000, 3), Priority: 5})
+	if err != nil {
+		t.Fatalf("hi: %v", err)
+	}
+	g.open()
+	waitDone(t, lo)
+	waitDone(t, hi)
+	_, hiStart, _ := hi.Times()
+	_, loStart, _ := lo.Times()
+	if hiStart.After(loStart) {
+		t.Fatalf("high-priority started %v after low-priority %v", hiStart, loStart)
+	}
+}
+
+func TestDrainFinishesEverything(t *testing.T) {
+	s := newTestScheduler(t, testConfig())
+	var js []*Job
+	for i := 0; i < 6; i++ {
+		j, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 30000, int64(i))})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		js = append(js, j)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	for _, j := range js {
+		mustSorted(t, j)
+	}
+	if _, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 100, 9)}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("submit while draining: err = %v, want ErrOverloaded", err)
+	}
+}
+
+func TestCloseFailsQueuedWithErrClosed(t *testing.T) {
+	g := newGate()
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.Wrap = g.wrap()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	blocker, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 40000, 1)})
+	if err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	eventually(t, "blocker running", func() bool { return blocker.State() == Running })
+	queued, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 40000, 2)})
+	if err != nil {
+		t.Fatalf("queued: %v", err)
+	}
+	g.open() // Close cancels the running pipeline; gate must not hold it
+	s.Close()
+	if queued.State() != Failed || !errors.Is(queued.Err(), ErrClosed) {
+		t.Fatalf("queued job: state %v err %v, want Failed/ErrClosed", queued.State(), queued.Err())
+	}
+	if !blocker.State().Terminal() {
+		t.Fatalf("running job not terminal after Close: %v", blocker.State())
+	}
+	if _, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 100, 3)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after Close: err = %v, want ErrClosed", err)
+	}
+	if got := s.Budget().Leased(); got != 0 {
+		t.Fatalf("leased %v after Close, want 0", got)
+	}
+}
+
+func TestLookupAndRetention(t *testing.T) {
+	cfg := testConfig()
+	cfg.RetainJobs = 4
+	s := newTestScheduler(t, cfg)
+	var ids []string
+	for i := 0; i < 8; i++ {
+		j, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 300, int64(i))})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		waitDone(t, j)
+		ids = append(ids, j.ID())
+	}
+	if _, ok := s.Lookup(ids[len(ids)-1]); !ok {
+		t.Fatal("most recent job evicted")
+	}
+	if _, ok := s.Lookup(ids[0]); ok {
+		t.Fatal("oldest job should have been evicted past RetainJobs")
+	}
+	if _, ok := s.Lookup("job-999999"); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestFairShareWidthsApplied(t *testing.T) {
+	g := newGate()
+	cfg := testConfig()
+	cfg.Workers = 4
+	cfg.TotalThreads = 16
+	cfg.Wrap = g.wrap()
+	s := newTestScheduler(t, cfg)
+	defer g.open()
+
+	var js []*Job
+	for i := 0; i < 4; i++ {
+		j, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 40000, int64(i+1))})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		js = append(js, j)
+	}
+	eventually(t, "4 running", func() bool { return s.Snapshot().Running == 4 })
+	for _, j := range js {
+		p := j.widths.Pools()
+		total := p.In + p.Out + p.Comp
+		// 16 threads over 4 jobs: each job's solved split spends about its
+		// 4-thread share (the model may round within a pool or two).
+		if total < 3 || total > 6 {
+			t.Fatalf("job %s width total %d (pools %+v), want ~4", j.ID(), total, p)
+		}
+	}
+	g.open()
+	for _, j := range js {
+		waitDone(t, j)
+		mustSorted(t, j)
+	}
+}
+
+func TestStagedJobUsesBudgetedPool(t *testing.T) {
+	s := newTestScheduler(t, testConfig())
+	j, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 200000, 5)})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitDone(t, j)
+	mustSorted(t, j)
+	st := s.PoolStats()
+	if st.Gets == 0 {
+		t.Fatal("staged job did not draw from the scheduler pool")
+	}
+	if s.pool.FootprintBytes() > int64(testBudget) {
+		t.Fatalf("pool footprint %d exceeds budget %v", s.pool.FootprintBytes(), testBudget)
+	}
+}
+
+func TestRegistryExportsJobOutcomes(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := testConfig()
+	cfg.Registry = reg
+	s := newTestScheduler(t, cfg)
+	j, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 1000, 1)})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitDone(t, j)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`sched_jobs_completed_total{outcome="done"} 1`,
+		"sched_job_latency_seconds",
+		"sched_queue_wait_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHybridAlgorithmJob(t *testing.T) {
+	s := newTestScheduler(t, testConfig())
+	j, err := s.Submit(JobSpec{
+		Data:      workload.Generate(workload.Random, 60000, 11),
+		Algorithm: mlmsort.MLMHybrid,
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitDone(t, j)
+	mustSorted(t, j)
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero budget must be rejected")
+	}
+	if _, err := New(Config{MCDRAMBudget: 32}); err == nil {
+		t.Fatal("budget too small to stage anything must be rejected")
+	}
+}

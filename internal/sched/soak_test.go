@@ -1,0 +1,239 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"knlmlm/internal/fault"
+	"knlmlm/internal/memkind"
+	"knlmlm/internal/telemetry"
+	"knlmlm/internal/units"
+	"knlmlm/internal/workload"
+)
+
+// TestSchedulerSoak drives the scheduler with randomized sizes,
+// priorities, deadlines, and cancellations — under an injected-fault
+// chaos plan — while a sampler continuously asserts the MCDRAM
+// invariants:
+//
+//   - total leased bytes never exceed the budget (and neither does the
+//     staging pool's footprint),
+//   - sustained high-priority traffic never starves lower priorities,
+//   - canceling a queued job never leaks a lease.
+//
+// Run with -race; the test is sized to stay in tier-1 time budgets.
+func TestSchedulerSoak(t *testing.T) {
+	const (
+		budget    = units.Bytes(2 << 20)
+		clients   = 4
+		perClient = 30
+	)
+	plan := fault.NewPlan(20260805, units.Bytes(512<<10))
+	inj := plan.Injector()
+	reg := telemetry.NewRegistry()
+	s, err := New(Config{
+		MCDRAMBudget: budget,
+		Workers:      3,
+		QueueLimit:   256,
+		TotalThreads: 8,
+		AgingSlack:   25 * time.Millisecond,
+		Registry:     reg,
+		Resilience:   telemetry.NewResilience(reg),
+		Heap:         memkind.NewHeap(plan.HBWCapacity, units.GiB),
+		AllocFaults:  inj,
+		Wrap:         inj.Wrap,
+		Retry:        plan.Retry,
+		ChunkTimeout: plan.ChunkTimeout,
+		Autotune:     true,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	// Invariant sampler: runs the whole soak, polling the ledger and pool.
+	stop := make(chan struct{})
+	var violations atomic.Int32
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if leased := s.Budget().Leased(); leased > budget {
+				violations.Add(1)
+				t.Errorf("leased %v exceeds budget %v", leased, budget)
+				return
+			}
+			if fp := s.pool.FootprintBytes(); fp > int64(budget) {
+				violations.Add(1)
+				t.Errorf("pool footprint %d exceeds budget %v", fp, budget)
+				return
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	type submitted struct {
+		j         *Job
+		canceled  bool
+		wasQueued bool
+	}
+	var mu sync.Mutex
+	var all []submitted
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + c)))
+			for i := 0; i < perClient; i++ {
+				n := 200 + rng.Intn(60000) // mixes batchable and staged
+				spec := JobSpec{
+					Data:     workload.Generate(workload.Random, n, rng.Int63()),
+					Priority: rng.Intn(7) - 2,
+				}
+				if rng.Intn(8) == 0 {
+					spec.Deadline = time.Now().Add(time.Duration(50+rng.Intn(400)) * time.Millisecond)
+				}
+				j, err := s.Submit(spec)
+				if err != nil {
+					// Backpressure is a legal soak outcome, but only the
+					// typed retryable classes.
+					if !errors.Is(err, ErrOverloaded) {
+						t.Errorf("client %d: unexpected submit error %v", c, err)
+						return
+					}
+					time.Sleep(2 * time.Millisecond)
+					continue
+				}
+				rec := submitted{j: j}
+				if rng.Intn(6) == 0 {
+					rec.wasQueued = j.State() == Queued
+					j.Cancel()
+					rec.canceled = true
+				}
+				mu.Lock()
+				all = append(all, rec)
+				mu.Unlock()
+				if rng.Intn(3) == 0 {
+					time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	close(stop)
+	sampler.Wait()
+	if violations.Load() > 0 {
+		t.Fatal("budget invariant violated during soak")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	var done, failed, canceled int
+	for _, rec := range all {
+		if !rec.j.State().Terminal() {
+			t.Fatalf("job %s not terminal after drain: %v", rec.j.ID(), rec.j.State())
+		}
+		switch rec.j.State() {
+		case Done:
+			done++
+			out, err := rec.j.Result()
+			if err != nil {
+				t.Fatalf("done job %s: %v", rec.j.ID(), err)
+			}
+			if !workload.IsSorted(out) {
+				t.Fatalf("job %s output not sorted", rec.j.ID())
+			}
+		case Canceled:
+			canceled++
+			// A job canceled while still queued must never have held a
+			// lease — that is the leak the ledger design rules out.
+			if rec.canceled && rec.wasQueued && rec.j.LeaseBytes() != 0 {
+				t.Fatalf("queued-then-canceled job %s leased %d bytes", rec.j.ID(), rec.j.LeaseBytes())
+			}
+		case Failed:
+			failed++
+			// The chaos plan is survivable by construction; the only
+			// legitimate failure is a queued deadline expiring.
+			if !errors.Is(rec.j.Err(), ErrDeadlineExpired) {
+				t.Fatalf("job %s failed unexpectedly: %v", rec.j.ID(), rec.j.Err())
+			}
+		}
+	}
+	if done == 0 {
+		t.Fatal("soak completed no jobs")
+	}
+	t.Logf("soak: %d done, %d canceled, %d deadline-failed, %d injected faults, high water %v / %v",
+		done, canceled, failed, inj.Total(), s.Budget().HighWater(), budget)
+
+	if got := s.Budget().Leased(); got != 0 {
+		t.Fatalf("leased %v after drain, want 0", got)
+	}
+}
+
+// TestSoakPriorityNoStarvation keeps a stream of high-priority jobs
+// flowing while low-priority jobs are in the queue and asserts every
+// low-priority job completes well before the stream ends.
+func TestSoakPriorityNoStarvation(t *testing.T) {
+	s, err := New(Config{
+		MCDRAMBudget: 2 << 20,
+		Workers:      1,
+		QueueLimit:   512,
+		TotalThreads: 4,
+		AgingSlack:   10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	var lows []*Job
+	for i := 0; i < 5; i++ {
+		j, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 2000, int64(i)), Priority: -3})
+		if err != nil {
+			t.Fatalf("low %d: %v", i, err)
+		}
+		lows = append(lows, j)
+	}
+	// Sustained higher-priority traffic for ~40 aging slacks.
+	deadline := time.Now().Add(400 * time.Millisecond)
+	rng := rand.New(rand.NewSource(42))
+	for time.Now().Before(deadline) {
+		_, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 1000+rng.Intn(2000), rng.Int63()), Priority: 9})
+		if err != nil && !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("high: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, j := range lows {
+		if err := j.Wait(ctx); err != nil {
+			t.Fatalf("low-priority job %s starved: %v", j.ID(), err)
+		}
+		if j.State() != Done {
+			t.Fatalf("low-priority job %s: %v (%v)", j.ID(), j.State(), j.Err())
+		}
+	}
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}

@@ -1,0 +1,386 @@
+// Package serve is the network front end of the sort service: a
+// dependency-free HTTP/JSON API over internal/sched. It maps the
+// scheduler's typed admission errors onto HTTP semantics (429 with
+// Retry-After for overload, 413 for jobs that can never fit the MCDRAM
+// budget), streams large sorted results with chunked transfer encoding,
+// and exposes the scheduler's sched_* families plus its own serve_*
+// counters on /metrics in Prometheus text format.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"knlmlm/internal/mlmsort"
+	"knlmlm/internal/sched"
+	"knlmlm/internal/telemetry"
+)
+
+// Config describes a Server.
+type Config struct {
+	// Scheduler is the service core. Required.
+	Scheduler *sched.Scheduler
+	// Registry is served on /metrics; pass the same registry the
+	// scheduler publishes to so one scrape sees both layers. When nil a
+	// private registry holds only the serve_* families.
+	Registry *telemetry.Registry
+	// MaxBodyBytes bounds POST /v1/sort request bodies. Zero selects
+	// 64 MiB.
+	MaxBodyBytes int64
+	// ResultChunkElems is the streaming granularity of result downloads
+	// (elements per write/flush). Zero selects 8192.
+	ResultChunkElems int
+}
+
+// Server is the HTTP front end. It implements http.Handler.
+type Server struct {
+	cfg      Config
+	sched    *sched.Scheduler
+	reg      *telemetry.Registry
+	mux      *http.ServeMux
+	draining atomic.Bool
+
+	requests *telemetry.Counter
+	inflight *telemetry.Gauge
+	latency  *telemetry.Histogram
+}
+
+// New builds a Server over a running scheduler.
+func New(cfg Config) (*Server, error) {
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("serve: Scheduler is required")
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	if cfg.ResultChunkElems <= 0 {
+		cfg.ResultChunkElems = 8192
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	s := &Server{
+		cfg:   cfg,
+		sched: cfg.Scheduler,
+		reg:   reg,
+		mux:   http.NewServeMux(),
+		requests: reg.Counter("serve_requests_total",
+			"HTTP requests accepted by the sort service.", nil),
+		inflight: reg.Gauge("serve_requests_inflight",
+			"HTTP requests currently being handled.", nil),
+		latency: reg.Histogram("serve_request_seconds",
+			"HTTP request handling latency.", nil, telemetry.DefLatencyBuckets()),
+	}
+	s.mux.HandleFunc("POST /v1/sort", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// ServeHTTP dispatches with request accounting.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		s.latency.Observe(time.Since(start).Seconds())
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain marks the server draining (healthz flips to 503 so load
+// balancers stop routing here), stops admissions, and waits for every
+// queued and running job to resolve. Call before http.Server.Shutdown
+// for a connection-complete graceful stop.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.sched.Drain(ctx)
+}
+
+// sortRequest is the POST /v1/sort body.
+type sortRequest struct {
+	// Keys are the int64 keys to sort.
+	Keys []int64 `json:"keys"`
+	// Priority orders admission (higher sooner; default 0).
+	Priority int `json:"priority,omitempty"`
+	// DeadlineMS, when positive, is a start deadline relative to arrival.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Algorithm names the sort variant ("MLM-sort" default, "MLM-hybrid"
+	// the hybrid-mode twin).
+	Algorithm string `json:"algorithm,omitempty"`
+	// MegachunkLen overrides automatic budget-aware megachunk sizing.
+	MegachunkLen int `json:"megachunk_len,omitempty"`
+	// Wait holds the response until the job is terminal (long poll).
+	Wait bool `json:"wait,omitempty"`
+}
+
+// jobStatus is the wire form of a job.
+type jobStatus struct {
+	ID         string `json:"id"`
+	State      string `json:"state"`
+	N          int    `json:"n"`
+	QueueWait  string `json:"queue_wait,omitempty"`
+	LeaseBytes int64  `json:"lease_bytes,omitempty"`
+	Error      string `json:"error,omitempty"`
+	ResultURL  string `json:"result_url,omitempty"`
+	Enqueued   string `json:"enqueued,omitempty"`
+	Started    string `json:"started,omitempty"`
+	Finished   string `json:"finished,omitempty"`
+}
+
+// errorBody is the wire form of every non-2xx response.
+type errorBody struct {
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+func statusOf(j *sched.Job) jobStatus {
+	st := jobStatus{
+		ID:    j.ID(),
+		State: j.State().String(),
+		N:     j.N(),
+	}
+	if w := j.QueueWait(); w > 0 {
+		st.QueueWait = w.String()
+	}
+	if lb := j.LeaseBytes(); lb > 0 {
+		st.LeaseBytes = lb
+	}
+	if err := j.Err(); err != nil {
+		st.Error = err.Error()
+	}
+	if j.State() == sched.Done {
+		st.ResultURL = "/v1/jobs/" + j.ID() + "/result"
+	}
+	enq, sta, fin := j.Times()
+	if !enq.IsZero() {
+		st.Enqueued = enq.UTC().Format(time.RFC3339Nano)
+	}
+	if !sta.IsZero() {
+		st.Started = sta.UTC().Format(time.RFC3339Nano)
+	}
+	if !fin.IsZero() {
+		st.Finished = fin.UTC().Format(time.RFC3339Nano)
+	}
+	return st
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeSchedError maps the scheduler's typed errors to HTTP statuses:
+// overload (retryable) becomes 429 with a Retry-After header, too-large
+// (never admittable) becomes 413, closed becomes 503.
+func writeSchedError(w http.ResponseWriter, err error) {
+	var oe *sched.OverloadError
+	switch {
+	case errors.As(err, &oe):
+		secs := int64(oe.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{
+			Error:        err.Error(),
+			Code:         "overloaded-" + oe.Reason,
+			RetryAfterMS: oe.RetryAfter.Milliseconds(),
+		})
+	case errors.Is(err, sched.ErrTooLarge):
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
+			Error: err.Error(), Code: "too-large",
+		})
+	case errors.Is(err, sched.ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{
+			Error: err.Error(), Code: "closed",
+		})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{
+			Error: err.Error(), Code: "internal",
+		})
+	}
+}
+
+func parseAlgorithm(name string) (mlmsort.Algorithm, error) {
+	switch name {
+	case "", "MLM-sort":
+		return mlmsort.MLMSort, nil
+	case "MLM-hybrid":
+		return mlmsort.MLMHybrid, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (want MLM-sort or MLM-hybrid)", name)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req sortRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, code, errorBody{Error: "bad request body: " + err.Error(), Code: "bad-request"})
+		return
+	}
+	if len(req.Keys) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "keys must be non-empty", Code: "bad-request"})
+		return
+	}
+	alg, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Code: "bad-request"})
+		return
+	}
+	spec := sched.JobSpec{
+		Data:         req.Keys,
+		Priority:     req.Priority,
+		Algorithm:    alg,
+		MegachunkLen: req.MegachunkLen,
+	}
+	if req.DeadlineMS > 0 {
+		spec.Deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	j, err := s.sched.Submit(spec)
+	if err != nil {
+		writeSchedError(w, err)
+		return
+	}
+	if req.Wait {
+		if err := j.Wait(r.Context()); err != nil && r.Context().Err() != nil {
+			// Client went away; the job keeps running server-side.
+			return
+		}
+		writeJSON(w, http.StatusOK, statusOf(j))
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID())
+	writeJSON(w, http.StatusAccepted, statusOf(j))
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*sched.Job, bool) {
+	j, ok := s.sched.Lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job", Code: "not-found"})
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.lookup(w, r); ok {
+		writeJSON(w, http.StatusOK, statusOf(j))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, statusOf(j))
+}
+
+// handleResult streams the sorted keys as a JSON array in fixed-size
+// element chunks, flushing between chunks, so a multi-gigabyte result
+// never materializes as one response buffer.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if !j.State().Terminal() {
+		writeJSON(w, http.StatusConflict, errorBody{Error: "job still " + j.State().String(), Code: "not-ready"})
+		return
+	}
+	keys, err := j.Result()
+	if err != nil {
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error(), Code: "job-" + j.State().String()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Sort-Elements", strconv.Itoa(len(keys)))
+	flusher, _ := w.(http.Flusher)
+	write := func(b []byte) bool {
+		if _, err := w.Write(b); err != nil {
+			return false
+		}
+		return true
+	}
+	if !write([]byte("[")) {
+		return
+	}
+	chunk := s.cfg.ResultChunkElems
+	var buf []byte
+	for lo := 0; lo < len(keys); lo += chunk {
+		hi := lo + chunk
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		buf = buf[:0]
+		for i := lo; i < hi; i++ {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendInt(buf, keys[i], 10)
+		}
+		if !write(buf) {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = write([]byte("]\n"))
+}
+
+// healthBody is the /healthz payload.
+type healthBody struct {
+	Status      string `json:"status"`
+	Draining    bool   `json:"draining"`
+	Queued      int    `json:"queued"`
+	Running     int    `json:"running"`
+	LeasedBytes int64  `json:"leased_bytes"`
+	BudgetBytes int64  `json:"budget_bytes"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	snap := s.sched.Snapshot()
+	body := healthBody{
+		Status:      "ok",
+		Draining:    s.draining.Load() || snap.Draining,
+		Queued:      snap.Queued,
+		Running:     snap.Running,
+		LeasedBytes: int64(snap.LeasedBytes),
+		BudgetBytes: int64(snap.BudgetBytes),
+	}
+	code := http.StatusOK
+	if body.Draining {
+		body.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	// A write error here means the scraper disconnected mid-response;
+	// there is nothing left to signal it to.
+	_ = s.reg.WritePrometheus(w)
+}

@@ -54,6 +54,18 @@ type Gauge struct {
 // Set stores v.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+// Add atomically adjusts the gauge by delta (CAS loop; safe for
+// concurrent in/decrements such as in-flight request tracking).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value reports the last stored value (zero if never set).
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
