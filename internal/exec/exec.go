@@ -143,7 +143,9 @@ type Stages struct {
 	// receives them back when the run finishes, so repeated runs (the
 	// megachunk loop) reach a steady state with no per-run buffer
 	// allocations. Buffers abandoned to a timed-out stage attempt are
-	// never returned — the rogue goroutine may still be writing them.
+	// never returned — the rogue goroutine may still be writing them —
+	// but they are written off via Pool.Forget so a budgeted pool's
+	// footprint does not ratchet up as abandonments accumulate.
 	Pool *mem.SlicePool
 }
 
@@ -248,6 +250,18 @@ func (r *runner) reclaim(b *Buffer) {
 	}
 	r.pool.Put(b.full)
 	b.full, b.Data = nil, nil
+}
+
+// forget writes an abandoned buffer off the pool's footprint without
+// recycling it: the timed-out attempt's goroutine may still be writing the
+// backing array, so it must never re-enter a freelist, but a budgeted pool
+// must stop charging it or accumulated abandonments ratchet the footprint
+// toward permanent Get refusal.
+func (r *runner) forget(b *Buffer) {
+	if r.pool == nil || b == nil || b.full == nil {
+		return
+	}
+	r.pool.Forget(b.full)
 }
 
 // fail records the pipeline's first error and cancels the run.
@@ -357,6 +371,10 @@ func RunContext(ctx context.Context, s Stages, buffers int) error {
 			b.Data = b.full[:s.ChunkLen(i)]
 			b, err := r.runStage(runCtx, StageCopyIn, i, 0, b, nil, s.CopyIn)
 			if err != nil {
+				// runStage returned a buffer no attempt can still touch
+				// (abandoned attempts got replacements); recycle it rather
+				// than ratcheting the pool's footprint on every abort.
+				r.reclaim(b)
 				r.fail(err)
 				return
 			}
@@ -391,6 +409,7 @@ func RunContext(ctx context.Context, s Stages, buffers int) error {
 			// corrupted data would silently produce wrong output.
 			b, err := r.runStage(runCtx, StageCompute, it.idx, 1, it.buf, s.CopyIn, s.Compute)
 			if err != nil {
+				r.reclaim(b)
 				r.fail(err)
 				return
 			}
@@ -423,6 +442,7 @@ func RunContext(ctx context.Context, s Stages, buffers int) error {
 				var err error
 				b, err = r.runStage(runCtx, StageCopyOut, it.idx, 2, b, nil, s.CopyOut)
 				if err != nil {
+					r.reclaim(b)
 					r.fail(err)
 					return
 				}
@@ -508,7 +528,9 @@ func (r *runner) runStage(ctx context.Context, stage Stage, i, worker int, b *Bu
 		if abandoned {
 			// The timed-out attempt may still be writing the old backing
 			// array; withdraw it and continue with a fresh one. The old
-			// buffer is deliberately leaked, never pooled.
+			// buffer is deliberately leaked, never pooled — only written
+			// off the pool's footprint accounting.
+			r.forget(b)
 			nb := r.newBuffer(len(b.full))
 			nb.Data = nb.full[:len(b.Data)]
 			b = nb

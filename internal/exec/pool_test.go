@@ -89,8 +89,19 @@ func TestPooledRunAbandonedBufferNeverPooled(t *testing.T) {
 	}
 	// Three buffers were staged plus one replacement for the abandoned
 	// attempt; exactly the three safe ones may come back.
-	if st := pool.Stats(); st.Puts != 3 {
+	st := pool.Stats()
+	if st.Puts != 3 {
 		t.Errorf("run returned %d buffers, want 3 (abandoned one leaked on purpose)", st.Puts)
+	}
+	// The leaked buffer must be written off the footprint, or a budgeted
+	// pool would ratchet toward refusing every Get as abandonments
+	// accumulate: custody after the run is exactly the three freelisted
+	// buffers (class 2^10 for the 1000-element chunks).
+	if st.Forgets != 1 {
+		t.Errorf("Forgets = %d, want 1", st.Forgets)
+	}
+	if got, want := pool.FootprintBytes(), int64(3*8*1024); got != want {
+		t.Errorf("footprint after abandonment = %d, want %d", got, want)
 	}
 }
 

@@ -52,6 +52,10 @@ type PoolStats struct {
 	// Refusals counts Gets denied because allocating would have pushed
 	// the footprint past the budget (see SetBudget).
 	Refusals int64
+	// Forgets counts slices written off via Forget: handed out by Get but
+	// abandoned by their consumer (never Put) and removed from the
+	// footprint.
+	Forgets int64
 }
 
 // Misses reports Gets that had to allocate.
@@ -177,6 +181,34 @@ func (p *SlicePool) Put(s []int64) {
 		}
 	} else {
 		p.classes[c] = append(p.classes[c], s[:0])
+	}
+	p.mu.Unlock()
+}
+
+// Forget writes off a slice obtained from Get that will never be Put —
+// typically because it was abandoned to a timed-out stage attempt whose
+// goroutine may still be writing it, so returning it to a freelist would
+// hand live memory to another consumer. Forget removes the slice's bytes
+// from the footprint (so a budgeted pool does not ratchet toward
+// permanent refusal as abandonments accumulate) without ever touching the
+// slice itself. Slices that are not pool-shaped (did not come from Get)
+// are ignored; Forget(nil) is a no-op.
+func (p *SlicePool) Forget(s []int64) {
+	if cap(s) == 0 {
+		return
+	}
+	c := bits.Len(uint(cap(s) - 1))
+	if cap(s) != 1<<c || c > maxClass {
+		return
+	}
+	p.mu.Lock()
+	p.stats.Forgets++
+	// Clamped like Put's drop path: a pool-shaped slice this pool never
+	// allocated must not drive the footprint negative.
+	if b := classBytes(c); p.footprint >= b {
+		p.footprint -= b
+	} else {
+		p.footprint = 0
 	}
 	p.mu.Unlock()
 }

@@ -13,7 +13,7 @@ import (
 // sentinels, so callers can branch on class without losing the payload.
 var (
 	// ErrOverloaded classifies admission rejections that a client should
-	// retry later: full queue, draining scheduler, unmeetable deadline.
+	// retry later: full queue or draining scheduler.
 	ErrOverloaded = errors.New("sched: overloaded")
 	// ErrTooLarge classifies jobs whose minimal MCDRAM lease exceeds the
 	// scheduler's whole budget — retrying cannot help.
@@ -23,7 +23,9 @@ var (
 	// ErrCanceled is the terminal error of a canceled job.
 	ErrCanceled = errors.New("sched: job canceled")
 	// ErrDeadlineExpired is the terminal error of a job whose deadline
-	// passed before it could start.
+	// passed before it could start. Submit also returns it for a deadline
+	// already in the past — a malformed request, not an overload, since
+	// retrying the identical submission can never succeed.
 	ErrDeadlineExpired = errors.New("sched: job deadline expired before start")
 )
 
@@ -32,8 +34,7 @@ var (
 // RetryAfter. It matches ErrOverloaded under errors.Is — the HTTP layer
 // maps it to 429 with a Retry-After header.
 type OverloadError struct {
-	// Reason is "queue-full", "draining", or "deadline" (the job's
-	// deadline cannot be met given the estimated queue wait).
+	// Reason is "queue-full" or "draining".
 	Reason string
 	// QueueDepth is the queue occupancy at rejection time.
 	QueueDepth int

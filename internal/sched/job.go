@@ -47,7 +47,8 @@ type JobSpec struct {
 	// terminal.
 	Data []int64
 	// Priority orders admission: higher runs sooner. Zero is the default
-	// class; negative deprioritizes.
+	// class; negative deprioritizes. Values outside [-8, 8] are clamped
+	// at submission.
 	Priority int
 	// Deadline, when non-zero, is the latest acceptable start time. Jobs
 	// that cannot start by it are rejected at submission (when the
@@ -69,13 +70,15 @@ type Job struct {
 	seq   int64
 	state atomic.Int32
 
-	// enqueued/started/finished stamp the lifecycle; guarded by mu after
-	// construction.
+	// enqueued/started/finished stamp the lifecycle, and lease is the
+	// job's MCDRAM reservation; guarded by mu after construction (status
+	// reads race with dispatch otherwise).
 	mu       sync.Mutex
 	err      error
 	enqueued time.Time
 	started  time.Time
 	finished time.Time
+	lease    *Lease
 
 	done chan struct{}
 
@@ -91,7 +94,6 @@ type Job struct {
 	megachunk int
 	widths    *mlmsort.WidthControl
 
-	lease    *Lease
 	canceled atomic.Bool
 	runCtx   context.Context
 	cancel   context.CancelFunc
@@ -176,7 +178,11 @@ func (j *Job) Spans() []telemetry.Span {
 
 // LeaseBytes reports the MCDRAM lease the job held (its own for staged
 // jobs, the enclosing batch's for batched jobs); 0 before dispatch.
-func (j *Job) LeaseBytes() int64 { return int64(j.lease.Bytes()) }
+func (j *Job) LeaseBytes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return int64(j.lease.Bytes())
+}
 
 // Cancel stops the job: a queued job terminates immediately without ever
 // taking a lease; a running job's context is canceled and the pipeline

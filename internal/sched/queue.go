@@ -76,11 +76,32 @@ func (q *jobQueue) remove(j *Job) bool {
 	return true
 }
 
+// maxPriorityMagnitude bounds the priority range admission accepts
+// ([-8, 8]): priorities are a queue-ordering hint, and unbounded client
+// values would overflow the slack arithmetic below (a huge negative
+// priority wrapping into a far-past virtual deadline jumps the queue
+// instead of yielding it).
+const maxPriorityMagnitude = 8
+
+// clampPriority folds any client-supplied priority into the supported
+// range.
+func clampPriority(p int) int {
+	if p > maxPriorityMagnitude {
+		return maxPriorityMagnitude
+	}
+	if p < -maxPriorityMagnitude {
+		return -maxPriorityMagnitude
+	}
+	return p
+}
+
 // virtualDeadline computes a job's EDF key: enqueue time plus a slack
 // that shrinks as priority grows, so higher-priority jobs sort earlier
 // among contemporaries without ever pinning lower-priority ones — an
 // old low-priority key is still earlier than a fresh high-priority one.
-// An explicit earlier deadline overrides the derived key.
+// An explicit earlier deadline overrides the derived key. priority must
+// already be clamped (see clampPriority): the slack arithmetic is only
+// overflow-free within the supported range.
 func virtualDeadline(enqueued time.Time, priority int, deadline time.Time, baseSlack time.Duration) time.Time {
 	slack := baseSlack
 	switch {

@@ -273,16 +273,22 @@ func (s *Scheduler) batchLease() units.Bytes {
 }
 
 // Submit admits a job or rejects it with a typed error: ErrClosed after
-// Close, OverloadError (retryable; matches ErrOverloaded) when draining,
-// when the queue is full, or when the deadline already passed, and
-// TooLargeError (not retryable; matches ErrTooLarge) when the job's
-// minimal MCDRAM lease exceeds the whole budget.
+// Close, OverloadError (retryable; matches ErrOverloaded) when draining
+// or when the queue is full, ErrDeadlineExpired (not retryable) when the
+// deadline already passed at submission, and TooLargeError (not
+// retryable; matches ErrTooLarge) when the job's minimal MCDRAM lease
+// exceeds the whole budget.
 func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	if spec.Algorithm == mlmsort.GNUFlat {
 		// The service serves the paper's staged algorithm by default; the
 		// zero Algorithm (GNU-flat) is not individually addressable.
 		spec.Algorithm = mlmsort.MLMSort
 	}
+	// Clamp the client-supplied priority before it reaches the virtual-
+	// deadline arithmetic: an extreme negative value would overflow the
+	// slack multiplication into a far-past deadline, letting a supposedly
+	// deprioritized job starve the whole queue.
+	spec.Priority = clampPriority(spec.Priority)
 	p, perr := s.planFor(spec)
 
 	s.mu.Lock()
@@ -301,8 +307,11 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	}
 	now := time.Now()
 	if !spec.Deadline.IsZero() && !spec.Deadline.After(now) {
+		// An already-passed deadline is a malformed request, not a capacity
+		// problem: retrying the identical submission can never succeed, so
+		// it must not wear the retryable overload class.
 		s.metrics.reject("deadline")
-		return nil, &OverloadError{Reason: "deadline", QueueDepth: len(s.queue), RetryAfter: 0}
+		return nil, ErrDeadlineExpired
 	}
 	if len(s.queue) >= s.cfg.QueueLimit {
 		s.metrics.reject("queue-full")
@@ -492,8 +501,8 @@ func (s *Scheduler) startLocked(j *Job, lease *Lease) {
 	now := time.Now()
 	j.mu.Lock()
 	j.started = now
-	j.mu.Unlock()
 	j.lease = lease
+	j.mu.Unlock()
 	j.state.Store(int32(Running))
 	if !j.batchable {
 		j.runCtx, j.cancel = context.WithCancel(s.rootCtx)
@@ -702,7 +711,19 @@ func (s *Scheduler) runBatch(batch []*Job, lease *Lease) {
 	}
 	err := exec.RunContext(s.rootCtx, stages, s.cfg.Buffers)
 	if pooledScratch {
-		s.pool.Put(scratch)
+		// With a chunk timeout, a failed run may have abandoned a compute
+		// attempt whose goroutine is still inside SortAdaptive writing this
+		// scratch; pooling it would hand live memory to another tenant's
+		// pipeline. A compute/copy-out abandonment is always terminal (exec
+		// never retries their deadline overruns) and a cancellation
+		// abandonment also fails the run, so err == nil proves no attempt
+		// that touches scratch was abandoned. Otherwise leak it exactly as
+		// exec leaks abandoned staging buffers, writing off its footprint.
+		if err == nil || s.cfg.ChunkTimeout <= 0 {
+			s.pool.Put(scratch)
+		} else {
+			s.pool.Forget(scratch)
+		}
 	}
 	lease.Release()
 	if s.cfg.Resilience != nil {

@@ -267,8 +267,11 @@ func TestExpiredDeadlineRejectedAndQueuedDeadlineFails(t *testing.T) {
 		Data:     workload.Generate(workload.Random, 1000, 1),
 		Deadline: time.Now().Add(-time.Second),
 	})
-	if !errors.Is(err, ErrOverloaded) {
-		t.Fatalf("expired-deadline submit: err = %v, want ErrOverloaded", err)
+	if !errors.Is(err, ErrDeadlineExpired) {
+		t.Fatalf("expired-deadline submit: err = %v, want ErrDeadlineExpired", err)
+	}
+	if errors.Is(err, ErrOverloaded) {
+		t.Fatal("an expired deadline is not retryable and must not match ErrOverloaded")
 	}
 
 	blocker, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 40000, 2)})
@@ -595,5 +598,118 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := New(Config{MCDRAMBudget: 32}); err == nil {
 		t.Fatal("budget too small to stage anything must be rejected")
+	}
+}
+
+// TestBatchScratchNotPooledAfterAbandonedCompute guards the multi-tenant
+// memory-safety invariant: when a chunk timeout abandons a batch compute
+// attempt, the goroutine may still be writing the shared sort scratch, so
+// the scratch must be written off (leaked), never returned to the budgeted
+// pool where another tenant's pipeline would receive it live.
+func TestBatchScratchNotPooledAfterAbandonedCompute(t *testing.T) {
+	g := newGate()
+	cfg := testConfig()
+	cfg.Wrap = g.wrap()
+	cfg.ChunkTimeout = 20 * time.Millisecond
+	s := newTestScheduler(t, cfg)
+
+	j, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 500, 1)})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if !j.batchable {
+		t.Fatalf("job (n=%d) should be batchable", j.N())
+	}
+	waitDone(t, j)
+	if j.State() != Failed {
+		t.Fatalf("state %v, want Failed (compute deadline is terminal)", j.State())
+	}
+	// Both the abandoned staging buffer (exec) and the batch scratch
+	// (sched) must be forgotten, not pooled.
+	if st := s.PoolStats(); st.Forgets < 2 {
+		t.Errorf("pool Forgets = %d, want >= 2 (staging buffer + scratch)", st.Forgets)
+	}
+	g.open()
+	time.Sleep(50 * time.Millisecond) // let the abandoned attempt drain
+	// The pool must still serve later tenants: the write-off freed budget
+	// headroom and a fresh batch sorts correctly.
+	j2, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 500, 2)})
+	if err != nil {
+		t.Fatalf("submit after abandonment: %v", err)
+	}
+	waitDone(t, j2)
+	mustSorted(t, j2)
+}
+
+// TestPriorityClampedAtAdmission guards the EDF queue against client-
+// supplied priorities large enough to overflow the virtual-deadline slack
+// arithmetic: a huge negative priority must age normally (deadline after
+// enqueue), not wrap into a far-past deadline that jumps the queue.
+func TestPriorityClampedAtAdmission(t *testing.T) {
+	g := newGate()
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.Wrap = g.wrap()
+	s := newTestScheduler(t, cfg)
+	defer g.open()
+
+	blocker, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 40000, 1)})
+	if err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	eventually(t, "blocker running", func() bool { return blocker.State() == Running })
+
+	normal, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 40000, 2)})
+	if err != nil {
+		t.Fatalf("normal: %v", err)
+	}
+	hostile, err := s.Submit(JobSpec{
+		Data:     workload.Generate(workload.Random, 40000, 3),
+		Priority: -(1 << 40), // would overflow baseSlack * (1 - priority)
+	})
+	if err != nil {
+		t.Fatalf("hostile: %v", err)
+	}
+	if hostile.spec.Priority != -maxPriorityMagnitude {
+		t.Fatalf("priority %d not clamped to %d", hostile.spec.Priority, -maxPriorityMagnitude)
+	}
+	if !hostile.vdl.After(hostile.enqueued) {
+		t.Fatalf("virtual deadline %v before enqueue %v: slack overflowed", hostile.vdl, hostile.enqueued)
+	}
+	g.open()
+	waitDone(t, normal)
+	waitDone(t, hostile)
+	_, normalStart, _ := normal.Times()
+	_, hostileStart, _ := hostile.Times()
+	if hostileStart.Before(normalStart) {
+		t.Fatalf("deprioritized job started %v before default-priority job %v", hostileStart, normalStart)
+	}
+}
+
+// TestLeaseBytesConcurrentWithDispatch reads LeaseBytes (the GET
+// /v1/jobs/{id} status path) while the dispatcher starts the job; under
+// -race this fails if the lease field is published unsynchronized.
+func TestLeaseBytesConcurrentWithDispatch(t *testing.T) {
+	s := newTestScheduler(t, testConfig())
+	for i := 0; i < 8; i++ {
+		j, err := s.Submit(JobSpec{Data: workload.Generate(workload.Random, 40000, int64(i+1))})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		stop := make(chan struct{})
+		go func() {
+			defer close(stop)
+			for {
+				select {
+				case <-j.Done():
+					return
+				default:
+					_ = j.LeaseBytes()
+				}
+			}
+		}()
+		waitDone(t, j)
+		mustSorted(t, j)
+		<-stop
 	}
 }

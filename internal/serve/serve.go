@@ -185,7 +185,8 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 // writeSchedError maps the scheduler's typed errors to HTTP statuses:
 // overload (retryable) becomes 429 with a Retry-After header, too-large
-// (never admittable) becomes 413, closed becomes 503.
+// (never admittable) becomes 413, an already-expired deadline becomes
+// 400, closed becomes 503.
 func writeSchedError(w http.ResponseWriter, err error) {
 	var oe *sched.OverloadError
 	switch {
@@ -203,6 +204,12 @@ func writeSchedError(w http.ResponseWriter, err error) {
 	case errors.Is(err, sched.ErrTooLarge):
 		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
 			Error: err.Error(), Code: "too-large",
+		})
+	case errors.Is(err, sched.ErrDeadlineExpired):
+		// Retrying an already-expired deadline can never succeed; this is
+		// a client error, not backpressure.
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: err.Error(), Code: "deadline-expired",
 		})
 	case errors.Is(err, sched.ErrClosed):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{

@@ -448,3 +448,33 @@ func TestResultStreamingChunks(t *testing.T) {
 		t.Fatalf("streamed result wrong: %d elements, sorted=%v", len(sorted), workload.IsSorted(sorted))
 	}
 }
+
+// TestSchedErrorMapping pins the HTTP classification of the scheduler's
+// typed admission errors — in particular that an already-expired deadline
+// is a non-retryable 400, not a 429 inviting a retry that can never
+// succeed.
+func TestSchedErrorMapping(t *testing.T) {
+	cases := []struct {
+		err      error
+		wantCode int
+		wantBody string
+	}{
+		{&sched.OverloadError{Reason: "queue-full", RetryAfter: time.Second}, http.StatusTooManyRequests, "overloaded-queue-full"},
+		{sched.ErrDeadlineExpired, http.StatusBadRequest, "deadline-expired"},
+		{&sched.TooLargeError{Lease: 2, Budget: 1}, http.StatusRequestEntityTooLarge, "too-large"},
+		{sched.ErrClosed, http.StatusServiceUnavailable, "closed"},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		writeSchedError(rec, tc.err)
+		if rec.Code != tc.wantCode {
+			t.Errorf("%v: HTTP %d, want %d", tc.err, rec.Code, tc.wantCode)
+		}
+		if !strings.Contains(rec.Body.String(), tc.wantBody) {
+			t.Errorf("%v: body %q missing code %q", tc.err, rec.Body.String(), tc.wantBody)
+		}
+		if tc.wantCode == http.StatusBadRequest && rec.Header().Get("Retry-After") != "" {
+			t.Errorf("%v: non-retryable rejection carries Retry-After", tc.err)
+		}
+	}
+}
