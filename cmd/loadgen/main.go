@@ -8,13 +8,21 @@
 //   - latency percentiles (p50/p95/p99) of submit→terminal,
 //   - typed rejections (HTTP 429 backpressure) and failures.
 //
-// The sweep is written as JSON (default BENCH_PR4.json), the committed
+// With -spill-n set (and the server started with DDR and disk budgets),
+// the sweep is followed by a spill phase: -spill-jobs over-DDR jobs are
+// submitted one at a time, each result is downloaded as a chunked stream
+// and verified, and the phase records end-to-end latency, download
+// throughput, and the server's spill_*/sched_spill_* telemetry (run
+// counts, spilled bytes, measured disk rates) scraped from /metrics.
+//
+// The sweep is written as JSON (default BENCH_PR5.json), the committed
 // artifact EXPERIMENTS.md documents.
 //
 // Examples:
 //
 //	loadgen -url http://127.0.0.1:8080 -rates 25,50,100,200 -duration 3s
 //	loadgen -url http://127.0.0.1:8080 -quick -out /dev/stdout
+//	loadgen -url http://127.0.0.1:8080 -rates 25,50 -spill-n 200000 -spill-jobs 5
 package main
 
 import (
@@ -34,14 +42,16 @@ import (
 )
 
 type config struct {
-	url      string
-	rates    []float64
-	duration time.Duration
-	nMin     int
-	nMax     int
-	seed     int64
-	out      string
-	verify   bool
+	url       string
+	rates     []float64
+	duration  time.Duration
+	nMin      int
+	nMax      int
+	seed      int64
+	out       string
+	verify    bool
+	spillN    int
+	spillJobs int
 }
 
 // sortRequest mirrors internal/serve's POST /v1/sort body.
@@ -52,10 +62,12 @@ type sortRequest struct {
 }
 
 type jobStatus struct {
-	ID        string `json:"id"`
-	State     string `json:"state"`
-	Error     string `json:"error,omitempty"`
-	ResultURL string `json:"result_url,omitempty"`
+	ID             string `json:"id"`
+	State          string `json:"state"`
+	Error          string `json:"error,omitempty"`
+	ResultURL      string `json:"result_url,omitempty"`
+	Spilled        bool   `json:"spilled,omitempty"`
+	DiskLeaseBytes int64  `json:"disk_lease_bytes,omitempty"`
 }
 
 // levelResult is one offered-load point of the sweep.
@@ -78,7 +90,30 @@ type latency struct {
 	Max  float64 `json:"max"`
 }
 
-// benchFile is the BENCH_PR4.json document.
+// spillResult is the over-DDR spill phase of the sweep: every job takes
+// the three-level path (MCDRAM-staged sort, disk runs, streamed merge).
+type spillResult struct {
+	Elems     int     `json:"elems_per_job"`
+	Jobs      int     `json:"jobs"`
+	Completed int     `json:"completed"`
+	Failed    int     `json:"failed"`
+	Latency   latency `json:"latency_ms"`
+	// DownloadMBps is the mean streamed-result download rate, body bytes
+	// over wall time of the chunked GET.
+	DownloadMBps float64 `json:"download_mbps"`
+	// SortMBps is the mean end-to-end spill throughput: input bytes over
+	// submit-to-verified wall time (sort + spill + merge + stream).
+	SortMBps float64 `json:"sort_mbps"`
+	// Telemetry scraped from the server's /metrics after the phase: the
+	// disk-rate model inputs and the spill tier's run accounting.
+	DiskWriteBps float64 `json:"disk_write_bytes_per_sec"`
+	DiskReadBps  float64 `json:"disk_read_bytes_per_sec"`
+	SpillJobs    float64 `json:"sched_spill_jobs_total"`
+	SpillRuns    float64 `json:"sched_spill_runs_total"`
+	SpilledBytes float64 `json:"sched_spill_bytes_written_total"`
+}
+
+// benchFile is the BENCH_PR5.json document.
 type benchFile struct {
 	Bench     string        `json:"bench"`
 	Target    string        `json:"target"`
@@ -86,6 +121,7 @@ type benchFile struct {
 	ElemRange [2]int        `json:"elem_range"`
 	Verified  bool          `json:"verified_sorted"`
 	Levels    []levelResult `json:"levels"`
+	Spill     *spillResult  `json:"spill,omitempty"`
 }
 
 func main() {
@@ -98,8 +134,10 @@ func main() {
 	flag.IntVar(&cfg.nMin, "n-min", 1000, "minimum keys per job")
 	flag.IntVar(&cfg.nMax, "n-max", 50000, "maximum keys per job")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed")
-	flag.StringVar(&cfg.out, "out", "BENCH_PR4.json", "output JSON path")
+	flag.StringVar(&cfg.out, "out", "BENCH_PR5.json", "output JSON path")
 	flag.BoolVar(&cfg.verify, "verify", true, "download and verify every completed result is sorted")
+	flag.IntVar(&cfg.spillN, "spill-n", 0, "keys per spill-phase job; must exceed the server's DDR budget (0 disables the spill phase)")
+	flag.IntVar(&cfg.spillJobs, "spill-jobs", 5, "jobs in the spill phase (with -spill-n)")
 	flag.Parse()
 
 	if *quick {
@@ -142,6 +180,16 @@ func run(cfg config) error {
 			rate, lvl.Submitted, lvl.Completed, lvl.Rejected, lvl.Failed,
 			lvl.GoodputRPS, lvl.Latency.P50, lvl.Latency.P95, lvl.Latency.P99)
 	}
+	if cfg.spillN > 0 {
+		sp, err := runSpillPhase(client, cfg)
+		if err != nil {
+			return err
+		}
+		doc.Spill = sp
+		fmt.Printf("spill %d×%d: %d ok, %d failed — p50 %.1fms, sort %.1f MB/s, download %.1f MB/s, %d runs over %d jobs\n",
+			sp.Jobs, sp.Elems, sp.Completed, sp.Failed, sp.Latency.P50,
+			sp.SortMBps, sp.DownloadMBps, int(sp.SpillRuns), int(sp.SpillJobs))
+	}
 
 	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -153,6 +201,154 @@ func run(cfg config) error {
 	}
 	fmt.Printf("wrote %s\n", cfg.out)
 	return nil
+}
+
+// runSpillPhase submits cfg.spillJobs over-DDR jobs one at a time (the
+// point is the three-level data path, not queueing), streams every result
+// back, verifies it, and annotates the measurements with the server's
+// spill telemetry.
+func runSpillPhase(client *http.Client, cfg config) (*spillResult, error) {
+	sp := &spillResult{Elems: cfg.spillN, Jobs: cfg.spillJobs}
+	rng := rand.New(rand.NewSource(cfg.seed + 1))
+	var latencies []float64
+	var dlMBps, sortMBps []float64
+	for i := 0; i < cfg.spillJobs; i++ {
+		keys := make([]int64, cfg.spillN)
+		for k := range keys {
+			keys[k] = rng.Int63()
+		}
+		body, err := json.Marshal(sortRequest{Keys: keys, Wait: true})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		resp, err := client.Post(cfg.url+"/v1/sort", "application/json", bytes.NewReader(body))
+		if err != nil {
+			sp.Failed++
+			continue
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var st jobStatus
+		if resp.StatusCode != http.StatusOK || json.Unmarshal(raw, &st) != nil || st.State != "done" {
+			sp.Failed++
+			continue
+		}
+		if !st.Spilled {
+			return nil, fmt.Errorf("spill phase: %d-key job was not spilled — raise -spill-n past the server's DDR budget", cfg.spillN)
+		}
+		dlStart := time.Now()
+		bodyBytes, ok := streamVerify(client, cfg.url+st.ResultURL, cfg.spillN)
+		if !ok {
+			sp.Failed++
+			continue
+		}
+		dlSec := time.Since(dlStart).Seconds()
+		total := time.Since(start)
+		sp.Completed++
+		latencies = append(latencies, float64(total.Nanoseconds())/1e6)
+		if dlSec > 0 {
+			dlMBps = append(dlMBps, float64(bodyBytes)/1e6/dlSec)
+		}
+		sortMBps = append(sortMBps, float64(cfg.spillN*8)/1e6/total.Seconds())
+	}
+	sp.Latency = summarize(latencies)
+	sp.DownloadMBps = mean(dlMBps)
+	sp.SortMBps = mean(sortMBps)
+
+	m, err := scrapeMetrics(client, cfg.url)
+	if err != nil {
+		return nil, err
+	}
+	sp.DiskWriteBps = m["spill_disk_write_bytes_per_sec"]
+	sp.DiskReadBps = m["spill_disk_read_bytes_per_sec"]
+	sp.SpillJobs = m["sched_spill_jobs_total"]
+	sp.SpillRuns = m["sched_spill_runs_total"]
+	sp.SpilledBytes = m["sched_spill_bytes_written_total"]
+	return sp, nil
+}
+
+// streamVerify downloads a result, returning its body size and whether it
+// decoded to wantN sorted keys.
+func streamVerify(client *http.Client, url string, wantN int) (int64, bool) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, false
+	}
+	cr := &countingReader{r: resp.Body}
+	var keys []int64
+	if err := json.NewDecoder(cr).Decode(&keys); err != nil {
+		return cr.n, false
+	}
+	if len(keys) != wantN {
+		return cr.n, false
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return cr.n, false
+		}
+	}
+	return cr.n, true
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// scrapeMetrics parses the server's Prometheus text exposition into a
+// flat name -> value map (labelless gauges and counters only, which is
+// all the spill families use).
+func scrapeMetrics(client *http.Client, url string) (map[string]float64, error) {
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	out := map[string]float64{}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || strings.Contains(fields[0], "{") {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		out[fields[0]] = v
+	}
+	return out, nil
 }
 
 // waitHealthy polls /healthz until the server answers 200.

@@ -5,6 +5,15 @@
 //
 //	mlmserve -addr :8080 -budget-mb 64 -workers 4
 //	mlmserve -addr 127.0.0.1:0 -budget-mb 16 -autotune -chaos -chaos-seed 7
+//	mlmserve -addr :8080 -budget-mb 16 -ddr-budget-mb 1 -disk-budget-mb 256
+//
+// With -ddr-budget-mb and -disk-budget-mb both set, jobs whose working
+// set exceeds the DDR budget are admitted into the spill class instead
+// of being rejected: phase 1 spills sorted runs to disk (under
+// -spill-dir, charged against a separate disk ledger) and the result
+// streams to the client through a final k-way merge without ever
+// materializing in memory. Run files are deleted when the result is
+// downloaded, the job is canceled or evicted, or the server drains.
 //
 // The chosen listen address is printed on one line ("mlmserve listening
 // on ...") so wrappers binding port 0 can discover the port. SIGINT or
@@ -38,53 +47,80 @@ import (
 	"knlmlm/internal/units"
 )
 
+// options collects the flag set run() serves from.
+type options struct {
+	addr         string
+	budgetMB     int64
+	ddrMB        int64
+	diskMB       int64
+	spillDir     string
+	workers      int
+	queueLimit   int
+	threads      int
+	retain       int
+	autotune     bool
+	chaos        bool
+	chaosSeed    int64
+	drainTimeout time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-	budgetMB := flag.Int64("budget-mb", 64, "MCDRAM staging budget leased to jobs, in MiB")
-	workers := flag.Int("workers", 0, "concurrent pipelines (0 = scheduler default)")
-	queueLimit := flag.Int("queue", 0, "admission queue bound (0 = scheduler default)")
-	threads := flag.Int("threads", 0, "thread budget fair-shared across staged jobs (0 = GOMAXPROCS)")
-	retain := flag.Int("retain", 4096, "terminal jobs retained for status/result lookup")
-	autotune := flag.Bool("autotune", false, "measure per-thread rates on staged jobs and feed them to the fair-share solver")
-	chaos := flag.Bool("chaos", false, "run every job pipeline under a seeded fault-injection plan")
-	chaosSeed := flag.Int64("chaos-seed", 1, "chaos plan seed (with -chaos)")
-	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on shutdown")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	flag.Int64Var(&o.budgetMB, "budget-mb", 64, "MCDRAM staging budget leased to jobs, in MiB")
+	flag.Int64Var(&o.ddrMB, "ddr-budget-mb", 0, "DDR working-set budget, in MiB (0 = uncapped; over-budget jobs spill when a disk budget is set)")
+	flag.Int64Var(&o.diskMB, "disk-budget-mb", 0, "disk budget for spill run files, in MiB (0 disables the spill class)")
+	flag.StringVar(&o.spillDir, "spill-dir", "", "parent directory for spill run files (empty = OS temp dir)")
+	flag.IntVar(&o.workers, "workers", 0, "concurrent pipelines (0 = scheduler default)")
+	flag.IntVar(&o.queueLimit, "queue", 0, "admission queue bound (0 = scheduler default)")
+	flag.IntVar(&o.threads, "threads", 0, "thread budget fair-shared across staged jobs (0 = GOMAXPROCS)")
+	flag.IntVar(&o.retain, "retain", 4096, "terminal jobs retained for status/result lookup")
+	flag.BoolVar(&o.autotune, "autotune", false, "measure per-thread rates on staged jobs and feed them to the fair-share solver")
+	flag.BoolVar(&o.chaos, "chaos", false, "run every job pipeline under a seeded fault-injection plan")
+	flag.Int64Var(&o.chaosSeed, "chaos-seed", 1, "chaos plan seed (with -chaos)")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "graceful-drain bound on shutdown")
 	flag.Parse()
 
-	if err := run(*addr, *budgetMB, *workers, *queueLimit, *threads, *retain,
-		*autotune, *chaos, *chaosSeed, *drainTimeout); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "mlmserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, budgetMB int64, workers, queueLimit, threads, retain int,
-	autotune, chaos bool, chaosSeed int64, drainTimeout time.Duration) error {
-	if budgetMB <= 0 {
+func run(o options) error {
+	if o.budgetMB <= 0 {
 		return fmt.Errorf("-budget-mb must be positive")
 	}
-	budget := units.Bytes(budgetMB) * units.MiB
+	if o.ddrMB < 0 || o.diskMB < 0 {
+		return fmt.Errorf("-ddr-budget-mb and -disk-budget-mb must be non-negative")
+	}
+	budget := units.Bytes(o.budgetMB) * units.MiB
 
 	reg := telemetry.NewRegistry()
 	cfg := sched.Config{
 		MCDRAMBudget: budget,
-		Workers:      workers,
-		QueueLimit:   queueLimit,
-		TotalThreads: threads,
-		RetainJobs:   retain,
+		DDRBudget:    units.Bytes(o.ddrMB) * units.MiB,
+		DiskBudget:   units.Bytes(o.diskMB) * units.MiB,
+		SpillDir:     o.spillDir,
+		Workers:      o.workers,
+		QueueLimit:   o.queueLimit,
+		TotalThreads: o.threads,
+		RetainJobs:   o.retain,
 		Registry:     reg,
 		Resilience:   telemetry.NewResilience(reg),
-		Autotune:     autotune,
+		Autotune:     o.autotune,
 	}
-	if chaos {
-		plan := fault.NewPlan(chaosSeed, budget)
+	if o.chaos {
+		plan := fault.NewPlan(o.chaosSeed, budget)
 		inj := plan.Injector()
 		cfg.Heap = memkind.NewHeap(plan.HBWCapacity, units.GiB)
 		cfg.AllocFaults = inj
 		cfg.Wrap = inj.Wrap
 		cfg.Retry = plan.Retry
 		cfg.ChunkTimeout = plan.ChunkTimeout
-		fmt.Printf("mlmserve chaos plan seed=%d: %s\n", chaosSeed, plan)
+		// Spill-class jobs run their run-file IO under the same plan.
+		cfg.IOFaults = inj
+		fmt.Printf("mlmserve chaos plan seed=%d: %s\n", o.chaosSeed, plan)
 	}
 
 	sc, err := sched.New(cfg)
@@ -98,11 +134,16 @@ func run(addr string, budgetMB int64, workers, queueLimit, threads, retain int,
 		return err
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("mlmserve listening on %s (budget %v)\n", ln.Addr(), budget)
+	if cfg.DiskBudget > 0 {
+		fmt.Printf("mlmserve listening on %s (budget %v, ddr %v, disk %v, rate %v)\n",
+			ln.Addr(), budget, cfg.DDRBudget, cfg.DiskBudget, sc.DiskRate().Read)
+	} else {
+		fmt.Printf("mlmserve listening on %s (budget %v)\n", ln.Addr(), budget)
+	}
 
 	hs := &http.Server{Handler: srv}
 	errCh := make(chan error, 1)
@@ -117,7 +158,7 @@ func run(addr string, budgetMB int64, workers, queueLimit, threads, retain int,
 		fmt.Printf("mlmserve: %v — draining\n", s)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "mlmserve: drain:", err)
@@ -128,5 +169,9 @@ func run(addr string, budgetMB int64, workers, queueLimit, threads, retain int,
 	snap := sc.Snapshot()
 	fmt.Printf("mlmserve: drained — %d jobs submitted, %d batches, high water %v\n",
 		snap.Submitted, snap.Batches, snap.HighWaterBytes)
+	if snap.DiskBudgetBytes > 0 {
+		fmt.Printf("mlmserve: spill — disk high water %v / %v, leased %v at exit\n",
+			sc.DiskBudget().HighWater(), snap.DiskBudgetBytes, snap.DiskLeasedBytes)
+	}
 	return nil
 }

@@ -10,6 +10,16 @@
 //	mlmsort -real -alg MLM-sort -n 4000000 -trace out.json -metrics
 //	mlmsort -real -alg MLM-sort -n 4000000 -autotune -cpuprofile cpu.pprof
 //	mlmsort -chaos -chaos-seed 7 -n 400000 -threads 4
+//	mlmsort -spill -n 4000000 -threads 8 -spill-budget-mb 64
+//
+// With -spill, the real run sorts out-of-core through all three levels:
+// sorted megachunk runs are written to disk (under -spill-dir, capped at
+// -spill-budget-mb) instead of accumulating in DDR, and a final k-way
+// streaming merge produces the output. The run first measures the spill
+// directory's sequential disk bandwidth (tune.MeasureDiskRate) and uses
+// it to provision the merge's read-ahead width via the Eq. 1–5 solve
+// with disk as the slow tier. -spill composes with -chaos (run-file
+// write/read faults join the plan) and -metrics (spill_* families).
 //
 // With -chaos, the real run executes under a randomized, seeded fault
 // plan (stage errors/panics/latency, MCDRAM allocation failures, an
@@ -40,7 +50,9 @@ import (
 	"knlmlm/internal/mlmsort"
 	"knlmlm/internal/model"
 	"knlmlm/internal/prof"
+	"knlmlm/internal/spill"
 	"knlmlm/internal/telemetry"
+	"knlmlm/internal/tune"
 	"knlmlm/internal/units"
 	"knlmlm/internal/workload"
 )
@@ -80,10 +92,13 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos plan seed (with -chaos)")
 	autotune := flag.Bool("autotune", false, "re-provision copy/compute widths mid-run from measured rates (staged variants, with -real)")
 	tuneThreads := flag.Int("tune-threads", 0, "thread budget for -autotune (0 = threads+2, the run's initial split)")
+	spillFlag := flag.Bool("spill", false, "sort out-of-core: spill sorted runs to disk, k-way merge them back (implies -real)")
+	spillDir := flag.String("spill-dir", "", "parent directory for spill run files (with -spill; empty = OS temp dir)")
+	spillBudgetMB := flag.Int64("spill-budget-mb", 0, "disk budget for run files in MiB (with -spill; 0 = uncapped)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
-	if *chaos {
+	if *chaos || *spillFlag {
 		*real = true
 	}
 
@@ -131,8 +146,49 @@ func main() {
 		if *chaos {
 			fmt.Println(plan)
 		}
+		var (
+			stats  mlmsort.RealStats
+			xstats mlmsort.ExternalStats
+			dr     tune.DiskRate
+		)
 		start := time.Now()
-		stats, err := mlmsort.RunRealResilient(context.Background(), alg, xs, *threads, int(*chunk), opts)
+		if *spillFlag {
+			xopts := mlmsort.ExternalOptions{
+				RealOptions: opts,
+				SpillDir:    *spillDir,
+				DiskBudget:  *spillBudgetMB << 20,
+				Registry:    reg,
+				// No measured host merge rate exists before the run, so
+				// Table 2's per-thread merge rate stands in: the ratio to
+				// the measured disk rate is what sizes the read-ahead.
+				MergeRate: model.PaperTable2().SComp,
+			}
+			dr, err = tune.MeasureDiskRate(*spillDir, 8<<20)
+			if err != nil {
+				fail(err)
+			}
+			dr.Publish(reg)
+			xopts.DiskRate = dr.Read
+			if *chaos && inj != nil {
+				// A chaos run owns its store so the plan's run-file
+				// write/read faults reach the spill tier.
+				st, serr := spill.NewStore(spill.Config{
+					Dir:      *spillDir,
+					MaxBytes: xopts.DiskBudget,
+					Faults:   inj,
+					Registry: reg,
+				})
+				if serr != nil {
+					fail(serr)
+				}
+				defer st.Close()
+				xopts.Store = st
+			}
+			xstats, err = mlmsort.RunRealExternal(context.Background(), alg, xs, *threads, int(*chunk), xopts)
+			stats = xstats.RealStats
+		} else {
+			stats, err = mlmsort.RunRealResilient(context.Background(), alg, xs, *threads, int(*chunk), opts)
+		}
 		if err != nil {
 			fail(err)
 		}
@@ -141,6 +197,10 @@ func main() {
 			fail(fmt.Errorf("output not sorted — algorithm bug"))
 		}
 		fmt.Printf("%s sorted %d %s elements on the host in %v (verified)\n", alg, *n, order, wall)
+		if *spillFlag {
+			fmt.Printf("spill: %d runs, %v spilled, merge read-ahead %d (disk write %v, read %v)\n",
+				xstats.Runs, units.Bytes(xstats.SpilledBytes), xstats.ReadAhead, dr.Write, dr.Read)
+		}
 		if *autotune {
 			if stats.Retunes > 0 {
 				p := stats.TunedPools

@@ -57,6 +57,15 @@ func NewPlan(seed int64, dataBytes units.Bytes) Plan {
 	// Allocation exhaustion: injected on top of whatever genuine
 	// exhaustion the undersized heap produces.
 	specs = append(specs, Spec{Kind: AllocFail, Rate: 0.15 + 0.35*rng.Float64(), PerChunkHits: 1})
+	// Spill-tier IO faults: one write failure per run stays under the
+	// copy-out retry budget (a retried copy-out re-creates the run file),
+	// and two read failures per run stay under the merge fill workers'
+	// five-attempt budget. Pipelines without a spill tier never consult
+	// these specs.
+	specs = append(specs,
+		Spec{Stage: exec.StageCopyOut, Kind: IOFail, Rate: 0.10 + 0.25*rng.Float64(), PerChunkHits: 1},
+		Spec{Stage: exec.StageCopyIn, Kind: IOFail, Rate: 0.10 + 0.25*rng.Float64(), PerChunkHits: 2},
+	)
 
 	// Heap capacity between half a megachunk and 2x the dataset: small
 	// draws force genuine HBW_POLICY_BIND failures.

@@ -34,11 +34,16 @@ const (
 	// AllocFail fails a scratchpad/MCDRAM allocation (consulted by the
 	// degradation paths via FailAlloc, not by stage wrapping).
 	AllocFail
+	// IOFail fails a spill run-file IO operation (consulted by the spill
+	// tier via FailWrite/FailRead, not by stage wrapping). The spec's
+	// Stage discriminates direction: StageCopyOut targets writes,
+	// StageCopyIn targets reads.
+	IOFail
 	// NumKinds is the number of fault kinds.
 	NumKinds
 )
 
-var kindNames = [NumKinds]string{"error", "panic", "latency", "alloc-fail"}
+var kindNames = [NumKinds]string{"error", "panic", "latency", "alloc-fail", "io-fail"}
 
 // String names the kind.
 func (k Kind) String() string {
@@ -126,6 +131,7 @@ type Injector struct {
 	mu       sync.Mutex
 	attempts map[siteKey]int // invocation count per (stage, chunk)
 	allocs   map[int]int     // allocation-attempt count per chunk
+	ios      map[siteKey]int // spill IO attempt count per (direction, run)
 	perChunk map[specSiteKey]int
 	perSpec  []int
 	byKind   [NumKinds]int64
@@ -154,6 +160,7 @@ func NewInjector(seed int64, specs ...Spec) (*Injector, error) {
 		specs:    append([]Spec(nil), specs...),
 		attempts: map[siteKey]int{},
 		allocs:   map[int]int{},
+		ios:      map[siteKey]int{},
 		perChunk: map[specSiteKey]int{},
 		perSpec:  make([]int, len(specs)),
 	}, nil
@@ -230,7 +237,7 @@ func (in *Injector) decide(stage exec.Stage, chunk int) (sleep time.Duration, fa
 	attempt := in.attempts[site]
 	failure = NumKinds
 	for idx, s := range in.specs {
-		if s.Kind == AllocFail || s.Stage != stage {
+		if s.Kind == AllocFail || s.Kind == IOFail || s.Stage != stage {
 			continue
 		}
 		if s.Kind == Latency {
@@ -300,6 +307,47 @@ func (in *Injector) FailAlloc(chunk int) bool {
 	return fired
 }
 
+// failIO is the shared decision behind FailWrite/FailRead: one IOFail
+// roll per (direction, run) attempt, so a seeded injector's spill fault
+// schedule replays identically across retries.
+func (in *Injector) failIO(dir exec.Stage, run int) bool {
+	in.mu.Lock()
+	site := siteKey{dir, run}
+	in.ios[site]++
+	attempt := in.ios[site]
+	fired := false
+	for idx, s := range in.specs {
+		if s.Kind != IOFail || s.Stage != dir {
+			continue
+		}
+		if in.fires(idx, s, dir, run, attempt) {
+			in.record(idx, s, dir, run)
+			fired = true
+			break
+		}
+	}
+	in.mu.Unlock()
+	if fired {
+		in.observe(IOFail, dir)
+	}
+	return fired
+}
+
+// FailWrite reports whether a spill run-file write should fail, consuming
+// one IOFail decision targeted at StageCopyOut (the direction data leaves
+// the pipeline). The run index keys the decision. Satisfies
+// spill.IOFaults.
+func (in *Injector) FailWrite(run int) bool {
+	return in.failIO(exec.StageCopyOut, run)
+}
+
+// FailRead reports whether a spill run-file read should fail, consuming
+// one IOFail decision targeted at StageCopyIn (the direction data enters
+// the merge). Satisfies spill.IOFaults.
+func (in *Injector) FailRead(run int) bool {
+	return in.failIO(exec.StageCopyIn, run)
+}
+
 // Wrap returns a stage set whose copy-in / compute / copy-out are
 // preceded by the injector's fault decisions, mirroring how
 // exec.Instrument layers counters. Wrap composes with Instrument and
@@ -356,6 +404,6 @@ func (in *Injector) Total() int64 {
 // String summarizes the injection tally.
 func (in *Injector) String() string {
 	c := in.Counts()
-	return fmt.Sprintf("faults{error:%d panic:%d latency:%d alloc-fail:%d}",
-		c[Error], c[Panic], c[Latency], c[AllocFail])
+	return fmt.Sprintf("faults{error:%d panic:%d latency:%d alloc-fail:%d io-fail:%d}",
+		c[Error], c[Panic], c[Latency], c[AllocFail], c[IOFail])
 }

@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"testing"
+
+	"knlmlm/internal/exec"
+	"knlmlm/internal/spill"
+)
+
+// The injector must plug into the spill tier the same way it plugs into
+// the staging heap's allocation path.
+var _ spill.IOFaults = (*Injector)(nil)
+
+func TestIOFailDirectionTargeting(t *testing.T) {
+	in := MustNewInjector(7,
+		Spec{Stage: exec.StageCopyOut, Kind: IOFail, Rate: 1, PerChunkHits: 1},
+	)
+	if !in.FailWrite(0) {
+		t.Fatal("write-targeted IOFail spec did not fire on FailWrite")
+	}
+	if in.FailWrite(0) {
+		t.Fatal("PerChunkHits=1 allowed a second write fault on the same run")
+	}
+	if !in.FailWrite(1) {
+		t.Fatal("per-run cap leaked across runs")
+	}
+	if in.FailRead(0) || in.FailRead(1) {
+		t.Fatal("write-targeted spec fired on FailRead")
+	}
+	if got := in.Counts()[IOFail]; got != 2 {
+		t.Fatalf("IOFail count = %d, want 2", got)
+	}
+}
+
+func TestIOFailDeterministicPerSeed(t *testing.T) {
+	spec := Spec{Stage: exec.StageCopyIn, Kind: IOFail, Rate: 0.5}
+	a, b := MustNewInjector(99, spec), MustNewInjector(99, spec)
+	for run := 0; run < 64; run++ {
+		for attempt := 0; attempt < 3; attempt++ {
+			if av, bv := a.FailRead(run), b.FailRead(run); av != bv {
+				t.Fatalf("run %d attempt %d: same seed diverged (%v vs %v)", run, attempt, av, bv)
+			}
+		}
+	}
+	if a.Counts()[IOFail] == 0 {
+		t.Fatal("rate-0.5 spec never fired in 192 rolls")
+	}
+}
+
+func TestIOFailIgnoredByStageWrapping(t *testing.T) {
+	in := MustNewInjector(3,
+		Spec{Stage: exec.StageCopyOut, Kind: IOFail, Rate: 1},
+	)
+	s := in.Wrap(exec.Stages{
+		NumChunks: 4,
+		ChunkLen:  func(int) int { return 1 },
+		CopyIn:    func(int, []int64) error { return nil },
+		Compute:   func(int, []int64) error { return nil },
+		CopyOut:   func(int, []int64) error { return nil },
+	})
+	if err := exec.Run(s, 1); err != nil {
+		t.Fatalf("IOFail spec leaked into stage wrapping: %v", err)
+	}
+	if got := in.Total(); got != 0 {
+		t.Fatalf("stage pipeline consumed %d IOFail injections", got)
+	}
+}
+
+func TestChaosPlanCarriesSpillSpecs(t *testing.T) {
+	p := NewPlan(11, 1<<20)
+	var write, read int
+	for _, s := range p.Specs {
+		if s.Kind != IOFail {
+			continue
+		}
+		switch s.Stage {
+		case exec.StageCopyOut:
+			write++
+			if s.PerChunkHits < 1 || s.PerChunkHits >= p.Retry.MaxAttempts {
+				t.Fatalf("write fault budget %d not survivable under %d attempts",
+					s.PerChunkHits, p.Retry.MaxAttempts)
+			}
+		case exec.StageCopyIn:
+			read++
+			if s.PerChunkHits < 1 || s.PerChunkHits >= p.Retry.MaxAttempts {
+				t.Fatalf("read fault budget %d not survivable under %d attempts",
+					s.PerChunkHits, p.Retry.MaxAttempts)
+			}
+		}
+	}
+	if write == 0 || read == 0 {
+		t.Fatalf("plan has %d write / %d read IOFail specs, want both", write, read)
+	}
+}

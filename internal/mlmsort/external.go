@@ -1,0 +1,604 @@
+package mlmsort
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"knlmlm/internal/exec"
+	"knlmlm/internal/model"
+	"knlmlm/internal/psort"
+	"knlmlm/internal/spill"
+	"knlmlm/internal/telemetry"
+	"knlmlm/internal/tune"
+	"knlmlm/internal/units"
+)
+
+// ExternalOptions configures the three-level (MCDRAM -> DDR -> disk)
+// out-of-core sort. It embeds RealOptions: everything the resilient
+// in-memory path understands — staged heap placement, fault wrapping,
+// retries, chunk deadlines, width control, autotuning, pooling — applies
+// unchanged to the spill pipeline's phase 1.
+type ExternalOptions struct {
+	RealOptions
+
+	// Store is the run store sorted megachunks spill to. Nil makes
+	// RunRealExternal create a private store (under SpillDir, capped at
+	// DiskBudget) that is closed — all run files deleted — before it
+	// returns, on every path.
+	Store *spill.Store
+	// SpillDir is the private store's parent directory; empty selects the
+	// OS temp dir. Ignored when Store is set.
+	SpillDir string
+	// DiskBudget caps the private store's footprint in bytes (0 =
+	// uncapped). Ignored when Store is set.
+	DiskBudget int64
+	// Registry, when non-nil, receives the private store's spill_*
+	// metrics. Ignored when Store is set (the store already has one).
+	Registry *telemetry.Registry
+
+	// MergeBlock is the element count of each read-ahead block the final
+	// merge streams run files through; zero selects 64Ki elements.
+	MergeBlock int
+	// ReadAhead is the number of concurrent run-file fill workers feeding
+	// the final merge. Zero derives it from DiskRate/MergeRate via the
+	// Eq. 1-5 solve (tune.SpillReadAhead) when both are known, else 2.
+	ReadAhead int
+	// DiskRate is the measured sequential disk read bandwidth
+	// (tune.MeasureDiskRate); used with MergeRate to provision ReadAhead.
+	DiskRate units.BytesPerSec
+	// MergeRate is the per-thread merge compute rate (e.g. the scheduler's
+	// EWMA of autotuner measurements); used with DiskRate.
+	MergeRate units.BytesPerSec
+
+	// Sink, when non-nil, receives the merged output as a stream of sorted
+	// batches (nondecreasing across calls) instead of it being written
+	// back into xs. Batches are only valid during the call.
+	Sink func([]int64) error
+}
+
+// ExternalStats extends RealStats with the spill tier's accounting.
+type ExternalStats struct {
+	RealStats
+	// Runs is the number of run files the sort spilled.
+	Runs int
+	// SpilledBytes is the total bytes written to run files.
+	SpilledBytes int64
+	// MergedElems is the element count the final merge emitted.
+	MergedElems int64
+	// ReadAhead is the fill-worker width the merge ran with.
+	ReadAhead int
+}
+
+// mergeBlock resolves the read-ahead block size.
+func (o ExternalOptions) mergeBlock() int {
+	if o.MergeBlock > 0 {
+		return o.MergeBlock
+	}
+	return 64 << 10
+}
+
+// readAhead resolves the fill-worker width for a k-run merge under a
+// thread budget.
+func (o ExternalOptions) readAhead(k, threads int) int {
+	w := o.ReadAhead
+	if w <= 0 {
+		w = tune.SpillReadAhead(o.DiskRate, o.MergeRate, threads+2, 0)
+	}
+	if w <= 0 {
+		w = 2
+	}
+	if w > k {
+		w = k
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// RunRealExternal sorts xs through all three memory levels: megachunks
+// are staged through the MCDRAM analog and sorted exactly as RunReal's
+// phase 1, each sorted run is spilled to disk instead of accumulating in
+// DDR, and a final k-way streaming merge over the run files produces the
+// output — written back into xs, or streamed through opts.Sink without
+// ever materializing in memory. The DDR working set is therefore bounded
+// by the pipeline's staging buffers plus the merge's read-ahead blocks,
+// independent of len(xs).
+//
+// Failure semantics match RunRealResilient: injected or genuine run-file
+// IO faults surface as stage errors and are retried under opts.Retry;
+// the spill tier's run files are deleted on every path — completion,
+// cancellation, and fault abort.
+func RunRealExternal(ctx context.Context, a Algorithm, xs []int64, threads, megachunkLen int, opts ExternalOptions) (ExternalStats, error) {
+	stats, err := runRealExternal(ctx, a, xs, threads, megachunkLen, opts)
+	if opts.Resilience != nil {
+		opts.Resilience.RecordOutcome(err)
+	}
+	return stats, err
+}
+
+func runRealExternal(ctx context.Context, a Algorithm, xs []int64, threads, megachunkLen int, opts ExternalOptions) (ExternalStats, error) {
+	if opts.Store == nil {
+		st, err := spill.NewStore(spill.Config{
+			Dir:      opts.SpillDir,
+			MaxBytes: opts.DiskBudget,
+			Registry: opts.Registry,
+		})
+		if err != nil {
+			return ExternalStats{}, err
+		}
+		defer st.Close()
+		opts.Store = st
+	}
+
+	runs, stats, err := SpillSorted(ctx, a, xs, threads, megachunkLen, opts)
+	// The runs are deleted on every exit below this point; a shared store
+	// must not accumulate this sort's files past its lifetime.
+	defer func() {
+		for _, id := range runs {
+			opts.Store.RemoveRun(id)
+		}
+	}()
+	if err != nil {
+		return stats, err
+	}
+
+	sink := opts.Sink
+	if sink == nil {
+		pos := 0
+		sink = func(batch []int64) error {
+			pos += copy(xs[pos:], batch)
+			return nil
+		}
+	}
+	stats.ReadAhead = opts.readAhead(len(runs), threads)
+	merged, err := MergeSpilled(ctx, opts.Store, runs, opts, sink)
+	stats.MergedElems = merged
+	return stats, err
+}
+
+// SpillSorted is phase 1 of the out-of-core sort: it runs the same staged
+// megachunk pipeline as the in-memory MLM variants, but the copy-out
+// stage writes each sorted megachunk to a run file in opts.Store instead
+// of back to DDR. It returns the run ids (one per megachunk, in key
+// order of megachunk position). Run-file write faults fail the copy-out
+// attempt and are retried under opts.Retry; a retried write re-creates
+// the run, so half-written files never survive.
+//
+// On error the caller owns cleanup of whatever runs were created —
+// RemoveRun over the returned ids (a no-op for runs that never sealed).
+func SpillSorted(ctx context.Context, a Algorithm, xs []int64, threads, megachunkLen int, opts ExternalOptions) ([]int, ExternalStats, error) {
+	if threads < 1 {
+		return nil, ExternalStats{}, fmt.Errorf("mlmsort: threads %d must be positive", threads)
+	}
+	if opts.Store == nil {
+		return nil, ExternalStats{}, fmt.Errorf("mlmsort: SpillSorted needs a run store")
+	}
+	n := len(xs)
+	if n == 0 {
+		return nil, ExternalStats{}, ctx.Err()
+	}
+	if megachunkLen <= 0 {
+		megachunkLen = (n + 3) / 4 // same default as the staged in-memory path
+	}
+	bounds := megachunkBounds(n, megachunkLen)
+	runIDs := make([]int, len(bounds))
+	maxLen := 0
+	for i, b := range bounds {
+		runIDs[i] = i
+		if l := b[1] - b[0]; l > maxLen {
+			maxLen = l
+		}
+	}
+	stats := ExternalStats{RealStats: RealStats{Megachunks: len(bounds)}, Runs: len(bounds)}
+
+	// Scratch and width discipline are identical to runRealMLM: pooled
+	// scratch returned only on clean completion, copy/compute widths from
+	// the external control when present.
+	scratchPool := opts.pool()
+	scratch := scratchPool.Get(maxLen)
+	if scratch == nil && maxLen > 0 {
+		scratch = make([]int64, maxLen)
+		scratchPool = nil
+	}
+	sorter := newMegachunkSorter(threads)
+	copyW := new(atomic.Int32)
+	copyW.Store(1)
+	if opts.Widths != nil {
+		copyW = &opts.Widths.copyIn
+		sorter.width = &opts.Widths.comp
+		if copyW.Load() <= 0 {
+			copyW.Store(1)
+		}
+		if sorter.width.Load() <= 0 {
+			sorter.width.Store(int32(threads))
+		}
+	}
+
+	writeRun := func(i int, src []int64) error {
+		w, err := opts.Store.CreateRun(i)
+		if err != nil {
+			return err
+		}
+		if err := w.Append(src); err != nil {
+			_ = w.Close()
+			return err
+		}
+		return w.Close()
+	}
+
+	s := exec.Stages{
+		NumChunks: len(bounds),
+		ChunkLen:  func(i int) int { return bounds[i][1] - bounds[i][0] },
+	}
+	staged := a == MLMSort || a == MLMHybrid
+	var table *stagingTable
+	if staged {
+		table = newStagingTable(opts.Heap, len(bounds))
+		s.CopyIn = func(i int, dst []int64) error {
+			lo, hi := bounds[i][0], bounds[i][1]
+			if !table.stage(i, units.BytesForElements(int64(hi-lo)), opts.RealOptions) {
+				return nil // degraded: sort the megachunk in DDR
+			}
+			exec.CopyParallel(dst, xs[lo:hi], int(copyW.Load()))
+			return nil
+		}
+		s.Compute = func(i int, buf []int64) error {
+			if table.isDegraded(i) {
+				lo, hi := bounds[i][0], bounds[i][1]
+				sorter.sort(xs[lo:hi], scratch)
+				return nil
+			}
+			sorter.sort(buf, scratch)
+			return nil
+		}
+		s.CopyOut = func(i int, src []int64) error {
+			if table.isDegraded(i) {
+				lo, hi := bounds[i][0], bounds[i][1]
+				return writeRun(i, xs[lo:hi])
+			}
+			if err := writeRun(i, src); err != nil {
+				return err
+			}
+			table.release(i)
+			return nil
+		}
+	} else {
+		// In-place variants: the megachunk is sorted where it lives and the
+		// copy-out streams it to disk from there. The staging buffer is
+		// untouched, so CopyIn has nothing to move.
+		s.CopyIn = func(i int, _ []int64) error { return nil }
+		s.Compute = func(i int, _ []int64) error {
+			lo, hi := bounds[i][0], bounds[i][1]
+			sorter.sort(xs[lo:hi], scratch)
+			return nil
+		}
+		s.CopyOut = func(i int, _ []int64) error {
+			lo, hi := bounds[i][0], bounds[i][1]
+			return writeRun(i, xs[lo:hi])
+		}
+	}
+	fs := opts.finish(s)
+	var tuner *tune.PipelineTuner
+	if at := opts.Autotune; at != nil && staged {
+		total := at.TotalThreads
+		if total <= 0 {
+			total = threads + 2
+		}
+		tuner = tune.NewPipelineTuner(tune.Config{
+			Initial:      model.Pools{In: int(copyW.Load()), Out: int(copyW.Load()), Comp: int(sorter.width.Load())},
+			TotalThreads: total,
+			MaxCopyIn:    at.MaxCopyIn,
+			WarmupChunks: at.WarmupChunks,
+			Bytes:        units.BytesForElements(int64(n)),
+			Registry:     at.Registry,
+			Next:         fs.Observer,
+			OnProvision: func(p model.Prediction) {
+				if opts.Widths != nil {
+					opts.Widths.SetPools(p.Pools)
+				} else {
+					if p.Pools.In > 0 {
+						copyW.Store(int32(p.Pools.In))
+					}
+					if p.Pools.Comp > 0 {
+						sorter.width.Store(int32(p.Pools.Comp))
+					}
+				}
+				if at.OnDecision != nil {
+					at.OnDecision(p)
+				}
+			},
+		})
+		fs.Observer = tuner
+	}
+	err := exec.RunContext(ctx, fs, opts.buffers())
+	if tuner != nil {
+		if dec, ok := tuner.Decision(); ok {
+			stats.Retunes = 1
+			stats.TunedPools = dec.Pools
+		}
+	}
+	if table != nil {
+		stats.Degraded, stats.AllocFailures = table.drain()
+		stats.Staged = stats.Megachunks - stats.Degraded
+	}
+	if err != nil {
+		return runIDs, stats, err
+	}
+	if scratchPool != nil {
+		scratchPool.Put(scratch)
+	}
+	for _, id := range runIDs {
+		stats.SpilledBytes += opts.Store.RunElems(id) * 8
+	}
+	return runIDs, stats, nil
+}
+
+// unpooledCap picks a capacity that is not a pool size class (the same
+// trick as exec's degraded buffer allocation), so the pool drops the
+// slice on Put instead of adopting memory its budget never accounted.
+func unpooledCap(n int) int {
+	if n < 2 {
+		n = 2
+	}
+	if n&(n-1) == 0 {
+		n++
+	}
+	return n
+}
+
+// spillBlock is one filled read-ahead block (or a terminal read error)
+// traveling from a fill worker to the merge loop.
+type spillBlock struct {
+	data []int64
+	err  error
+}
+
+// MergeSpilled is phase 2: a k-way streaming merge over the given run
+// files, emitting the globally sorted sequence to sink in batches. Disk
+// copy-in overlaps merge compute exactly as the paper's pipeline overlaps
+// MCDRAM staging with sorting: one fill goroutine per run streams blocks
+// into a bounded channel (double buffering per run), with at most
+// opts.ReadAhead fills in flight at once — the copy-pool width, here
+// provisioned against the measured disk rate instead of the DDR rate.
+// Blocks come from opts.Pool (falling back to the shared pool, degrading
+// to unpooled allocation on budget refusal) and are recycled as the merge
+// consumes them, so the merge's DDR footprint is O(runs x MergeBlock),
+// independent of the dataset.
+//
+// The merge emits "safe windows": with every live run's current block in
+// hand, every element no greater than the smallest block-final key is
+// globally placeable, so those prefixes are loser-tree merged
+// (psort.MergeK) and flushed. Each window fully consumes at least the
+// bounding run's block, guaranteeing progress.
+//
+// Injected read faults are retried under opts.Retry with the same capped
+// backoff internal/exec applies to stage attempts. On any exit — success,
+// read failure, sink error, cancellation — all fill goroutines are joined
+// and all pooled blocks are returned; MergeSpilled never leaks.
+func MergeSpilled(ctx context.Context, store *spill.Store, runs []int, opts ExternalOptions, sink func([]int64) error) (int64, error) {
+	if sink == nil {
+		return 0, fmt.Errorf("mlmsort: MergeSpilled needs a sink")
+	}
+	if len(runs) == 0 {
+		return 0, ctx.Err()
+	}
+	block := opts.mergeBlock()
+	width := opts.readAhead(len(runs), 1)
+	pool := opts.pool()
+
+	mctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	getBlock := func(n int) []int64 {
+		if s := pool.Get(n); s != nil {
+			return s
+		}
+		// Non-class capacity: the pool drops it on Put instead of adopting
+		// a slice its budget never accounted (same trick as exec.newBuffer).
+		return make([]int64, n, unpooledCap(n))
+	}
+	putBlock := func(s []int64) {
+		if s != nil {
+			pool.Put(s)
+		}
+	}
+
+	// One fill worker per run, at most width concurrently on the disk.
+	fillSlots := make(chan struct{}, width)
+	chans := make([]chan spillBlock, len(runs))
+	var wg sync.WaitGroup
+	for si, id := range runs {
+		r, err := store.OpenRun(id)
+		if err != nil {
+			cancel()
+			wg.Wait()
+			for _, ch := range chans[:si] {
+				for b := range ch {
+					putBlock(b.data)
+				}
+			}
+			return 0, err
+		}
+		ch := make(chan spillBlock, 1) // current block downstream + one staged here
+		chans[si] = ch
+		wg.Add(1)
+		go func(id int, r *spill.RunReader, ch chan spillBlock) {
+			defer wg.Done()
+			defer close(ch)
+			defer r.Close()
+			for {
+				select {
+				case fillSlots <- struct{}{}:
+				case <-mctx.Done():
+					return
+				}
+				buf := getBlock(block)
+				n, err := fillWithRetry(mctx, r, buf, id, opts)
+				<-fillSlots
+				if n > 0 {
+					select {
+					case ch <- spillBlock{data: buf[:n]}:
+					case <-mctx.Done():
+						putBlock(buf)
+						return
+					}
+				} else {
+					putBlock(buf)
+				}
+				if err == io.EOF {
+					return
+				}
+				if err != nil {
+					select {
+					case ch <- spillBlock{err: err}:
+					case <-mctx.Done():
+					}
+					return
+				}
+			}
+		}(id, r, ch)
+	}
+
+	heads := make([][]int64, len(runs)) // unconsumed portion of current block
+	cur := make([][]int64, len(runs))   // current block's backing slice, for recycle
+	done := make([]bool, len(runs))
+	var out []int64
+	var total int64
+	cleanup := func() {
+		cancel()
+		wg.Wait()
+		for _, ch := range chans {
+			for b := range ch {
+				putBlock(b.data)
+			}
+		}
+		for si := range cur {
+			putBlock(cur[si])
+			cur[si] = nil
+		}
+		putBlock(out)
+	}
+	defer cleanup()
+
+	// advance refills run si's head block; afterwards heads[si] is
+	// non-empty or done[si] is set.
+	advance := func(si int) error {
+		if done[si] || len(heads[si]) > 0 {
+			return nil
+		}
+		if cur[si] != nil {
+			putBlock(cur[si])
+			cur[si] = nil
+		}
+		select {
+		case b, ok := <-chans[si]:
+			if !ok {
+				done[si] = true
+				return nil
+			}
+			if b.err != nil {
+				done[si] = true
+				return b.err
+			}
+			cur[si], heads[si] = b.data, b.data
+			return nil
+		case <-mctx.Done():
+			return mctx.Err()
+		}
+	}
+
+	prefixes := make([][]int64, 0, len(runs))
+	for {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		liveData := false
+		for si := range runs {
+			if err := advance(si); err != nil {
+				return total, err
+			}
+			if len(heads[si]) > 0 {
+				liveData = true
+			}
+		}
+		if !liveData {
+			return total, ctx.Err()
+		}
+		// Safe bound: everything <= the smallest block-final key is in hand.
+		first := true
+		var bound int64
+		for si := range runs {
+			h := heads[si]
+			if len(h) == 0 {
+				continue
+			}
+			if last := h[len(h)-1]; first || last < bound {
+				bound, first = last, false
+			}
+		}
+		prefixes = prefixes[:0]
+		sum := 0
+		for si := range runs {
+			h := heads[si]
+			if len(h) == 0 {
+				continue
+			}
+			p := sort.Search(len(h), func(j int) bool { return h[j] > bound })
+			if p > 0 {
+				prefixes = append(prefixes, h[:p])
+				heads[si] = h[p:]
+				sum += p
+			}
+		}
+		if cap(out) < sum {
+			putBlock(out)
+			out = getBlock(sum)
+		}
+		psort.MergeK(out[:sum], prefixes...)
+		total += int64(sum)
+		if err := sink(out[:sum]); err != nil {
+			return total, err
+		}
+	}
+}
+
+// fillWithRetry drives one read-ahead fill with the exec retry semantics:
+// failed attempts back off under opts.Retry and each one is reported to
+// opts.Resilience, with the exhausting attempt marked final.
+func fillWithRetry(ctx context.Context, r *spill.RunReader, buf []int64, runID int, opts ExternalOptions) (int, error) {
+	attempts := opts.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		n, err := r.Fill(buf)
+		if err == nil || err == io.EOF {
+			return n, err
+		}
+		retryable := attempt < attempts
+		var backoff time.Duration
+		if retryable {
+			backoff = opts.Retry.Backoff(attempt)
+		}
+		if opts.Resilience != nil {
+			opts.Resilience.ObserveRetry(exec.RetryEvent{
+				Stage: exec.StageCopyIn, Chunk: runID, Attempt: attempt,
+				Err: err, Backoff: backoff, Final: !retryable,
+			})
+		}
+		if !retryable {
+			return 0, &exec.ChunkError{Stage: exec.StageCopyIn, Chunk: runID, Attempts: attempt, Err: err}
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+}

@@ -20,6 +20,17 @@ var (
 	ErrTooLarge = errors.New("sched: job exceeds MCDRAM budget")
 	// ErrClosed is returned by Submit after Close.
 	ErrClosed = errors.New("sched: scheduler closed")
+	// ErrSpilled is returned by Job.Result for spill-class jobs: the sorted
+	// output exists only as disk run files and must be consumed through
+	// Job.StreamResult.
+	ErrSpilled = errors.New("sched: spilled result must be streamed")
+	// ErrResultConsumed is returned by Job.StreamResult when the spilled
+	// result was already streamed (or released by eviction/shutdown): the
+	// merge is stream-once, its run files deleted on first consumption.
+	ErrResultConsumed = errors.New("sched: spilled result already consumed")
+	// ErrNotDone is returned by Job.StreamResult before the job reaches a
+	// terminal state.
+	ErrNotDone = errors.New("sched: job not finished")
 	// ErrCanceled is the terminal error of a canceled job.
 	ErrCanceled = errors.New("sched: job canceled")
 	// ErrDeadlineExpired is the terminal error of a job whose deadline
@@ -50,17 +61,25 @@ func (e *OverloadError) Error() string {
 // Is matches the ErrOverloaded class.
 func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
 
-// TooLargeError reports a job that can never be admitted: even with the
-// smallest megachunk the scheduler allows, the staging lease would exceed
-// the entire MCDRAM budget. It matches ErrTooLarge under errors.Is.
+// TooLargeError reports a job that can never be admitted: the lease it
+// would minimally need on some tier exceeds that tier's entire budget.
+// It matches ErrTooLarge under errors.Is.
 type TooLargeError struct {
 	// Lease is the minimal lease the job would need; Budget the
-	// scheduler's total MCDRAM budget.
+	// scheduler's total budget on the binding tier.
 	Lease, Budget units.Bytes
+	// Resource names the binding tier: "MCDRAM" (staging lease), "DDR"
+	// (working set, with no spill tier to fall back to), or "disk" (run
+	// files would not fit the disk budget). Empty means MCDRAM.
+	Resource string
 }
 
 func (e *TooLargeError) Error() string {
-	return fmt.Sprintf("sched: job needs a %v MCDRAM lease, budget is %v", e.Lease, e.Budget)
+	r := e.Resource
+	if r == "" {
+		r = "MCDRAM"
+	}
+	return fmt.Sprintf("sched: job needs a %v %s lease, budget is %v", e.Lease, r, e.Budget)
 }
 
 // Is matches the ErrTooLarge class.

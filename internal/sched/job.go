@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"knlmlm/internal/mlmsort"
+	"knlmlm/internal/spill"
 	"knlmlm/internal/telemetry"
+	"knlmlm/internal/units"
 )
 
 // State is a job's lifecycle position.
@@ -94,6 +96,17 @@ type Job struct {
 	megachunk int
 	widths    *mlmsort.WidthControl
 
+	// spill-class jobs sort through the three-level pipeline: phase 1
+	// spills sorted megachunk runs into store, and the deferred merge
+	// (StreamResult) consumes them. diskNeed is the admission-time disk
+	// lease size; store/runIDs/diskLease/streamed are guarded by mu.
+	spill     bool
+	diskNeed  units.Bytes
+	store     *spill.Store
+	runIDs    []int
+	diskLease *Lease
+	streamed  bool
+
 	canceled atomic.Bool
 	runCtx   context.Context
 	cancel   context.CancelFunc
@@ -132,7 +145,8 @@ func (j *Job) Err() error {
 
 // Result returns the sorted keys after a successful completion; before a
 // terminal state, or after failure/cancellation, it returns nil and the
-// job's error.
+// job's error. Spill-class jobs return ErrSpilled: their output exists
+// only as disk run files and must be consumed through StreamResult.
 func (j *Job) Result() ([]int64, error) {
 	if !j.State().Terminal() {
 		return nil, nil
@@ -140,7 +154,88 @@ func (j *Job) Result() ([]int64, error) {
 	if err := j.Err(); err != nil {
 		return nil, err
 	}
+	if j.spill {
+		return nil, ErrSpilled
+	}
 	return j.spec.Data, nil
+}
+
+// Spilled reports whether the job was admitted into the spill class
+// (result must be consumed through StreamResult).
+func (j *Job) Spilled() bool { return j.spill }
+
+// DiskLeaseBytes reports the disk-tier lease the job held for its run
+// files; 0 for in-memory jobs and before dispatch.
+func (j *Job) DiskLeaseBytes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return int64(j.diskLease.Bytes())
+}
+
+// StreamResult delivers the sorted output through sink as a stream of
+// nondecreasing batches (each batch only valid during its call) and
+// returns the element count delivered. An in-memory job's result arrives
+// as one batch. A spill-class job's result is produced here, by the
+// deferred k-way merge over its run files — exactly once: the run files
+// and the disk lease are released on every exit (success, sink error,
+// ctx cancellation), and a second call returns ErrResultConsumed, as
+// does a call after retention eviction or scheduler Close already
+// reclaimed the runs. Before a terminal state it returns ErrNotDone;
+// after failure or cancellation, the job's terminal error.
+func (j *Job) StreamResult(ctx context.Context, sink func([]int64) error) (int64, error) {
+	if !j.State().Terminal() {
+		return 0, ErrNotDone
+	}
+	if err := j.Err(); err != nil {
+		return 0, err
+	}
+	if !j.spill {
+		if err := sink(j.spec.Data); err != nil {
+			return 0, err
+		}
+		return int64(j.n), nil
+	}
+	j.mu.Lock()
+	store, runs := j.store, j.runIDs
+	already := j.streamed || store == nil
+	j.streamed = true
+	j.mu.Unlock()
+	if already {
+		return 0, ErrResultConsumed
+	}
+	defer j.releaseSpill()
+	s := j.sched
+	opts := mlmsort.ExternalOptions{
+		RealOptions: mlmsort.RealOptions{
+			Resilience: s.cfg.Resilience,
+			Retry:      s.cfg.Retry,
+			Pool:       s.pool,
+		},
+		DiskRate:  s.diskRate.Read,
+		MergeRate: s.rates.params().SComp,
+	}
+	return mlmsort.MergeSpilled(ctx, store, runs, opts, sink)
+}
+
+// releaseSpill reclaims the job's spill-tier resources — run store
+// (deleting its files) and disk lease — exactly once; later calls are
+// no-ops. Every terminal path for a spill job funnels here: stream
+// completion, merge failure, phase-1 abort, cancellation, retention
+// eviction, and scheduler Close.
+func (j *Job) releaseSpill() {
+	j.mu.Lock()
+	store, dl := j.store, j.diskLease
+	j.store = nil
+	j.runIDs = nil
+	j.mu.Unlock()
+	if store != nil {
+		j.sched.foldSpillStats(store.Stats())
+		store.Close()
+	}
+	dl.Release()
+	if j.sched.disk != nil {
+		j.sched.metrics.diskLeased.Set(float64(j.sched.disk.Leased()))
+	}
 }
 
 // Times reports the lifecycle stamps (zero where not reached).

@@ -17,12 +17,20 @@
 //     pass; large jobs get staged pipelines whose copy/compute widths are
 //     re-solved from Equations 1-5 each time the set of concurrent jobs
 //     changes, using per-thread rates measured by the autotuner.
+//   - A disk spill class for jobs past the DDR working-set budget. Where
+//     the two-level service would hard-reject them, a configured disk
+//     budget admits them into a three-level pipeline: phase 1 spills
+//     sorted megachunk runs to per-job run stores leased from a separate
+//     disk ledger, and the final k-way merge is deferred to the consumer
+//     (Job.StreamResult), which streams the output without ever
+//     materializing it in DDR.
 package sched
 
 import (
 	"context"
 	"fmt"
 	"math/bits"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -33,7 +41,9 @@ import (
 	"knlmlm/internal/mlmsort"
 	"knlmlm/internal/model"
 	"knlmlm/internal/psort"
+	"knlmlm/internal/spill"
 	"knlmlm/internal/telemetry"
+	"knlmlm/internal/tune"
 	"knlmlm/internal/units"
 )
 
@@ -74,6 +84,26 @@ type Config struct {
 	// value selects the paper's Table 2 constants; measured autotuner
 	// rates refine SCopy/SComp either way.
 	Rates model.Params
+
+	// DDRBudget caps the DDR working set of an in-memory staged job: its
+	// input plus the materialized final merge, 2x the data bytes. Jobs
+	// over it are admitted into the spill class — sorted megachunk runs
+	// go to disk and the final merge streams — when DiskBudget is set,
+	// and rejected with a DDR TooLargeError otherwise. Zero means
+	// unbounded: no job ever spills.
+	DDRBudget units.Bytes
+	// DiskBudget is the disk-tier ledger capacity spill-class jobs lease
+	// their run-file bytes from, accounted separately from the MCDRAM
+	// ledger. Zero disables the spill class.
+	DiskBudget units.Bytes
+	// SpillDir is the parent directory for spill run stores; empty
+	// selects the OS temp dir. The scheduler creates one private root
+	// under it and removes the root on Close, so a drained shutdown
+	// leaves no run files behind.
+	SpillDir string
+	// IOFaults, when non-nil, injects run-file write/read faults into
+	// spill-class jobs (chaos testing; fault.Injector satisfies it).
+	IOFaults spill.IOFaults
 
 	// Registry, when non-nil, receives the sched_* metric families.
 	Registry *telemetry.Registry
@@ -146,6 +176,9 @@ func (c Config) norm() (Config, error) {
 	if c.Rates.BCopy == 0 {
 		c.Rates = model.PaperTable2()
 	}
+	if c.DDRBudget < 0 || c.DiskBudget < 0 {
+		return c, fmt.Errorf("sched: negative DDR (%v) or disk (%v) budget", c.DDRBudget, c.DiskBudget)
+	}
 	return c, nil
 }
 
@@ -168,6 +201,16 @@ func ceilPow2(n int) int {
 type Scheduler struct {
 	cfg    Config
 	budget *Budget
+	// disk is the spill tier's separate ledger (nil when DiskBudget is
+	// zero): spill-class jobs lease their run-file bytes here while the
+	// MCDRAM ledger only covers their staging, so one tier's pressure
+	// never masquerades as the other's.
+	disk *Budget
+	// spillRoot is the scheduler's private parent directory for per-job
+	// run stores, removed on Close; diskRate the sequential disk
+	// bandwidth measured there at startup (zero if the probe failed).
+	spillRoot string
+	diskRate  tune.DiskRate
 	// pool is the budget-capped staging pool all job pipelines draw from:
 	// the byte-accounting second line of defense under the lease ledger.
 	// A refused Get degrades that buffer to an unpooled (DDR) allocation
@@ -221,9 +264,39 @@ func New(cfg Config) (*Scheduler, error) {
 		metrics:    newSchedMetrics(cfg.Registry),
 	}
 	s.metrics.budgetBytes.Set(float64(cfg.MCDRAMBudget))
+	if cfg.DiskBudget > 0 {
+		root, err := os.MkdirTemp(cfg.SpillDir, "sched-spill-")
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("sched: create spill root: %w", err)
+		}
+		s.disk = NewBudget(cfg.DiskBudget)
+		s.spillRoot = root
+		s.metrics.diskBudget.Set(float64(cfg.DiskBudget))
+		// Probe the spill medium so the deferred merge can provision its
+		// read-ahead width from measured rates (Eq. 1-5 with the disk as
+		// the slow tier). A failed probe leaves the rate zero and the
+		// merge falls back to its fixed default width.
+		if dr, err := tune.MeasureDiskRate(root, diskProbeBytes); err == nil {
+			s.diskRate = dr
+			dr.Publish(cfg.Registry)
+		}
+	}
 	go s.dispatch()
 	return s, nil
 }
+
+// diskProbeBytes sizes the startup disk-rate probe: large enough for a
+// stable sequential-rate sample, small enough to keep New fast.
+const diskProbeBytes = 2 << 20
+
+// DiskBudget reports the spill tier's ledger (nil when spill is
+// disabled).
+func (s *Scheduler) DiskBudget() *Budget { return s.disk }
+
+// DiskRate reports the startup-measured spill-medium bandwidth (zero
+// rates when spill is disabled or the probe failed).
+func (s *Scheduler) DiskRate() tune.DiskRate { return s.diskRate }
 
 // Budget reports the scheduler's MCDRAM ledger (read-only observation).
 func (s *Scheduler) Budget() *Budget { return s.budget }
@@ -236,11 +309,19 @@ type plan struct {
 	batchable bool
 	megachunk int
 	lease     units.Bytes
+	// spill-class jobs additionally lease diskLease bytes from the disk
+	// ledger for their run files.
+	spill     bool
+	diskLease units.Bytes
 }
 
 // planFor sizes a job: batchable jobs ride the shared pass; staged jobs
 // get a power-of-two megachunk (so pool size classes match the lease
-// exactly) clamped to what the budget can stage.
+// exactly) clamped to what the budget can stage. Staged jobs whose DDR
+// working set — input plus materialized final merge — exceeds DDRBudget
+// are classed as spill jobs: phase 1 stages through MCDRAM exactly as
+// usual but runs land on disk, and the merge streams, so the job's DDR
+// footprint stays at its input plus O(read-ahead) regardless of size.
 func (s *Scheduler) planFor(spec JobSpec) (plan, error) {
 	n := len(spec.Data)
 	perBuf := int64(s.cfg.Buffers + 1) // Buffers staging buffers + 1 sort scratch
@@ -262,7 +343,20 @@ func (s *Scheduler) planFor(spec JobSpec) (plan, error) {
 	if lease > s.cfg.MCDRAMBudget {
 		return plan{}, &TooLargeError{Lease: lease, Budget: s.cfg.MCDRAMBudget}
 	}
-	return plan{megachunk: mc, lease: lease}, nil
+	p := plan{megachunk: mc, lease: lease}
+	dataBytes := units.Bytes(int64(n) * 8)
+	workSet := 2 * dataBytes
+	if s.cfg.DDRBudget > 0 && workSet > s.cfg.DDRBudget {
+		if s.disk == nil {
+			return plan{}, &TooLargeError{Lease: workSet, Budget: s.cfg.DDRBudget, Resource: "DDR"}
+		}
+		if dataBytes > s.cfg.DiskBudget {
+			return plan{}, &TooLargeError{Lease: dataBytes, Budget: s.cfg.DiskBudget, Resource: "disk"}
+		}
+		p.spill = true
+		p.diskLease = dataBytes
+	}
+	return p, nil
 }
 
 // batchLease is the fixed worst-case lease for one batch pass: Buffers
@@ -276,8 +370,9 @@ func (s *Scheduler) batchLease() units.Bytes {
 // Close, OverloadError (retryable; matches ErrOverloaded) when draining
 // or when the queue is full, ErrDeadlineExpired (not retryable) when the
 // deadline already passed at submission, and TooLargeError (not
-// retryable; matches ErrTooLarge) when the job's minimal MCDRAM lease
-// exceeds the whole budget.
+// retryable; matches ErrTooLarge) when the job's minimal lease exceeds a
+// whole tier budget: MCDRAM staging always, DDR working set when no
+// spill tier is configured, or the disk budget itself.
 func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	if spec.Algorithm == mlmsort.GNUFlat {
 		// The service serves the paper's staged algorithm by default; the
@@ -330,6 +425,8 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		heapIdx:   -1,
 		batchable: p.batchable,
 		megachunk: p.megachunk,
+		spill:     p.spill,
+		diskNeed:  p.diskLease,
 		sched:     s,
 	}
 	j.vdl = virtualDeadline(now, spec.Priority, spec.Deadline, s.cfg.AgingSlack)
@@ -369,6 +466,9 @@ type Stats struct {
 	LeasedBytes     units.Bytes
 	HighWaterBytes  units.Bytes
 	BudgetBytes     units.Bytes
+	// Disk-tier ledger state; zero when the spill class is disabled.
+	DiskBudgetBytes units.Bytes
+	DiskLeasedBytes units.Bytes
 	Draining        bool
 }
 
@@ -376,7 +476,7 @@ type Stats struct {
 func (s *Scheduler) Snapshot() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Queued:         len(s.queue),
 		Running:        len(s.running),
 		Submitted:      s.submitted,
@@ -386,6 +486,11 @@ func (s *Scheduler) Snapshot() Stats {
 		BudgetBytes:    s.budget.Capacity(),
 		Draining:       s.draining,
 	}
+	if s.disk != nil {
+		st.DiskBudgetBytes = s.disk.Capacity()
+		st.DiskLeasedBytes = s.disk.Leased()
+	}
+	return st
 }
 
 func (s *Scheduler) kickLocked() {
@@ -457,16 +562,38 @@ func (s *Scheduler) tryDispatchLocked() bool {
 	if !ok {
 		return false
 	}
+	// Spill jobs lease from both ledgers atomically under the scheduler
+	// lock: MCDRAM for staging, disk for run files. Either refusal leaves
+	// the job queued (head-of-line, no starvation) with nothing leaked.
+	var diskLease *Lease
+	if head.spill {
+		dl, ok := s.disk.TryLease(head.diskNeed)
+		if !ok {
+			lease.Release()
+			return false
+		}
+		diskLease = dl
+	}
 	j := s.queue.pop()
 	// The width control must exist before the job enters the running set:
 	// refairLocked reads it under the scheduler lock.
 	j.widths = mlmsort.NewWidthControl(model.Pools{})
 	s.startLocked(j, lease)
+	if diskLease != nil {
+		j.mu.Lock()
+		j.diskLease = diskLease
+		j.mu.Unlock()
+		s.metrics.diskLeased.Set(float64(s.disk.Leased()))
+	}
 	s.pipelines++
 	s.runningStaged++
 	s.refairLocked()
 	s.wg.Add(1)
-	go s.runStaged(j, lease)
+	if j.spill {
+		go s.runSpill(j, lease)
+	} else {
+		go s.runStaged(j, lease)
+	}
 	return true
 }
 
@@ -538,12 +665,19 @@ func (s *Scheduler) finishLocked(j *Job, st State, err error) {
 }
 
 // retireLocked keeps terminal jobs addressable by Lookup up to the
-// retention bound, evicting oldest-first.
+// retention bound, evicting oldest-first. Eviction is a spilled job's
+// last addressable moment, so an unclaimed spilled result is reclaimed
+// here — otherwise its run files and disk lease would pin the disk
+// budget forever.
 func (s *Scheduler) retireLocked(j *Job) {
 	s.retired = append(s.retired, j.id)
 	for len(s.retired) > s.cfg.RetainJobs {
+		old := s.jobs[s.retired[0]]
 		delete(s.jobs, s.retired[0])
 		s.retired = s.retired[1:]
+		if old != nil && old.spill {
+			old.releaseSpill()
+		}
 	}
 }
 
@@ -627,6 +761,92 @@ func (s *Scheduler) runStaged(j *Job, lease *Lease) {
 	s.metrics.leased.Set(float64(s.budget.Leased()))
 	s.kickLocked()
 	s.mu.Unlock()
+}
+
+// runSpill executes one spill-class job's phase 1: the same staged
+// megachunk pipeline as runStaged, but each sorted megachunk is written
+// to a run file in a per-job store instead of merging in DDR. The MCDRAM
+// lease is released the moment phase 1 finishes — spilling exists
+// precisely so the deferred merge holds no staging capacity — while the
+// disk lease and run files are held until the result is streamed
+// (Job.StreamResult on the consumer's goroutine), the retention window
+// evicts the job, or the scheduler closes.
+func (s *Scheduler) runSpill(j *Job, lease *Lease) {
+	defer s.wg.Done()
+	per := s.fairShareThreads()
+	var runs []int
+	store, err := spill.NewStore(spill.Config{
+		Dir:      s.spillRoot,
+		MaxBytes: int64(j.diskNeed),
+		Faults:   s.cfg.IOFaults,
+	})
+	if err == nil {
+		j.mu.Lock()
+		j.store = store
+		j.mu.Unlock()
+		opts := mlmsort.ExternalOptions{
+			RealOptions: mlmsort.RealOptions{
+				Recorder:     j.recorder,
+				Heap:         s.cfg.Heap,
+				AllocFaults:  s.cfg.AllocFaults,
+				Resilience:   s.cfg.Resilience,
+				Wrap:         s.cfg.Wrap,
+				Retry:        s.cfg.Retry,
+				ChunkTimeout: s.cfg.ChunkTimeout,
+				Buffers:      s.cfg.Buffers,
+				Widths:       j.widths,
+				Pool:         s.pool,
+			},
+			Store: store,
+		}
+		if s.cfg.Autotune {
+			opts.Autotune = &mlmsort.AutotuneOptions{
+				TotalThreads: per,
+				OnDecision:   s.rates.observe,
+			}
+		}
+		runs, _, err = mlmsort.SpillSorted(j.runCtx, j.spec.Algorithm, j.spec.Data, per, j.megachunk, opts)
+	}
+	lease.Release()
+	if s.cfg.Resilience != nil {
+		s.cfg.Resilience.RecordOutcome(err)
+	}
+
+	st := Done
+	switch {
+	case err == nil:
+		j.mu.Lock()
+		j.runIDs = runs
+		j.mu.Unlock()
+		s.metrics.spillJobs.Add(1)
+	case j.canceled.Load():
+		st, err = Canceled, ErrCanceled
+	case s.rootCtx.Err() != nil:
+		st, err = Failed, ErrClosed
+	default:
+		st = Failed
+	}
+	if err != nil {
+		// Abort path: whatever runs phase 1 created die with the store,
+		// and the disk lease returns to the ledger immediately.
+		j.releaseSpill()
+	}
+	s.mu.Lock()
+	s.pipelines--
+	s.runningStaged--
+	s.finishLocked(j, st, err)
+	s.refairLocked()
+	s.metrics.leased.Set(float64(s.budget.Leased()))
+	s.kickLocked()
+	s.mu.Unlock()
+}
+
+// foldSpillStats folds a retiring per-job run store's counters into the
+// scheduler-lifetime sched_spill_* families.
+func (s *Scheduler) foldSpillStats(st spill.Stats) {
+	s.metrics.spillRuns.Add(st.RunsCreated)
+	s.metrics.spillBytesWritten.Add(st.BytesWritten)
+	s.metrics.spillBytesRead.Add(st.BytesRead)
 }
 
 // fairShareThreads reports the per-job thread share at current staged
@@ -829,6 +1049,22 @@ func (s *Scheduler) Close() {
 	s.rootCancel()
 	<-s.dispDone
 	s.wg.Wait()
+	// Reclaim spilled results nobody streamed, then remove the spill
+	// root: a drained shutdown must leave no run files behind.
+	s.mu.Lock()
+	var spilled []*Job
+	for _, j := range s.jobs {
+		if j.spill {
+			spilled = append(spilled, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range spilled {
+		j.releaseSpill()
+	}
+	if s.spillRoot != "" {
+		os.RemoveAll(s.spillRoot)
+	}
 }
 
 // rateEstimator folds autotuner-measured per-thread rates into the
@@ -880,6 +1116,13 @@ type schedMetrics struct {
 	latency     *telemetry.Histogram
 	queueWait   *telemetry.Histogram
 
+	diskBudget        *telemetry.Gauge
+	diskLeased        *telemetry.Gauge
+	spillJobs         *telemetry.Counter
+	spillRuns         *telemetry.Counter
+	spillBytesWritten *telemetry.Counter
+	spillBytesRead    *telemetry.Counter
+
 	mu  sync.Mutex
 	reg *telemetry.Registry
 }
@@ -903,6 +1146,12 @@ func newSchedMetrics(reg *telemetry.Registry) *schedMetrics {
 			nil, telemetry.DefLatencyBuckets()),
 		queueWait: reg.Histogram("sched_queue_wait_seconds", "Submit-to-dispatch queue wait.",
 			nil, telemetry.DefLatencyBuckets()),
+		diskBudget:        reg.Gauge("sched_disk_budget_bytes", "Configured spill-tier disk budget (0 = spill disabled).", nil),
+		diskLeased:        reg.Gauge("sched_disk_leased_bytes", "Disk bytes currently out on lease to spill-class jobs.", nil),
+		spillJobs:         reg.Counter("sched_spill_jobs_total", "Jobs admitted into the spill class whose phase 1 completed.", nil),
+		spillRuns:         reg.Counter("sched_spill_runs_total", "Run files created by spill-class jobs.", nil),
+		spillBytesWritten: reg.Counter("sched_spill_bytes_written_total", "Bytes written to spill run files.", nil),
+		spillBytesRead:    reg.Counter("sched_spill_bytes_read_total", "Bytes read back from spill run files by deferred merges.", nil),
 	}
 	return m
 }

@@ -3,7 +3,10 @@ package sched
 import (
 	"context"
 	"errors"
+	"math"
 	"math/rand"
+	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -16,6 +19,42 @@ import (
 	"knlmlm/internal/workload"
 )
 
+// soakSeed returns the soak's master seed — deterministic by default,
+// overridable with SCHED_SOAK_SEED to replay a failure — and arranges
+// for it to be logged whenever the test fails, so a red nightly run is
+// reproducible from its output alone.
+func soakSeed(t *testing.T) int64 {
+	t.Helper()
+	seed := int64(20260805)
+	if v := os.Getenv("SCHED_SOAK_SEED"); v != "" {
+		p, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("SCHED_SOAK_SEED=%q: %v", v, err)
+		}
+		seed = p
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("seed=%d", seed)
+		}
+	})
+	return seed
+}
+
+// soakScale reads the SCHED_SOAK_SCALE multiplier (nightly CI runs the
+// soak longer than tier-1 by setting it above 1).
+func soakScale(t *testing.T) int {
+	v := os.Getenv("SCHED_SOAK_SCALE")
+	if v == "" {
+		return 1
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		t.Fatalf("SCHED_SOAK_SCALE=%q: want a positive integer", v)
+	}
+	return n
+}
+
 // TestSchedulerSoak drives the scheduler with randomized sizes,
 // priorities, deadlines, and cancellations — under an injected-fault
 // chaos plan — while a sampler continuously asserts the MCDRAM
@@ -26,14 +65,19 @@ import (
 //   - sustained high-priority traffic never starves lower priorities,
 //   - canceling a queued job never leaks a lease.
 //
-// Run with -race; the test is sized to stay in tier-1 time budgets.
+// Run with -race; the test is sized to stay in tier-1 time budgets
+// (SCHED_SOAK_SCALE lengthens it for nightly runs, SCHED_SOAK_SEED
+// replays a failure).
 func TestSchedulerSoak(t *testing.T) {
 	const (
-		budget    = units.Bytes(2 << 20)
-		clients   = 4
-		perClient = 30
+		budget     = units.Bytes(2 << 20)
+		ddrBudget  = units.Bytes(600 << 10)
+		diskBudget = units.Bytes(64 << 20)
+		clients    = 4
 	)
-	plan := fault.NewPlan(20260805, units.Bytes(512<<10))
+	seed := soakSeed(t)
+	perClient := 30 * soakScale(t)
+	plan := fault.NewPlan(seed, units.Bytes(512<<10))
 	inj := plan.Injector()
 	reg := telemetry.NewRegistry()
 	s, err := New(Config{
@@ -50,6 +94,12 @@ func TestSchedulerSoak(t *testing.T) {
 		Retry:        plan.Retry,
 		ChunkTimeout: plan.ChunkTimeout,
 		Autotune:     true,
+		// Spill tier: jobs past ~38k elements take the three-level path,
+		// under the plan's injected run-file write/read faults.
+		DDRBudget:  ddrBudget,
+		DiskBudget: diskBudget,
+		SpillDir:   t.TempDir(),
+		IOFaults:   inj,
 	})
 	if err != nil {
 		t.Fatalf("New: %v", err)
@@ -79,6 +129,11 @@ func TestSchedulerSoak(t *testing.T) {
 				t.Errorf("pool footprint %d exceeds budget %v", fp, budget)
 				return
 			}
+			if dl := s.DiskBudget().Leased(); dl > diskBudget {
+				violations.Add(1)
+				t.Errorf("disk leased %v exceeds disk budget %v", dl, diskBudget)
+				return
+			}
 			time.Sleep(500 * time.Microsecond)
 		}
 	}()
@@ -96,7 +151,7 @@ func TestSchedulerSoak(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(1000 + c)))
+			rng := rand.New(rand.NewSource(seed + int64(1000+c)))
 			for i := 0; i < perClient; i++ {
 				n := 200 + rng.Intn(60000) // mixes batchable and staged
 				spec := JobSpec{
@@ -147,7 +202,7 @@ func TestSchedulerSoak(t *testing.T) {
 
 	mu.Lock()
 	defer mu.Unlock()
-	var done, failed, canceled int
+	var done, failed, canceled, spilled int
 	for _, rec := range all {
 		if !rec.j.State().Terminal() {
 			t.Fatalf("job %s not terminal after drain: %v", rec.j.ID(), rec.j.State())
@@ -155,6 +210,26 @@ func TestSchedulerSoak(t *testing.T) {
 		switch rec.j.State() {
 		case Done:
 			done++
+			if rec.j.Spilled() {
+				spilled++
+				last := int64(math.MinInt64)
+				n, err := rec.j.StreamResult(context.Background(), func(batch []int64) error {
+					for _, v := range batch {
+						if v < last {
+							t.Errorf("job %s streamed out of order", rec.j.ID())
+						}
+						last = v
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("spilled job %s stream: %v", rec.j.ID(), err)
+				}
+				if int(n) != rec.j.N() {
+					t.Fatalf("job %s streamed %d of %d elements", rec.j.ID(), n, rec.j.N())
+				}
+				break
+			}
 			out, err := rec.j.Result()
 			if err != nil {
 				t.Fatalf("done job %s: %v", rec.j.ID(), err)
@@ -181,11 +256,18 @@ func TestSchedulerSoak(t *testing.T) {
 	if done == 0 {
 		t.Fatal("soak completed no jobs")
 	}
-	t.Logf("soak: %d done, %d canceled, %d deadline-failed, %d injected faults, high water %v / %v",
-		done, canceled, failed, inj.Total(), s.Budget().HighWater(), budget)
+	t.Logf("soak: %d done (%d spilled), %d canceled, %d deadline-failed, %d injected faults, high water %v / %v, disk high water %v / %v",
+		done, spilled, canceled, failed, inj.Total(), s.Budget().HighWater(), budget,
+		s.DiskBudget().HighWater(), diskBudget)
+	if spilled == 0 {
+		t.Fatal("soak exercised no spill-class jobs")
+	}
 
 	if got := s.Budget().Leased(); got != 0 {
 		t.Fatalf("leased %v after drain, want 0", got)
+	}
+	if got := s.DiskBudget().Leased(); got != 0 {
+		t.Fatalf("disk leased %v after all results streamed, want 0", got)
 	}
 }
 

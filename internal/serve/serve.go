@@ -1,10 +1,18 @@
 // Package serve is the network front end of the sort service: a
 // dependency-free HTTP/JSON API over internal/sched. It maps the
 // scheduler's typed admission errors onto HTTP semantics (429 with
-// Retry-After for overload, 413 for jobs that can never fit the MCDRAM
+// Retry-After for overload, 413 for jobs that can never fit any tier's
 // budget), streams large sorted results with chunked transfer encoding,
 // and exposes the scheduler's sched_* families plus its own serve_*
 // counters on /metrics in Prometheus text format.
+//
+// Spill-class results are special: their sorted output exists only as
+// disk run files, and GET /v1/jobs/{id}/result runs the deferred k-way
+// merge directly into the chunked response — the result never
+// materializes in DDR. The merge is bound to the request context, so a
+// mid-download disconnect cancels it and releases the run files and
+// disk lease; the download is consume-once, and a repeat GET answers
+// 410 Gone.
 package serve
 
 import (
@@ -132,11 +140,15 @@ type jobStatus struct {
 	N          int    `json:"n"`
 	QueueWait  string `json:"queue_wait,omitempty"`
 	LeaseBytes int64  `json:"lease_bytes,omitempty"`
-	Error      string `json:"error,omitempty"`
-	ResultURL  string `json:"result_url,omitempty"`
-	Enqueued   string `json:"enqueued,omitempty"`
-	Started    string `json:"started,omitempty"`
-	Finished   string `json:"finished,omitempty"`
+	// Spilled marks a spill-class job: its result is produced by a
+	// consume-once streaming merge at ResultURL.
+	Spilled        bool   `json:"spilled,omitempty"`
+	DiskLeaseBytes int64  `json:"disk_lease_bytes,omitempty"`
+	Error          string `json:"error,omitempty"`
+	ResultURL      string `json:"result_url,omitempty"`
+	Enqueued       string `json:"enqueued,omitempty"`
+	Started        string `json:"started,omitempty"`
+	Finished       string `json:"finished,omitempty"`
 }
 
 // errorBody is the wire form of every non-2xx response.
@@ -157,6 +169,10 @@ func statusOf(j *sched.Job) jobStatus {
 	}
 	if lb := j.LeaseBytes(); lb > 0 {
 		st.LeaseBytes = lb
+	}
+	if j.Spilled() {
+		st.Spilled = true
+		st.DiskLeaseBytes = j.DiskLeaseBytes()
 	}
 	if err := j.Err(); err != nil {
 		st.Error = err.Error()
@@ -316,6 +332,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, errorBody{Error: "job still " + j.State().String(), Code: "not-ready"})
 		return
 	}
+	if j.Spilled() {
+		s.streamSpilled(w, r, j)
+		return
+	}
 	keys, err := j.Result()
 	if err != nil {
 		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error(), Code: "job-" + j.State().String()})
@@ -357,6 +377,80 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	_ = write([]byte("]\n"))
 }
 
+// streamSpilled runs a spill-class job's deferred k-way merge straight
+// into the chunked response: the sorted result goes disk -> merge ->
+// socket without ever materializing in DDR. The merge is bound to the
+// request context, so a client disconnect cancels it mid-stream, and
+// StreamResult releases the run files and disk lease on every exit — a
+// dropped download cannot leak disk budget. The stream is consume-once:
+// a job whose runs were already merged (or reclaimed by eviction or
+// shutdown) answers 410 Gone.
+func (s *Server) streamSpilled(w http.ResponseWriter, r *http.Request, j *sched.Job) {
+	flusher, _ := w.(http.Flusher)
+	chunk := s.cfg.ResultChunkElems
+	var buf []byte
+	wrote := false
+	first := true
+	var werr error
+	_, err := j.StreamResult(r.Context(), func(batch []int64) error {
+		if !wrote {
+			// Headers go out with the first merge batch: a consume-once
+			// refusal below must still be free to answer 410.
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Sort-Elements", strconv.Itoa(j.N()))
+			w.Header().Set("X-Sort-Spilled", "true")
+			if _, e := w.Write([]byte("[")); e != nil {
+				werr = e
+				return e
+			}
+			wrote = true
+		}
+		for lo := 0; lo < len(batch); lo += chunk {
+			hi := lo + chunk
+			if hi > len(batch) {
+				hi = len(batch)
+			}
+			buf = buf[:0]
+			for _, v := range batch[lo:hi] {
+				if !first {
+					buf = append(buf, ',')
+				}
+				first = false
+				buf = strconv.AppendInt(buf, v, 10)
+			}
+			if _, e := w.Write(buf); e != nil {
+				werr = e
+				return e
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		return nil
+	})
+	switch {
+	case err == nil:
+		if !wrote {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Sort-Spilled", "true")
+			if _, e := w.Write([]byte("[")); e != nil {
+				return
+			}
+		}
+		_, _ = w.Write([]byte("]\n"))
+	case werr != nil || r.Context().Err() != nil:
+		// The client went away mid-stream; the response is unfinishable
+		// and the merge already released the job's spill resources.
+	case errors.Is(err, sched.ErrResultConsumed):
+		writeJSON(w, http.StatusGone, errorBody{Error: err.Error(), Code: "result-consumed"})
+	case wrote:
+		// Merge failure after bytes hit the wire: the truncated body (no
+		// closing bracket) is the only signal left to send.
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error(), Code: "spill-merge"})
+	}
+}
+
 // healthBody is the /healthz payload.
 type healthBody struct {
 	Status      string `json:"status"`
@@ -365,17 +459,22 @@ type healthBody struct {
 	Running     int    `json:"running"`
 	LeasedBytes int64  `json:"leased_bytes"`
 	BudgetBytes int64  `json:"budget_bytes"`
+	// Disk-tier ledger state; zero when the spill class is disabled.
+	DiskLeasedBytes int64 `json:"disk_leased_bytes,omitempty"`
+	DiskBudgetBytes int64 `json:"disk_budget_bytes,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	snap := s.sched.Snapshot()
 	body := healthBody{
-		Status:      "ok",
-		Draining:    s.draining.Load() || snap.Draining,
-		Queued:      snap.Queued,
-		Running:     snap.Running,
-		LeasedBytes: int64(snap.LeasedBytes),
-		BudgetBytes: int64(snap.BudgetBytes),
+		Status:          "ok",
+		Draining:        s.draining.Load() || snap.Draining,
+		Queued:          snap.Queued,
+		Running:         snap.Running,
+		LeasedBytes:     int64(snap.LeasedBytes),
+		BudgetBytes:     int64(snap.BudgetBytes),
+		DiskLeasedBytes: int64(snap.DiskLeasedBytes),
+		DiskBudgetBytes: int64(snap.DiskBudgetBytes),
 	}
 	code := http.StatusOK
 	if body.Draining {
