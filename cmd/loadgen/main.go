@@ -15,7 +15,13 @@
 // throughput, and the server's spill_*/sched_spill_* telemetry (run
 // counts, spilled bytes, measured disk rates) scraped from /metrics.
 //
-// The sweep is written as JSON (default BENCH_PR5.json), the committed
+// At the end of the sweep, the server's job_phase_seconds{phase=...}
+// histograms are scraped from /metrics and embedded as a per-phase
+// breakdown (server_phase_breakdown), so the artifact attributes the
+// goodput knee to a phase — queue wait vs lease wait vs pipeline run —
+// rather than just reporting it.
+//
+// The sweep is written as JSON (default BENCH_PR6.json), the committed
 // artifact EXPERIMENTS.md documents.
 //
 // Examples:
@@ -113,7 +119,21 @@ type spillResult struct {
 	SpilledBytes float64 `json:"sched_spill_bytes_written_total"`
 }
 
-// benchFile is the BENCH_PR5.json document.
+// phaseStat is one phase row of the server-side breakdown, reduced from
+// the job_phase_seconds{phase=...} histogram's sum and count.
+type phaseStat struct {
+	// Group classifies the phase: "wall" phases (admit/queue/lease/run)
+	// sum to submit→terminal latency; "work" phases are thread-seconds
+	// inside run; "post" phases (merge/stream) land after terminal.
+	Group  string  `json:"group"`
+	Count  int64   `json:"count"`
+	TotalS float64 `json:"total_s"`
+	MeanMS float64 `json:"mean_ms"`
+	// Share is the phase's fraction of its group's total time.
+	Share float64 `json:"share"`
+}
+
+// benchFile is the BENCH_PR6.json document.
 type benchFile struct {
 	Bench     string        `json:"bench"`
 	Target    string        `json:"target"`
@@ -122,6 +142,14 @@ type benchFile struct {
 	Verified  bool          `json:"verified_sorted"`
 	Levels    []levelResult `json:"levels"`
 	Spill     *spillResult  `json:"spill,omitempty"`
+	// Phases is the server-side per-phase breakdown scraped from
+	// job_phase_seconds at the end of the sweep (all levels and the spill
+	// phase combined — the histograms are cumulative).
+	Phases map[string]phaseStat `json:"server_phase_breakdown,omitempty"`
+	// ModelDriftMean is the mean measured-run / Eq. 1-5-predicted ratio
+	// over staged jobs (job_model_drift_ratio's sum/count; 0 when the
+	// sweep ran no staged jobs).
+	ModelDriftMean float64 `json:"model_drift_mean,omitempty"`
 }
 
 func main() {
@@ -134,7 +162,7 @@ func main() {
 	flag.IntVar(&cfg.nMin, "n-min", 1000, "minimum keys per job")
 	flag.IntVar(&cfg.nMax, "n-max", 50000, "maximum keys per job")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed")
-	flag.StringVar(&cfg.out, "out", "BENCH_PR5.json", "output JSON path")
+	flag.StringVar(&cfg.out, "out", "BENCH_PR6.json", "output JSON path")
 	flag.BoolVar(&cfg.verify, "verify", true, "download and verify every completed result is sorted")
 	flag.IntVar(&cfg.spillN, "spill-n", 0, "keys per spill-phase job; must exceed the server's DDR budget (0 disables the spill phase)")
 	flag.IntVar(&cfg.spillJobs, "spill-jobs", 5, "jobs in the spill phase (with -spill-n)")
@@ -189,6 +217,15 @@ func run(cfg config) error {
 		fmt.Printf("spill %d×%d: %d ok, %d failed — p50 %.1fms, sort %.1f MB/s, download %.1f MB/s, %d runs over %d jobs\n",
 			sp.Jobs, sp.Elems, sp.Completed, sp.Failed, sp.Latency.P50,
 			sp.SortMBps, sp.DownloadMBps, int(sp.SpillRuns), int(sp.SpillJobs))
+	}
+
+	phases, drift, err := scrapePhaseBreakdown(client, cfg.url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: phase scrape:", err)
+	} else if len(phases) > 0 {
+		doc.Phases = phases
+		doc.ModelDriftMean = drift
+		printPhaseSummary(phases, drift)
 	}
 
 	raw, err := json.MarshalIndent(doc, "", "  ")
@@ -349,6 +386,102 @@ func scrapeMetrics(client *http.Client, url string) (map[string]float64, error) 
 		out[fields[0]] = v
 	}
 	return out, nil
+}
+
+// phaseGroups maps each job_phase_seconds phase label onto its breakdown
+// group (mirrors internal/telemetry's taxonomy).
+var phaseGroups = map[string]string{
+	"admit": "wall", "queue": "wall", "lease": "wall", "run": "wall",
+	"copy-in": "work", "compute": "work", "copy-out": "work", "spill-write": "work",
+	"merge": "post", "stream": "post",
+}
+
+// scrapePhaseBreakdown reads the server's job_phase_seconds histograms
+// (labeled series — the flat scrapeMetrics skips those) and reduces each
+// phase to count / total / mean / within-group share, plus the mean model
+// drift ratio from job_model_drift_ratio.
+func scrapePhaseBreakdown(client *http.Client, url string) (map[string]phaseStat, float64, error) {
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	phases := map[string]phaseStat{}
+	var driftSum, driftCount float64
+	const sumPrefix = `job_phase_seconds_sum{phase="`
+	const countPrefix = `job_phase_seconds_count{phase="`
+	for _, line := range strings.Split(string(raw), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		val, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(fields[0], sumPrefix):
+			if name, ok := strings.CutSuffix(fields[0][len(sumPrefix):], `"}`); ok {
+				st := phases[name]
+				st.TotalS = val
+				phases[name] = st
+			}
+		case strings.HasPrefix(fields[0], countPrefix):
+			if name, ok := strings.CutSuffix(fields[0][len(countPrefix):], `"}`); ok {
+				st := phases[name]
+				st.Count = int64(val)
+				phases[name] = st
+			}
+		case fields[0] == "job_model_drift_ratio_sum":
+			driftSum = val
+		case fields[0] == "job_model_drift_ratio_count":
+			driftCount = val
+		}
+	}
+	groupTotal := map[string]float64{}
+	for name, st := range phases {
+		st.Group = phaseGroups[name]
+		phases[name] = st
+		groupTotal[st.Group] += st.TotalS
+	}
+	for name, st := range phases {
+		if st.Count > 0 {
+			st.MeanMS = st.TotalS / float64(st.Count) * 1e3
+		}
+		if t := groupTotal[st.Group]; t > 0 {
+			st.Share = st.TotalS / t
+		}
+		phases[name] = st
+	}
+	drift := 0.0
+	if driftCount > 0 {
+		drift = driftSum / driftCount
+	}
+	return phases, drift, nil
+}
+
+// printPhaseSummary prints the wall-phase attribution line the sweep ends
+// with — the human-readable version of server_phase_breakdown.
+func printPhaseSummary(phases map[string]phaseStat, drift float64) {
+	var parts []string
+	for _, name := range []string{"admit", "queue", "lease", "run", "merge", "stream"} {
+		st, ok := phases[name]
+		if !ok || st.Count == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s %.0f%% (mean %.1fms)", name, st.Share*100, st.MeanMS))
+	}
+	fmt.Printf("server phases: %s\n", strings.Join(parts, ", "))
+	if drift > 0 {
+		fmt.Printf("model drift: measured/predicted run mean %.2fx\n", drift)
+	}
 }
 
 // waitHealthy polls /healthz until the server answers 200.

@@ -32,10 +32,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,6 +64,9 @@ type options struct {
 	chaos        bool
 	chaosSeed    int64
 	drainTimeout time.Duration
+	logLevel     string
+	logJSON      bool
+	flightCap    int
 }
 
 func main() {
@@ -79,12 +84,41 @@ func main() {
 	flag.BoolVar(&o.chaos, "chaos", false, "run every job pipeline under a seeded fault-injection plan")
 	flag.Int64Var(&o.chaosSeed, "chaos-seed", 1, "chaos plan seed (with -chaos)")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "graceful-drain bound on shutdown")
+	flag.StringVar(&o.logLevel, "log-level", "info", "structured log level: debug, info, warn, error, or off")
+	flag.BoolVar(&o.logJSON, "log-json", false, "emit structured logs as JSON (default logfmt-style text)")
+	flag.IntVar(&o.flightCap, "flight-recorder", 0, "job traces retained in the flight recorder ring (0 = default)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "mlmserve:", err)
 		os.Exit(1)
 	}
+}
+
+// buildLogger maps -log-level/-log-json onto a slog.Logger on stderr
+// (stdout stays machine-parsable: the listen line and drain summary).
+// Level "off" returns nil, which both layers treat as logging disabled.
+func buildLogger(level string, asJSON bool) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	case "off", "none":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("-log-level %q: want debug, info, warn, error, or off", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	if asJSON {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
 }
 
 func run(o options) error {
@@ -95,20 +129,26 @@ func run(o options) error {
 		return fmt.Errorf("-ddr-budget-mb and -disk-budget-mb must be non-negative")
 	}
 	budget := units.Bytes(o.budgetMB) * units.MiB
+	logger, err := buildLogger(o.logLevel, o.logJSON)
+	if err != nil {
+		return err
+	}
 
 	reg := telemetry.NewRegistry()
 	cfg := sched.Config{
-		MCDRAMBudget: budget,
-		DDRBudget:    units.Bytes(o.ddrMB) * units.MiB,
-		DiskBudget:   units.Bytes(o.diskMB) * units.MiB,
-		SpillDir:     o.spillDir,
-		Workers:      o.workers,
-		QueueLimit:   o.queueLimit,
-		TotalThreads: o.threads,
-		RetainJobs:   o.retain,
-		Registry:     reg,
-		Resilience:   telemetry.NewResilience(reg),
-		Autotune:     o.autotune,
+		MCDRAMBudget:      budget,
+		DDRBudget:         units.Bytes(o.ddrMB) * units.MiB,
+		DiskBudget:        units.Bytes(o.diskMB) * units.MiB,
+		SpillDir:          o.spillDir,
+		Workers:           o.workers,
+		QueueLimit:        o.queueLimit,
+		TotalThreads:      o.threads,
+		RetainJobs:        o.retain,
+		Registry:          reg,
+		Resilience:        telemetry.NewResilience(reg),
+		Autotune:          o.autotune,
+		FlightRecorderCap: o.flightCap,
+		Logger:            logger,
 	}
 	if o.chaos {
 		plan := fault.NewPlan(o.chaosSeed, budget)
@@ -129,7 +169,7 @@ func run(o options) error {
 	}
 	defer sc.Close()
 
-	srv, err := serve.New(serve.Config{Scheduler: sc, Registry: reg})
+	srv, err := serve.New(serve.Config{Scheduler: sc, Registry: reg, Logger: logger})
 	if err != nil {
 		return err
 	}

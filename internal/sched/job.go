@@ -62,6 +62,14 @@ type JobSpec struct {
 	// MegachunkLen overrides the scheduler's budget-aware megachunk
 	// sizing (elements; 0 = automatic).
 	MegachunkLen int
+	// Tenant labels the submitting tenant in traces and structured logs
+	// (informational; no quota semantics).
+	Tenant string
+	// Trace, when non-nil, is the request-scoped lifecycle trace the job
+	// continues (created at the HTTP edge). Nil falls back to the
+	// submission context's trace, then to a fresh one — every admitted
+	// job is traced.
+	Trace *telemetry.JobTrace
 }
 
 // Job is a submitted sort tracked through the scheduler.
@@ -111,6 +119,7 @@ type Job struct {
 	runCtx   context.Context
 	cancel   context.CancelFunc
 	recorder *telemetry.Recorder
+	trace    *telemetry.JobTrace
 	sched    *Scheduler
 }
 
@@ -190,9 +199,11 @@ func (j *Job) StreamResult(ctx context.Context, sink func([]int64) error) (int64
 		return 0, err
 	}
 	if !j.spill {
+		start := time.Now()
 		if err := sink(j.spec.Data); err != nil {
 			return 0, err
 		}
+		j.observeStream(0, time.Since(start))
 		return int64(j.n), nil
 	}
 	j.mu.Lock()
@@ -214,7 +225,34 @@ func (j *Job) StreamResult(ctx context.Context, sink func([]int64) error) (int64
 		DiskRate:  s.diskRate.Read,
 		MergeRate: s.rates.params().SComp,
 	}
-	return mlmsort.MergeSpilled(ctx, store, runs, opts, sink)
+	// Split the download's wall time into its two post-terminal phases:
+	// sink-callback time is delivery (stream), the rest is the k-way merge
+	// itself (run reads + heap work).
+	start := time.Now()
+	var sinkTime time.Duration
+	n, err := mlmsort.MergeSpilled(ctx, store, runs, opts, func(batch []int64) error {
+		s0 := time.Now()
+		serr := sink(batch)
+		sinkTime += time.Since(s0)
+		return serr
+	})
+	j.observeStream(time.Since(start)-sinkTime, sinkTime)
+	return n, err
+}
+
+// observeStream folds a result download's merge/stream time into the
+// job's trace and the scheduler's phase histograms.
+func (j *Job) observeStream(merge, stream time.Duration) {
+	j.trace.AddPhase(telemetry.PhaseMerge, merge)
+	j.trace.AddPhase(telemetry.PhaseStream, stream)
+	if merge > 0 {
+		j.trace.EventDetail("merged", merge.String())
+	}
+	if stream > 0 {
+		j.trace.EventDetail("streamed", stream.String())
+	}
+	j.sched.phases.ObservePhase(telemetry.PhaseMerge, merge)
+	j.sched.phases.ObservePhase(telemetry.PhaseStream, stream)
 }
 
 // releaseSpill reclaims the job's spill-tier resources — run store
@@ -262,14 +300,18 @@ func (j *Job) QueueWait() time.Duration {
 	return j.started.Sub(j.enqueued)
 }
 
-// Spans reports the job's recorded pipeline spans (nil unless the
-// scheduler was configured with JobSpans).
+// Spans reports the job's recorded pipeline spans (always recorded; the
+// trace's recorder is attached to every job's pipeline).
 func (j *Job) Spans() []telemetry.Span {
 	if j.recorder == nil {
 		return nil
 	}
 	return j.recorder.Spans()
 }
+
+// Trace reports the job's lifecycle trace (never nil for an admitted
+// job).
+func (j *Job) Trace() *telemetry.JobTrace { return j.trace }
 
 // LeaseBytes reports the MCDRAM lease the job held (its own for staged
 // jobs, the enclosing batch's for batched jobs); 0 before dispatch.

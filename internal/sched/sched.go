@@ -29,6 +29,8 @@ package sched
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"math/bits"
 	"os"
 	"runtime"
@@ -122,8 +124,19 @@ type Config struct {
 	// Autotune enables per-job rate measurement on staged jobs; measured
 	// rates feed back into the fair-share solver.
 	Autotune bool
-	// JobSpans attaches a telemetry recorder to each job (Job.Spans).
+	// JobSpans is retained for compatibility; per-job span recorders are
+	// now always attached (each job's trace carries one), so the field has
+	// no effect.
 	JobSpans bool
+
+	// FlightRecorderCap bounds the always-on ring of recent job traces
+	// (admission order, oldest evicted first). Zero selects
+	// telemetry.DefFlightRecorderCap.
+	FlightRecorderCap int
+	// Logger, when non-nil, receives structured lifecycle events (job
+	// admitted/terminal, rejections) with job and tenant attributes. Nil
+	// disables logging.
+	Logger *slog.Logger
 }
 
 func (c Config) norm() (Config, error) {
@@ -239,6 +252,13 @@ type Scheduler struct {
 	rates   *rateEstimator
 	metrics *schedMetrics
 
+	// flight is the always-on ring of recent job traces; phases publishes
+	// the per-phase job_phase_seconds histograms; logger emits structured
+	// lifecycle events (never nil — a disabled handler stands in).
+	flight *telemetry.FlightRecorder
+	phases *telemetry.PhaseMetrics
+	logger *slog.Logger
+
 	submitted int64
 	batches   int64
 }
@@ -262,6 +282,14 @@ func New(cfg Config) (*Scheduler, error) {
 		dispDone:   make(chan struct{}),
 		rates:      newRateEstimator(cfg.Rates),
 		metrics:    newSchedMetrics(cfg.Registry),
+		flight:     telemetry.NewFlightRecorder(cfg.FlightRecorderCap),
+		phases:     telemetry.NewPhaseMetrics(cfg.Registry),
+		logger:     cfg.Logger,
+	}
+	if s.logger == nil {
+		// A handler that is never enabled keeps every log site branch-cheap
+		// without nil checks.
+		s.logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
 	}
 	s.metrics.budgetBytes.Set(float64(cfg.MCDRAMBudget))
 	if cfg.DiskBudget > 0 {
@@ -300,6 +328,13 @@ func (s *Scheduler) DiskRate() tune.DiskRate { return s.diskRate }
 
 // Budget reports the scheduler's MCDRAM ledger (read-only observation).
 func (s *Scheduler) Budget() *Budget { return s.budget }
+
+// FlightRecorder reports the always-on ring of recent job traces.
+func (s *Scheduler) FlightRecorder() *telemetry.FlightRecorder { return s.flight }
+
+// Phases reports the per-phase histogram set (nil when the scheduler was
+// built without a Registry; telemetry methods are nil-safe).
+func (s *Scheduler) Phases() *telemetry.PhaseMetrics { return s.phases }
 
 // PoolStats reports the budget-capped staging pool's counters.
 func (s *Scheduler) PoolStats() mem.PoolStats { return s.pool.Stats() }
@@ -374,6 +409,36 @@ func (s *Scheduler) batchLease() units.Bytes {
 // whole tier budget: MCDRAM staging always, DDR working set when no
 // spill tier is configured, or the disk budget itself.
 func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	return s.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit with request-scoped trace propagation: the job's
+// trace is taken from spec.Trace, else from the context
+// (telemetry.WithTrace), else created here — every admitted job carries
+// one, lands in the flight recorder, and records pipeline spans through
+// the trace's recorder. The context is used only for trace extraction;
+// admission itself never blocks.
+func (s *Scheduler) SubmitCtx(ctx context.Context, spec JobSpec) (*Job, error) {
+	tr := spec.Trace
+	if tr == nil {
+		tr = telemetry.TraceFrom(ctx)
+	}
+	if tr == nil {
+		tr = telemetry.NewJobTrace()
+	}
+	j, err := s.submit(spec, tr)
+	if err != nil {
+		tr.EventDetail("rejected", err.Error())
+		s.logger.LogAttrs(ctx, slog.LevelWarn, "job rejected",
+			slog.String("tenant", spec.Tenant),
+			slog.Int("n", len(spec.Data)),
+			slog.String("error", err.Error()))
+		return nil, err
+	}
+	return j, nil
+}
+
+func (s *Scheduler) submit(spec JobSpec, tr *telemetry.JobTrace) (*Job, error) {
 	if spec.Algorithm == mlmsort.GNUFlat {
 		// The service serves the paper's staged algorithm by default; the
 		// zero Algorithm (GNU-flat) is not individually addressable.
@@ -430,9 +495,15 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		sched:     s,
 	}
 	j.vdl = virtualDeadline(now, spec.Priority, spec.Deadline, s.cfg.AgingSlack)
-	if s.cfg.JobSpans {
-		j.recorder = telemetry.NewRecorder()
+	j.trace = tr
+	j.recorder = tr.Recorder()
+	tr.Bind(j.id, spec.Tenant, j.n)
+	if p.spill {
+		tr.MarkSpilled()
+	} else if p.batchable {
+		tr.Event("batch-class")
 	}
+	s.flight.Add(tr)
 	s.jobs[j.id] = j
 	s.queue.push(j)
 	s.metrics.queueDepth.Set(float64(len(s.queue)))
@@ -539,11 +610,15 @@ func (s *Scheduler) tryDispatchLocked() bool {
 		return true
 	}
 	if s.pipelines >= s.cfg.Workers {
+		// Head-of-line blockage starts the lease phase: the job is next in
+		// line but cannot dispatch yet (first blockage wins the stamp).
+		head.trace.MarkHeadBlocked()
 		return false
 	}
 	if head.batchable {
 		lease, ok := s.budget.TryLease(s.batchLease())
 		if !ok {
+			head.trace.MarkHeadBlocked()
 			return false
 		}
 		batch := s.gatherBatchLocked()
@@ -560,6 +635,7 @@ func (s *Scheduler) tryDispatchLocked() bool {
 	}
 	lease, ok := s.budget.TryLease(head.stagedLease())
 	if !ok {
+		head.trace.MarkHeadBlocked()
 		return false
 	}
 	// Spill jobs lease from both ledgers atomically under the scheduler
@@ -570,6 +646,7 @@ func (s *Scheduler) tryDispatchLocked() bool {
 		dl, ok := s.disk.TryLease(head.diskNeed)
 		if !ok {
 			lease.Release()
+			head.trace.MarkHeadBlocked()
 			return false
 		}
 		diskLease = dl
@@ -631,6 +708,7 @@ func (s *Scheduler) startLocked(j *Job, lease *Lease) {
 	j.lease = lease
 	j.mu.Unlock()
 	j.state.Store(int32(Running))
+	j.trace.MarkStarted()
 	if !j.batchable {
 		j.runCtx, j.cancel = context.WithCancel(s.rootCtx)
 	}
@@ -661,6 +739,26 @@ func (s *Scheduler) finishLocked(j *Job, st State, err error) {
 	s.metrics.running.Set(float64(len(s.running)))
 	s.metrics.completed(st)
 	s.metrics.latency.Observe(now.Sub(j.enqueued).Seconds())
+	errmsg := ""
+	if err != nil {
+		errmsg = err.Error()
+	}
+	j.trace.MarkFinished(st.String(), errmsg)
+	j.trace.FoldSpans()
+	s.phases.ObserveTrace(j.trace)
+	if s.logger.Enabled(context.Background(), slog.LevelInfo) {
+		s.logger.LogAttrs(context.Background(), slog.LevelInfo, "job terminal",
+			slog.String("job", j.id),
+			slog.String("tenant", j.spec.Tenant),
+			slog.String("state", st.String()),
+			slog.Int("n", j.n),
+			slog.Bool("spilled", j.spill),
+			slog.Float64("total_ms", float64(now.Sub(j.enqueued).Nanoseconds())/1e6),
+			slog.Float64("queue_ms", float64(j.trace.PhaseDuration(telemetry.PhaseQueue).Nanoseconds())/1e6),
+			slog.Float64("lease_ms", float64(j.trace.PhaseDuration(telemetry.PhaseLease).Nanoseconds())/1e6),
+			slog.Float64("run_ms", float64(j.trace.PhaseDuration(telemetry.PhaseRun).Nanoseconds())/1e6),
+			slog.String("error", errmsg))
+	}
 	s.retireLocked(j)
 }
 
@@ -716,10 +814,30 @@ func (s *Scheduler) refairLocked() {
 	s.metrics.fairShare.Set(float64(per))
 }
 
+// predictRun stores the Eq. 1-5 completion estimate for a staged job at
+// its dispatch-time thread share — the blended measured rates solved with
+// the job's own byte volume. A trace's drift ratio is its measured run
+// phase over this estimate, so systematic drift under load is the model
+// telling us a resource it doesn't see (queueing inside a tier, disk
+// contention) has become binding.
+func (s *Scheduler) predictRun(j *Job, per int) {
+	params := s.rates.params()
+	params.BCopy = units.Bytes(int64(j.n) * 8)
+	maxIn := per / 2
+	if maxIn < 1 {
+		maxIn = 1
+	}
+	pred := params.Optimal(per, maxIn, 1)
+	if t := pred.TTotal.Seconds(); t > 0 {
+		j.trace.SetPredicted(time.Duration(t * float64(time.Second)))
+	}
+}
+
 // runStaged executes one large job on its own megachunked pipeline.
 func (s *Scheduler) runStaged(j *Job, lease *Lease) {
 	defer s.wg.Done()
 	per := s.fairShareThreads()
+	s.predictRun(j, per)
 	opts := mlmsort.RealOptions{
 		Recorder:     j.recorder,
 		Heap:         s.cfg.Heap,
@@ -774,6 +892,7 @@ func (s *Scheduler) runStaged(j *Job, lease *Lease) {
 func (s *Scheduler) runSpill(j *Job, lease *Lease) {
 	defer s.wg.Done()
 	per := s.fairShareThreads()
+	s.predictRun(j, per)
 	var runs []int
 	store, err := spill.NewStore(spill.Config{
 		Dir:      s.spillRoot,
@@ -884,13 +1003,6 @@ func (s *Scheduler) runBatch(batch []*Job, lease *Lease) {
 		scratch = make([]int64, maxN)
 	}
 
-	// The batch pipeline's spans land on the first job's recorder (one
-	// pass sorts all of them; per-chunk spans are per job but the recorder
-	// granularity is per pipeline). The other jobs keep empty recorders.
-	var rec *telemetry.Recorder
-	if s.cfg.JobSpans {
-		rec = batch[0].recorder
-	}
 	stages := exec.Stages{
 		NumChunks: len(batch),
 		ChunkLen:  func(i int) int { return batch[i].n },
@@ -920,9 +1032,10 @@ func (s *Scheduler) runBatch(batch []*Job, lease *Lease) {
 		ChunkTimeout: s.cfg.ChunkTimeout,
 		Pool:         s.pool,
 	}
-	if rec != nil {
-		stages.Observer = rec
-	}
+	// Chunk i of the batch pass IS job i, so the observer can attribute
+	// each span to its owning job's trace recorder — per-job attribution
+	// even though one pipeline sorts the whole batch.
+	stages.Observer = batchObserver(batch)
 	if s.cfg.Resilience != nil {
 		stages.OnRetry = s.cfg.Resilience.ObserveRetry
 	}
@@ -971,6 +1084,34 @@ func (s *Scheduler) runBatch(batch []*Job, lease *Lease) {
 	s.metrics.leased.Set(float64(s.budget.Leased()))
 	s.kickLocked()
 	s.mu.Unlock()
+
+	// Jobs that completed as their chunk drained went terminal inside the
+	// copy-out stage, before exec emitted that chunk's copy-out span —
+	// their fold at finish missed it. Now that the pass is over every
+	// span has landed: re-fold (idempotent) and feed the late copy-out
+	// delta to the phase histogram ObserveTrace skipped as zero.
+	for _, j := range batch {
+		pre := j.trace.PhaseDuration(telemetry.PhaseCopyOut)
+		j.trace.FoldSpans()
+		if d := j.trace.PhaseDuration(telemetry.PhaseCopyOut) - pre; d > 0 {
+			s.phases.ObservePhase(telemetry.PhaseCopyOut, d)
+		}
+	}
+}
+
+// batchObserver routes each batch-pipeline stage event to the owning
+// job's trace recorder: the pass's chunk index is the job's index in the
+// batch slice.
+type batchObserver []*Job
+
+// StageEvent implements exec.Observer.
+func (b batchObserver) StageEvent(e exec.StageEvent) {
+	if e.Chunk < 0 || e.Chunk >= len(b) {
+		return
+	}
+	if rec := b[e.Chunk].recorder; rec != nil {
+		rec.StageEvent(e)
+	}
 }
 
 // completeBatched resolves one batched job as its chunk drains.

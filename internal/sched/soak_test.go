@@ -94,6 +94,9 @@ func TestSchedulerSoak(t *testing.T) {
 		Retry:        plan.Retry,
 		ChunkTimeout: plan.ChunkTimeout,
 		Autotune:     true,
+		// A ring far smaller than the job count, so the soak exercises
+		// eviction under concurrent submission.
+		FlightRecorderCap: 48,
 		// Spill tier: jobs past ~38k elements take the three-level path,
 		// under the plan's injected run-file write/read faults.
 		DDRBudget:  ddrBudget,
@@ -268,6 +271,44 @@ func TestSchedulerSoak(t *testing.T) {
 	}
 	if got := s.DiskBudget().Leased(); got != 0 {
 		t.Fatalf("disk leased %v after all results streamed, want 0", got)
+	}
+
+	// Flight-recorder invariants after the full concurrent soak: the ring
+	// never outgrew its capacity, every admitted job was added exactly
+	// once (len + evicted accounts for all of them), and the surviving
+	// traces are terminal with a wall-phase decomposition that explains
+	// their latency.
+	fr := s.FlightRecorder()
+	if fr.Len() > fr.Cap() {
+		t.Fatalf("flight recorder holds %d traces, cap %d", fr.Len(), fr.Cap())
+	}
+	if got := fr.Evicted() + int64(fr.Len()); got != int64(len(all)) {
+		t.Fatalf("ring accounts for %d traces (%d live + %d evicted), admitted %d",
+			got, fr.Len(), fr.Evicted(), len(all))
+	}
+	for _, tr := range fr.Snapshot() {
+		snap := tr.Snapshot()
+		if snap.State == "" {
+			t.Fatalf("trace %s not terminal after drain", snap.ID)
+		}
+		var wallSum float64
+		for _, p := range telemetry.WallPhases() {
+			wallSum += snap.PhasesMS[p.String()]
+		}
+		if snap.TotalMS > 0 && math.Abs(wallSum-snap.TotalMS) > 0.1*snap.TotalMS {
+			t.Fatalf("trace %s: wall phases %.3fms vs total %.3fms", snap.ID, wallSum, snap.TotalMS)
+		}
+	}
+	// Exactly the ring's residents resolve by id; every evicted job's id
+	// misses (the /debug/jobs/{id}/trace 404 contract).
+	resolved := 0
+	for _, rec := range all {
+		if fr.Get(rec.j.ID()) != nil {
+			resolved++
+		}
+	}
+	if resolved != fr.Len() {
+		t.Fatalf("%d of %d admitted ids resolve in the ring, ring holds %d", resolved, len(all), fr.Len())
 	}
 }
 

@@ -20,6 +20,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -44,6 +46,9 @@ type Config struct {
 	// ResultChunkElems is the streaming granularity of result downloads
 	// (elements per write/flush). Zero selects 8192.
 	ResultChunkElems int
+	// Logger, when non-nil, receives structured request-level events
+	// (submissions accepted/rejected) with job and tenant attributes.
+	Logger *slog.Logger
 }
 
 // Server is the HTTP front end. It implements http.Handler.
@@ -53,6 +58,7 @@ type Server struct {
 	reg      *telemetry.Registry
 	mux      *http.ServeMux
 	draining atomic.Bool
+	logger   *slog.Logger
 
 	requests *telemetry.Counter
 	inflight *telemetry.Gauge
@@ -86,12 +92,19 @@ func New(cfg Config) (*Server, error) {
 		latency: reg.Histogram("serve_request_seconds",
 			"HTTP request handling latency.", nil, telemetry.DefLatencyBuckets()),
 	}
+	s.logger = cfg.Logger
+	if s.logger == nil {
+		s.logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+	}
 	s.mux.HandleFunc("POST /v1/sort", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/jobs/{id}/trace", s.handleJobTrace)
+	s.mux.HandleFunc("GET /debug/flightrecorder", s.handleFlightRecorder)
+	s.mux.HandleFunc("GET /debug/overload", s.handleOverload)
 	return s, nil
 }
 
@@ -250,6 +263,11 @@ func parseAlgorithm(name string) (mlmsort.Algorithm, error) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// The trace is born at the HTTP edge, before the body is read, so the
+	// admit phase covers decode + admission — the request-scoped handle
+	// every lower layer records into.
+	tr := telemetry.NewJobTrace()
+	tr.Event("http-receive")
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req sortRequest
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -270,20 +288,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Code: "bad-request"})
 		return
 	}
+	tr.EventDetail("decoded", strconv.Itoa(len(req.Keys))+" keys")
 	spec := sched.JobSpec{
 		Data:         req.Keys,
 		Priority:     req.Priority,
 		Algorithm:    alg,
 		MegachunkLen: req.MegachunkLen,
+		Tenant:       r.Header.Get("X-Tenant"),
+		Trace:        tr,
 	}
 	if req.DeadlineMS > 0 {
 		spec.Deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
 	}
-	j, err := s.sched.Submit(spec)
+	j, err := s.sched.SubmitCtx(telemetry.WithTrace(r.Context(), tr), spec)
 	if err != nil {
 		writeSchedError(w, err)
 		return
 	}
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "job accepted",
+		slog.String("job", j.ID()),
+		slog.String("tenant", spec.Tenant),
+		slog.Int("n", j.N()),
+		slog.Bool("spilled", j.Spilled()))
 	if req.Wait {
 		if err := j.Wait(r.Context()); err != nil && r.Context().Err() != nil {
 			// Client went away; the job keeps running server-side.
@@ -343,6 +369,15 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Sort-Elements", strconv.Itoa(len(keys)))
+	// The write loop is the job's stream phase (in-memory jobs have no
+	// merge); recorded on every exit, including a client disconnect.
+	streamStart := time.Now()
+	defer func() {
+		d := time.Since(streamStart)
+		j.Trace().AddPhase(telemetry.PhaseStream, d)
+		j.Trace().EventDetail("streamed", d.String())
+		s.sched.Phases().ObservePhase(telemetry.PhaseStream, d)
+	}()
 	flusher, _ := w.(http.Flusher)
 	write := func(b []byte) bool {
 		if _, err := w.Write(b); err != nil {

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusLabelValueEscaping pins the 0.0.4 text-format escaping
+// rules for label values: exactly backslash, double-quote, and newline
+// are escaped — nothing else. The old %q-based rendering wrongly
+// escaped tabs and non-ASCII runes, which scrapers then stored verbatim
+// as `\t`/`\u00e9` instead of the real characters.
+func TestPrometheusLabelValueEscaping(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{`plain`, `plain`},
+		{`with "quotes"`, `with \"quotes\"`},
+		{`back\slash`, `back\\slash`},
+		{"line\nbreak", `line\nbreak`},
+		{"tab\there", "tab\there"},   // tabs pass through raw
+		{"caf\u00e9", "caf\u00e9"},   // UTF-8 passes through raw
+		{`\"both\"`, `\\\"both\\\"`}, // backslash before quote
+		{"all\\three\"\nkinds", `all\\three\"\nkinds`},
+	}
+	for _, c := range cases {
+		if got := escapeLabelValue(c.in); got != c.want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestPrometheusLabelEscapingEndToEnd renders a registry holding hostile
+// label values and checks the exposition output is well-formed: one
+// series line, values escaped per the format spec, no raw newline inside
+// the braces.
+func TestPrometheusLabelEscapingEndToEnd(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests_total", "Requests.", Labels{
+		"path":   `/v1/"sort"`,
+		"tenant": "a\\b\nc\td",
+	}).Add(1)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `requests_total{path="/v1/\"sort\"",tenant="a\\b\nc` + "\td\"} 1"
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing escaped series %q:\n%s", want, out)
+	}
+	// The raw newline must have been escaped: every line is a comment,
+	// blank, or a complete series with its value.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, " ") {
+			t.Fatalf("broken exposition line %q (raw newline leaked?)", line)
+		}
+	}
+}

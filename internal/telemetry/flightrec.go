@@ -1,0 +1,125 @@
+package telemetry
+
+import "sync"
+
+// FlightRecorder is a bounded ring of recent job traces — always on, so
+// the last N jobs are inspectable after the fact (via /debug/jobs/{id}/
+// trace) without opt-in flags or unbounded growth. Adding past capacity
+// overwrites the oldest slot, releasing the evicted trace to the GC.
+//
+// The ring deliberately has no index map: Add is the hot path (one mutex,
+// one pointer store — allocation-free), while Get/Snapshot are debug-only
+// reads that scan the ring (capacity is small, hundreds to a few
+// thousand).
+type FlightRecorder struct {
+	mu      sync.Mutex
+	ring    []*JobTrace
+	next    int
+	filled  int
+	evicted int64
+}
+
+// DefFlightRecorderCap is the ring capacity when none is specified.
+const DefFlightRecorderCap = 256
+
+// NewFlightRecorder returns a recorder holding the most recent capacity
+// traces (capacity <= 0 selects DefFlightRecorderCap).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefFlightRecorderCap
+	}
+	return &FlightRecorder{ring: make([]*JobTrace, capacity)}
+}
+
+// Add records a trace, evicting the oldest when full. Nil traces are
+// ignored. Allocation-free.
+func (f *FlightRecorder) Add(t *JobTrace) {
+	if f == nil || t == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.ring[f.next] != nil {
+		f.evicted++
+	} else {
+		f.filled++
+	}
+	f.ring[f.next] = t
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+	}
+	f.mu.Unlock()
+}
+
+// Get reports the trace whose bound job id matches (nil when unknown or
+// already evicted). Newest match wins if an id somehow repeats.
+func (f *FlightRecorder) Get(id string) *JobTrace {
+	if f == nil || id == "" {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// Scan newest-first: start just behind next and walk backwards.
+	for i := 0; i < len(f.ring); i++ {
+		idx := f.next - 1 - i
+		if idx < 0 {
+			idx += len(f.ring)
+		}
+		t := f.ring[idx]
+		if t == nil {
+			continue
+		}
+		if t.ID() == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Snapshot returns the live traces oldest-first.
+func (f *FlightRecorder) Snapshot() []*JobTrace {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*JobTrace, 0, f.filled)
+	for i := 0; i < len(f.ring); i++ {
+		idx := f.next + i
+		if idx >= len(f.ring) {
+			idx -= len(f.ring)
+		}
+		if t := f.ring[idx]; t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Len reports the number of traces currently held (<= Cap).
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.filled
+}
+
+// Cap reports the ring capacity.
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.ring)
+}
+
+// Evicted reports how many traces have been overwritten since creation.
+func (f *FlightRecorder) Evicted() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.evicted
+}

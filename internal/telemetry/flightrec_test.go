@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestFlightRecorderRingBounds: the ring never holds more than its
+// capacity; older traces are overwritten in FIFO order and counted as
+// evicted.
+func TestFlightRecorderRingBounds(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	if fr.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", fr.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		tr := NewJobTrace()
+		tr.Bind(fmt.Sprintf("job-%03d", i), "", 1)
+		fr.Add(tr)
+	}
+	if fr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", fr.Len())
+	}
+	if fr.Evicted() != 6 {
+		t.Fatalf("Evicted = %d, want 6", fr.Evicted())
+	}
+	// Oldest-first snapshot of the survivors: jobs 6..9.
+	snap := fr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	for i, tr := range snap {
+		want := fmt.Sprintf("job-%03d", 6+i)
+		if tr.ID() != want {
+			t.Fatalf("snapshot[%d] = %s, want %s", i, tr.ID(), want)
+		}
+	}
+	// Evicted ids are gone; survivors resolve.
+	if fr.Get("job-000") != nil {
+		t.Fatal("evicted trace still resolvable")
+	}
+	if fr.Get("job-009") == nil {
+		t.Fatal("live trace not resolvable")
+	}
+	if fr.Get("no-such-job") != nil {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+// TestFlightRecorderDefaultCap: non-positive capacities fall back to the
+// default rather than producing an unbounded or zero-size ring.
+func TestFlightRecorderDefaultCap(t *testing.T) {
+	for _, c := range []int{0, -5} {
+		if got := NewFlightRecorder(c).Cap(); got != DefFlightRecorderCap {
+			t.Fatalf("NewFlightRecorder(%d).Cap() = %d, want %d", c, got, DefFlightRecorderCap)
+		}
+	}
+}
+
+// TestFlightRecorderNilSafe: a nil recorder (scheduler without tracing)
+// absorbs every call.
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Add(NewJobTrace())
+	if fr.Get("x") != nil || fr.Snapshot() != nil || fr.Len() != 0 || fr.Cap() != 0 || fr.Evicted() != 0 {
+		t.Fatal("nil FlightRecorder leaked state")
+	}
+}
+
+// TestFlightRecorderConcurrent hammers Add/Get/Snapshot from parallel
+// goroutines (run under -race) and checks the bound holds throughout.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	const capacity, writers, perWriter = 32, 8, 200
+	fr := NewFlightRecorder(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr := NewJobTrace()
+				tr.Bind(fmt.Sprintf("w%d-j%d", w, i), "", 1)
+				fr.Add(tr)
+				if n := fr.Len(); n > capacity {
+					t.Errorf("ring grew to %d > cap %d", n, capacity)
+					return
+				}
+				fr.Get(fmt.Sprintf("w%d-j%d", w, i/2))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if n := len(fr.Snapshot()); n > capacity {
+					t.Errorf("snapshot len %d > cap %d", n, capacity)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if fr.Len() != capacity {
+		t.Fatalf("Len = %d after %d adds, want %d", fr.Len(), writers*perWriter, capacity)
+	}
+	if fr.Evicted() != writers*perWriter-capacity {
+		t.Fatalf("Evicted = %d, want %d", fr.Evicted(), writers*perWriter-capacity)
+	}
+}
+
+// TestFlightRecorderAddAllocFree: steady-state Add is a pointer store
+// into a preallocated ring — zero allocations per job admitted.
+func TestFlightRecorderAddAllocFree(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	tr := NewJobTrace()
+	allocs := testing.AllocsPerRun(200, func() {
+		fr.Add(tr)
+	})
+	if allocs != 0 {
+		t.Fatalf("FlightRecorder.Add allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestFlightRecorderEvictionReleases: once a trace is overwritten the
+// ring holds no reference to it, so its memory is collectable.
+func TestFlightRecorderEvictionReleases(t *testing.T) {
+	fr := NewFlightRecorder(2)
+	old := NewJobTrace()
+	old.Bind("old", "", 1)
+	fr.Add(old)
+	for i := 0; i < 2; i++ {
+		tr := NewJobTrace()
+		tr.Bind(fmt.Sprintf("new-%d", i), "", 1)
+		fr.Add(tr)
+	}
+	for _, tr := range fr.Snapshot() {
+		if tr == old {
+			t.Fatal("evicted trace still referenced by the ring")
+		}
+	}
+}

@@ -29,9 +29,37 @@ func (l Labels) render() string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, l[k])
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l[k]))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus 0.0.4 text
+// exposition format: exactly backslash, double-quote, and newline are
+// escaped, nothing else. (Go's %q is close but wrong — it would turn a
+// tab into \t and non-printables into \xNN, which scrapers reject.)
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
 	return b.String()
 }
 

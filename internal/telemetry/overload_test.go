@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// synthTrace fabricates a terminal trace with the given per-phase wall
+// stamps (all relative to birth) so report math can be checked exactly.
+func synthTrace(id string, admit, queue, lease, run time.Duration, spilled bool, state string) *JobTrace {
+	tr := NewJobTrace()
+	tr.mu.Lock()
+	tr.id = id
+	tr.enqueuedAt = admit
+	tr.headBlockedAt = admit + queue
+	tr.startedAt = admit + queue + lease
+	tr.finishedAt = admit + queue + lease + run
+	tr.state = state
+	tr.spilled = spilled
+	tr.mu.Unlock()
+	return tr
+}
+
+func TestBuildOverloadReportDecomposition(t *testing.T) {
+	ms := time.Millisecond
+	traces := []*JobTrace{
+		synthTrace("a", 1*ms, 10*ms, 2*ms, 20*ms, false, "done"),
+		synthTrace("b", 1*ms, 30*ms, 2*ms, 20*ms, false, "done"),
+		synthTrace("c", 1*ms, 50*ms, 2*ms, 40*ms, true, "done"),
+		synthTrace("d", 1*ms, 5*ms, 0, 10*ms, false, "failed"),
+		NewJobTrace(), // in-flight, no terminal stamp: excluded from phase stats
+	}
+	rep := BuildOverloadReport(traces)
+	if rep.Jobs != 5 || rep.Terminal != 4 {
+		t.Fatalf("jobs=%d terminal=%d, want 5/4", rep.Jobs, rep.Terminal)
+	}
+	if rep.Spilled != 1 || rep.Failed != 1 {
+		t.Fatalf("spilled=%d failed=%d, want 1/1", rep.Spilled, rep.Failed)
+	}
+
+	// The wall-phase shares must sum to 1 (the decomposition is a
+	// partition of total latency) and queue must dominate.
+	var shareSum float64
+	byPhase := map[string]PhaseStat{}
+	for _, ps := range rep.WallPhases {
+		shareSum += ps.Share
+		byPhase[ps.Phase] = ps
+	}
+	if math.Abs(shareSum-1) > 1e-9 {
+		t.Fatalf("wall shares sum to %v, want 1", shareSum)
+	}
+	// 10+30+50+5=95ms queued vs 20+20+40+10=90ms running: queue wins.
+	if rep.DominantPhase != "queue" {
+		t.Fatalf("dominant phase = %q, want queue", rep.DominantPhase)
+	}
+	q := byPhase["queue"]
+	if q.Jobs != 4 || math.Abs(q.TotalMS-95) > 1e-9 || math.Abs(q.MaxMS-50) > 1e-9 {
+		t.Fatalf("queue stat = %+v", q)
+	}
+	// Latency quantiles over terminal jobs: totals are 33, 53, 93, 16 ms.
+	if math.Abs(rep.LatencyMS.Max-93) > 1e-9 {
+		t.Fatalf("latency max = %v, want 93", rep.LatencyMS.Max)
+	}
+	if rep.LatencyMS.P50 <= 0 || rep.LatencyMS.P50 > rep.LatencyMS.P95 {
+		t.Fatalf("latency quantiles out of order: %+v", rep.LatencyMS)
+	}
+
+	// Tail attribution names the slowest job and its dominant phase.
+	if len(rep.TailJobs) == 0 {
+		t.Fatal("no tail jobs")
+	}
+	if rep.TailJobs[0].ID != "c" || rep.TailJobs[0].DominantPhase != "queue" {
+		t.Fatalf("tail[0] = %+v, want job c dominated by queue", rep.TailJobs[0])
+	}
+	if !rep.TailJobs[0].Spilled {
+		t.Fatal("tail[0] lost its spill flag")
+	}
+}
+
+func TestBuildOverloadReportDrift(t *testing.T) {
+	ms := time.Millisecond
+	mk := func(id string, run, pred time.Duration) *JobTrace {
+		tr := synthTrace(id, 1*ms, 1*ms, 0, run, false, "done")
+		tr.mu.Lock()
+		tr.predicted = pred
+		tr.mu.Unlock()
+		return tr
+	}
+	rep := BuildOverloadReport([]*JobTrace{
+		mk("a", 10*ms, 10*ms), // drift 1.0
+		mk("b", 20*ms, 10*ms), // drift 2.0
+		mk("c", 30*ms, 10*ms), // drift 3.0
+	})
+	if rep.Drift == nil {
+		t.Fatal("no drift stats despite predictions")
+	}
+	if rep.Drift.Jobs != 3 {
+		t.Fatalf("drift jobs = %d", rep.Drift.Jobs)
+	}
+	if math.Abs(rep.Drift.Mean-2) > 1e-9 {
+		t.Fatalf("drift mean = %v, want 2", rep.Drift.Mean)
+	}
+	if math.Abs(rep.Drift.Max-3) > 1e-9 {
+		t.Fatalf("drift max = %v, want 3", rep.Drift.Max)
+	}
+	// 2 of 3 jobs drifted past 1.25x.
+	if math.Abs(rep.Drift.Over-2.0/3.0) > 1e-9 {
+		t.Fatalf("over-1.25 share = %v, want 2/3", rep.Drift.Over)
+	}
+}
+
+func TestBuildOverloadReportEmpty(t *testing.T) {
+	rep := BuildOverloadReport(nil)
+	if rep.Jobs != 0 || rep.Terminal != 0 || len(rep.WallPhases) != 0 || rep.Drift != nil {
+		t.Fatalf("empty report not empty: %+v", rep)
+	}
+}
+
+// TestPhaseMetricsRegistry: NewPhaseMetrics registers one histogram per
+// phase plus the drift histogram, ObserveTrace feeds them, and a nil
+// registry yields a nil (no-op) PhaseMetrics.
+func TestPhaseMetricsRegistry(t *testing.T) {
+	if pm := NewPhaseMetrics(nil); pm != nil {
+		t.Fatal("NewPhaseMetrics(nil) should be nil")
+	}
+	var pm *PhaseMetrics
+	pm.ObserveTrace(NewJobTrace()) // no-op, must not panic
+	pm.ObservePhase(PhaseQueue, time.Second)
+
+	r := NewRegistry()
+	pm = NewPhaseMetrics(r)
+	tr := synthTrace("a", time.Millisecond, 2*time.Millisecond, 0, 4*time.Millisecond, false, "done")
+	tr.mu.Lock()
+	tr.predicted = 2 * time.Millisecond
+	tr.mu.Unlock()
+	pm.ObserveTrace(tr)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`job_phase_seconds_count{phase="queue"} 1`,
+		`job_phase_seconds_count{phase="run"} 1`,
+		`job_model_drift_ratio_count 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+}
