@@ -1,4 +1,4 @@
-// Command loadgen is an open-loop load generator for the sort service
+// Command loadgen is a load generator for the sort service
 // (cmd/mlmserve). It sweeps a list of offered arrival rates; at each
 // level it issues POST /v1/sort requests on a fixed arrival clock —
 // independent of completions, so queueing delay shows up as latency
@@ -6,7 +6,17 @@
 //
 //   - goodput: verified-sorted jobs completed per second,
 //   - latency percentiles (p50/p95/p99) of submit→terminal,
-//   - typed rejections (HTTP 429 backpressure) and failures.
+//   - typed rejections (HTTP 429 backpressure), server-side sheds
+//     (accepted jobs evicted by overload control), and failures.
+//
+// Each arrival is handled by a closed-loop retry client: a rejected
+// submission backs off (honoring the server's model-derived Retry-After
+// hint, with +/-25% jitter so retries never synchronize) and retries up
+// to -retries times, spending from a shared per-level -retry-budget; a
+// run of -cb-threshold consecutive 429/503 answers opens a circuit
+// breaker for -cb-cooldown, keeping a browned-out server from being
+// hammered. With -deadline-ms each job carries a start deadline, which
+// arms the server's predicted-late admission gate and in-queue shedding.
 //
 // With -spill-n set (and the server started with DDR and disk budgets),
 // the sweep is followed by a spill phase: -spill-jobs over-DDR jobs are
@@ -21,7 +31,7 @@
 // goodput knee to a phase — queue wait vs lease wait vs pipeline run —
 // rather than just reporting it.
 //
-// The sweep is written as JSON (default BENCH_PR6.json), the committed
+// The sweep is written as JSON (default BENCH_PR7.json), the committed
 // artifact EXPERIMENTS.md documents.
 //
 // Examples:
@@ -29,6 +39,7 @@
 //	loadgen -url http://127.0.0.1:8080 -rates 25,50,100,200 -duration 3s
 //	loadgen -url http://127.0.0.1:8080 -quick -out /dev/stdout
 //	loadgen -url http://127.0.0.1:8080 -rates 25,50 -spill-n 200000 -spill-jobs 5
+//	loadgen -url http://127.0.0.1:8080 -rates 50,100,200 -deadline-ms 2000 -retries 3
 package main
 
 import (
@@ -48,23 +59,35 @@ import (
 )
 
 type config struct {
-	url       string
-	rates     []float64
-	duration  time.Duration
-	nMin      int
-	nMax      int
-	seed      int64
-	out       string
-	verify    bool
-	spillN    int
-	spillJobs int
+	url      string
+	rates    []float64
+	duration time.Duration
+	nMin     int
+	nMax     int
+	seed     int64
+	out      string
+	verify   bool
+	// verifySample downloads and checks every k-th completed job instead
+	// of all of them (1 = all). At deep overload the driver's own JSON
+	// decode of every result competes with the server for the same CPUs;
+	// sampling keeps the sortedness check honest without the driver
+	// becoming the bottleneck it is trying to measure.
+	verifySample int
+	spillN       int
+	spillJobs    int
+	deadlineMS   int64
+	retries      int
+	budget       int
+	cbTrips      int
+	cbCooldown   time.Duration
 }
 
 // sortRequest mirrors internal/serve's POST /v1/sort body.
 type sortRequest struct {
-	Keys     []int64 `json:"keys"`
-	Priority int     `json:"priority,omitempty"`
-	Wait     bool    `json:"wait,omitempty"`
+	Keys       []int64 `json:"keys"`
+	Priority   int     `json:"priority,omitempty"`
+	DeadlineMS int64   `json:"deadline_ms,omitempty"`
+	Wait       bool    `json:"wait,omitempty"`
 }
 
 type jobStatus struct {
@@ -73,7 +96,18 @@ type jobStatus struct {
 	Error          string `json:"error,omitempty"`
 	ResultURL      string `json:"result_url,omitempty"`
 	Spilled        bool   `json:"spilled,omitempty"`
+	Shed           bool   `json:"shed,omitempty"`
 	DiskLeaseBytes int64  `json:"disk_lease_bytes,omitempty"`
+	// QueueWait is the server-reported enqueue-to-start delay — the
+	// quantity a start deadline bounds.
+	QueueWait string `json:"queue_wait,omitempty"`
+}
+
+// errorBody mirrors internal/serve's rejection body: the typed reason
+// and the server's millisecond-precision retry hint.
+type errorBody struct {
+	Code         string `json:"code"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
 // levelResult is one offered-load point of the sweep.
@@ -83,9 +117,39 @@ type levelResult struct {
 	Submitted   int     `json:"submitted"`
 	Completed   int     `json:"completed"`
 	Rejected    int     `json:"rejected"`
-	Failed      int     `json:"failed"`
-	GoodputRPS  float64 `json:"goodput_rps"`
-	Latency     latency `json:"latency_ms"`
+	// Shed counts jobs the server accepted and then evicted by overload
+	// control (deadline infeasible in queue, brownout) — distinct from
+	// rejections (never admitted) and failures (anything unexplained).
+	Shed    int `json:"shed"`
+	Failed  int `json:"failed"`
+	Retries int `json:"retries"`
+	// CompletedInWindow counts completions that landed inside the
+	// offered-load window; GoodputRPS is that count over the window
+	// length. Completions during the straggler drain (retry backoff tails
+	// resolving after arrivals stop) are in Completed but not here — they
+	// are work the server did outside the measured interval.
+	CompletedInWindow int     `json:"completed_in_window"`
+	GoodputRPS        float64 `json:"goodput_rps"`
+	Latency           latency `json:"latency_ms"`
+	// StartDelay summarizes the server-reported queue wait of completed
+	// jobs — the quantity the start deadline bounds. Client-side latency
+	// above includes the driver's own submit/download queuing; this is
+	// the deadline-relevant distribution.
+	StartDelay latency `json:"start_delay_ms"`
+	// BreakerTrips is how many times this level's shared circuit breaker
+	// opened on consecutive backpressure answers.
+	BreakerTrips int64 `json:"breaker_trips,omitempty"`
+	// Overload is the server-side overload attribution over this level:
+	// the delta of sched_shed_total{reason} and the brownout level at the
+	// end of the level.
+	Overload *overloadStats `json:"overload,omitempty"`
+}
+
+// overloadStats is the server-side overload attribution for one level.
+type overloadStats struct {
+	ShedByReason  map[string]float64 `json:"shed_by_reason,omitempty"`
+	BrownoutLevel float64            `json:"brownout_level_end"`
+	BrownoutRaise float64            `json:"brownout_raises,omitempty"`
 }
 
 type latency struct {
@@ -162,10 +226,16 @@ func main() {
 	flag.IntVar(&cfg.nMin, "n-min", 1000, "minimum keys per job")
 	flag.IntVar(&cfg.nMax, "n-max", 50000, "maximum keys per job")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed")
-	flag.StringVar(&cfg.out, "out", "BENCH_PR6.json", "output JSON path")
-	flag.BoolVar(&cfg.verify, "verify", true, "download and verify every completed result is sorted")
+	flag.StringVar(&cfg.out, "out", "BENCH_PR7.json", "output JSON path")
+	flag.BoolVar(&cfg.verify, "verify", true, "download and verify completed results are sorted")
+	flag.IntVar(&cfg.verifySample, "verify-sample", 1, "verify every k-th completed job (1 = all; larger keeps the driver off the server's CPUs at deep overload)")
 	flag.IntVar(&cfg.spillN, "spill-n", 0, "keys per spill-phase job; must exceed the server's DDR budget (0 disables the spill phase)")
 	flag.IntVar(&cfg.spillJobs, "spill-jobs", 5, "jobs in the spill phase (with -spill-n)")
+	flag.Int64Var(&cfg.deadlineMS, "deadline-ms", 0, "per-job start deadline sent to the server, ms after arrival (0 = none)")
+	flag.IntVar(&cfg.retries, "retries", 3, "max retries per job after a backpressure answer")
+	flag.IntVar(&cfg.budget, "retry-budget", 200, "shared retry tokens per level; an exhausted budget turns retries into give-ups")
+	flag.IntVar(&cfg.cbTrips, "cb-threshold", 10, "consecutive 429/503 answers that open the circuit breaker (0 disables it)")
+	flag.DurationVar(&cfg.cbCooldown, "cb-cooldown", 500*time.Millisecond, "how long an open circuit breaker stays open")
 	flag.Parse()
 
 	if *quick {
@@ -189,24 +259,39 @@ func main() {
 }
 
 func run(cfg config) error {
-	client := &http.Client{Timeout: 60 * time.Second}
+	// The transport mirrors the driver's concurrency: enough idle conns to
+	// avoid churn at the deepest overload level, and expect-continue
+	// support so a pre-decode rejection costs one header exchange instead
+	// of a full body upload.
+	client := &http.Client{
+		Timeout: 60 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:          4096,
+			MaxIdleConnsPerHost:   4096,
+			ExpectContinueTimeout: time.Second,
+		},
+	}
 	if err := waitHealthy(client, cfg.url, 10*time.Second); err != nil {
 		return err
 	}
 
 	doc := benchFile{
-		Bench:     "sort-service open-loop sweep",
+		Bench:     "sort-service overload sweep (closed-loop retry clients)",
 		Target:    cfg.url,
 		Seed:      cfg.seed,
 		ElemRange: [2]int{cfg.nMin, cfg.nMax},
 		Verified:  cfg.verify,
 	}
 	for _, rate := range cfg.rates {
+		before, _ := scrapeOverload(client, cfg.url)
 		lvl := runLevel(client, cfg, rate)
+		if after, err := scrapeOverload(client, cfg.url); err == nil {
+			lvl.Overload = after.delta(before)
+		}
 		doc.Levels = append(doc.Levels, lvl)
-		fmt.Printf("rate %6.1f/s: %d submitted, %d ok, %d rejected, %d failed — goodput %.1f/s, p50 %.1fms p95 %.1fms p99 %.1fms\n",
-			rate, lvl.Submitted, lvl.Completed, lvl.Rejected, lvl.Failed,
-			lvl.GoodputRPS, lvl.Latency.P50, lvl.Latency.P95, lvl.Latency.P99)
+		fmt.Printf("rate %6.1f/s: %d submitted, %d ok, %d rejected, %d shed, %d failed, %d retries — goodput %.1f/s, p50 %.1fms p95 %.1fms p99 %.1fms, start-delay p99 %.1fms\n",
+			rate, lvl.Submitted, lvl.Completed, lvl.Rejected, lvl.Shed, lvl.Failed, lvl.Retries,
+			lvl.GoodputRPS, lvl.Latency.P50, lvl.Latency.P95, lvl.Latency.P99, lvl.StartDelay.P99)
 	}
 	if cfg.spillN > 0 {
 		sp, err := runSpillPhase(client, cfg)
@@ -508,44 +593,89 @@ func waitHealthy(client *http.Client, url string, timeout time.Duration) error {
 
 // runLevel drives one offered-load level: arrivals fire on a fixed clock
 // for cfg.duration regardless of how many requests are still in flight
-// (open loop), then the level waits for its stragglers.
+// (open-loop arrivals), then the level waits for its stragglers. Each
+// arrival is serviced by the closed-loop retry client, sharing one
+// retry budget and one circuit breaker across the level.
 func runLevel(client *http.Client, cfg config, rate float64) levelResult {
 	interval := time.Duration(float64(time.Second) / rate)
 	rng := rand.New(rand.NewSource(cfg.seed))
+	pol := retryPolicy{
+		maxRetries:  cfg.retries,
+		baseBackoff: 100 * time.Millisecond,
+		maxBackoff:  5 * time.Second,
+	}
+	bud := newRetryBudget(cfg.budget)
+	brk := newBreaker(cfg.cbTrips, cfg.cbCooldown)
 
 	var (
-		mu        sync.Mutex
-		latencies []float64 // milliseconds, completed jobs only
-		completed int
-		rejected  int
-		failed    int
+		mu          sync.Mutex
+		latencies   []float64 // milliseconds, completed jobs only
+		startDelays []float64 // milliseconds, server-reported queue waits
+		completed   int
+		inWindow    int
+		rejected    int
+		shed        int
+		failed      int
+		retries     int
 	)
 	var wg sync.WaitGroup
 
-	start := time.Now()
-	submitted := 0
-	for next := start; time.Since(start) < cfg.duration; next = next.Add(interval) {
-		if d := time.Until(next); d > 0 {
-			time.Sleep(d)
-		}
+	sample := cfg.verifySample
+	if sample < 1 {
+		sample = 1
+	}
+	// Pre-generate every request body before the timed window opens. Key
+	// generation and JSON marshalling cost real CPU per job; paid inside
+	// the window they rise with the offered rate and the driver steals
+	// capacity from the very server it is measuring — the measured "knee"
+	// would be the driver's, not the service's.
+	jobs := make([]prejob, 0, int(rate*cfg.duration.Seconds())+2)
+	for i := 0; i < cap(jobs); i++ {
 		n := cfg.nMin
 		if cfg.nMax > cfg.nMin {
 			n += rng.Intn(cfg.nMax - cfg.nMin)
 		}
+		keys := make([]int64, n)
+		krng := rand.New(rand.NewSource(rng.Int63()))
+		for k := range keys {
+			keys[k] = krng.Int63()
+		}
+		body, err := json.Marshal(sortRequest{Keys: keys, Wait: true, DeadlineMS: cfg.deadlineMS})
+		if err != nil {
+			continue
+		}
+		jobs = append(jobs, prejob{n: n, body: body, verify: cfg.verify && i%sample == 0})
+	}
+
+	start := time.Now()
+	submitted := 0
+	for next := start; time.Since(start) < cfg.duration && submitted < len(jobs); next = next.Add(interval) {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		pj := jobs[submitted]
 		seed := rng.Int63()
 		submitted++
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ms, outcome := oneJob(client, cfg, n, seed)
+			ms, startMS, tries, outcome := oneJob(client, cfg, pol, bud, brk, pj, seed)
+			finished := time.Now()
 			mu.Lock()
 			defer mu.Unlock()
+			retries += tries
 			switch outcome {
 			case "ok":
 				completed++
+				if finished.Sub(start) <= cfg.duration {
+					inWindow++
+				}
 				latencies = append(latencies, ms)
+				startDelays = append(startDelays, startMS)
 			case "rejected":
 				rejected++
+			case "shed":
+				shed++
 			default:
 				failed++
 			}
@@ -554,57 +684,205 @@ func runLevel(client *http.Client, cfg config, rate float64) levelResult {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	// Goodput is in-window completions per second of offered-load window —
+	// the server's sustained completion rate while arrivals are firing.
+	// Dividing total completions by total elapsed would fold the straggler
+	// drain (mostly doomed retries waiting out backoff) into the
+	// denominator, making goodput collapse with offered load even when the
+	// server's completion rate is flat; counting drain completions against
+	// the window alone would inflate it.
 	return levelResult{
-		OfferedRPS:  rate,
-		DurationSec: elapsed.Seconds(),
-		Submitted:   submitted,
-		Completed:   completed,
-		Rejected:    rejected,
-		Failed:      failed,
-		GoodputRPS:  float64(completed) / elapsed.Seconds(),
-		Latency:     summarize(latencies),
+		OfferedRPS:        rate,
+		DurationSec:       elapsed.Seconds(),
+		Submitted:         submitted,
+		Completed:         completed,
+		Rejected:          rejected,
+		Shed:              shed,
+		Failed:            failed,
+		Retries:           retries,
+		CompletedInWindow: inWindow,
+		GoodputRPS:        float64(inWindow) / cfg.duration.Seconds(),
+		Latency:           summarize(latencies),
+		StartDelay:        summarize(startDelays),
+		BreakerTrips:      brk.tripCount(),
 	}
 }
 
-// oneJob submits one wait-mode sort and (optionally) verifies the result.
-// Outcome is "ok", "rejected" (typed 429 backpressure), or "failed".
-func oneJob(client *http.Client, cfg config, n int, seed int64) (ms float64, outcome string) {
-	keys := make([]int64, n)
+// prejob is one pre-generated request: the body is marshalled before the
+// level's timed window opens so the driver's in-window CPU cost is just
+// the wire work.
+type prejob struct {
+	n      int
+	body   []byte
+	verify bool
+}
+
+// oneJob runs one job through the closed-loop retry client: submit in
+// wait mode, verify on success (when this job is in the verify sample),
+// back off and retry on backpressure within the policy, budget, and
+// breaker. Outcome is "ok", "rejected" (backpressure that retries could
+// not clear), "shed" (accepted by the server, then evicted by its
+// overload control), or "failed". Latency is first-attempt submit to
+// verified completion — the client's view, retries included; startMS is
+// the server-reported queue wait, the quantity a start deadline bounds.
+func oneJob(client *http.Client, cfg config, pol retryPolicy, bud *retryBudget, brk *breaker, pj prejob, seed int64) (ms, startMS float64, tries int, outcome string) {
 	rng := rand.New(rand.NewSource(seed))
-	for i := range keys {
-		keys[i] = rng.Int63()
-	}
-	body, err := json.Marshal(sortRequest{Keys: keys, Wait: true})
-	if err != nil {
-		return 0, "failed"
-	}
+	body := pj.body
 
 	start := time.Now()
-	resp, err := client.Post(cfg.url+"/v1/sort", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return 0, "failed"
-	}
-	raw, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	elapsed := time.Since(start)
+	for attempt := 0; ; attempt++ {
+		// retryable asks the shared discipline whether one more attempt is
+		// allowed, spending a budget token if so.
+		retryable := func() bool {
+			return attempt < pol.maxRetries && bud.take()
+		}
+		now := time.Now()
+		if !brk.allow(now) {
+			// Breaker open: no wire traffic. Waiting out the cooldown is a
+			// retry like any other — bounded by the same policy.
+			if !retryable() {
+				return 0, 0, attempt, "rejected"
+			}
+			time.Sleep(pol.jitteredBackoff(rng, attempt, cfg.cbCooldown))
+			continue
+		}
+		req, err := http.NewRequest(http.MethodPost, cfg.url+"/v1/sort", bytes.NewReader(body))
+		if err != nil {
+			return 0, 0, attempt, "failed"
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if cfg.deadlineMS > 0 {
+			// Carrying the deadline in a header lets the server shed this
+			// request before decoding the body when the model already knows
+			// it cannot start in time; expect-continue keeps the body off
+			// the wire entirely on that path.
+			req.Header.Set("X-Deadline-Ms", strconv.FormatInt(cfg.deadlineMS, 10))
+			req.Header.Set("Expect", "100-continue")
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			brk.record(time.Now(), false)
+			return 0, 0, attempt, "failed"
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
 
-	switch resp.StatusCode {
-	case http.StatusOK:
-	case http.StatusTooManyRequests:
-		return 0, "rejected"
-	default:
-		return 0, "failed"
-	}
-	var st jobStatus
-	if err := json.Unmarshal(raw, &st); err != nil || st.State != "done" {
-		return 0, "failed"
-	}
-	if cfg.verify {
-		if !verifySorted(client, cfg.url+st.ResultURL, n) {
-			return 0, "failed"
+		switch resp.StatusCode {
+		case http.StatusOK:
+			brk.record(time.Now(), false)
+			var st jobStatus
+			if err := json.Unmarshal(raw, &st); err != nil {
+				return 0, 0, attempt, "failed"
+			}
+			if st.State != "done" {
+				if st.Shed {
+					// The server admitted the job and its overload control
+					// evicted it — an explicit verdict, not a failure.
+					return 0, 0, attempt, "shed"
+				}
+				return 0, 0, attempt, "failed"
+			}
+			if pj.verify && !verifySorted(client, cfg.url+st.ResultURL, pj.n) {
+				return 0, 0, attempt, "failed"
+			}
+			if w, err := time.ParseDuration(st.QueueWait); err == nil {
+				startMS = float64(w.Nanoseconds()) / 1e6
+			}
+			return float64(time.Since(start).Nanoseconds()) / 1e6, startMS, attempt, "ok"
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			brk.record(time.Now(), true)
+			if !retryable() {
+				return 0, 0, attempt, "rejected"
+			}
+			time.Sleep(pol.jitteredBackoff(rng, attempt, retryHint(resp, raw)))
+		default:
+			brk.record(time.Now(), false)
+			return 0, 0, attempt, "failed"
 		}
 	}
-	return float64(elapsed.Nanoseconds()) / 1e6, "ok"
+}
+
+// retryHint extracts the server's backoff hint from a backpressure
+// answer: the millisecond-precision retry_after_ms in the JSON body
+// when present, else the whole-seconds Retry-After header, else zero
+// (the client falls back to exponential backoff).
+func retryHint(resp *http.Response, raw []byte) time.Duration {
+	var eb errorBody
+	if json.Unmarshal(raw, &eb) == nil && eb.RetryAfterMS > 0 {
+		return time.Duration(eb.RetryAfterMS) * time.Millisecond
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.ParseInt(s, 10, 64); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+// scrapeOverload reads the server's shed attribution and brownout state
+// from /metrics (labeled families the flat scrapeMetrics skips).
+func scrapeOverload(client *http.Client, url string) (*overloadStats, error) {
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	st := &overloadStats{ShedByReason: map[string]float64{}}
+	const shedPrefix = `sched_shed_total{reason="`
+	const raisePrefix = `sched_brownout_transitions_total{direction="raise"}`
+	for _, line := range strings.Split(string(raw), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		val, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(fields[0], shedPrefix):
+			if reason, ok := strings.CutSuffix(fields[0][len(shedPrefix):], `"}`); ok {
+				st.ShedByReason[reason] = val
+			}
+		case fields[0] == "sched_brownout_level":
+			st.BrownoutLevel = val
+		case fields[0] == raisePrefix:
+			st.BrownoutRaise = val
+		}
+	}
+	return st, nil
+}
+
+// delta subtracts an earlier scrape, yielding this level's contribution.
+// The brownout level is a gauge and is reported as-is (end of level).
+func (s *overloadStats) delta(before *overloadStats) *overloadStats {
+	out := &overloadStats{ShedByReason: map[string]float64{}, BrownoutLevel: s.BrownoutLevel, BrownoutRaise: s.BrownoutRaise}
+	for reason, v := range s.ShedByReason {
+		d := v
+		if before != nil {
+			d -= before.ShedByReason[reason]
+		}
+		if d > 0 {
+			out.ShedByReason[reason] = d
+		}
+	}
+	if before != nil {
+		out.BrownoutRaise -= before.BrownoutRaise
+		if out.BrownoutRaise < 0 {
+			out.BrownoutRaise = 0
+		}
+	}
+	if len(out.ShedByReason) == 0 {
+		out.ShedByReason = nil
+	}
+	return out
 }
 
 // verifySorted downloads a result and checks order and length.

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// retryPolicy is the closed-loop client's give-up discipline: a bounded
+// number of attempts per job, a shared retry budget per level (so a
+// storm of retries cannot multiply offered load against an already
+// overloaded server), and a circuit breaker that stops hitting the wire
+// after a run of consecutive backpressure answers.
+type retryPolicy struct {
+	// maxRetries bounds retries per job (0 = submit once, never retry).
+	maxRetries int
+	// baseBackoff is the backoff used when the server supplies no
+	// Retry-After hint; attempt k waits base<<k, jittered.
+	baseBackoff time.Duration
+	// maxBackoff caps any single wait, hinted or not.
+	maxBackoff time.Duration
+}
+
+// jitteredBackoff picks the wait before retry attempt k: the server's
+// hint when one was given (Retry-After is the model's own estimate of
+// when the submission becomes feasible), exponential otherwise, with
+// +/-25% jitter either way so retries from many clients do not arrive
+// in lockstep — the synchronized-retry stampede is itself an overload.
+func (p retryPolicy) jitteredBackoff(rng *rand.Rand, attempt int, hinted time.Duration) time.Duration {
+	d := hinted
+	if d <= 0 {
+		d = p.baseBackoff << attempt
+	}
+	if d > p.maxBackoff {
+		d = p.maxBackoff
+	}
+	// Jitter in [0.75, 1.25).
+	d = time.Duration(float64(d) * (0.75 + 0.5*rng.Float64()))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// retryBudget is the shared per-level retry allowance. Every retry
+// (not first attempt) spends one token; an exhausted budget turns
+// would-be retries into give-ups. This is the "retry budget" pattern:
+// under deep overload the extra traffic retries generate is the first
+// thing to shed.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens int
+}
+
+func newRetryBudget(tokens int) *retryBudget { return &retryBudget{tokens: tokens} }
+
+func (b *retryBudget) take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens <= 0 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// breaker is a shared circuit breaker over backpressure answers
+// (HTTP 429/503). After threshold consecutive trips it opens for
+// cooldown: requests fail locally without touching the wire. The first
+// request after cooldown is the half-open probe; its success closes the
+// breaker, another backpressure answer re-opens it.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	consecutive int
+	openUntil   time.Time
+	probing     bool
+	trips       int64 // times the breaker opened (reported per level)
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may go to the wire right now.
+func (c *breaker) allow(now time.Time) bool {
+	if c.threshold <= 0 {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now.Before(c.openUntil) {
+		return false
+	}
+	if !c.openUntil.IsZero() && !c.probing {
+		// Cooldown elapsed: admit exactly one half-open probe.
+		c.probing = true
+	}
+	return true
+}
+
+// record feeds one wire outcome back. backpressure is a 429/503 answer;
+// anything else (success, client error, shed) closes the breaker.
+func (c *breaker) record(now time.Time, backpressure bool) {
+	if c.threshold <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !backpressure {
+		c.consecutive = 0
+		c.openUntil = time.Time{}
+		c.probing = false
+		return
+	}
+	c.consecutive++
+	if c.probing || c.consecutive >= c.threshold {
+		c.openUntil = now.Add(c.cooldown)
+		c.consecutive = 0
+		c.probing = false
+		c.trips++
+	}
+}
+
+func (c *breaker) tripCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.trips
+}

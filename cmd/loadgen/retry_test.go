@@ -1,0 +1,116 @@
+package main
+
+import (
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestJitteredBackoffHonorsHint(t *testing.T) {
+	pol := retryPolicy{maxRetries: 3, baseBackoff: 100 * time.Millisecond, maxBackoff: 5 * time.Second}
+	rng := rand.New(rand.NewSource(1))
+	hint := 2 * time.Second
+	for i := 0; i < 100; i++ {
+		d := pol.jitteredBackoff(rng, 0, hint)
+		if d < time.Duration(float64(hint)*0.75) || d >= time.Duration(float64(hint)*1.25) {
+			t.Fatalf("hinted backoff %v outside +/-25%% of %v", d, hint)
+		}
+	}
+	// No hint: exponential from the base, still jittered and capped.
+	for attempt := 0; attempt < 10; attempt++ {
+		d := pol.jitteredBackoff(rng, attempt, 0)
+		if d > time.Duration(float64(pol.maxBackoff)*1.25) {
+			t.Fatalf("attempt %d backoff %v exceeds cap", attempt, d)
+		}
+		if d <= 0 {
+			t.Fatalf("attempt %d backoff %v not positive", attempt, d)
+		}
+	}
+}
+
+func TestRetryBudgetExhausts(t *testing.T) {
+	b := newRetryBudget(2)
+	if !b.take() || !b.take() {
+		t.Fatal("budget refused tokens it had")
+	}
+	if b.take() {
+		t.Fatal("budget granted a third token of two")
+	}
+}
+
+func TestBreakerOpensAndHalfOpens(t *testing.T) {
+	c := newBreaker(3, 100*time.Millisecond)
+	t0 := time.Now()
+	for i := 0; i < 3; i++ {
+		if !c.allow(t0) {
+			t.Fatalf("breaker open before threshold (trip %d)", i)
+		}
+		c.record(t0, true)
+	}
+	if c.allow(t0.Add(10 * time.Millisecond)) {
+		t.Fatal("breaker closed immediately after threshold trips")
+	}
+	if c.tripCount() != 1 {
+		t.Fatalf("trips = %d, want 1", c.tripCount())
+	}
+	// After cooldown: one half-open probe is admitted; a backpressure
+	// answer re-opens immediately, success closes.
+	probeTime := t0.Add(150 * time.Millisecond)
+	if !c.allow(probeTime) {
+		t.Fatal("breaker refused the half-open probe after cooldown")
+	}
+	c.record(probeTime, true)
+	if c.allow(probeTime.Add(10 * time.Millisecond)) {
+		t.Fatal("breaker closed after a failed half-open probe")
+	}
+	reopenProbe := probeTime.Add(150 * time.Millisecond)
+	if !c.allow(reopenProbe) {
+		t.Fatal("breaker refused the second probe")
+	}
+	c.record(reopenProbe, false)
+	if !c.allow(reopenProbe.Add(time.Millisecond)) {
+		t.Fatal("breaker open after a successful probe")
+	}
+	// Disabled breaker never blocks.
+	off := newBreaker(0, time.Second)
+	off.record(t0, true)
+	if !off.allow(t0) {
+		t.Fatal("disabled breaker blocked a request")
+	}
+}
+
+func TestRetryHintPrefersBodyMS(t *testing.T) {
+	resp := &http.Response{Header: http.Header{"Retry-After": []string{"3"}}}
+	if got := retryHint(resp, []byte(`{"code":"overloaded-queue-full","retry_after_ms":750}`)); got != 750*time.Millisecond {
+		t.Fatalf("hint = %v, want 750ms from the body", got)
+	}
+	if got := retryHint(resp, []byte(`{}`)); got != 3*time.Second {
+		t.Fatalf("hint = %v, want 3s from the header", got)
+	}
+	if got := retryHint(&http.Response{Header: http.Header{}}, nil); got != 0 {
+		t.Fatalf("hint = %v, want 0 with no hint anywhere", got)
+	}
+}
+
+func TestOverloadStatsDelta(t *testing.T) {
+	before := &overloadStats{ShedByReason: map[string]float64{"deadline-expired": 2}, BrownoutRaise: 1}
+	after := &overloadStats{
+		ShedByReason:  map[string]float64{"deadline-expired": 5, "brownout-spill": 3},
+		BrownoutLevel: 2,
+		BrownoutRaise: 4,
+	}
+	d := after.delta(before)
+	if d.ShedByReason["deadline-expired"] != 3 || d.ShedByReason["brownout-spill"] != 3 {
+		t.Fatalf("shed delta = %v", d.ShedByReason)
+	}
+	if d.BrownoutLevel != 2 {
+		t.Fatalf("brownout level = %v, want the end-of-level gauge", d.BrownoutLevel)
+	}
+	if d.BrownoutRaise != 3 {
+		t.Fatalf("raises delta = %v, want 3", d.BrownoutRaise)
+	}
+	if empty := after.delta(after); empty.ShedByReason != nil {
+		t.Fatalf("self-delta shed = %v, want nil", empty.ShedByReason)
+	}
+}

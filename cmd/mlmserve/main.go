@@ -59,7 +59,9 @@ type options struct {
 	workers      int
 	queueLimit   int
 	threads      int
+	batchElems   int
 	retain       int
+	decodeGate   int
 	autotune     bool
 	chaos        bool
 	chaosSeed    int64
@@ -67,6 +69,8 @@ type options struct {
 	logLevel     string
 	logJSON      bool
 	flightCap    int
+	brownout     bool
+	criticalPrio int
 }
 
 func main() {
@@ -79,7 +83,9 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "concurrent pipelines (0 = scheduler default)")
 	flag.IntVar(&o.queueLimit, "queue", 0, "admission queue bound (0 = scheduler default)")
 	flag.IntVar(&o.threads, "threads", 0, "thread budget fair-shared across staged jobs (0 = GOMAXPROCS)")
+	flag.IntVar(&o.batchElems, "batch-max-elems", 0, "batchable-job element threshold; jobs at most this large ride a shared pass (0 = budget-derived default, 1 effectively disables batching)")
 	flag.IntVar(&o.retain, "retain", 4096, "terminal jobs retained for status/result lookup")
+	flag.IntVar(&o.decodeGate, "decode-gate", 0, "concurrent submit-body decodes; deadlined requests past the gate get 429 ingest-busy (0 = max(2, GOMAXPROCS))")
 	flag.BoolVar(&o.autotune, "autotune", false, "measure per-thread rates on staged jobs and feed them to the fair-share solver")
 	flag.BoolVar(&o.chaos, "chaos", false, "run every job pipeline under a seeded fault-injection plan")
 	flag.Int64Var(&o.chaosSeed, "chaos-seed", 1, "chaos plan seed (with -chaos)")
@@ -87,6 +93,8 @@ func main() {
 	flag.StringVar(&o.logLevel, "log-level", "info", "structured log level: debug, info, warn, error, or off")
 	flag.BoolVar(&o.logJSON, "log-json", false, "emit structured logs as JSON (default logfmt-style text)")
 	flag.IntVar(&o.flightCap, "flight-recorder", 0, "job traces retained in the flight recorder ring (0 = default)")
+	flag.BoolVar(&o.brownout, "brownout", true, "enable the overload brownout controller (shed spill class, shrink batches, critical-only admission)")
+	flag.IntVar(&o.criticalPrio, "critical-priority", 0, "minimum job priority admitted at the critical-only brownout level (0 = default 1)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -143,12 +151,17 @@ func run(o options) error {
 		Workers:           o.workers,
 		QueueLimit:        o.queueLimit,
 		TotalThreads:      o.threads,
+		BatchMaxElems:     o.batchElems,
 		RetainJobs:        o.retain,
 		Registry:          reg,
 		Resilience:        telemetry.NewResilience(reg),
 		Autotune:          o.autotune,
 		FlightRecorderCap: o.flightCap,
 		Logger:            logger,
+		Brownout: sched.BrownoutConfig{
+			Disable:          !o.brownout,
+			CriticalPriority: o.criticalPrio,
+		},
 	}
 	if o.chaos {
 		plan := fault.NewPlan(o.chaosSeed, budget)
@@ -168,8 +181,12 @@ func run(o options) error {
 		return err
 	}
 	defer sc.Close()
+	if rec := sc.SpillRecovery(); rec.Dirs > 0 {
+		fmt.Printf("mlmserve: reclaimed %d orphaned spill dir(s) from a previous crash — %d run files, %d bytes (%d sealed)\n",
+			rec.Dirs, rec.Runs, rec.Bytes, rec.SealedRuns)
+	}
 
-	srv, err := serve.New(serve.Config{Scheduler: sc, Registry: reg, Logger: logger})
+	srv, err := serve.New(serve.Config{Scheduler: sc, Registry: reg, Logger: logger, DecodeConcurrency: o.decodeGate})
 	if err != nil {
 		return err
 	}

@@ -38,19 +38,79 @@ var (
 	// already in the past — a malformed request, not an overload, since
 	// retrying the identical submission can never succeed.
 	ErrDeadlineExpired = errors.New("sched: job deadline expired before start")
+	// ErrShed classifies jobs the scheduler itself evicted from the queue
+	// under overload control — deadline became infeasible while waiting,
+	// or a brownout level shed the job's class. Distinct from ErrCanceled
+	// (the client asked) and from admission rejection (the job was never
+	// admitted): a shed job was accepted, then deliberately dropped.
+	ErrShed = errors.New("sched: job shed by overload control")
 )
+
+// Shed reasons, also the "reason" label values of sched_shed_total.
+const (
+	// ShedDeadlineExpired: the job's deadline passed while it waited in
+	// the queue.
+	ShedDeadlineExpired = "deadline-expired"
+	// ShedDeadlineInfeasible: the deadline is still in the future, but the
+	// model-predicted earliest start already overshoots it — computing the
+	// job would burn capacity on a guaranteed miss.
+	ShedDeadlineInfeasible = "deadline-infeasible"
+	// ShedBrownoutSpill: a brownout level at or above BrownoutShedSpill
+	// evicted the queued spill-class job.
+	ShedBrownoutSpill = "brownout-spill"
+)
+
+// ShedError is the typed terminal error of a shed job. It matches
+// ErrShed under errors.Is always, and additionally ErrDeadlineExpired
+// for the deadline-derived reasons — a queued job timing out is both a
+// shed (the scheduler dropped it) and a deadline expiry (why), and
+// pre-shedding callers classified on ErrDeadlineExpired.
+type ShedError struct {
+	// Reason is one of the Shed* constants.
+	Reason string
+	// PredictedWait, when positive, is the model-predicted start delay
+	// that made the deadline infeasible.
+	PredictedWait time.Duration
+}
+
+func (e *ShedError) Error() string {
+	if e.PredictedWait > 0 {
+		return fmt.Sprintf("sched: job shed (%s, predicted start in %v)", e.Reason, e.PredictedWait)
+	}
+	return fmt.Sprintf("sched: job shed (%s)", e.Reason)
+}
+
+// Is matches the ErrShed class, plus ErrDeadlineExpired for the
+// deadline-derived reasons.
+func (e *ShedError) Is(target error) bool {
+	switch target {
+	case ErrShed:
+		return true
+	case ErrDeadlineExpired:
+		return e.Reason == ShedDeadlineExpired || e.Reason == ShedDeadlineInfeasible
+	}
+	return false
+}
 
 // OverloadError is the typed admission rejection: the scheduler cannot
 // take the job now, but an identical submission may succeed after
 // RetryAfter. It matches ErrOverloaded under errors.Is — the HTTP layer
 // maps it to 429 with a Retry-After header.
 type OverloadError struct {
-	// Reason is "queue-full" or "draining".
+	// Reason is "queue-full", "draining", "predicted-late" (the model's
+	// completion estimate already misses the job's deadline), or a
+	// brownout admission gate ("brownout-spill", "brownout-critical").
 	Reason string
 	// QueueDepth is the queue occupancy at rejection time.
 	QueueDepth int
 	// RetryAfter is the scheduler's estimate of when capacity frees up.
+	// For predicted-late rejections it is model-derived: the amount by
+	// which the predicted start overshoots the deadline.
 	RetryAfter time.Duration
+	// PredictedWait, for predicted-late rejections, is the model-predicted
+	// start delay (queue backlog plus running remainder over the worker
+	// pool) that triggered the rejection. Zero otherwise.
+	PredictedWait time.Duration
 }
 
 func (e *OverloadError) Error() string {

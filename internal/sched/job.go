@@ -97,6 +97,15 @@ type Job struct {
 	// scheduler's lock.
 	vdl     time.Time
 	heapIdx int
+	// predRun is the Eq. 1-5 model-predicted service time priced at
+	// admission (zero when the rates were degenerate), already corrected
+	// by the class drift factor. It feeds the scheduler's queuedWork
+	// backlog sum and the infeasibility sweep; immutable after admission.
+	// predRaw is the same estimate before drift correction — the run
+	// loops compare it against the measured service time to keep the
+	// drift factor tracking the machine.
+	predRun time.Duration
+	predRaw time.Duration
 
 	// batchable jobs ride a shared pipeline pass; staged jobs get their
 	// own megachunked pipeline and a fair-share width control.

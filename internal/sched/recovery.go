@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"context"
+	"log/slog"
+
+	"knlmlm/internal/spill"
+	"knlmlm/internal/telemetry"
+)
+
+// recoverOrphanedSpill reclaims spill roots a previous crashed process
+// left under the configured spill parent: their run files pin real disk
+// capacity no live budget ledger accounts for. Called from New before
+// this scheduler creates its own root (which is then protected by a
+// live owner marker). Recovery failures are logged and ignored — a
+// scheduler must start even on a machine it cannot tidy.
+func (s *Scheduler) recoverOrphanedSpill(parent string) {
+	rep, err := spill.RecoverOrphans(parent, 0)
+	if err != nil {
+		s.logger.LogAttrs(context.Background(), slog.LevelWarn, "spill recovery scan failed",
+			slog.String("error", err.Error()))
+		return
+	}
+	s.recovery = rep
+	if rep.Dirs == 0 {
+		return
+	}
+	s.metrics.recoveredDirs(s.metrics.reg).Add(int64(rep.Dirs))
+	s.metrics.recoveredRuns(s.metrics.reg).Add(int64(rep.Runs))
+	s.metrics.recoveredBytes(s.metrics.reg).Add(rep.Bytes)
+	s.logger.LogAttrs(context.Background(), slog.LevelInfo, "reclaimed orphaned spill",
+		slog.Int("dirs", rep.Dirs),
+		slog.Int("runs", rep.Runs),
+		slog.Int64("bytes", rep.Bytes),
+		slog.Int("sealed_runs", rep.SealedRuns),
+		slog.Int("skipped", rep.Skipped))
+}
+
+// The recovery counters are created lazily: most schedulers never
+// reclaim anything, and an always-zero family would still be scraped.
+func (m *schedMetrics) recoveredDirs(reg *telemetry.Registry) *telemetry.Counter {
+	return reg.Counter("sched_spill_recovered_dirs_total",
+		"Orphaned spill directories reclaimed at startup.", nil)
+}
+
+func (m *schedMetrics) recoveredRuns(reg *telemetry.Registry) *telemetry.Counter {
+	return reg.Counter("sched_spill_recovered_runs_total",
+		"Orphaned spill run files reclaimed at startup.", nil)
+}
+
+func (m *schedMetrics) recoveredBytes(reg *telemetry.Registry) *telemetry.Counter {
+	return reg.Counter("sched_spill_recovered_bytes_total",
+		"Orphaned spill bytes reclaimed at startup.", nil)
+}

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"knlmlm/internal/spill"
+	"knlmlm/internal/telemetry"
+	"knlmlm/internal/workload"
+)
+
+// TestCrashRestartReclaimsOrphanedSpill is the kill-and-restart
+// acceptance test: scheduler A finishes a spill job (run files held on
+// disk awaiting a stream) and "crashes" — no Close, its owner marker
+// rewritten to a dead pid, exactly what a machine reboot or kill -9
+// leaves behind. Scheduler B, started against the same spill parent,
+// must reclaim A's entire root: run files deleted, bytes reported, and
+// the recovery counters published.
+func TestCrashRestartReclaimsOrphanedSpill(t *testing.T) {
+	parent := t.TempDir()
+	cfg := testConfig()
+	cfg.DDRBudget = 600 << 10
+	cfg.DiskBudget = 4 << 20
+	cfg.SpillDir = parent
+
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New A: %v", err)
+	}
+	defer a.Close() // after the assertions: a crash never runs cleanup
+
+	const n = 60000
+	j, err := a.Submit(JobSpec{Data: workload.Generate(workload.Random, n, 7)})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if !j.Spilled() {
+		t.Fatalf("%d-elem job not classed as spill", n)
+	}
+	waitDone(t, j)
+	if j.State() != Done {
+		t.Fatalf("state = %v (%v)", j.State(), j.Err())
+	}
+	rootA := a.spillRoot
+	if a.DiskBudget().Leased() == 0 {
+		t.Fatal("no disk lease held while the spilled result is pending")
+	}
+
+	// Simulate the crash: the owner pid is dead (0 can never name a live
+	// process), and nothing else of A's lifecycle runs.
+	if err := os.WriteFile(filepath.Join(rootA, spill.OwnerMarkerName), []byte("0\n"), 0o644); err != nil {
+		t.Fatalf("rewrite owner marker: %v", err)
+	}
+
+	reg := telemetry.NewRegistry()
+	cfgB := cfg
+	cfgB.Registry = reg
+	b := newTestScheduler(t, cfgB)
+
+	rep := b.SpillRecovery()
+	if rep.Dirs != 1 {
+		t.Fatalf("recovery Dirs = %d, want 1: %+v", rep.Dirs, rep)
+	}
+	if rep.Runs < 1 {
+		t.Fatalf("recovery Runs = %d, want >= 1: %+v", rep.Runs, rep)
+	}
+	if rep.Bytes != int64(n*8) {
+		t.Fatalf("recovery Bytes = %d, want %d (every run byte the crash pinned): %+v", rep.Bytes, n*8, rep)
+	}
+	if rep.SealedRuns != rep.Runs {
+		t.Fatalf("SealedRuns = %d of %d: a cleanly finished job's runs are all sealed", rep.SealedRuns, rep.Runs)
+	}
+	if _, err := os.Stat(rootA); !os.IsNotExist(err) {
+		t.Fatalf("crashed root %s survives restart (stat err %v)", rootA, err)
+	}
+
+	var w strings.Builder
+	if err := reg.WritePrometheus(&w); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	for _, fam := range []string{
+		"sched_spill_recovered_dirs_total",
+		"sched_spill_recovered_runs_total",
+		"sched_spill_recovered_bytes_total",
+	} {
+		if !strings.Contains(w.String(), fam) {
+			t.Fatalf("metrics missing %s:\n%s", fam, w.String())
+		}
+	}
+
+	// B's own root carries a live marker: a third scheduler started now
+	// must not touch it.
+	c := newTestScheduler(t, cfg)
+	if rep := c.SpillRecovery(); rep.Dirs != 0 {
+		t.Fatalf("live root reclaimed by a concurrent start: %+v", rep)
+	}
+	if _, err := os.Stat(b.spillRoot); err != nil {
+		t.Fatalf("live root %s missing after concurrent start: %v", b.spillRoot, err)
+	}
+}

@@ -86,6 +86,11 @@ type Config struct {
 	// value selects the paper's Table 2 constants; measured autotuner
 	// rates refine SCopy/SComp either way.
 	Rates model.Params
+	// Brownout tunes the overload brownout controller (see BrownoutConfig
+	// and BrownoutLevel). The zero value enables the controller with
+	// AgingSlack-derived thresholds; set Disable to pin the level at
+	// BrownoutNormal.
+	Brownout BrownoutConfig
 
 	// DDRBudget caps the DDR working set of an in-memory staged job: its
 	// input plus the materialized final merge, 2x the data bytes. Jobs
@@ -244,13 +249,22 @@ type Scheduler struct {
 	seq           int64
 	draining      bool
 	closed        bool
+	// queuedWork is the running sum of queued jobs' model-predicted
+	// service times (predRun), maintained on every push/pop/remove so
+	// admission can price the backlog in O(1).
+	queuedWork time.Duration
 
 	kick     chan struct{}
 	dispDone chan struct{}
 	wg       sync.WaitGroup
 
 	rates   *rateEstimator
+	drift   *driftEstimator
 	metrics *schedMetrics
+	brown   *brownout
+	// recovery is the startup orphaned-spill reclamation report (zero
+	// when spill is disabled or nothing was reclaimed).
+	recovery spill.OrphanReport
 
 	// flight is the always-on ring of recent job traces; phases publishes
 	// the per-phase job_phase_seconds histograms; logger emits structured
@@ -281,6 +295,7 @@ func New(cfg Config) (*Scheduler, error) {
 		kick:       make(chan struct{}, 1),
 		dispDone:   make(chan struct{}),
 		rates:      newRateEstimator(cfg.Rates),
+		drift:      newDriftEstimator(),
 		metrics:    newSchedMetrics(cfg.Registry),
 		flight:     telemetry.NewFlightRecorder(cfg.FlightRecorderCap),
 		phases:     telemetry.NewPhaseMetrics(cfg.Registry),
@@ -291,12 +306,24 @@ func New(cfg Config) (*Scheduler, error) {
 		// without nil checks.
 		s.logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
 	}
+	s.brown = newBrownout(cfg.Brownout, cfg.AgingSlack, s.metrics.reg)
 	s.metrics.budgetBytes.Set(float64(cfg.MCDRAMBudget))
 	if cfg.DiskBudget > 0 {
+		// Before creating this scheduler's spill root, reclaim roots a
+		// previous crashed process left behind: their run files pin real
+		// disk capacity the budget ledger no longer knows about.
+		s.recoverOrphanedSpill(cfg.SpillDir)
 		root, err := os.MkdirTemp(cfg.SpillDir, "sched-spill-")
 		if err != nil {
 			cancel()
 			return nil, fmt.Errorf("sched: create spill root: %w", err)
+		}
+		// Mark the root as owned by this live process so a concurrent or
+		// later scheduler's recovery scan leaves it alone.
+		if err := spill.WriteOwnerMarker(root); err != nil {
+			cancel()
+			os.RemoveAll(root)
+			return nil, fmt.Errorf("sched: mark spill root: %w", err)
 		}
 		s.disk = NewBudget(cfg.DiskBudget)
 		s.spillRoot = root
@@ -338,6 +365,16 @@ func (s *Scheduler) Phases() *telemetry.PhaseMetrics { return s.phases }
 
 // PoolStats reports the budget-capped staging pool's counters.
 func (s *Scheduler) PoolStats() mem.PoolStats { return s.pool.Stats() }
+
+// BrownoutLevel reports the current overload degradation level.
+func (s *Scheduler) BrownoutLevel() BrownoutLevel { return s.brown.Level() }
+
+// ShedTotals reports jobs shed by overload control, by reason.
+func (s *Scheduler) ShedTotals() map[string]int64 { return s.metrics.shedTotals() }
+
+// SpillRecovery reports the startup orphaned-spill reclamation: what a
+// previous crashed process left behind and this one cleaned up.
+func (s *Scheduler) SpillRecovery() spill.OrphanReport { return s.recovery }
 
 // plan is the admission-time sizing decision for one job.
 type plan struct {
@@ -477,6 +514,35 @@ func (s *Scheduler) submit(spec JobSpec, tr *telemetry.JobTrace) (*Job, error) {
 		s.metrics.reject("queue-full")
 		return nil, &OverloadError{Reason: "queue-full", QueueDepth: len(s.queue), RetryAfter: s.retryAfterLocked()}
 	}
+	// Brownout admission gates: under degradation the scheduler stops
+	// accepting the classes it is actively shedding — admitting them only
+	// to evict them later wastes queue slots and client patience.
+	switch lvl := s.brown.Level(); {
+	case lvl >= BrownoutCritical && spec.Priority < s.brown.cfg.CriticalPriority:
+		s.metrics.reject("brownout-critical")
+		return nil, &OverloadError{Reason: "brownout-critical", QueueDepth: len(s.queue), RetryAfter: s.retryAfterLocked()}
+	case lvl >= BrownoutShedSpill && p.spill:
+		s.metrics.reject("brownout-spill")
+		return nil, &OverloadError{Reason: "brownout-spill", QueueDepth: len(s.queue), RetryAfter: s.retryAfterLocked()}
+	}
+	// Model-predicted admission: price the backlog with the Eq. 1-5
+	// estimator and reject a deadlined job whose predicted start already
+	// misses its deadline — computing it would be guaranteed waste. The
+	// Retry-After hint is model-derived: the overshoot is how much backlog
+	// must drain before an identical submission becomes feasible.
+	predRaw, predRun := s.estimateServiceLocked(len(spec.Data), p)
+	if !spec.Deadline.IsZero() {
+		wait := s.predictedStartDelayLocked(now)
+		if start := now.Add(wait); start.After(spec.Deadline) {
+			s.metrics.reject("predicted-late")
+			return nil, &OverloadError{
+				Reason:        "predicted-late",
+				QueueDepth:    len(s.queue),
+				RetryAfter:    clampRetryAfter(start.Sub(spec.Deadline)),
+				PredictedWait: wait,
+			}
+		}
+	}
 
 	s.seq++
 	s.submitted++
@@ -492,6 +558,8 @@ func (s *Scheduler) submit(spec JobSpec, tr *telemetry.JobTrace) (*Job, error) {
 		megachunk: p.megachunk,
 		spill:     p.spill,
 		diskNeed:  p.diskLease,
+		predRun:   predRun,
+		predRaw:   predRaw,
 		sched:     s,
 	}
 	j.vdl = virtualDeadline(now, spec.Priority, spec.Deadline, s.cfg.AgingSlack)
@@ -506,6 +574,7 @@ func (s *Scheduler) submit(spec JobSpec, tr *telemetry.JobTrace) (*Job, error) {
 	s.flight.Add(tr)
 	s.jobs[j.id] = j
 	s.queue.push(j)
+	s.queuedWork += j.predRun
 	s.metrics.queueDepth.Set(float64(len(s.queue)))
 	s.kickLocked()
 	return j, nil
@@ -519,6 +588,91 @@ func (s *Scheduler) retryAfterLocked() time.Duration {
 		d = 5 * time.Second
 	}
 	return d
+}
+
+// clampRetryAfter bounds a model-derived retry hint to a polite range.
+func clampRetryAfter(d time.Duration) time.Duration {
+	if d < 100*time.Millisecond {
+		return 100 * time.Millisecond
+	}
+	if d > 10*time.Second {
+		return 10 * time.Second
+	}
+	return d
+}
+
+// estimateServiceLocked prices one job with the Eq. 1-5 estimator at the
+// steady-state overload thread share (the whole budget split across the
+// worker pool — the share a job dispatched under load actually gets),
+// using the same blended measured rates the fair-share solver uses plus
+// the measured disk rate for spill-class jobs. The raw model estimate is
+// returned alongside the drift-corrected one: the corrected value prices
+// the backlog (it tracks this machine), the raw one is what finished runs
+// are compared against to keep the correction honest. Zero means "no
+// estimate" (degenerate rates), never "instant".
+func (s *Scheduler) estimateServiceLocked(n int, p plan) (raw, corrected time.Duration) {
+	per := s.cfg.TotalThreads / s.cfg.Workers
+	if per < 3 {
+		per = 3
+	}
+	est := tune.EstimateService(s.rates.params(), units.Bytes(int64(n)*8), per, p.spill, s.diskRate)
+	raw = est.Total()
+	return raw, time.Duration(float64(raw) * s.drift.factorFor(driftClass(p)))
+}
+
+// observeDrift feeds one finished run's measured service time back into
+// the class drift factor and publishes the updated factor.
+func (s *Scheduler) observeDrift(class int, measured, predictedRaw time.Duration) {
+	f := s.drift.observe(class, measured, predictedRaw)
+	s.metrics.driftFactor(driftClassNames[class], f)
+}
+
+// predictedStartDelayLocked is the model's estimate of how long a job
+// admitted now would wait before dispatch: the queued backlog plus the
+// unfinished remainder of running pipelines, drained by Workers
+// pipelines in parallel. With a free worker and an empty queue the
+// predicted wait is zero regardless of rate quality.
+func (s *Scheduler) predictedStartDelayLocked(now time.Time) time.Duration {
+	if s.pipelines < s.cfg.Workers && len(s.queue) == 0 {
+		return 0
+	}
+	backlog := s.queuedWork
+	for j := range s.running {
+		j.mu.Lock()
+		started := j.started
+		j.mu.Unlock()
+		if rem := j.predRun - now.Sub(started); rem > 0 {
+			backlog += rem
+		}
+	}
+	return backlog / time.Duration(s.cfg.Workers)
+}
+
+// popQueuedLocked pops the queue head, keeping the backlog price sum in
+// step. All dispatch-side pops must go through here (or
+// removeQueuedLocked), never s.queue.pop directly.
+func (s *Scheduler) popQueuedLocked() *Job {
+	j := s.queue.pop()
+	if j != nil {
+		s.queuedWork -= j.predRun
+		if s.queuedWork < 0 {
+			s.queuedWork = 0
+		}
+	}
+	return j
+}
+
+// removeQueuedLocked removes a job from anywhere in the queue, keeping
+// the backlog price sum in step.
+func (s *Scheduler) removeQueuedLocked(j *Job) bool {
+	if !s.queue.remove(j) {
+		return false
+	}
+	s.queuedWork -= j.predRun
+	if s.queuedWork < 0 {
+		s.queuedWork = 0
+	}
+	return true
 }
 
 // Lookup finds a job by id (running, queued, or retained terminal).
@@ -541,6 +695,12 @@ type Stats struct {
 	DiskBudgetBytes units.Bytes
 	DiskLeasedBytes units.Bytes
 	Draining        bool
+	// Overload-control state: the brownout degradation level, the
+	// smoothed queue-delay signal driving it, and the model-predicted
+	// start delay a job admitted now would see.
+	Brownout       BrownoutLevel
+	QueueDelayEWMA time.Duration
+	PredictedStart time.Duration
 }
 
 // Snapshot reports current occupancy and ledger state.
@@ -556,12 +716,43 @@ func (s *Scheduler) Snapshot() Stats {
 		HighWaterBytes: s.budget.HighWater(),
 		BudgetBytes:    s.budget.Capacity(),
 		Draining:       s.draining,
+		Brownout:       s.brown.Level(),
+		QueueDelayEWMA: s.brown.delayEWMA(),
+		PredictedStart: s.predictedStartDelayLocked(time.Now()),
 	}
 	if s.disk != nil {
 		st.DiskBudgetBytes = s.disk.Capacity()
 		st.DiskLeasedBytes = s.disk.Leased()
 	}
 	return st
+}
+
+// PreAdmit is the front door's pre-decode admission gate: given only a
+// job's relative start deadline (cheap to carry in a request header), it
+// answers whether the model-predicted start delay already misses it.
+// Under deep overload the expensive part of a doomed request is parsing
+// its body — the decode can cost as much as the sort it asks for — so a
+// front end should consult PreAdmit before reading the payload and turn
+// a non-nil *OverloadError into an immediate backpressure answer. Nil
+// means "plausibly feasible": the body-level checks in Submit still
+// apply.
+func (s *Scheduler) PreAdmit(deadline time.Duration) error {
+	if deadline <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wait := s.predictedStartDelayLocked(time.Now())
+	if wait <= deadline {
+		return nil
+	}
+	s.metrics.reject("predicted-late")
+	return &OverloadError{
+		Reason:        "predicted-late",
+		QueueDepth:    len(s.queue),
+		RetryAfter:    clampRetryAfter(wait - deadline),
+		PredictedWait: wait,
+	}
 }
 
 func (s *Scheduler) kickLocked() {
@@ -577,19 +768,34 @@ func (s *Scheduler) kickLocked() {
 // and parks until kicked by a submit, a job finishing, or Close.
 func (s *Scheduler) dispatch() {
 	defer close(s.dispDone)
+	// The shed tick bounds how stale an infeasible queued job can get:
+	// even with no submit/finish activity to kick the dispatcher, the
+	// queue is re-evaluated and the brownout controller stepped at this
+	// cadence.
+	tick := time.NewTicker(shedTick)
+	defer tick.Stop()
 	for {
+		now := time.Now()
 		s.mu.Lock()
+		s.shedQueuedLocked(now)
 		for s.tryDispatchLocked() {
 		}
+		s.evalBrownoutLocked(now)
 		if s.closed {
 			s.failQueuedLocked(ErrClosed)
 			s.mu.Unlock()
 			return
 		}
 		s.mu.Unlock()
-		<-s.kick
+		select {
+		case <-s.kick:
+		case <-tick.C:
+		}
 	}
 }
+
+// shedTick is the dispatcher's periodic queue re-evaluation interval.
+const shedTick = 100 * time.Millisecond
 
 // tryDispatchLocked makes at most one unit of progress (one job resolved
 // or one pipeline launched), reporting whether it did anything.
@@ -600,13 +806,17 @@ func (s *Scheduler) tryDispatchLocked() bool {
 	}
 	// Canceled and expired jobs resolve without a worker slot or lease.
 	if head.canceled.Load() {
-		s.queue.pop()
+		s.popQueuedLocked()
 		s.finishLocked(head, Canceled, ErrCanceled)
 		return true
 	}
 	if !head.spec.Deadline.IsZero() && !head.spec.Deadline.After(time.Now()) {
-		s.queue.pop()
-		s.finishLocked(head, Failed, ErrDeadlineExpired)
+		// The deadline passed while the job waited: this is a shed (the
+		// scheduler dropping admitted work under pressure), typed so
+		// clients can tell it from their own cancels. ShedError still
+		// matches ErrDeadlineExpired for this reason.
+		s.popQueuedLocked()
+		s.shedLocked(head, ShedDeadlineExpired, 0)
 		return true
 	}
 	if s.pipelines >= s.cfg.Workers {
@@ -651,7 +861,7 @@ func (s *Scheduler) tryDispatchLocked() bool {
 		}
 		diskLease = dl
 	}
-	j := s.queue.pop()
+	j := s.popQueuedLocked()
 	// The width control must exist before the job enters the running set:
 	// refairLocked reads it under the scheduler lock.
 	j.widths = mlmsort.NewWidthControl(model.Pools{})
@@ -684,13 +894,23 @@ func (j *Job) stagedLease() units.Bytes {
 // jobs, preserving EDF order (it stops at the first non-batchable head
 // rather than searching past it).
 func (s *Scheduler) gatherBatchLocked() []*Job {
-	batch := []*Job{s.queue.pop()}
-	for len(batch) < s.cfg.BatchMaxJobs {
+	maxJobs := s.cfg.BatchMaxJobs
+	if s.brown.Level() >= BrownoutShrinkBatch {
+		// Brownout: shrink batches to a quarter of their configured size.
+		// Each pass holds its lease for less time and a slow or faulted
+		// pass delays fewer co-riding jobs — tail latency bought with peak
+		// throughput, which is the brownout trade.
+		if maxJobs = s.cfg.BatchMaxJobs / 4; maxJobs < 1 {
+			maxJobs = 1
+		}
+	}
+	batch := []*Job{s.popQueuedLocked()}
+	for len(batch) < maxJobs {
 		next := s.queue.peek()
 		if next == nil || !next.batchable {
 			break
 		}
-		s.queue.pop()
+		s.popQueuedLocked()
 		if next.canceled.Load() {
 			s.finishLocked(next, Canceled, ErrCanceled)
 			continue
@@ -720,6 +940,7 @@ func (s *Scheduler) startLocked(j *Job, lease *Lease) {
 	s.metrics.running.Set(float64(len(s.running)))
 	s.metrics.leased.Set(float64(s.budget.Leased()))
 	s.metrics.queueWait.Observe(now.Sub(j.enqueued).Seconds())
+	s.brown.observeDelay(now.Sub(j.enqueued))
 }
 
 // finishLocked resolves a job to a terminal state exactly once.
@@ -782,12 +1003,95 @@ func (s *Scheduler) retireLocked(j *Job) {
 // failQueuedLocked resolves every queued job (scheduler shutdown).
 func (s *Scheduler) failQueuedLocked(err error) {
 	for {
-		j := s.queue.pop()
+		j := s.popQueuedLocked()
 		if j == nil {
 			return
 		}
 		s.finishLocked(j, Failed, err)
 	}
+}
+
+// shedLocked resolves a queued job the scheduler itself evicted under
+// overload control: typed terminal error, shed metric, trace event.
+// The job must already be off the queue.
+func (s *Scheduler) shedLocked(j *Job, reason string, predictedWait time.Duration) {
+	s.metrics.shed(reason)
+	j.trace.EventDetail("shed", reason)
+	s.finishLocked(j, Failed, &ShedError{Reason: reason, PredictedWait: predictedWait})
+}
+
+// shedQueuedLocked is the dispatcher's periodic queue re-evaluation: a
+// deadline that was feasible at admission may have become impossible
+// while the job waited. Evicting such jobs — and, under brownout,
+// queued spill-class jobs — returns their queue slots and predicted
+// backlog to feasible work instead of computing guaranteed misses.
+func (s *Scheduler) shedQueuedLocked(now time.Time) {
+	if len(s.queue) == 0 {
+		return
+	}
+	lvl := s.brown.Level()
+	// With every worker busy, the earliest any queued job can start is
+	// when the soonest-finishing running pipeline frees its slot: the
+	// minimum model-predicted remainder across the running set. Jobs with
+	// no estimate (predRun zero) contribute a zero remainder, disabling
+	// the infeasibility test rather than fabricating one.
+	var minRem time.Duration
+	allBusy := s.pipelines >= s.cfg.Workers
+	if allBusy {
+		first := true
+		for j := range s.running {
+			j.mu.Lock()
+			started := j.started
+			j.mu.Unlock()
+			rem := j.predRun - now.Sub(started)
+			if rem < 0 {
+				rem = 0
+			}
+			if first || rem < minRem {
+				minRem, first = rem, false
+			}
+		}
+	}
+	var shed []*Job
+	var reasons []string
+	for _, j := range s.queue {
+		if j.canceled.Load() {
+			continue // resolved as Canceled at the head, not shed
+		}
+		switch {
+		case !j.spec.Deadline.IsZero() && !j.spec.Deadline.After(now):
+			shed = append(shed, j)
+			reasons = append(reasons, ShedDeadlineExpired)
+		case allBusy && minRem > 0 && !j.spec.Deadline.IsZero() && now.Add(minRem).After(j.spec.Deadline):
+			shed = append(shed, j)
+			reasons = append(reasons, ShedDeadlineInfeasible)
+		case lvl >= BrownoutShedSpill && j.spill:
+			shed = append(shed, j)
+			reasons = append(reasons, ShedBrownoutSpill)
+		}
+	}
+	for i, j := range shed {
+		if !s.removeQueuedLocked(j) {
+			continue
+		}
+		var wait time.Duration
+		if reasons[i] == ShedDeadlineInfeasible {
+			wait = minRem
+		}
+		s.shedLocked(j, reasons[i], wait)
+	}
+}
+
+// evalBrownoutLocked feeds the controller its signals: the live age of
+// the queue head (the sharpest leading indicator — it grows the moment
+// dispatch stalls, before any job completes) and whether the queue has
+// drained (so the smoothed signal can decay after a storm).
+func (s *Scheduler) evalBrownoutLocked(now time.Time) {
+	var headAge time.Duration
+	if head := s.queue.peek(); head != nil {
+		headAge = now.Sub(head.enqueued)
+	}
+	s.brown.eval(now, headAge, len(s.queue) == 0)
 }
 
 // refairLocked re-solves Equations 1-5 for the current concurrency level
@@ -856,8 +1160,12 @@ func (s *Scheduler) runStaged(j *Job, lease *Lease) {
 			OnDecision:   s.rates.observe,
 		}
 	}
+	runStart := time.Now()
 	_, err := mlmsort.RunRealResilient(j.runCtx, j.spec.Algorithm, j.spec.Data, per, j.megachunk, opts)
 	lease.Release()
+	if err == nil {
+		s.observeDrift(driftStaged, time.Since(runStart), j.predRaw)
+	}
 
 	st := Done
 	switch {
@@ -924,7 +1232,11 @@ func (s *Scheduler) runSpill(j *Job, lease *Lease) {
 				OnDecision:   s.rates.observe,
 			}
 		}
+		runStart := time.Now()
 		runs, _, err = mlmsort.SpillSorted(j.runCtx, j.spec.Algorithm, j.spec.Data, per, j.megachunk, opts)
+		if err == nil {
+			s.observeDrift(driftSpill, time.Since(runStart), j.predRaw)
+		}
 	}
 	lease.Release()
 	if s.cfg.Resilience != nil {
@@ -1042,7 +1354,17 @@ func (s *Scheduler) runBatch(batch []*Job, lease *Lease) {
 	if s.cfg.Wrap != nil {
 		stages = s.cfg.Wrap(stages)
 	}
+	passStart := time.Now()
 	err := exec.RunContext(s.rootCtx, stages, s.cfg.Buffers)
+	if err == nil {
+		// One pass served the whole batch; each rider's share of the pass
+		// is its effective service time — summed over the batch that keeps
+		// the backlog price equal to the real drain cost of the pass.
+		share := time.Since(passStart) / time.Duration(len(batch))
+		for _, j := range batch {
+			s.observeDrift(driftBatch, share, j.predRaw)
+		}
+	}
 	if pooledScratch {
 		// With a chunk timeout, a failed run may have abandoned a compute
 		// attempt whose goroutine is still inside SortAdaptive writing this
@@ -1136,7 +1458,7 @@ func (s *Scheduler) cancelJob(j *Job) {
 		return
 	}
 	j.canceled.Store(true)
-	if j.heapIdx >= 0 && s.queue.remove(j) {
+	if j.heapIdx >= 0 && s.removeQueuedLocked(j) {
 		s.finishLocked(j, Canceled, ErrCanceled)
 		s.mu.Unlock()
 		return
@@ -1242,6 +1564,84 @@ func (r *rateEstimator) params() model.Params {
 	return r.base
 }
 
+// Job classes for drift tracking: each class runs a different pipeline
+// shape, so the model misses each by a different factor.
+const (
+	driftBatch = iota
+	driftStaged
+	driftSpill
+	driftClasses
+)
+
+// driftClassNames are the class label values of sched_model_drift.
+var driftClassNames = [driftClasses]string{"batch", "staged", "spill"}
+
+// driftEstimator tracks, per job class, how far the Eq. 1-5 service
+// estimate misses reality on this machine: an EWMA of the
+// measured/predicted run-time ratio, seeded at 1. The admission
+// estimator multiplies its raw model estimate by the class factor, so
+// backlog pricing and predicted-late rejections track the machine even
+// for classes the autotuner never probes (batch passes make no autotune
+// decisions at all). Factors are clamped so one pathological sample
+// cannot collapse or explode admission.
+type driftEstimator struct {
+	mu     sync.Mutex
+	factor [driftClasses]float64
+}
+
+func newDriftEstimator() *driftEstimator {
+	d := &driftEstimator{}
+	for i := range d.factor {
+		d.factor[i] = 1
+	}
+	return d
+}
+
+const (
+	driftAlpha     = 0.3
+	driftFactorMin = 1.0 / 16
+	driftFactorMax = 256
+)
+
+// observe folds one measured-vs-raw-predicted sample into the class
+// factor, returning the updated factor. Degenerate samples (either side
+// non-positive) are ignored.
+func (d *driftEstimator) observe(class int, measured, predictedRaw time.Duration) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if measured > 0 && predictedRaw > 0 {
+		ratio := float64(measured) / float64(predictedRaw)
+		f := (1-driftAlpha)*d.factor[class] + driftAlpha*ratio
+		if f < driftFactorMin {
+			f = driftFactorMin
+		}
+		if f > driftFactorMax {
+			f = driftFactorMax
+		}
+		d.factor[class] = f
+	}
+	return d.factor[class]
+}
+
+// factorFor reports the current correction factor for a class.
+func (d *driftEstimator) factorFor(class int) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.factor[class]
+}
+
+// driftClass maps an admission plan to its drift class.
+func driftClass(p plan) int {
+	switch {
+	case p.spill:
+		return driftSpill
+	case p.batchable:
+		return driftBatch
+	default:
+		return driftStaged
+	}
+}
+
 // schedMetrics is the sched_* metric family set. With a nil registry a
 // private one is used so the hot paths stay branch-free.
 type schedMetrics struct {
@@ -1251,7 +1651,9 @@ type schedMetrics struct {
 	running     *telemetry.Gauge
 	fairShare   *telemetry.Gauge
 	rejected    map[string]*telemetry.Counter
+	shedByWhy   map[string]*telemetry.Counter
 	done        map[State]*telemetry.Counter
+	drift       map[string]*telemetry.Gauge
 	batches     *telemetry.Counter
 	batchedJobs *telemetry.Counter
 	latency     *telemetry.Histogram
@@ -1280,7 +1682,9 @@ func newSchedMetrics(reg *telemetry.Registry) *schedMetrics {
 		running:     reg.Gauge("sched_jobs_running", "Jobs currently running.", nil),
 		fairShare:   reg.Gauge("sched_fair_share_threads", "Per-job thread share at current staged concurrency.", nil),
 		rejected:    make(map[string]*telemetry.Counter),
+		shedByWhy:   make(map[string]*telemetry.Counter),
 		done:        make(map[State]*telemetry.Counter),
+		drift:       make(map[string]*telemetry.Gauge),
 		batches:     reg.Counter("sched_batches_total", "Batch pipeline passes launched.", nil),
 		batchedJobs: reg.Counter("sched_batched_jobs_total", "Jobs that rode a shared batch pass.", nil),
 		latency: reg.Histogram("sched_job_latency_seconds", "Submit-to-terminal job latency.",
@@ -1293,6 +1697,13 @@ func newSchedMetrics(reg *telemetry.Registry) *schedMetrics {
 		spillRuns:         reg.Counter("sched_spill_runs_total", "Run files created by spill-class jobs.", nil),
 		spillBytesWritten: reg.Counter("sched_spill_bytes_written_total", "Bytes written to spill run files.", nil),
 		spillBytesRead:    reg.Counter("sched_spill_bytes_read_total", "Bytes read back from spill run files by deferred merges.", nil),
+	}
+	// Pre-register the canonical shed reasons at zero so the family is
+	// scrapable (and assertable by smoke checks) before the first
+	// eviction; rarer reasons still register lazily.
+	for _, reason := range []string{ShedDeadlineExpired, ShedDeadlineInfeasible} {
+		m.shedByWhy[reason] = reg.Counter("sched_shed_total", "Admitted jobs evicted by overload control.",
+			telemetry.Labels{"reason": reason})
 	}
 	return m
 }
@@ -1307,6 +1718,41 @@ func (m *schedMetrics) reject(reason string) {
 	}
 	m.mu.Unlock()
 	c.Add(1)
+}
+
+func (m *schedMetrics) shed(reason string) {
+	m.mu.Lock()
+	c, ok := m.shedByWhy[reason]
+	if !ok {
+		c = m.reg.Counter("sched_shed_total", "Admitted jobs evicted by overload control.",
+			telemetry.Labels{"reason": reason})
+		m.shedByWhy[reason] = c
+	}
+	m.mu.Unlock()
+	c.Add(1)
+}
+
+func (m *schedMetrics) driftFactor(class string, f float64) {
+	m.mu.Lock()
+	g, ok := m.drift[class]
+	if !ok {
+		g = m.reg.Gauge("sched_model_drift",
+			"EWMA of measured/predicted service time, the admission estimator's machine correction.",
+			telemetry.Labels{"class": class})
+		m.drift[class] = g
+	}
+	m.mu.Unlock()
+	g.Set(f)
+}
+
+func (m *schedMetrics) shedTotals() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.shedByWhy))
+	for reason, c := range m.shedByWhy {
+		out[reason] = c.Value()
+	}
+	return out
 }
 
 func (m *schedMetrics) completed(st State) {

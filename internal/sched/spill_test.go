@@ -11,10 +11,30 @@ import (
 
 	"knlmlm/internal/exec"
 	"knlmlm/internal/fault"
+	"knlmlm/internal/spill"
 	"knlmlm/internal/telemetry"
 	"knlmlm/internal/units"
 	"knlmlm/internal/workload"
 )
+
+// spillRootEntries lists the scheduler's spill root minus its own
+// bookkeeping (the owner liveness marker): what remains is run stores,
+// which the emptiness assertions are about.
+func spillRootEntries(t *testing.T, s *Scheduler) []string {
+	t.Helper()
+	ents, err := os.ReadDir(s.spillRoot)
+	if err != nil {
+		t.Fatalf("read spill root: %v", err)
+	}
+	var names []string
+	for _, e := range ents {
+		if e.Name() == spill.OwnerMarkerName {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	return names
+}
 
 // spillTestSeed returns the deterministic default seed, overridable with
 // SCHED_SPILL_TEST_SEED to replay a reported failure, and arranges for
@@ -120,12 +140,8 @@ func TestSpillJobStreamsIdentical(t *testing.T) {
 	if got := s.DiskBudget().Leased(); got != 0 {
 		t.Fatalf("disk leased %v after stream, want 0", got)
 	}
-	ents, err := os.ReadDir(s.spillRoot)
-	if err != nil {
-		t.Fatalf("read spill root: %v", err)
-	}
-	if len(ents) != 0 {
-		t.Fatalf("spill root still holds %d entries after stream", len(ents))
+	if ents := spillRootEntries(t, s); len(ents) != 0 {
+		t.Fatalf("spill root still holds %d entries after stream: %v", len(ents), ents)
 	}
 	if v := reg.Counter("sched_spill_jobs_total", "", nil).Value(); v != 1 {
 		t.Fatalf("sched_spill_jobs_total = %d, want 1", v)
@@ -199,12 +215,8 @@ func TestSpillCancelReleasesDisk(t *testing.T) {
 	if got := s.DiskBudget().Leased(); got != 0 {
 		t.Fatalf("disk leased %v after cancel, want 0", got)
 	}
-	ents, err := os.ReadDir(s.spillRoot)
-	if err != nil {
-		t.Fatalf("read spill root: %v", err)
-	}
-	if len(ents) != 0 {
-		t.Fatalf("spill root holds %d entries after cancel", len(ents))
+	if ents := spillRootEntries(t, s); len(ents) != 0 {
+		t.Fatalf("spill root holds %d entries after cancel: %v", len(ents), ents)
 	}
 }
 
@@ -228,9 +240,8 @@ func TestSpillSinkErrorReleasesDisk(t *testing.T) {
 	if got := s.DiskBudget().Leased(); got != 0 {
 		t.Fatalf("disk leased %v after aborted stream, want 0", got)
 	}
-	ents, _ := os.ReadDir(s.spillRoot)
-	if len(ents) != 0 {
-		t.Fatalf("spill root holds %d entries after aborted stream", len(ents))
+	if ents := spillRootEntries(t, s); len(ents) != 0 {
+		t.Fatalf("spill root holds %d entries after aborted stream: %v", len(ents), ents)
 	}
 }
 

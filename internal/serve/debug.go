@@ -101,6 +101,16 @@ type overloadBody struct {
 		DiskBudgetBytes int64 `json:"disk_budget_bytes,omitempty"`
 		Draining        bool  `json:"draining,omitempty"`
 	} `json:"sched"`
+	// Brownout is the overload controller's live state: degradation
+	// level, the smoothed queue-delay signal, the model-predicted start
+	// delay a job admitted now would see, and what has been shed so far.
+	Brownout struct {
+		Level            int              `json:"level"`
+		Name             string           `json:"name"`
+		QueueDelayEWMAMS float64          `json:"queue_delay_ewma_ms"`
+		PredictedStartMS float64          `json:"predicted_start_ms"`
+		Shed             map[string]int64 `json:"shed,omitempty"`
+	} `json:"brownout"`
 }
 
 func (s *Server) handleOverload(w http.ResponseWriter, _ *http.Request) {
@@ -115,5 +125,10 @@ func (s *Server) handleOverload(w http.ResponseWriter, _ *http.Request) {
 	body.Sched.DiskLeasedBytes = int64(snap.DiskLeasedBytes)
 	body.Sched.DiskBudgetBytes = int64(snap.DiskBudgetBytes)
 	body.Sched.Draining = snap.Draining
+	body.Brownout.Level = int(snap.Brownout)
+	body.Brownout.Name = snap.Brownout.String()
+	body.Brownout.QueueDelayEWMAMS = float64(snap.QueueDelayEWMA.Nanoseconds()) / 1e6
+	body.Brownout.PredictedStartMS = float64(snap.PredictedStart.Nanoseconds()) / 1e6
+	body.Brownout.Shed = s.sched.ShedTotals()
 	writeJSON(w, http.StatusOK, body)
 }

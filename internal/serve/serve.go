@@ -23,6 +23,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -46,6 +47,14 @@ type Config struct {
 	// ResultChunkElems is the streaming granularity of result downloads
 	// (elements per write/flush). Zero selects 8192.
 	ResultChunkElems int
+	// DecodeConcurrency bounds how many submit bodies decode at once.
+	// Parsing a large key array costs about as much CPU as sorting it, so
+	// unbounded concurrent decodes are an unmodeled second queue in front
+	// of the scheduler: under overload they starve the very pipelines the
+	// admission model prices. A submit waits for a decode slot — up to its
+	// X-Deadline-Ms when it carries one (then 429 "ingest-busy"),
+	// indefinitely otherwise. Zero selects max(2, GOMAXPROCS).
+	DecodeConcurrency int
 	// Logger, when non-nil, receives structured request-level events
 	// (submissions accepted/rejected) with job and tenant attributes.
 	Logger *slog.Logger
@@ -53,12 +62,14 @@ type Config struct {
 
 // Server is the HTTP front end. It implements http.Handler.
 type Server struct {
-	cfg      Config
-	sched    *sched.Scheduler
-	reg      *telemetry.Registry
-	mux      *http.ServeMux
-	draining atomic.Bool
-	logger   *slog.Logger
+	cfg         Config
+	sched       *sched.Scheduler
+	reg         *telemetry.Registry
+	mux         *http.ServeMux
+	draining    atomic.Bool
+	logger      *slog.Logger
+	gate        chan struct{}
+	gateWaiters atomic.Int64
 
 	requests *telemetry.Counter
 	inflight *telemetry.Gauge
@@ -76,6 +87,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ResultChunkElems <= 0 {
 		cfg.ResultChunkElems = 8192
 	}
+	if cfg.DecodeConcurrency <= 0 {
+		cfg.DecodeConcurrency = runtime.GOMAXPROCS(0)
+		if cfg.DecodeConcurrency < 2 {
+			cfg.DecodeConcurrency = 2
+		}
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = telemetry.NewRegistry()
@@ -85,6 +102,7 @@ func New(cfg Config) (*Server, error) {
 		sched: cfg.Scheduler,
 		reg:   reg,
 		mux:   http.NewServeMux(),
+		gate:  make(chan struct{}, cfg.DecodeConcurrency),
 		requests: reg.Counter("serve_requests_total",
 			"HTTP requests accepted by the sort service.", nil),
 		inflight: reg.Gauge("serve_requests_inflight",
@@ -155,13 +173,17 @@ type jobStatus struct {
 	LeaseBytes int64  `json:"lease_bytes,omitempty"`
 	// Spilled marks a spill-class job: its result is produced by a
 	// consume-once streaming merge at ResultURL.
-	Spilled        bool   `json:"spilled,omitempty"`
-	DiskLeaseBytes int64  `json:"disk_lease_bytes,omitempty"`
-	Error          string `json:"error,omitempty"`
-	ResultURL      string `json:"result_url,omitempty"`
-	Enqueued       string `json:"enqueued,omitempty"`
-	Started        string `json:"started,omitempty"`
-	Finished       string `json:"finished,omitempty"`
+	Spilled        bool  `json:"spilled,omitempty"`
+	DiskLeaseBytes int64 `json:"disk_lease_bytes,omitempty"`
+	// Shed marks a job the scheduler itself evicted under overload
+	// control (deadline infeasible, brownout) — distinct from a client
+	// cancel and safe to retry later.
+	Shed      bool   `json:"shed,omitempty"`
+	Error     string `json:"error,omitempty"`
+	ResultURL string `json:"result_url,omitempty"`
+	Enqueued  string `json:"enqueued,omitempty"`
+	Started   string `json:"started,omitempty"`
+	Finished  string `json:"finished,omitempty"`
 }
 
 // errorBody is the wire form of every non-2xx response.
@@ -169,6 +191,9 @@ type errorBody struct {
 	Error        string `json:"error"`
 	Code         string `json:"code"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	// PredictedWaitMS, on predicted-late overload rejections, is the
+	// model-predicted start delay that sank the deadline.
+	PredictedWaitMS int64 `json:"predicted_wait_ms,omitempty"`
 }
 
 func statusOf(j *sched.Job) jobStatus {
@@ -189,6 +214,7 @@ func statusOf(j *sched.Job) jobStatus {
 	}
 	if err := j.Err(); err != nil {
 		st.Error = err.Error()
+		st.Shed = errors.Is(err, sched.ErrShed)
 	}
 	if j.State() == sched.Done {
 		st.ResultURL = "/v1/jobs/" + j.ID() + "/result"
@@ -220,15 +246,19 @@ func writeSchedError(w http.ResponseWriter, err error) {
 	var oe *sched.OverloadError
 	switch {
 	case errors.As(err, &oe):
-		secs := int64(oe.RetryAfter / time.Second)
+		// Retry-After is whole seconds on the wire (RFC 9110); round UP so
+		// a sub-second hint never renders as "0" and invites a hot retry
+		// loop. The JSON body keeps the millisecond-precision hint.
+		secs := int64((oe.RetryAfter + time.Second - 1) / time.Second)
 		if secs < 1 {
 			secs = 1
 		}
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{
-			Error:        err.Error(),
-			Code:         "overloaded-" + oe.Reason,
-			RetryAfterMS: oe.RetryAfter.Milliseconds(),
+			Error:           err.Error(),
+			Code:            "overloaded-" + oe.Reason,
+			RetryAfterMS:    oe.RetryAfter.Milliseconds(),
+			PredictedWaitMS: oe.PredictedWait.Milliseconds(),
 		})
 	case errors.Is(err, sched.ErrTooLarge):
 		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
@@ -251,6 +281,25 @@ func writeSchedError(w http.ResponseWriter, err error) {
 	}
 }
 
+// classifySubmitErr reclassifies a deadline expiry on a relative-deadline
+// request. The wire deadline is deadline_ms relative to decode time, so
+// Submit can only see it already expired when admission latency (decode
+// backlog, scheduler lock contention) ate the whole budget — that is
+// overload, not a malformed request: a retry restarts the relative
+// window and may well succeed. The Retry-After hint is the deadline
+// budget itself — by construction the server currently needs longer than
+// that to admit anything. Absolute expiry with no wire deadline keeps
+// the non-retryable 400 mapping.
+func classifySubmitErr(err error, deadlineMS int64) error {
+	if deadlineMS > 0 && errors.Is(err, sched.ErrDeadlineExpired) {
+		return &sched.OverloadError{
+			Reason:     "admission-latency",
+			RetryAfter: time.Duration(deadlineMS) * time.Millisecond,
+		}
+	}
+	return err
+}
+
 func parseAlgorithm(name string) (mlmsort.Algorithm, error) {
 	switch name {
 	case "", "MLM-sort":
@@ -262,12 +311,90 @@ func parseAlgorithm(name string) (mlmsort.Algorithm, error) {
 	}
 }
 
+// acquireGate takes a decode slot for a submit. A request carrying a
+// relative deadline waits at most that long and is answered with a
+// retryable 429 "ingest-busy" on timeout — or instantly when the ingest
+// line is already several gate-widths deep, because joining a hopeless
+// line just parks a goroutine for a deadline's worth of nothing (the
+// thundering-herd tax under deep overload). One without a deadline waits
+// until a slot frees or the client goes away. Reports whether the slot
+// was acquired (false means the response, if any, was already written).
+func (s *Server) acquireGate(r *http.Request, w http.ResponseWriter, hdrDeadline time.Duration) bool {
+	select {
+	case s.gate <- struct{}{}:
+		return true
+	default:
+	}
+	if hdrDeadline > 0 {
+		if s.gateWaiters.Load() >= int64(4*cap(s.gate)) {
+			writeSchedError(w, &sched.OverloadError{Reason: "ingest-busy", RetryAfter: hdrDeadline})
+			return false
+		}
+		s.gateWaiters.Add(1)
+		defer s.gateWaiters.Add(-1)
+		t := time.NewTimer(hdrDeadline)
+		defer t.Stop()
+		select {
+		case s.gate <- struct{}{}:
+			return true
+		case <-t.C:
+			writeSchedError(w, &sched.OverloadError{Reason: "ingest-busy", RetryAfter: hdrDeadline})
+			return false
+		case <-r.Context().Done():
+			return false
+		}
+	}
+	select {
+	case s.gate <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		return false
+	}
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// The trace is born at the HTTP edge, before the body is read, so the
 	// admit phase covers decode + admission — the request-scoped handle
 	// every lower layer records into.
 	tr := telemetry.NewJobTrace()
 	tr.Event("http-receive")
+	// Pre-decode shedding: a client that carries its start deadline in the
+	// X-Deadline-Ms header lets the model refuse a doomed request before
+	// its body is parsed. Decoding a large key array costs about as much
+	// CPU as sorting it, so under deep overload a server that decodes
+	// before rejecting spends its capacity on requests it then refuses —
+	// goodput collapses exactly when backpressure matters most. The body's
+	// deadline_ms (checked after decode) stays authoritative.
+	var hdrDeadline time.Duration
+	if ms, err := strconv.ParseInt(r.Header.Get("X-Deadline-Ms"), 10, 64); err == nil && ms > 0 {
+		hdrDeadline = time.Duration(ms) * time.Millisecond
+		if err := s.sched.PreAdmit(hdrDeadline); err != nil {
+			writeSchedError(w, err)
+			return
+		}
+	}
+	// Decode gate: bounded concurrent body parsing. Waiting costs nothing
+	// but time; a deadlined request only waits as long as its own deadline
+	// budget before taking a backpressure answer.
+	if !s.acquireGate(r, w, hdrDeadline) {
+		return
+	}
+	gateHeld := true
+	releaseGate := func() {
+		if gateHeld {
+			gateHeld = false
+			<-s.gate
+		}
+	}
+	defer releaseGate()
+	if hdrDeadline > 0 {
+		// Re-check with the slot held: the backlog may have grown while
+		// this request waited in the ingest line.
+		if err := s.sched.PreAdmit(hdrDeadline); err != nil {
+			writeSchedError(w, err)
+			return
+		}
+	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req sortRequest
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -289,6 +416,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr.EventDetail("decoded", strconv.Itoa(len(req.Keys))+" keys")
+	// The slot covers parsing only: a Wait-mode handler lingers for the
+	// whole sort, and holding ingest capacity across it would let a few
+	// slow jobs stall the front door.
+	releaseGate()
 	spec := sched.JobSpec{
 		Data:         req.Keys,
 		Priority:     req.Priority,
@@ -302,7 +433,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.sched.SubmitCtx(telemetry.WithTrace(r.Context(), tr), spec)
 	if err != nil {
-		writeSchedError(w, err)
+		writeSchedError(w, classifySubmitErr(err, req.DeadlineMS))
 		return
 	}
 	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "job accepted",
@@ -497,19 +628,30 @@ type healthBody struct {
 	// Disk-tier ledger state; zero when the spill class is disabled.
 	DiskLeasedBytes int64 `json:"disk_leased_bytes,omitempty"`
 	DiskBudgetBytes int64 `json:"disk_budget_bytes,omitempty"`
+	// Brownout is the scheduler's overload degradation state: the level
+	// name ("normal", "shed-spill", "shrink-batch", "critical-only"),
+	// its numeric value, and the smoothed queue-delay signal driving it.
+	// The endpoint stays 200 while browned out — the service is degraded
+	// on purpose, not unhealthy, and load balancers must keep routing.
+	Brownout         string  `json:"brownout"`
+	BrownoutLevel    int     `json:"brownout_level"`
+	QueueDelayEWMAMS float64 `json:"queue_delay_ewma_ms,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	snap := s.sched.Snapshot()
 	body := healthBody{
-		Status:          "ok",
-		Draining:        s.draining.Load() || snap.Draining,
-		Queued:          snap.Queued,
-		Running:         snap.Running,
-		LeasedBytes:     int64(snap.LeasedBytes),
-		BudgetBytes:     int64(snap.BudgetBytes),
-		DiskLeasedBytes: int64(snap.DiskLeasedBytes),
-		DiskBudgetBytes: int64(snap.DiskBudgetBytes),
+		Status:           "ok",
+		Draining:         s.draining.Load() || snap.Draining,
+		Queued:           snap.Queued,
+		Running:          snap.Running,
+		LeasedBytes:      int64(snap.LeasedBytes),
+		BudgetBytes:      int64(snap.BudgetBytes),
+		DiskLeasedBytes:  int64(snap.DiskLeasedBytes),
+		DiskBudgetBytes:  int64(snap.DiskBudgetBytes),
+		Brownout:         snap.Brownout.String(),
+		BrownoutLevel:    int(snap.Brownout),
+		QueueDelayEWMAMS: float64(snap.QueueDelayEWMA.Nanoseconds()) / 1e6,
 	}
 	code := http.StatusOK
 	if body.Draining {

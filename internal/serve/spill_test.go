@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"knlmlm/internal/sched"
+	"knlmlm/internal/spill"
 	"knlmlm/internal/units"
 	"knlmlm/internal/workload"
 )
@@ -27,7 +28,9 @@ func spillMutate(dir string) func(*sched.Config) {
 }
 
 // runFilesUnder counts regular files anywhere under dir — live spill run
-// files show up here, an empty tree means every store was reclaimed.
+// files show up here, an empty tree means every store was reclaimed. The
+// scheduler's crash-recovery owner marker lives for the whole process and
+// is not spill payload, so it is excluded.
 func runFilesUnder(t *testing.T, dir string) int {
 	t.Helper()
 	n := 0
@@ -37,7 +40,7 @@ func runFilesUnder(t *testing.T, dir string) int {
 			// that is the cleanup we are hoping to observe, not an error.
 			return nil
 		}
-		if !d.IsDir() {
+		if !d.IsDir() && d.Name() != spill.OwnerMarkerName {
 			n++
 		}
 		return nil

@@ -1,0 +1,241 @@
+// Crash-safe spill recovery. A Store journals every run-file lifecycle
+// step into an append-only MANIFEST inside its directory, and a
+// Store-owning process marks its spill root with an owner.pid file. A
+// process that crashes mid-spill leaves both behind; the next process to
+// start against the same parent directory scans for roots whose owner is
+// dead and reclaims their run files — otherwise the orphaned bytes pin
+// real disk capacity that no live budget ledger accounts for, forever.
+//
+// The journal is advisory: the run files themselves are the ground truth
+// for how many bytes recovery frees (a crash can land between a write
+// and its journal line). The manifest's job is attribution — telling a
+// recovery report how many of the orphaned files were sealed, readable
+// runs versus half-written wreckage — and making the directory
+// self-describing for a human poking at a crashed machine.
+package spill
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+const (
+	// ManifestName is the append-only run-lifecycle journal each Store
+	// keeps inside its directory.
+	ManifestName = "MANIFEST"
+	// OwnerMarkerName is the liveness marker a Store-owning process
+	// writes into its spill root: the owning PID, one line.
+	OwnerMarkerName = "owner.pid"
+	// DefaultOrphanAge is the age below which an unmarked spill directory
+	// is presumed to belong to a still-starting process and left alone.
+	DefaultOrphanAge = 15 * time.Minute
+)
+
+// journal appends one line to the store's manifest. Best-effort by
+// design: a failed journal write must never fail the spill itself.
+func (s *Store) journal(format string, args ...any) {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	if s.manifest == nil {
+		return
+	}
+	fmt.Fprintf(s.manifest, format+"\n", args...)
+}
+
+// RunRecord is one run's state reconstructed from a manifest.
+type RunRecord struct {
+	ID     int
+	Sealed bool
+	// Elems/Bytes are the sealed sizes (zero for unsealed runs).
+	Elems, Bytes int64
+}
+
+// ReadManifest reconstructs per-run state from a store directory's
+// manifest journal: latest entry per run wins, removed runs drop out.
+// A missing manifest yields an empty map, not an error; malformed lines
+// (torn final write of a crashed process) are skipped.
+func ReadManifest(dir string) (map[int]*RunRecord, error) {
+	f, err := os.Open(filepath.Join(dir, ManifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[int]*RunRecord{}, nil
+		}
+		return nil, fmt.Errorf("spill: open manifest: %w", err)
+	}
+	defer f.Close()
+	runs := map[int]*RunRecord{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 {
+			continue
+		}
+		id, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		switch fields[0] {
+		case "create":
+			runs[id] = &RunRecord{ID: id}
+		case "seal":
+			if len(fields) < 4 {
+				continue
+			}
+			elems, err1 := strconv.ParseInt(fields[2], 10, 64)
+			bytes, err2 := strconv.ParseInt(fields[3], 10, 64)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			runs[id] = &RunRecord{ID: id, Sealed: true, Elems: elems, Bytes: bytes}
+		case "remove":
+			delete(runs, id)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return runs, fmt.Errorf("spill: read manifest: %w", err)
+	}
+	return runs, nil
+}
+
+// WriteOwnerMarker stamps dir as owned by the calling process, so a
+// later RecoverOrphans scan can tell a live owner from a dead one.
+func WriteOwnerMarker(dir string) error {
+	return os.WriteFile(filepath.Join(dir, OwnerMarkerName),
+		[]byte(strconv.Itoa(os.Getpid())+"\n"), 0o644)
+}
+
+// ownerState reports whether dir carries an owner marker and, if so,
+// whether that process is still alive.
+func ownerState(dir string) (marked, alive bool) {
+	b, err := os.ReadFile(filepath.Join(dir, OwnerMarkerName))
+	if err != nil {
+		return false, false
+	}
+	pid, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil || pid <= 0 {
+		// A malformed or non-positive pid can never name a live process —
+		// and must never reach kill(2), where 0/-1 mean process groups.
+		return true, false
+	}
+	// Signal 0 probes existence without delivering anything. EPERM means
+	// the process exists but belongs to someone else: alive.
+	err = syscall.Kill(pid, 0)
+	return true, err == nil || err == syscall.EPERM
+}
+
+// OrphanReport summarizes one recovery scan.
+type OrphanReport struct {
+	// Dirs is the number of orphaned directories removed; Skipped the
+	// directories left alone (live owner, or unmarked but too fresh).
+	Dirs, Skipped int
+	// Runs and Bytes count the orphaned run files reclaimed and their
+	// on-disk bytes — the disk-budget capacity the crash had pinned.
+	Runs  int
+	Bytes int64
+	// SealedRuns is how many reclaimed runs their manifests record as
+	// sealed (complete); the rest were half-written at the crash.
+	SealedRuns int
+}
+
+// RecoverOrphans scans parent for spill directories abandoned by a dead
+// process and deletes them, reporting what was reclaimed. It considers
+// scheduler roots ("sched-spill-*", judged by their owner.pid marker)
+// and bare store directories ("spillruns-*" directly under parent, which
+// carry no marker and are age-gated). Directories owned by a live
+// process are never touched; unmarked directories younger than minAge
+// (<= 0 selects DefaultOrphanAge) are presumed mid-creation and left
+// alone. parent == "" selects the OS temp dir, matching where Stores
+// and schedulers place their directories by default.
+func RecoverOrphans(parent string, minAge time.Duration) (OrphanReport, error) {
+	if parent == "" {
+		parent = os.TempDir()
+	}
+	if minAge <= 0 {
+		minAge = DefaultOrphanAge
+	}
+	entries, err := os.ReadDir(parent)
+	if err != nil {
+		return OrphanReport{}, fmt.Errorf("spill: scan %s: %w", parent, err)
+	}
+	var rep OrphanReport
+	now := time.Now()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		isRoot := strings.HasPrefix(name, "sched-spill-")
+		isStore := strings.HasPrefix(name, "spillruns-")
+		if !isRoot && !isStore {
+			continue
+		}
+		dir := filepath.Join(parent, name)
+		marked, alive := ownerState(dir)
+		if alive {
+			rep.Skipped++
+			continue
+		}
+		if !marked {
+			info, err := e.Info()
+			if err != nil || now.Sub(info.ModTime()) < minAge {
+				rep.Skipped++
+				continue
+			}
+		}
+		runs, bytes, sealed := tallyRuns(dir)
+		if err := os.RemoveAll(dir); err != nil {
+			rep.Skipped++
+			continue
+		}
+		rep.Dirs++
+		rep.Runs += runs
+		rep.Bytes += bytes
+		rep.SealedRuns += sealed
+	}
+	return rep, nil
+}
+
+// tallyRuns walks a doomed directory tree counting run files, their
+// bytes, and how many of them their manifests record as sealed.
+func tallyRuns(dir string) (runs int, bytes int64, sealed int) {
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if !strings.HasPrefix(name, "run-") || !strings.HasSuffix(name, ".bin") {
+			return nil
+		}
+		runs++
+		if info, err := d.Info(); err == nil {
+			bytes += info.Size()
+		}
+		return nil
+	})
+	// Attribution pass: every directory with a manifest contributes its
+	// sealed-run count, capped by what is actually on disk.
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return nil
+		}
+		recs, err := ReadManifest(path)
+		if err != nil {
+			return nil
+		}
+		for _, r := range recs {
+			if r.Sealed {
+				if _, err := os.Stat(filepath.Join(path, fmt.Sprintf("run-%06d.bin", r.ID))); err == nil {
+					sealed++
+				}
+			}
+		}
+		return nil
+	})
+	return runs, bytes, sealed
+}

@@ -1,0 +1,249 @@
+package spill
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestManifestReconstruction(t *testing.T) {
+	s := mustStore(t, Config{})
+	writeRun(t, s, 1, []int64{3, 1, 2})
+	writeRun(t, s, 2, []int64{9, 8})
+	w, err := s.CreateRun(3) // created, never sealed: a crash mid-write
+	if err != nil {
+		t.Fatalf("CreateRun: %v", err)
+	}
+	if err := w.Append([]int64{5}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	s.RemoveRun(2)
+
+	recs, err := ReadManifest(s.Dir())
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2 (run 2 removed): %+v", len(recs), recs)
+	}
+	r1 := recs[1]
+	if r1 == nil || !r1.Sealed || r1.Elems != 3 || r1.Bytes != 24 {
+		t.Fatalf("run 1 record wrong: %+v", r1)
+	}
+	r3 := recs[3]
+	if r3 == nil || r3.Sealed {
+		t.Fatalf("run 3 should be recorded unsealed: %+v", r3)
+	}
+	_ = w.Close()
+}
+
+func TestManifestMissingAndTornLines(t *testing.T) {
+	dir := t.TempDir()
+	recs, err := ReadManifest(dir)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("missing manifest: recs=%v err=%v, want empty and nil", recs, err)
+	}
+	// Torn tail (crash mid-append) and garbage must be skipped, not fatal.
+	body := "create 1\nseal 1 10 80\ncreate 2\nnonsense line\nseal 2 5"
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = ReadManifest(dir)
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	if r := recs[1]; r == nil || !r.Sealed || r.Elems != 10 {
+		t.Fatalf("run 1: %+v", r)
+	}
+	if r := recs[2]; r == nil || r.Sealed {
+		t.Fatalf("torn seal must leave run 2 unsealed: %+v", r)
+	}
+}
+
+func TestStoreCloseIdempotent(t *testing.T) {
+	cfg := Config{Dir: t.TempDir()}
+	s, err := NewStore(cfg)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	writeRun(t, s, 1, []int64{1, 2, 3})
+	if err := s.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close must be a nil no-op, got %v", err)
+	}
+	if _, err := os.Stat(s.Dir()); !os.IsNotExist(err) {
+		t.Fatalf("store dir survives Close: %v", err)
+	}
+	if _, err := s.CreateRun(9); !errors.Is(err, ErrClosed) {
+		t.Fatalf("CreateRun after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseDuringActiveReadDefersRemoval(t *testing.T) {
+	s, err := NewStore(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	writeRun(t, s, 1, []int64{4, 5, 6})
+	r, err := s.OpenRun(1)
+	if err != nil {
+		t.Fatalf("OpenRun: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close with open reader: %v", err)
+	}
+	// The directory must outlive Close while the reader holds it open.
+	if _, err := os.Stat(s.Dir()); err != nil {
+		t.Fatalf("store dir removed under an open reader: %v", err)
+	}
+	// But the reader cannot keep consuming a store whose deletion is
+	// pending: Fill fails fast with the typed error.
+	var dst [4]int64
+	if _, err := r.Fill(dst[:]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Fill after Close: %v, want ErrClosed", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("reader Close: %v", err)
+	}
+	if _, err := os.Stat(s.Dir()); !os.IsNotExist(err) {
+		t.Fatalf("last reader Close did not remove the dir: %v", err)
+	}
+	// Closing the reader twice is as safe as closing the store twice.
+	if err := r.Close(); err != nil {
+		t.Fatalf("second reader Close: %v", err)
+	}
+}
+
+func TestRecoverOrphansJudgment(t *testing.T) {
+	parent := t.TempDir()
+
+	// A root owned by this (live) process must be skipped.
+	live := filepath.Join(parent, "sched-spill-live")
+	if err := os.Mkdir(live, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteOwnerMarker(live); err != nil {
+		t.Fatalf("WriteOwnerMarker: %v", err)
+	}
+
+	// A root marked with a dead owner is reclaimed regardless of age.
+	// pid 0 can never name a live process (and must never reach kill).
+	dead := filepath.Join(parent, "sched-spill-dead")
+	store := filepath.Join(dead, "spillruns-x")
+	if err := os.MkdirAll(store, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dead, OwnerMarkerName), []byte("0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(store, "run-000001.bin"), make([]byte, 80), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(store, "run-000002.bin"), make([]byte, 40), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(store, ManifestName),
+		[]byte("create 1\nseal 1 10 80\ncreate 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// An unmarked store directory younger than minAge is presumed
+	// mid-creation and skipped.
+	fresh := filepath.Join(parent, "spillruns-fresh")
+	if err := os.Mkdir(fresh, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(fresh, "run-000001.bin"), make([]byte, 8), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same directory past minAge is an orphan.
+	aged := filepath.Join(parent, "spillruns-aged")
+	if err := os.Mkdir(aged, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(aged, "run-000001.bin"), make([]byte, 16), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(aged, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unrelated directories are never considered.
+	other := filepath.Join(parent, "unrelated")
+	if err := os.Mkdir(other, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := RecoverOrphans(parent, 10*time.Minute)
+	if err != nil {
+		t.Fatalf("RecoverOrphans: %v", err)
+	}
+	if rep.Dirs != 2 {
+		t.Fatalf("Dirs = %d, want 2 (dead root + aged store): %+v", rep.Dirs, rep)
+	}
+	if rep.Skipped != 2 {
+		t.Fatalf("Skipped = %d, want 2 (live root + fresh store): %+v", rep.Skipped, rep)
+	}
+	if rep.Runs != 3 || rep.Bytes != 136 {
+		t.Fatalf("Runs/Bytes = %d/%d, want 3/136: %+v", rep.Runs, rep.Bytes, rep)
+	}
+	if rep.SealedRuns != 1 {
+		t.Fatalf("SealedRuns = %d, want 1 (only run 1 sealed): %+v", rep.SealedRuns, rep)
+	}
+	for _, dir := range []string{dead, aged} {
+		if _, err := os.Stat(dir); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived recovery", dir)
+		}
+	}
+	for _, dir := range []string{live, fresh, other} {
+		if _, err := os.Stat(dir); err != nil {
+			t.Fatalf("non-orphan %s was removed: %v", dir, err)
+		}
+	}
+
+	// A second scan finds nothing new to reclaim.
+	rep2, err := RecoverOrphans(parent, 10*time.Minute)
+	if err != nil {
+		t.Fatalf("second RecoverOrphans: %v", err)
+	}
+	if rep2.Dirs != 0 {
+		t.Fatalf("second scan reclaimed %d dirs, want 0", rep2.Dirs)
+	}
+}
+
+func TestReaderEOFAfterDrain(t *testing.T) {
+	// Regression guard for the refcount path: a reader drained to EOF and
+	// closed before Store.Close must not defer the removal.
+	s, err := NewStore(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	writeRun(t, s, 1, []int64{1})
+	r, err := s.OpenRun(1)
+	if err != nil {
+		t.Fatalf("OpenRun: %v", err)
+	}
+	var dst [2]int64
+	if n, err := r.Fill(dst[:]); n != 1 || err != nil {
+		t.Fatalf("Fill: n=%d err=%v", n, err)
+	}
+	if _, err := r.Fill(dst[:]); err != io.EOF {
+		t.Fatalf("Fill at end: %v, want io.EOF", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("reader Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := os.Stat(s.Dir()); !os.IsNotExist(err) {
+		t.Fatalf("dir survives Close with no open readers: %v", err)
+	}
+}

@@ -99,6 +99,17 @@ type Store struct {
 	closed    bool
 	footprint int64            // bytes charged to live runs
 	runs      map[int]*runMeta // live runs by id
+	// readers counts open RunReaders; removePending marks a Close that
+	// arrived while readers were active, deferring the directory removal
+	// to the last reader's Close so no reader ever races a RemoveAll.
+	readers       int
+	removePending bool
+
+	// jmu serializes appends to the manifest journal (see manifest.go);
+	// manifest is nil when the journal could not be created (the store
+	// works, it just leaves no crash-recovery breadcrumbs).
+	jmu      sync.Mutex
+	manifest *os.File
 
 	m storeMetrics
 }
@@ -122,6 +133,12 @@ func NewStore(cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("spill: create run dir: %w", err)
 	}
 	s := &Store{cfg: cfg, dir: dir, runs: map[int]*runMeta{}}
+	// The manifest journal is advisory (recovery breadcrumbs for a
+	// crashed owner); a store that cannot journal still stores.
+	if f, err := os.OpenFile(filepath.Join(dir, ManifestName),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err == nil {
+		s.manifest = f
+	}
 	s.m.init(cfg.Registry)
 	s.m.budget.Set(float64(cfg.MaxBytes))
 	return s, nil
@@ -213,6 +230,7 @@ func (s *Store) CreateRun(id int) (*RunWriter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("spill: create run %d: %w", id, err)
 	}
+	s.journal("create %d", id)
 	s.m.runsCreated.Add(1)
 	return &RunWriter{
 		s:   s,
@@ -235,6 +253,7 @@ func (s *Store) RemoveRun(id int) {
 	}
 	s.credit(r.bytes)
 	_ = os.Remove(r.path)
+	s.journal("remove %d", id)
 	s.m.runsDeleted.Add(1)
 }
 
@@ -254,6 +273,15 @@ func (s *Store) OpenRun(id int) (*RunReader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("spill: open run %d: %w", id, err)
 	}
+	s.mu.Lock()
+	if s.closed {
+		// Close won the race between the check above and the open.
+		s.mu.Unlock()
+		f.Close()
+		return nil, ErrClosed
+	}
+	s.readers++
+	s.mu.Unlock()
 	return &RunReader{
 		s:      s,
 		id:     id,
@@ -264,8 +292,19 @@ func (s *Store) OpenRun(id int) (*RunReader, error) {
 }
 
 // Close deletes every run file and the store's directory. Further store
-// operations fail with ErrClosed. Close is idempotent.
+// operations fail with ErrClosed, including Fill on already-open
+// readers (typed, fail-fast — a reader never observes files vanishing
+// under it). If readers are open when Close arrives, the directory
+// removal is deferred to the last reader's Close; Close itself returns
+// immediately. Close is idempotent: the second and later calls return
+// nil and do nothing.
 func (s *Store) Close() error {
+	s.jmu.Lock()
+	if s.manifest != nil {
+		s.manifest.Close()
+		s.manifest = nil
+	}
+	s.jmu.Unlock()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -277,8 +316,13 @@ func (s *Store) Close() error {
 	s.footprint = 0
 	s.m.liveRuns.Set(0)
 	s.m.footprint.Set(0)
+	defer s.m.runsDeleted.Add(int64(n))
+	if s.readers > 0 {
+		s.removePending = true
+		s.mu.Unlock()
+		return nil
+	}
 	s.mu.Unlock()
-	s.m.runsDeleted.Add(int64(n))
 	return os.RemoveAll(s.dir)
 }
 
@@ -397,6 +441,7 @@ func (w *RunWriter) Close() error {
 	w.s.runs[w.id] = &runMeta{path: f.Name(), elems: w.elems, bytes: w.bytes}
 	w.s.m.liveRuns.Set(float64(len(w.s.runs)))
 	w.s.mu.Unlock()
+	w.s.journal("seal %d %d %d", w.id, w.elems, w.bytes)
 	return nil
 }
 
@@ -421,6 +466,14 @@ func (r *RunReader) Fill(dst []int64) (int, error) {
 	}
 	if r.remain == 0 && r.have == r.pos {
 		return 0, io.EOF
+	}
+	r.s.mu.Lock()
+	closed := r.s.closed
+	r.s.mu.Unlock()
+	if closed {
+		// The store closed under this reader: fail fast with the typed
+		// error instead of half-reading a run whose deletion is pending.
+		return 0, ErrClosed
 	}
 	if r.s.cfg.Faults != nil && r.s.cfg.Faults.FailRead(r.id) {
 		r.s.m.readFaults.Add(1)
@@ -474,13 +527,25 @@ func (r *RunReader) refill() error {
 }
 
 // Close releases the reader's file handle. The run stays live; RemoveRun
-// (or Store.Close) deletes it.
+// (or Store.Close) deletes it. The last reader to close after a deferred
+// Store.Close performs the store's directory removal.
 func (r *RunReader) Close() error {
 	if r.f == nil {
 		return nil
 	}
 	err := r.f.Close()
 	r.f = nil
+	s := r.s
+	s.mu.Lock()
+	s.readers--
+	removeNow := s.removePending && s.readers == 0
+	if removeNow {
+		s.removePending = false
+	}
+	s.mu.Unlock()
+	if removeNow {
+		os.RemoveAll(s.dir)
+	}
 	return err
 }
 

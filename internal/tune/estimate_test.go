@@ -1,0 +1,72 @@
+package tune
+
+import (
+	"testing"
+
+	"knlmlm/internal/model"
+	"knlmlm/internal/units"
+)
+
+func TestEstimateServicePositiveAndMonotone(t *testing.T) {
+	p := model.PaperTable2()
+	small := EstimateService(p, 1<<20, 8, false, DiskRate{})
+	large := EstimateService(p, 64<<20, 8, false, DiskRate{})
+	if small.Run <= 0 {
+		t.Fatalf("1 MiB estimate not positive: %v", small)
+	}
+	if small.SpillWrite != 0 {
+		t.Fatalf("in-memory job charged spill write: %v", small)
+	}
+	if large.Run <= small.Run {
+		t.Fatalf("estimate not monotone in bytes: %v <= %v", large.Run, small.Run)
+	}
+	if small.Total() != small.Run {
+		t.Fatalf("Total %v != Run %v with no spill", small.Total(), small.Run)
+	}
+}
+
+func TestEstimateServiceSpillAddsWriteTime(t *testing.T) {
+	p := model.PaperTable2()
+	disk := DiskRate{Write: 1 << 20} // 1 MiB/s: 16 MiB ~ 16 s of writing
+	base := EstimateService(p, 16<<20, 8, false, disk)
+	spill := EstimateService(p, 16<<20, 8, true, disk)
+	if spill.Run != base.Run {
+		t.Fatalf("spill flag changed Run: %v != %v", spill.Run, base.Run)
+	}
+	if spill.SpillWrite <= 0 {
+		t.Fatalf("spill job with a measured disk rate has no write time: %v", spill)
+	}
+	if spill.Total() != spill.Run+spill.SpillWrite {
+		t.Fatalf("Total %v != Run+SpillWrite", spill.Total())
+	}
+	// No measured rate: the write term degrades to zero, never to a guess.
+	if got := EstimateService(p, 16<<20, 8, true, DiskRate{}); got.SpillWrite != 0 {
+		t.Fatalf("unmeasured disk rate produced a write estimate: %v", got)
+	}
+}
+
+func TestEstimateServiceDegenerateInputsAreZero(t *testing.T) {
+	p := model.PaperTable2()
+	if got := EstimateService(p, 0, 8, true, DiskRate{Write: 1 << 20}); got != (ServiceEstimate{}) {
+		t.Fatalf("zero bytes: %v, want zero estimate", got)
+	}
+	if got := EstimateService(model.Params{}, 1<<20, 8, false, DiskRate{}); got != (ServiceEstimate{}) {
+		t.Fatalf("unvalidatable params: %v, want zero estimate", got)
+	}
+	// A sub-minimum thread share is clamped to the model's floor of 3,
+	// not rejected: admission always gets some estimate.
+	if got := EstimateService(p, 1<<20, 1, false, DiskRate{}); got.Run <= 0 {
+		t.Fatalf("threads=1 should clamp to 3 and estimate: %v", got)
+	}
+}
+
+func TestEstimateServiceRespectsMeasuredRates(t *testing.T) {
+	fast := model.PaperTable2()
+	slow := fast
+	slow.SComp = units.BytesPerSec(float64(fast.SComp) / 8)
+	a := EstimateService(fast, 32<<20, 8, false, DiskRate{})
+	b := EstimateService(slow, 32<<20, 8, false, DiskRate{})
+	if b.Run <= a.Run {
+		t.Fatalf("slower measured compute rate did not raise the estimate: %v <= %v", b.Run, a.Run)
+	}
+}
