@@ -31,7 +31,14 @@
 // goodput knee to a phase — queue wait vs lease wait vs pipeline run —
 // rather than just reporting it.
 //
-// The sweep is written as JSON (default BENCH_PR7.json), the committed
+// -wire selects the request/result encoding: "json" (default), "binary"
+// (the application/x-mlm-keys frame stream of internal/wire — submits
+// carry frame-stream bodies with options on the query string, downloads
+// send Accept: application/x-mlm-keys), or "both", which runs the whole
+// sweep once per encoding and reports the per-mode results side by side
+// plus the binary-over-JSON download speedup.
+//
+// The sweep is written as JSON (default BENCH_PR8.json), the committed
 // artifact EXPERIMENTS.md documents.
 //
 // Examples:
@@ -40,6 +47,7 @@
 //	loadgen -url http://127.0.0.1:8080 -quick -out /dev/stdout
 //	loadgen -url http://127.0.0.1:8080 -rates 25,50 -spill-n 200000 -spill-jobs 5
 //	loadgen -url http://127.0.0.1:8080 -rates 50,100,200 -deadline-ms 2000 -retries 3
+//	loadgen -url http://127.0.0.1:8080 -rates 50 -spill-n 200000 -wire both
 package main
 
 import (
@@ -56,6 +64,9 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"knlmlm/internal/mem"
+	"knlmlm/internal/wire"
 )
 
 type config struct {
@@ -80,6 +91,9 @@ type config struct {
 	budget       int
 	cbTrips      int
 	cbCooldown   time.Duration
+	// wireMode selects the submit/download encoding: "json", "binary", or
+	// "both" (one full sweep per encoding).
+	wireMode string
 }
 
 // sortRequest mirrors internal/serve's POST /v1/sort body.
@@ -197,15 +211,32 @@ type phaseStat struct {
 	Share float64 `json:"share"`
 }
 
-// benchFile is the BENCH_PR6.json document.
+// modeSweep is one encoding's full sweep: the offered-load levels and
+// the optional spill phase, as measured with that wire format.
+type modeSweep struct {
+	Levels []levelResult `json:"levels"`
+	Spill  *spillResult  `json:"spill,omitempty"`
+}
+
+// benchFile is the BENCH_PR8.json document.
 type benchFile struct {
-	Bench     string        `json:"bench"`
-	Target    string        `json:"target"`
-	Seed      int64         `json:"seed"`
-	ElemRange [2]int        `json:"elem_range"`
-	Verified  bool          `json:"verified_sorted"`
-	Levels    []levelResult `json:"levels"`
-	Spill     *spillResult  `json:"spill,omitempty"`
+	Bench     string `json:"bench"`
+	Target    string `json:"target"`
+	Seed      int64  `json:"seed"`
+	ElemRange [2]int `json:"elem_range"`
+	Verified  bool   `json:"verified_sorted"`
+	// Wire is the encoding the sweep ran with: "json", "binary", or
+	// "both" (then Levels/Spill are empty and Modes carries the per-mode
+	// results).
+	Wire   string        `json:"wire"`
+	Levels []levelResult `json:"levels,omitempty"`
+	Spill  *spillResult  `json:"spill,omitempty"`
+	// Modes holds one full sweep per encoding when -wire=both.
+	Modes map[string]*modeSweep `json:"modes,omitempty"`
+	// DownloadSpeedup is the binary-over-JSON ratio of spill-phase
+	// download throughput when both modes measured one (-wire=both with
+	// -spill-n).
+	DownloadSpeedup float64 `json:"download_speedup_binary_over_json,omitempty"`
 	// Phases is the server-side per-phase breakdown scraped from
 	// job_phase_seconds at the end of the sweep (all levels and the spill
 	// phase combined — the histograms are cumulative).
@@ -226,7 +257,7 @@ func main() {
 	flag.IntVar(&cfg.nMin, "n-min", 1000, "minimum keys per job")
 	flag.IntVar(&cfg.nMax, "n-max", 50000, "maximum keys per job")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed")
-	flag.StringVar(&cfg.out, "out", "BENCH_PR7.json", "output JSON path")
+	flag.StringVar(&cfg.out, "out", "BENCH_PR8.json", "output JSON path")
 	flag.BoolVar(&cfg.verify, "verify", true, "download and verify completed results are sorted")
 	flag.IntVar(&cfg.verifySample, "verify-sample", 1, "verify every k-th completed job (1 = all; larger keeps the driver off the server's CPUs at deep overload)")
 	flag.IntVar(&cfg.spillN, "spill-n", 0, "keys per spill-phase job; must exceed the server's DDR budget (0 disables the spill phase)")
@@ -236,7 +267,15 @@ func main() {
 	flag.IntVar(&cfg.budget, "retry-budget", 200, "shared retry tokens per level; an exhausted budget turns retries into give-ups")
 	flag.IntVar(&cfg.cbTrips, "cb-threshold", 10, "consecutive 429/503 answers that open the circuit breaker (0 disables it)")
 	flag.DurationVar(&cfg.cbCooldown, "cb-cooldown", 500*time.Millisecond, "how long an open circuit breaker stays open")
+	flag.StringVar(&cfg.wireMode, "wire", "json", "submit/download encoding: json, binary, or both (one sweep per encoding)")
 	flag.Parse()
+
+	switch cfg.wireMode {
+	case "json", "binary", "both":
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: bad -wire %q (want json, binary, or both)\n", cfg.wireMode)
+		os.Exit(1)
+	}
 
 	if *quick {
 		ratesFlag = "20"
@@ -281,27 +320,35 @@ func run(cfg config) error {
 		Seed:      cfg.seed,
 		ElemRange: [2]int{cfg.nMin, cfg.nMax},
 		Verified:  cfg.verify,
+		Wire:      cfg.wireMode,
 	}
-	for _, rate := range cfg.rates {
-		before, _ := scrapeOverload(client, cfg.url)
-		lvl := runLevel(client, cfg, rate)
-		if after, err := scrapeOverload(client, cfg.url); err == nil {
-			lvl.Overload = after.delta(before)
+	modes := []string{cfg.wireMode}
+	if cfg.wireMode == "both" {
+		modes = []string{"json", "binary"}
+		doc.Modes = map[string]*modeSweep{}
+	}
+	for _, mode := range modes {
+		if cfg.wireMode == "both" {
+			fmt.Printf("== wire: %s ==\n", mode)
 		}
-		doc.Levels = append(doc.Levels, lvl)
-		fmt.Printf("rate %6.1f/s: %d submitted, %d ok, %d rejected, %d shed, %d failed, %d retries — goodput %.1f/s, p50 %.1fms p95 %.1fms p99 %.1fms, start-delay p99 %.1fms\n",
-			rate, lvl.Submitted, lvl.Completed, lvl.Rejected, lvl.Shed, lvl.Failed, lvl.Retries,
-			lvl.GoodputRPS, lvl.Latency.P50, lvl.Latency.P95, lvl.Latency.P99, lvl.StartDelay.P99)
-	}
-	if cfg.spillN > 0 {
-		sp, err := runSpillPhase(client, cfg)
+		sweep, err := runSweep(client, cfg, mode == "binary")
 		if err != nil {
 			return err
 		}
-		doc.Spill = sp
-		fmt.Printf("spill %d×%d: %d ok, %d failed — p50 %.1fms, sort %.1f MB/s, download %.1f MB/s, %d runs over %d jobs\n",
-			sp.Jobs, sp.Elems, sp.Completed, sp.Failed, sp.Latency.P50,
-			sp.SortMBps, sp.DownloadMBps, int(sp.SpillRuns), int(sp.SpillJobs))
+		if cfg.wireMode == "both" {
+			doc.Modes[mode] = sweep
+		} else {
+			doc.Levels = sweep.Levels
+			doc.Spill = sweep.Spill
+		}
+	}
+	if doc.Modes != nil {
+		jm, bm := doc.Modes["json"], doc.Modes["binary"]
+		if jm != nil && bm != nil && jm.Spill != nil && bm.Spill != nil && jm.Spill.DownloadMBps > 0 {
+			doc.DownloadSpeedup = bm.Spill.DownloadMBps / jm.Spill.DownloadMBps
+			fmt.Printf("download speedup binary/json: %.1fx (%.1f vs %.1f MB/s)\n",
+				doc.DownloadSpeedup, bm.Spill.DownloadMBps, jm.Spill.DownloadMBps)
+		}
 	}
 
 	phases, drift, err := scrapePhaseBreakdown(client, cfg.url)
@@ -325,11 +372,54 @@ func run(cfg config) error {
 	return nil
 }
 
+// runSweep drives the full measurement — every offered-load level plus
+// the optional spill phase — with one wire encoding.
+func runSweep(client *http.Client, cfg config, binary bool) (*modeSweep, error) {
+	sweep := &modeSweep{}
+	for _, rate := range cfg.rates {
+		before, _ := scrapeOverload(client, cfg.url)
+		lvl := runLevel(client, cfg, rate, binary)
+		if after, err := scrapeOverload(client, cfg.url); err == nil {
+			lvl.Overload = after.delta(before)
+		}
+		sweep.Levels = append(sweep.Levels, lvl)
+		fmt.Printf("rate %6.1f/s: %d submitted, %d ok, %d rejected, %d shed, %d failed, %d retries — goodput %.1f/s, p50 %.1fms p95 %.1fms p99 %.1fms, start-delay p99 %.1fms\n",
+			rate, lvl.Submitted, lvl.Completed, lvl.Rejected, lvl.Shed, lvl.Failed, lvl.Retries,
+			lvl.GoodputRPS, lvl.Latency.P50, lvl.Latency.P95, lvl.Latency.P99, lvl.StartDelay.P99)
+	}
+	if cfg.spillN > 0 {
+		sp, err := runSpillPhase(client, cfg, binary)
+		if err != nil {
+			return nil, err
+		}
+		sweep.Spill = sp
+		fmt.Printf("spill %d×%d: %d ok, %d failed — p50 %.1fms, sort %.1f MB/s, download %.1f MB/s, %d runs over %d jobs\n",
+			sp.Jobs, sp.Elems, sp.Completed, sp.Failed, sp.Latency.P50,
+			sp.SortMBps, sp.DownloadMBps, int(sp.SpillRuns), int(sp.SpillJobs))
+	}
+	return sweep, nil
+}
+
+// submitBody renders one job's submit request for the chosen encoding:
+// a JSON envelope, or the binary frame stream with the envelope options
+// (wait, deadline_ms) carried on the query string.
+func submitBody(keys []int64, deadlineMS int64, binary bool) (body []byte, contentType, query string) {
+	if !binary {
+		raw, _ := json.Marshal(sortRequest{Keys: keys, Wait: true, DeadlineMS: deadlineMS})
+		return raw, "application/json", ""
+	}
+	query = "?wait=1"
+	if deadlineMS > 0 {
+		query += "&deadline_ms=" + strconv.FormatInt(deadlineMS, 10)
+	}
+	return wire.Encode(nil, keys, 0), wire.ContentType, query
+}
+
 // runSpillPhase submits cfg.spillJobs over-DDR jobs one at a time (the
 // point is the three-level data path, not queueing), streams every result
 // back, verifies it, and annotates the measurements with the server's
 // spill telemetry.
-func runSpillPhase(client *http.Client, cfg config) (*spillResult, error) {
+func runSpillPhase(client *http.Client, cfg config, binary bool) (*spillResult, error) {
 	sp := &spillResult{Elems: cfg.spillN, Jobs: cfg.spillJobs}
 	rng := rand.New(rand.NewSource(cfg.seed + 1))
 	var latencies []float64
@@ -339,12 +429,9 @@ func runSpillPhase(client *http.Client, cfg config) (*spillResult, error) {
 		for k := range keys {
 			keys[k] = rng.Int63()
 		}
-		body, err := json.Marshal(sortRequest{Keys: keys, Wait: true})
-		if err != nil {
-			return nil, err
-		}
+		body, ct, query := submitBody(keys, 0, binary)
 		start := time.Now()
-		resp, err := client.Post(cfg.url+"/v1/sort", "application/json", bytes.NewReader(body))
+		resp, err := client.Post(cfg.url+"/v1/sort"+query, ct, bytes.NewReader(body))
 		if err != nil {
 			sp.Failed++
 			continue
@@ -360,7 +447,7 @@ func runSpillPhase(client *http.Client, cfg config) (*spillResult, error) {
 			return nil, fmt.Errorf("spill phase: %d-key job was not spilled — raise -spill-n past the server's DDR budget", cfg.spillN)
 		}
 		dlStart := time.Now()
-		bodyBytes, ok := streamVerify(client, cfg.url+st.ResultURL, cfg.spillN)
+		bodyBytes, ok := streamVerify(client, cfg.url+st.ResultURL, cfg.spillN, binary)
 		if !ok {
 			sp.Failed++
 			continue
@@ -390,10 +477,27 @@ func runSpillPhase(client *http.Client, cfg config) (*spillResult, error) {
 	return sp, nil
 }
 
-// streamVerify downloads a result, returning its body size and whether it
-// decoded to wantN sorted keys.
-func streamVerify(client *http.Client, url string, wantN int) (int64, bool) {
-	resp, err := client.Get(url)
+// verifyBufs recycles result-verification buffers across downloads. The
+// job's n is known before its result is fetched, so the destination is
+// sized up front and reused — without it every verified download grows a
+// fresh []int64 from nil, and at spill sizes that allocation churn makes
+// the driver the bottleneck it is trying to measure.
+var verifyBufs = mem.NewSlicePool()
+
+// streamVerify downloads a result, returning its body size and whether
+// it decoded to wantN sorted keys. With binary set it negotiates the
+// frame stream, checks the declared total against the job's known n
+// before reading any payload, and decodes into the pooled buffer's
+// memory directly.
+func streamVerify(client *http.Client, url string, wantN int, binary bool) (int64, bool) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return 0, false
+	}
+	if binary {
+		req.Header.Set("Accept", wire.ContentType)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return 0, false
 	}
@@ -402,9 +506,26 @@ func streamVerify(client *http.Client, url string, wantN int) (int64, bool) {
 		return 0, false
 	}
 	cr := &countingReader{r: resp.Body}
+	buf := verifyBufs.Get(wantN)
+	if buf == nil {
+		buf = make([]int64, wantN)
+	}
+	defer verifyBufs.Put(buf)
 	var keys []int64
-	if err := json.NewDecoder(cr).Decode(&keys); err != nil {
-		return cr.n, false
+	if binary {
+		fr, err := wire.NewReader(cr)
+		if err != nil || fr.Total() != int64(wantN) {
+			return cr.n, false
+		}
+		if err := fr.ReadInto(buf); err != nil {
+			return cr.n, false
+		}
+		keys = buf
+	} else {
+		keys = buf[:0]
+		if err := json.NewDecoder(cr).Decode(&keys); err != nil {
+			return cr.n, false
+		}
 	}
 	if len(keys) != wantN {
 		return cr.n, false
@@ -596,7 +717,7 @@ func waitHealthy(client *http.Client, url string, timeout time.Duration) error {
 // (open-loop arrivals), then the level waits for its stragglers. Each
 // arrival is serviced by the closed-loop retry client, sharing one
 // retry budget and one circuit breaker across the level.
-func runLevel(client *http.Client, cfg config, rate float64) levelResult {
+func runLevel(client *http.Client, cfg config, rate float64, binary bool) levelResult {
 	interval := time.Duration(float64(time.Second) / rate)
 	rng := rand.New(rand.NewSource(cfg.seed))
 	pol := retryPolicy{
@@ -625,7 +746,7 @@ func runLevel(client *http.Client, cfg config, rate float64) levelResult {
 		sample = 1
 	}
 	// Pre-generate every request body before the timed window opens. Key
-	// generation and JSON marshalling cost real CPU per job; paid inside
+	// generation and body encoding cost real CPU per job; paid inside
 	// the window they rise with the offered rate and the driver steals
 	// capacity from the very server it is measuring — the measured "knee"
 	// would be the driver's, not the service's.
@@ -640,11 +761,11 @@ func runLevel(client *http.Client, cfg config, rate float64) levelResult {
 		for k := range keys {
 			keys[k] = krng.Int63()
 		}
-		body, err := json.Marshal(sortRequest{Keys: keys, Wait: true, DeadlineMS: cfg.deadlineMS})
-		if err != nil {
-			continue
-		}
-		jobs = append(jobs, prejob{n: n, body: body, verify: cfg.verify && i%sample == 0})
+		body, ct, query := submitBody(keys, cfg.deadlineMS, binary)
+		jobs = append(jobs, prejob{
+			n: n, body: body, ct: ct, query: query, binary: binary,
+			verify: cfg.verify && i%sample == 0,
+		})
 	}
 
 	start := time.Now()
@@ -708,12 +829,15 @@ func runLevel(client *http.Client, cfg config, rate float64) levelResult {
 	}
 }
 
-// prejob is one pre-generated request: the body is marshalled before the
+// prejob is one pre-generated request: the body is encoded before the
 // level's timed window opens so the driver's in-window CPU cost is just
 // the wire work.
 type prejob struct {
 	n      int
 	body   []byte
+	ct     string
+	query  string
+	binary bool
 	verify bool
 }
 
@@ -746,11 +870,11 @@ func oneJob(client *http.Client, cfg config, pol retryPolicy, bud *retryBudget, 
 			time.Sleep(pol.jitteredBackoff(rng, attempt, cfg.cbCooldown))
 			continue
 		}
-		req, err := http.NewRequest(http.MethodPost, cfg.url+"/v1/sort", bytes.NewReader(body))
+		req, err := http.NewRequest(http.MethodPost, cfg.url+"/v1/sort"+pj.query, bytes.NewReader(body))
 		if err != nil {
 			return 0, 0, attempt, "failed"
 		}
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", pj.ct)
 		if cfg.deadlineMS > 0 {
 			// Carrying the deadline in a header lets the server shed this
 			// request before decoding the body when the model already knows
@@ -782,8 +906,10 @@ func oneJob(client *http.Client, cfg config, pol retryPolicy, bud *retryBudget, 
 				}
 				return 0, 0, attempt, "failed"
 			}
-			if pj.verify && !verifySorted(client, cfg.url+st.ResultURL, pj.n) {
-				return 0, 0, attempt, "failed"
+			if pj.verify {
+				if _, ok := streamVerify(client, cfg.url+st.ResultURL, pj.n, pj.binary); !ok {
+					return 0, 0, attempt, "failed"
+				}
 			}
 			if w, err := time.ParseDuration(st.QueueWait); err == nil {
 				startMS = float64(w.Nanoseconds()) / 1e6
@@ -883,31 +1009,6 @@ func (s *overloadStats) delta(before *overloadStats) *overloadStats {
 		out.ShedByReason = nil
 	}
 	return out
-}
-
-// verifySorted downloads a result and checks order and length.
-func verifySorted(client *http.Client, url string, wantN int) bool {
-	resp, err := client.Get(url)
-	if err != nil {
-		return false
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return false
-	}
-	var keys []int64
-	if err := json.NewDecoder(resp.Body).Decode(&keys); err != nil {
-		return false
-	}
-	if len(keys) != wantN {
-		return false
-	}
-	for i := 1; i < len(keys); i++ {
-		if keys[i] < keys[i-1] {
-			return false
-		}
-	}
-	return true
 }
 
 // summarize reduces a latency sample to the percentiles the sweep reports.

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"knlmlm/internal/fault"
+	"knlmlm/internal/mem"
 	"knlmlm/internal/memkind"
 	"knlmlm/internal/sched"
 	"knlmlm/internal/serve"
@@ -62,6 +63,9 @@ type options struct {
 	batchElems   int
 	retain       int
 	decodeGate   int
+	chunkElems   int
+	frameElems   int
+	keyPool      bool
 	autotune     bool
 	chaos        bool
 	chaosSeed    int64
@@ -86,6 +90,9 @@ func main() {
 	flag.IntVar(&o.batchElems, "batch-max-elems", 0, "batchable-job element threshold; jobs at most this large ride a shared pass (0 = budget-derived default, 1 effectively disables batching)")
 	flag.IntVar(&o.retain, "retain", 4096, "terminal jobs retained for status/result lookup")
 	flag.IntVar(&o.decodeGate, "decode-gate", 0, "concurrent submit-body decodes; deadlined requests past the gate get 429 ingest-busy (0 = max(2, GOMAXPROCS))")
+	flag.IntVar(&o.chunkElems, "result-chunk-elems", 0, "JSON result download granularity, elements per chunked write (0 = 8192)")
+	flag.IntVar(&o.frameElems, "wire-frame-elems", 0, "binary result download granularity, elements per wire frame (0 = 32768)")
+	flag.BoolVar(&o.keyPool, "key-pool", true, "recycle upload key buffers through a slice pool: binary submits decode into pooled buffers, retention eviction returns them")
 	flag.BoolVar(&o.autotune, "autotune", false, "measure per-thread rates on staged jobs and feed them to the fair-share solver")
 	flag.BoolVar(&o.chaos, "chaos", false, "run every job pipeline under a seeded fault-injection plan")
 	flag.Int64Var(&o.chaosSeed, "chaos-seed", 1, "chaos plan seed (with -chaos)")
@@ -163,6 +170,11 @@ func run(o options) error {
 			CriticalPriority: o.criticalPrio,
 		},
 	}
+	if o.keyPool {
+		// One pool closes the upload loop: serve decodes binary submits
+		// into it, the scheduler recycles buffers at retention eviction.
+		cfg.KeyPool = mem.NewSlicePool()
+	}
 	if o.chaos {
 		plan := fault.NewPlan(o.chaosSeed, budget)
 		inj := plan.Injector()
@@ -186,7 +198,14 @@ func run(o options) error {
 			rec.Dirs, rec.Runs, rec.Bytes, rec.SealedRuns)
 	}
 
-	srv, err := serve.New(serve.Config{Scheduler: sc, Registry: reg, Logger: logger, DecodeConcurrency: o.decodeGate})
+	srv, err := serve.New(serve.Config{
+		Scheduler:         sc,
+		Registry:          reg,
+		Logger:            logger,
+		DecodeConcurrency: o.decodeGate,
+		ResultChunkElems:  o.chunkElems,
+		WireFrameElems:    o.frameElems,
+	})
 	if err != nil {
 		return err
 	}

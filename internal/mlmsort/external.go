@@ -54,6 +54,11 @@ type ExternalOptions struct {
 	// MergeRate is the per-thread merge compute rate (e.g. the scheduler's
 	// EWMA of autotuner measurements); used with DiskRate.
 	MergeRate units.BytesPerSec
+	// MergeThreads is the worker count each merge round's loser-tree pass
+	// may fan out to (psort.ParallelMergeK, multisequence selection).
+	// Rounds smaller than parallelMergeMin and values <= 1 keep the
+	// serial merge.
+	MergeThreads int
 
 	// Sink, when non-nil, receives the merged output as a stream of sorted
 	// batches (nondecreasing across calls) instead of it being written
@@ -556,16 +561,47 @@ func MergeSpilled(ctx context.Context, store *spill.Store, runs []int, opts Exte
 				sum += p
 			}
 		}
+		// One contributing run — the k=1 shape every safe window degenerates
+		// to when a single megachunk covered the job — needs no merge at
+		// all: the prefix is already the round's sorted output, so it goes
+		// to the sink in place instead of being copied through out.
+		if len(prefixes) == 1 {
+			total += int64(sum)
+			if err := sink(prefixes[0]); err != nil {
+				return total, err
+			}
+			continue
+		}
 		if cap(out) < sum {
 			putBlock(out)
 			out = getBlock(sum)
 		}
-		psort.MergeK(out[:sum], prefixes...)
+		mergeRound(out[:sum], prefixes, opts.MergeThreads)
 		total += int64(sum)
 		if err := sink(out[:sum]); err != nil {
 			return total, err
 		}
 	}
+}
+
+// parallelMergeMin is the smallest merge round worth fanning out: below
+// it the multisequence-selection splits and goroutine joins cost more
+// than the loser-tree pass they parallelize.
+const parallelMergeMin = 64 << 10
+
+// mergeRound merges one safe window's run prefixes into dst: serial
+// loser-tree for small rounds or a single worker, psort.ParallelMergeK
+// otherwise, with the fan-out capped so every worker keeps at least
+// parallelMergeMin/2 elements of real work.
+func mergeRound(dst []int64, prefixes [][]int64, threads int) {
+	if threads > 1 && len(dst) >= parallelMergeMin && len(prefixes) > 1 {
+		if max := len(dst) / (parallelMergeMin / 2); threads > max {
+			threads = max
+		}
+		psort.ParallelMergeK(dst, prefixes, threads)
+		return
+	}
+	psort.MergeK(dst, prefixes...)
 }
 
 // fillWithRetry drives one read-ahead fill with the exec retry semantics:

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"knlmlm/internal/exec"
+	"knlmlm/internal/psort"
 	"knlmlm/internal/spill"
 	"knlmlm/internal/telemetry"
 )
@@ -118,6 +119,70 @@ func TestRunRealExternalDifferential(t *testing.T) {
 						alg, name, i, ext[i], want[i])
 				}
 			}
+		}
+	}
+}
+
+// TestMergeRoundParallelMatchesSerial is the differential for the merge
+// fan-out: above the parallelMergeMin threshold mergeRound must produce
+// exactly what the serial loser tree does, for several run counts and
+// ragged run lengths.
+func TestMergeRoundParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(externalTestSeed(t)))
+	for _, k := range []int{2, 3, 7} {
+		per := parallelMergeMin/k + 1
+		runs := make([][]int64, k)
+		sum := 0
+		for i := range runs {
+			n := per + rng.Intn(257) // ragged, total past the threshold
+			r := make([]int64, n)
+			for j := range r {
+				r[j] = rng.Int63() - rng.Int63()
+			}
+			sort.Slice(r, func(a, b int) bool { return r[a] < r[b] })
+			runs[i] = r
+			sum += n
+		}
+		want := make([]int64, sum)
+		psort.MergeK(want, runs...)
+		got := make([]int64, sum)
+		mergeRound(got, runs, 4)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d: parallel round diverges at %d: %d != %d", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunRealExternalParallelMerge runs the out-of-core path with merge
+// fan-out enabled at a size whose safe windows clear parallelMergeMin,
+// so the parallel rounds are exercised end to end.
+func TestRunRealExternalParallelMerge(t *testing.T) {
+	seed := externalTestSeed(t)
+	rng := rand.New(rand.NewSource(seed))
+	const n = 200000
+	input := make([]int64, n)
+	for i := range input {
+		input[i] = rng.Int63() - rng.Int63()
+	}
+	want := append([]int64(nil), input...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+
+	ext := append([]int64(nil), input...)
+	stats, err := RunRealExternal(context.Background(), MLMSort, ext, 3, 16384, ExternalOptions{
+		RealOptions:  RealOptions{Buffers: 2},
+		MergeThreads: 4,
+	})
+	if err != nil {
+		t.Fatalf("RunRealExternal: %v", err)
+	}
+	if stats.Runs < 3 {
+		t.Fatalf("only %d runs; the parallel merge needs a real fan-in", stats.Runs)
+	}
+	for i := range want {
+		if ext[i] != want[i] {
+			t.Fatalf("seed=%d: diverges from sort.Slice at %d: %d != %d", seed, i, ext[i], want[i])
 		}
 	}
 }

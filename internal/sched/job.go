@@ -2,6 +2,7 @@ package sched
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -124,6 +125,14 @@ type Job struct {
 	diskLease *Lease
 	streamed  bool
 
+	// dataRefs counts in-flight StreamResult deliveries of spec.Data;
+	// dataGone marks the buffer reclaimed (retention eviction recycled it
+	// into the scheduler's KeyPool, or will as soon as the refs drain).
+	// Both guarded by mu. Zero-valued (no refcounting cost) when the
+	// scheduler has no KeyPool.
+	dataRefs int
+	dataGone bool
+
 	canceled atomic.Bool
 	runCtx   context.Context
 	cancel   context.CancelFunc
@@ -165,6 +174,11 @@ func (j *Job) Err() error {
 // terminal state, or after failure/cancellation, it returns nil and the
 // job's error. Spill-class jobs return ErrSpilled: their output exists
 // only as disk run files and must be consumed through StreamResult.
+//
+// With Config.KeyPool set, the returned slice may be recycled into the
+// pool once the job is evicted from retention — callers on such
+// schedulers must consume results through StreamResult, whose delivery
+// window pins the buffer.
 func (j *Job) Result() ([]int64, error) {
 	if !j.State().Terminal() {
 		return nil, nil
@@ -208,8 +222,15 @@ func (j *Job) StreamResult(ctx context.Context, sink func([]int64) error) (int64
 		return 0, err
 	}
 	if !j.spill {
+		if !j.acquireData() {
+			// Retention eviction recycled the key buffer between the
+			// caller's Lookup and this call; the result is gone.
+			return 0, ErrResultConsumed
+		}
 		start := time.Now()
-		if err := sink(j.spec.Data); err != nil {
+		err := sink(j.spec.Data)
+		j.releaseData()
+		if err != nil {
 			return 0, err
 		}
 		j.observeStream(0, time.Since(start))
@@ -233,6 +254,9 @@ func (j *Job) StreamResult(ctx context.Context, sink func([]int64) error) (int64
 		},
 		DiskRate:  s.diskRate.Read,
 		MergeRate: s.rates.params().SComp,
+		// The download merge runs post-terminal, outside the fair-share
+		// budget; cap its fan-out at what the host can actually run.
+		MergeThreads: min(s.cfg.TotalThreads, runtime.GOMAXPROCS(0)),
 	}
 	// Split the download's wall time into its two post-terminal phases:
 	// sink-callback time is delivery (stream), the rest is the k-way merge
@@ -262,6 +286,64 @@ func (j *Job) observeStream(merge, stream time.Duration) {
 	}
 	j.sched.phases.ObservePhase(telemetry.PhaseMerge, merge)
 	j.sched.phases.ObservePhase(telemetry.PhaseStream, stream)
+}
+
+// acquireData pins spec.Data for an in-memory StreamResult delivery,
+// reporting false when eviction already reclaimed it. Pinning is what
+// makes eviction-time recycling safe: the buffer can only enter the
+// KeyPool freelist once no download goroutine can still be writing it
+// to a socket.
+func (j *Job) acquireData() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dataGone {
+		return false
+	}
+	j.dataRefs++
+	return true
+}
+
+// releaseData unpins spec.Data, completing a deferred recycle if
+// eviction fired while the delivery was in flight.
+func (j *Job) releaseData() {
+	j.mu.Lock()
+	j.dataRefs--
+	var data []int64
+	if j.dataRefs == 0 && j.dataGone {
+		data = j.spec.Data
+		j.spec.Data = nil
+	}
+	j.mu.Unlock()
+	j.recycleInto(data)
+}
+
+// recycleData reclaims the job's key buffer into the scheduler's
+// KeyPool, exactly once, deferring under in-flight deliveries. A no-op
+// without a configured KeyPool. Called at retention eviction — after
+// which the job is unreachable through Lookup, so only a download that
+// raced the eviction can still hold a reference.
+func (j *Job) recycleData() {
+	if j.sched.cfg.KeyPool == nil {
+		return
+	}
+	j.mu.Lock()
+	var data []int64
+	if !j.dataGone {
+		j.dataGone = true
+		if j.dataRefs == 0 {
+			data = j.spec.Data
+			j.spec.Data = nil
+		}
+	}
+	j.mu.Unlock()
+	j.recycleInto(data)
+}
+
+// recycleInto puts a reclaimed buffer back into the KeyPool (nil-safe).
+func (j *Job) recycleInto(data []int64) {
+	if data != nil && j.sched.cfg.KeyPool != nil {
+		j.sched.cfg.KeyPool.Put(data)
+	}
 }
 
 // releaseSpill reclaims the job's spill-tier resources — run store

@@ -112,6 +112,18 @@ type Config struct {
 	// spill-class jobs (chaos testing; fault.Injector satisfies it).
 	IOFaults spill.IOFaults
 
+	// KeyPool, when non-nil, receives terminal jobs' key buffers back at
+	// retention eviction, closing the loop with a front end (internal/
+	// serve) that decodes binary uploads straight into pooled buffers:
+	// submit → sort in place → stream → recycle, with no per-job key
+	// allocation in steady state. Recycling waits for any in-flight
+	// StreamResult delivery of the buffer (downloads hold a reference),
+	// so an evicted job can never hand live memory to a new upload. Nil
+	// disables recycling; buffers are left to the GC. Callers that use
+	// Job.Result after eviction must leave KeyPool nil — the slice it
+	// returns may otherwise be recycled under them.
+	KeyPool *mem.SlicePool
+
 	// Registry, when non-nil, receives the sched_* metric families.
 	Registry *telemetry.Registry
 	// Resilience, when non-nil, receives retry/degradation/outcome
@@ -366,6 +378,11 @@ func (s *Scheduler) Phases() *telemetry.PhaseMetrics { return s.phases }
 // PoolStats reports the budget-capped staging pool's counters.
 func (s *Scheduler) PoolStats() mem.PoolStats { return s.pool.Stats() }
 
+// KeyPool reports the configured key-buffer recycling pool (nil when
+// disabled). The front end draws upload buffers from the same pool so
+// eviction-recycled buffers feed the next decode.
+func (s *Scheduler) KeyPool() *mem.SlicePool { return s.cfg.KeyPool }
+
 // BrownoutLevel reports the current overload degradation level.
 func (s *Scheduler) BrownoutLevel() BrownoutLevel { return s.brown.Level() }
 
@@ -394,16 +411,40 @@ type plan struct {
 // are classed as spill jobs: phase 1 stages through MCDRAM exactly as
 // usual but runs land on disk, and the merge streams, so the job's DDR
 // footprint stays at its input plus O(read-ahead) regardless of size.
+//
+// The two classes size megachunks differently. In-memory staged jobs
+// split four deep so copy-in/sort/copy-out overlap across the staging
+// buffers. For spill jobs each megachunk becomes one on-disk run and the
+// result download pays a k = ceil(n/mc)-way merge, so the megachunk is
+// instead the largest run MCDRAM can stage — the external-sort rule:
+// maximum run length minimizes merge fan-in. The pipeline overlap a
+// deeper split would buy during phase 1 is already hidden behind the
+// run-file writes. Spill runs are capped at half the budget-derived
+// maximum, though: a full-budget lease can only dispatch when the
+// ledger is completely idle, so spill jobs would starve at the queue
+// head under mixed traffic and drive the brownout controller into
+// shedding the whole class. Half the budget keeps room for at least
+// one more staged job at the cost of one extra merge way.
 func (s *Scheduler) planFor(spec JobSpec) (plan, error) {
 	n := len(spec.Data)
 	perBuf := int64(s.cfg.Buffers + 1) // Buffers staging buffers + 1 sort scratch
 	if spec.MegachunkLen <= 0 && n <= s.cfg.BatchMaxElems {
 		return plan{batchable: true, lease: s.batchLease()}, nil
 	}
+	dataBytes := units.Bytes(int64(n) * 8)
+	workSet := 2 * dataBytes
+	spill := s.cfg.DDRBudget > 0 && workSet > s.cfg.DDRBudget
 	mc := spec.MegachunkLen
 	if mc <= 0 {
 		maxMc := floorPow2(int(int64(s.cfg.MCDRAMBudget) / (8 * perBuf)))
-		mc = floorPow2(n / 4)
+		if spill {
+			mc = ceilPow2(n)
+			if half := maxMc / 2; mc > half {
+				mc = half
+			}
+		} else {
+			mc = floorPow2(n / 4)
+		}
 		if mc < 4096 {
 			mc = 4096
 		}
@@ -416,9 +457,7 @@ func (s *Scheduler) planFor(spec JobSpec) (plan, error) {
 		return plan{}, &TooLargeError{Lease: lease, Budget: s.cfg.MCDRAMBudget}
 	}
 	p := plan{megachunk: mc, lease: lease}
-	dataBytes := units.Bytes(int64(n) * 8)
-	workSet := 2 * dataBytes
-	if s.cfg.DDRBudget > 0 && workSet > s.cfg.DDRBudget {
+	if spill {
 		if s.disk == nil {
 			return plan{}, &TooLargeError{Lease: workSet, Budget: s.cfg.DDRBudget, Resource: "DDR"}
 		}
@@ -996,6 +1035,13 @@ func (s *Scheduler) retireLocked(j *Job) {
 		s.retired = s.retired[1:]
 		if old != nil && old.spill {
 			old.releaseSpill()
+		}
+		if old != nil {
+			// Eviction is also the job's key buffer's last moment of use:
+			// recycle it into the KeyPool (when configured) so the next
+			// binary upload decodes into it instead of allocating. Deferred
+			// under an in-flight StreamResult download of the same buffer.
+			old.recycleData()
 		}
 	}
 }

@@ -97,7 +97,10 @@ func TestSpillJobStreamsIdentical(t *testing.T) {
 	cfg.Registry = reg
 	s := newTestScheduler(t, cfg)
 
-	const n = 60000
+	// Large enough that even the spill class's MCDRAM-maximized megachunks
+	// (capped at half of maxMc = 64Ki elements under the 4 MiB test
+	// budget) need at least three runs to cover it.
+	const n = 400000
 	data := workload.Generate(workload.Random, n, seed)
 	want := append([]int64(nil), data...)
 	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })

@@ -13,6 +13,15 @@
 // mid-download disconnect cancels it and releases the run files and
 // disk lease; the download is consume-once, and a repeat GET answers
 // 410 Gone.
+//
+// Besides JSON the service negotiates a binary wire format
+// (internal/wire, Content-Type application/x-mlm-keys). A binary
+// submit carries the frame stream as its body — options ride query
+// parameters — and decodes straight into a pooled key buffer sized
+// from the stream header, with no intermediate allocation. A download
+// with Accept: application/x-mlm-keys streams the sorted keys as
+// frame-sized writes directly off Job.StreamResult, for in-memory and
+// spilled jobs alike. JSON remains the default in both directions.
 package serve
 
 import (
@@ -25,12 +34,15 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"knlmlm/internal/mem"
 	"knlmlm/internal/mlmsort"
 	"knlmlm/internal/sched"
 	"knlmlm/internal/telemetry"
+	"knlmlm/internal/wire"
 )
 
 // Config describes a Server.
@@ -47,6 +59,18 @@ type Config struct {
 	// ResultChunkElems is the streaming granularity of result downloads
 	// (elements per write/flush). Zero selects 8192.
 	ResultChunkElems int
+	// KeyPool supplies the destination buffers for binary submit bodies.
+	// Defaults to the scheduler's pool (Scheduler.KeyPool), closing the
+	// recycle loop: upload decodes into a pooled buffer, the sort runs in
+	// place, and retention eviction returns the buffer for the next
+	// upload. When the scheduler has no pool either, a private pool keeps
+	// the decode path uniform (its buffers are simply never recycled).
+	KeyPool *mem.SlicePool
+	// WireFrameElems is the frame granularity of binary result downloads
+	// (elements per wire frame). Zero selects wire.DefaultFrameElems;
+	// it is deliberately independent of ResultChunkElems, whose smaller
+	// default suits the JSON encoder's per-chunk buffer.
+	WireFrameElems int
 	// DecodeConcurrency bounds how many submit bodies decode at once.
 	// Parsing a large key array costs about as much CPU as sorting it, so
 	// unbounded concurrent decodes are an unmodeled second queue in front
@@ -86,6 +110,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.ResultChunkElems <= 0 {
 		cfg.ResultChunkElems = 8192
+	}
+	if cfg.WireFrameElems <= 0 {
+		cfg.WireFrameElems = wire.DefaultFrameElems
+	}
+	if cfg.KeyPool == nil {
+		cfg.KeyPool = cfg.Scheduler.KeyPool()
+	}
+	if cfg.KeyPool == nil {
+		cfg.KeyPool = mem.NewSlicePool()
 	}
 	if cfg.DecodeConcurrency <= 0 {
 		cfg.DecodeConcurrency = runtime.GOMAXPROCS(0)
@@ -311,6 +344,104 @@ func parseAlgorithm(name string) (mlmsort.Algorithm, error) {
 	}
 }
 
+// isWireContentType matches a Content-Type header against the binary
+// key-stream media type, ignoring parameters (charset etc.).
+func isWireContentType(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.EqualFold(strings.TrimSpace(ct), wire.ContentType)
+}
+
+// acceptsWire reports whether the request's Accept list names the
+// binary key stream. Anything else — absent header, */*, JSON — keeps
+// the JSON default, so only clients that ask for frames get frames.
+func acceptsWire(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		if isWireContentType(part) {
+			return true
+		}
+	}
+	return false
+}
+
+// decodeBinarySubmit decodes an application/x-mlm-keys submit body into
+// a pooled key buffer. The stream header carries the exact element
+// count, so the buffer is sized once — bounds-checked against
+// MaxBodyBytes — before the first payload byte lands, and on the
+// zero-copy path the socket bytes are read directly into []int64
+// memory. With no JSON envelope, the envelope options ride query
+// parameters (priority, deadline_ms, algorithm, megachunk_len, wait);
+// an X-Deadline-Ms header doubles as deadline_ms when the query omits
+// it. Reports ok=false after writing the error response; on success the
+// caller owns req.Keys (and must return it to the pool if the job is
+// never handed to the scheduler).
+func (s *Server) decodeBinarySubmit(w http.ResponseWriter, r *http.Request, body io.Reader) (req sortRequest, ok bool) {
+	bad := func(msg string) (sortRequest, bool) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: msg, Code: "bad-request"})
+		return req, false
+	}
+	q := r.URL.Query()
+	if v := q.Get("priority"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil {
+			return bad("bad priority: " + v)
+		}
+		req.Priority = p
+	}
+	if v := q.Get("deadline_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return bad("bad deadline_ms: " + v)
+		}
+		req.DeadlineMS = ms
+	}
+	if v := q.Get("megachunk_len"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return bad("bad megachunk_len: " + v)
+		}
+		req.MegachunkLen = n
+	}
+	req.Algorithm = q.Get("algorithm")
+	req.Wait = q.Get("wait") == "1" || strings.EqualFold(q.Get("wait"), "true")
+	if req.DeadlineMS == 0 {
+		if ms, err := strconv.ParseInt(r.Header.Get("X-Deadline-Ms"), 10, 64); err == nil && ms > 0 {
+			req.DeadlineMS = ms
+		}
+	}
+	fr, err := wire.NewReader(body)
+	if err != nil {
+		return bad("bad binary body: " + err.Error())
+	}
+	total := fr.Total()
+	if total <= 0 {
+		return bad("keys must be non-empty")
+	}
+	if total > s.cfg.MaxBodyBytes/8 {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
+			Error: fmt.Sprintf("declared %d keys exceeds body limit", total), Code: "too-large",
+		})
+		return req, false
+	}
+	keys := s.cfg.KeyPool.Get(int(total))
+	if keys == nil {
+		keys = make([]int64, total)
+	}
+	if err := fr.ReadInto(keys); err != nil {
+		s.cfg.KeyPool.Put(keys)
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, code, errorBody{Error: "bad binary body: " + err.Error(), Code: "bad-request"})
+		return req, false
+	}
+	req.Keys = keys
+	return req, true
+}
+
 // acquireGate takes a decode slot for a submit. A request carrying a
 // relative deadline waits at most that long and is answered with a
 // retryable 429 "ingest-busy" on timeout — or instantly when the ingest
@@ -397,21 +528,49 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req sortRequest
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		code := http.StatusBadRequest
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			code = http.StatusRequestEntityTooLarge
+	pooled := false // req.Keys came from the key pool; return it on any pre-handoff failure
+	if isWireContentType(r.Header.Get("Content-Type")) {
+		var ok bool
+		req, ok = s.decodeBinarySubmit(w, r, body)
+		if !ok {
+			return
 		}
-		writeJSON(w, code, errorBody{Error: "bad request body: " + err.Error(), Code: "bad-request"})
-		return
+		pooled = true
+	} else {
+		dec := json.NewDecoder(body)
+		if err := dec.Decode(&req); err != nil {
+			code := http.StatusBadRequest
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				code = http.StatusRequestEntityTooLarge
+			}
+			writeJSON(w, code, errorBody{Error: "bad request body: " + err.Error(), Code: "bad-request"})
+			return
+		}
+		// One JSON value is the whole body: trailing non-whitespace (a
+		// second object, smuggled garbage) is a malformed request, not
+		// something to silently ignore.
+		if _, err := dec.Token(); err != io.EOF {
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error: "trailing data after JSON body", Code: "bad-request",
+			})
+			return
+		}
+	}
+	recycle := func() {
+		if pooled {
+			pooled = false
+			s.cfg.KeyPool.Put(req.Keys)
+		}
 	}
 	if len(req.Keys) == 0 {
+		recycle()
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "keys must be non-empty", Code: "bad-request"})
 		return
 	}
 	alg, err := parseAlgorithm(req.Algorithm)
 	if err != nil {
+		recycle()
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Code: "bad-request"})
 		return
 	}
@@ -433,6 +592,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.sched.SubmitCtx(telemetry.WithTrace(r.Context(), tr), spec)
 	if err != nil {
+		recycle()
 		writeSchedError(w, classifySubmitErr(err, req.DeadlineMS))
 		return
 	}
@@ -477,9 +637,135 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statusOf(j))
 }
 
-// handleResult streams the sorted keys as a JSON array in fixed-size
-// element chunks, flushing between chunks, so a multi-gigabyte result
-// never materializes as one response buffer.
+// resultEncoder renders sorted-key batches from Job.StreamResult onto
+// the response. Implementations write response headers lazily with the
+// first batch (a consume-once refusal must stay free to answer 410) and
+// seal the stream in finish — the JSON closing bracket, the wire
+// end-of-stream marker.
+type resultEncoder interface {
+	writeBatch(batch []int64) error
+	finish() error
+	// started reports whether any response bytes went out: past that
+	// point a failure can only be signaled by truncating the body.
+	started() bool
+}
+
+// resultHeaders sends the common result headers ahead of the first body
+// byte.
+func resultHeaders(w http.ResponseWriter, contentType string, n int, spilled bool) {
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("X-Sort-Elements", strconv.Itoa(n))
+	if spilled {
+		w.Header().Set("X-Sort-Spilled", "true")
+	}
+}
+
+// jsonResultEncoder streams a JSON array in fixed-size element chunks,
+// flushing between chunks, so a multi-gigabyte result never
+// materializes as one response buffer.
+type jsonResultEncoder struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	chunk   int
+	n       int
+	spilled bool
+	buf     []byte
+	wrote   bool
+	first   bool
+}
+
+func (e *jsonResultEncoder) started() bool { return e.wrote }
+
+func (e *jsonResultEncoder) writeBatch(batch []int64) error {
+	if !e.wrote {
+		resultHeaders(e.w, "application/json", e.n, e.spilled)
+		if _, err := e.w.Write([]byte("[")); err != nil {
+			return err
+		}
+		e.wrote = true
+		e.first = true
+	}
+	for lo := 0; lo < len(batch); lo += e.chunk {
+		hi := lo + e.chunk
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		e.buf = e.buf[:0]
+		for _, v := range batch[lo:hi] {
+			if !e.first {
+				e.buf = append(e.buf, ',')
+			}
+			e.first = false
+			e.buf = strconv.AppendInt(e.buf, v, 10)
+		}
+		if _, err := e.w.Write(e.buf); err != nil {
+			return err
+		}
+		if e.flusher != nil {
+			e.flusher.Flush()
+		}
+	}
+	return nil
+}
+
+func (e *jsonResultEncoder) finish() error {
+	if !e.wrote {
+		resultHeaders(e.w, "application/json", e.n, e.spilled)
+		if _, err := e.w.Write([]byte("[")); err != nil {
+			return err
+		}
+		e.wrote = true
+	}
+	_, err := e.w.Write([]byte("]\n"))
+	return err
+}
+
+// wireResultEncoder streams the binary frame format. Each merge batch
+// goes out as count-prefixed frames whose payload, on the zero-copy
+// path, is the batch's own memory — the result moves merge -> socket
+// with no per-element work and no whole-result buffer.
+type wireResultEncoder struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	fw      *wire.Writer
+	n       int
+	spilled bool
+	wrote   bool
+}
+
+func (e *wireResultEncoder) started() bool { return e.wrote }
+
+func (e *wireResultEncoder) writeBatch(batch []int64) error {
+	if !e.wrote {
+		resultHeaders(e.w, wire.ContentType, e.n, e.spilled)
+		e.wrote = true
+	}
+	if err := e.fw.Write(batch); err != nil {
+		return err
+	}
+	if e.flusher != nil {
+		e.flusher.Flush()
+	}
+	return nil
+}
+
+func (e *wireResultEncoder) finish() error {
+	if !e.wrote {
+		resultHeaders(e.w, wire.ContentType, e.n, e.spilled)
+		e.wrote = true
+	}
+	return e.fw.Close()
+}
+
+// handleResult streams the sorted keys — as a chunked JSON array by
+// default, as the binary frame stream when the client sends Accept:
+// application/x-mlm-keys. Both encodings ride Job.StreamResult: an
+// in-memory job delivers its (possibly pooled) result buffer in one
+// batch, a spill-class job runs its deferred k-way merge straight into
+// the response (disk -> merge -> socket, never materialized in DDR).
+// The merge is bound to the request context, so a client disconnect
+// cancels it and releases the run files and disk lease; the spilled
+// stream is consume-once, and a repeat GET answers 410 Gone.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(w, r)
 	if !ok {
@@ -489,129 +775,44 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, errorBody{Error: "job still " + j.State().String(), Code: "not-ready"})
 		return
 	}
-	if j.Spilled() {
-		s.streamSpilled(w, r, j)
-		return
-	}
-	keys, err := j.Result()
-	if err != nil {
-		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error(), Code: "job-" + j.State().String()})
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Sort-Elements", strconv.Itoa(len(keys)))
-	// The write loop is the job's stream phase (in-memory jobs have no
-	// merge); recorded on every exit, including a client disconnect.
-	streamStart := time.Now()
-	defer func() {
-		d := time.Since(streamStart)
-		j.Trace().AddPhase(telemetry.PhaseStream, d)
-		j.Trace().EventDetail("streamed", d.String())
-		s.sched.Phases().ObservePhase(telemetry.PhaseStream, d)
-	}()
-	flusher, _ := w.(http.Flusher)
-	write := func(b []byte) bool {
-		if _, err := w.Write(b); err != nil {
-			return false
-		}
-		return true
-	}
-	if !write([]byte("[")) {
-		return
-	}
-	chunk := s.cfg.ResultChunkElems
-	var buf []byte
-	for lo := 0; lo < len(keys); lo += chunk {
-		hi := lo + chunk
-		if hi > len(keys) {
-			hi = len(keys)
-		}
-		buf = buf[:0]
-		for i := lo; i < hi; i++ {
-			if i > 0 {
-				buf = append(buf, ',')
-			}
-			buf = strconv.AppendInt(buf, keys[i], 10)
-		}
-		if !write(buf) {
+	if !j.Spilled() {
+		if err := j.Err(); err != nil {
+			writeJSON(w, http.StatusConflict, errorBody{Error: err.Error(), Code: "job-" + j.State().String()})
 			return
 		}
-		if flusher != nil {
-			flusher.Flush()
+	}
+	flusher, _ := w.(http.Flusher)
+	var enc resultEncoder
+	if acceptsWire(r) {
+		enc = &wireResultEncoder{
+			w: w, flusher: flusher, n: j.N(), spilled: j.Spilled(),
+			fw: wire.NewWriter(w, j.N(), s.cfg.WireFrameElems),
+		}
+	} else {
+		enc = &jsonResultEncoder{
+			w: w, flusher: flusher, chunk: s.cfg.ResultChunkElems,
+			n: j.N(), spilled: j.Spilled(),
 		}
 	}
-	_ = write([]byte("]\n"))
-}
-
-// streamSpilled runs a spill-class job's deferred k-way merge straight
-// into the chunked response: the sorted result goes disk -> merge ->
-// socket without ever materializing in DDR. The merge is bound to the
-// request context, so a client disconnect cancels it mid-stream, and
-// StreamResult releases the run files and disk lease on every exit — a
-// dropped download cannot leak disk budget. The stream is consume-once:
-// a job whose runs were already merged (or reclaimed by eviction or
-// shutdown) answers 410 Gone.
-func (s *Server) streamSpilled(w http.ResponseWriter, r *http.Request, j *sched.Job) {
-	flusher, _ := w.(http.Flusher)
-	chunk := s.cfg.ResultChunkElems
-	var buf []byte
-	wrote := false
-	first := true
 	var werr error
 	_, err := j.StreamResult(r.Context(), func(batch []int64) error {
-		if !wrote {
-			// Headers go out with the first merge batch: a consume-once
-			// refusal below must still be free to answer 410.
-			w.Header().Set("Content-Type", "application/json")
-			w.Header().Set("X-Sort-Elements", strconv.Itoa(j.N()))
-			w.Header().Set("X-Sort-Spilled", "true")
-			if _, e := w.Write([]byte("[")); e != nil {
-				werr = e
-				return e
-			}
-			wrote = true
-		}
-		for lo := 0; lo < len(batch); lo += chunk {
-			hi := lo + chunk
-			if hi > len(batch) {
-				hi = len(batch)
-			}
-			buf = buf[:0]
-			for _, v := range batch[lo:hi] {
-				if !first {
-					buf = append(buf, ',')
-				}
-				first = false
-				buf = strconv.AppendInt(buf, v, 10)
-			}
-			if _, e := w.Write(buf); e != nil {
-				werr = e
-				return e
-			}
-			if flusher != nil {
-				flusher.Flush()
-			}
+		if e := enc.writeBatch(batch); e != nil {
+			werr = e
+			return e
 		}
 		return nil
 	})
 	switch {
 	case err == nil:
-		if !wrote {
-			w.Header().Set("Content-Type", "application/json")
-			w.Header().Set("X-Sort-Spilled", "true")
-			if _, e := w.Write([]byte("[")); e != nil {
-				return
-			}
-		}
-		_, _ = w.Write([]byte("]\n"))
+		_ = enc.finish()
 	case werr != nil || r.Context().Err() != nil:
 		// The client went away mid-stream; the response is unfinishable
-		// and the merge already released the job's spill resources.
+		// and the stream already released the job's resources.
 	case errors.Is(err, sched.ErrResultConsumed):
 		writeJSON(w, http.StatusGone, errorBody{Error: err.Error(), Code: "result-consumed"})
-	case wrote:
-		// Merge failure after bytes hit the wire: the truncated body (no
-		// closing bracket) is the only signal left to send.
+	case enc.started():
+		// Failure after bytes hit the wire: the truncated body (no closing
+		// bracket, no end-of-stream marker) is the only signal left.
 	default:
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error(), Code: "spill-merge"})
 	}

@@ -25,7 +25,6 @@
 package spill
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -34,6 +33,7 @@ import (
 	"sync"
 
 	"knlmlm/internal/telemetry"
+	"knlmlm/internal/wire"
 )
 
 // IOFaults injects run-file IO failures; fault.Injector satisfies it. A
@@ -382,15 +382,24 @@ func (w *RunWriter) Append(keys []int64) error {
 		return err
 	}
 	w.bytes += n
-	for _, k := range keys {
-		w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(k))
+	count := int64(len(keys))
+	// Run files share the wire format's byte layout, so the hot loop is a
+	// bulk conversion (a memmove on little-endian builds) instead of a
+	// per-element encode: buffer-sized chunks in, flush when full.
+	for len(keys) > 0 {
+		take := len(keys)
+		if room := (w.s.cfg.BufBytes - len(w.buf) + 7) / 8; take > room {
+			take = room
+		}
+		w.buf = wire.AppendInt64s(w.buf, keys[:take])
+		keys = keys[take:]
 		if len(w.buf) >= w.s.cfg.BufBytes {
 			if err := w.flush(); err != nil {
 				return err
 			}
 		}
 	}
-	w.elems += int64(len(keys))
+	w.elems += count
 	return nil
 }
 
@@ -491,11 +500,25 @@ func (r *RunReader) Fill(dst []int64) (int, error) {
 				}
 				return n, err
 			}
+			continue
 		}
-		dst[n] = int64(binary.LittleEndian.Uint64(r.buf[r.pos:]))
-		r.pos += 8
-		r.remain--
-		n++
+		// Bulk-decode every whole key the buffer holds (a memmove on
+		// little-endian builds) instead of one encoding/binary round per
+		// element.
+		take := (r.have - r.pos) / 8
+		if rem := len(dst) - n; take > rem {
+			take = rem
+		}
+		if int64(take) > r.remain {
+			take = int(r.remain)
+		}
+		if take == 0 {
+			break
+		}
+		wire.DecodeInt64s(dst[n:n+take], r.buf[r.pos:r.pos+take*8])
+		r.pos += take * 8
+		r.remain -= int64(take)
+		n += take
 	}
 	if n == 0 {
 		return 0, io.EOF

@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestZeroCopyMatchesPortable pins the two encode/decode implementations
+// to each other at the byte level. On little-endian platforms the
+// exported functions take the unsafe zero-copy path while the portable
+// internals loop through encoding/binary; under -tags wire_purego both
+// resolve to the portable loop and the test degenerates to a self-check
+// (the cross-implementation coverage then comes from running the suite
+// both ways in CI).
+func TestZeroCopyMatchesPortable(t *testing.T) {
+	t.Logf("zeroCopy = %v", ZeroCopy())
+	rng := rand.New(rand.NewSource(7))
+	cases := [][]int64{
+		nil,
+		{},
+		{0},
+		{1},
+		{-1},
+		{math.MinInt64},
+		{math.MaxInt64},
+		{math.MinInt64, -1, 0, 1, math.MaxInt64},
+	}
+	for _, n := range []int{2, 3, 15, 255, 4097} { // odd lengths included
+		v := make([]int64, n)
+		for i := range v {
+			v[i] = rng.Int63() - rng.Int63()
+		}
+		cases = append(cases, v)
+	}
+	for ci, keys := range cases {
+		fast := make([]byte, len(keys)*8)
+		EncodeInt64s(fast, keys)
+		slow := make([]byte, len(keys)*8)
+		encodeInt64sPortable(slow, keys)
+		if !bytes.Equal(fast, slow) {
+			t.Fatalf("case %d (%d keys): EncodeInt64s != portable encode", ci, len(keys))
+		}
+		if fastA, slowA := AppendInt64s(nil, keys), appendInt64sPortable(nil, keys); !bytes.Equal(fastA, slowA) {
+			t.Fatalf("case %d (%d keys): AppendInt64s != portable append", ci, len(keys))
+		}
+		fastD := make([]int64, len(keys))
+		DecodeInt64s(fastD, slow)
+		slowD := make([]int64, len(keys))
+		decodeInt64sPortable(slowD, slow)
+		for i := range keys {
+			if fastD[i] != keys[i] || slowD[i] != keys[i] {
+				t.Fatalf("case %d key %d: decode fast=%d slow=%d want %d", ci, i, fastD[i], slowD[i], keys[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,20 @@
+//go:build !wire_purego && (386 || amd64 || amd64p32 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm)
+
+package wire
+
+import "unsafe"
+
+// zeroCopy marks this build as one where []int64 memory is the wire
+// representation: the platform is little-endian, so reinterpreting the
+// backing array yields exactly the length-prefixed payload bytes.
+const zeroCopy = true
+
+// int64Bytes returns s's backing memory as a byte slice (len(s)*8
+// bytes), without copying. The view aliases s: it is valid only while s
+// is, and writes through it are writes to s.
+func int64Bytes(s []int64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+}

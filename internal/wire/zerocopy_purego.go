@@ -1,0 +1,13 @@
+//go:build wire_purego || !(386 || amd64 || amd64p32 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm)
+
+package wire
+
+// zeroCopy is false on this build: either the wire_purego tag forced the
+// portable path (differential testing, auditing), or the platform's
+// byte order does not match the wire's little-endian layout. Conversion
+// goes through encoding/binary and produces byte-identical streams.
+const zeroCopy = false
+
+// int64Bytes is never called when zeroCopy is false; this stub keeps the
+// shared code compiling.
+func int64Bytes([]int64) []byte { return nil }
