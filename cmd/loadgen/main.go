@@ -38,6 +38,15 @@
 // sweep once per encoding and reports the per-mode results side by side
 // plus the binary-over-JSON download speedup.
 //
+// The target may be a single mlmserve node or an mlmcoord cluster
+// coordinator — the two speak the same protocol, and loadgen tells them
+// apart by the "backends" fleet view in the /healthz body. Against a
+// coordinator the same flags work unchanged; the spill phase drops its
+// spilled-flag requirement (the coordinator's big-job path is the
+// scatter/merge tier, not a local disk spill), and the sweep document
+// gains a "cluster" block with the coordinator's routing and retry
+// telemetry (cluster_* families) plus per-backend routed bytes.
+//
 // The sweep is written as JSON (default BENCH_PR8.json), the committed
 // artifact EXPERIMENTS.md documents.
 //
@@ -94,6 +103,10 @@ type config struct {
 	// wireMode selects the submit/download encoding: "json", "binary", or
 	// "both" (one full sweep per encoding).
 	wireMode string
+	// cluster is set after the healthz probe when the target turns out to
+	// be a coordinator (its /healthz carries a "backends" fleet view). It
+	// relaxes single-node-only checks; no flag sets it.
+	cluster bool
 }
 
 // sortRequest mirrors internal/serve's POST /v1/sort body.
@@ -245,6 +258,28 @@ type benchFile struct {
 	// over staged jobs (job_model_drift_ratio's sum/count; 0 when the
 	// sweep ran no staged jobs).
 	ModelDriftMean float64 `json:"model_drift_mean,omitempty"`
+	// Cluster carries the coordinator's routing/retry telemetry when the
+	// target is an mlmcoord tier rather than a single node.
+	Cluster *clusterStats `json:"cluster,omitempty"`
+}
+
+// clusterStats is the coordinator-side view of the sweep, scraped from
+// the cluster_* metric families after the last level.
+type clusterStats struct {
+	Backends          int     `json:"backends"`
+	BackendsUp        int     `json:"backends_up"`
+	Jobs              float64 `json:"cluster_jobs_total"`
+	JobsFailed        float64 `json:"cluster_jobs_failed_total,omitempty"`
+	Partitions        float64 `json:"cluster_partitions_total"`
+	PartitionRetries  float64 `json:"cluster_partition_retries_total"`
+	PartitionBackoffs float64 `json:"cluster_partition_backoffs_total,omitempty"`
+	Resamples         float64 `json:"cluster_partition_resamples_total,omitempty"`
+	MergeBytes        float64 `json:"cluster_merge_bytes_total"`
+	MergeStallSec     float64 `json:"cluster_merge_stall_seconds_total"`
+	// BytesRouted is per-backend scattered key bytes, indexed like the
+	// coordinator's -backends list — the routing skew the weighted
+	// splitter selection actually produced.
+	BytesRouted []float64 `json:"backend_bytes_routed"`
 }
 
 func main() {
@@ -313,6 +348,11 @@ func run(cfg config) error {
 	if err := waitHealthy(client, cfg.url, 10*time.Second); err != nil {
 		return err
 	}
+	backends, up := probeCluster(client, cfg.url)
+	cfg.cluster = backends > 0
+	if cfg.cluster {
+		fmt.Printf("target is a cluster coordinator: %d backends (%d up)\n", backends, up)
+	}
 
 	doc := benchFile{
 		Bench:     "sort-service overload sweep (closed-loop retry clients)",
@@ -358,6 +398,18 @@ func run(cfg config) error {
 		doc.Phases = phases
 		doc.ModelDriftMean = drift
 		printPhaseSummary(phases, drift)
+	}
+
+	if cfg.cluster {
+		cs, err := scrapeClusterStats(client, cfg.url, backends)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: cluster scrape:", err)
+		} else {
+			doc.Cluster = cs
+			fmt.Printf("cluster: %d jobs over %d partitions, %d retries, %d backpressure waits, merge stall %.2fs\n",
+				int(cs.Jobs), int(cs.Partitions), int(cs.PartitionRetries),
+				int(cs.PartitionBackoffs), cs.MergeStallSec)
+		}
 	}
 
 	raw, err := json.MarshalIndent(doc, "", "  ")
@@ -443,7 +495,10 @@ func runSpillPhase(client *http.Client, cfg config, binary bool) (*spillResult, 
 			sp.Failed++
 			continue
 		}
-		if !st.Spilled {
+		if !st.Spilled && !cfg.cluster {
+			// A coordinator never reports spilled: its big-job path is
+			// scatter/merge across backends, which is exactly what this
+			// phase then measures end to end.
 			return nil, fmt.Errorf("spill phase: %d-key job was not spilled — raise -spill-n past the server's DDR budget", cfg.spillN)
 		}
 		dlStart := time.Now()
@@ -688,6 +743,92 @@ func printPhaseSummary(phases map[string]phaseStat, drift float64) {
 	if drift > 0 {
 		fmt.Printf("model drift: measured/predicted run mean %.2fx\n", drift)
 	}
+}
+
+// probeCluster asks /healthz whether the target is a coordinator: a
+// single node has no "backends" array, a cluster tier always does.
+// Returns the fleet size and how many backends are currently up (0, 0
+// for a single node).
+func probeCluster(client *http.Client, url string) (backends, up int) {
+	resp, err := client.Get(url + "/healthz")
+	if err != nil {
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Backends []struct {
+			Up bool `json:"up"`
+		} `json:"backends"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&body) != nil {
+		return 0, 0
+	}
+	for _, b := range body.Backends {
+		if b.Up {
+			up++
+		}
+	}
+	return len(body.Backends), up
+}
+
+// scrapeClusterStats reads the coordinator's cluster_* families: the
+// labelless counters via the flat scrape, the per-backend routed bytes
+// from the labeled cluster_backend_bytes_routed_total series.
+func scrapeClusterStats(client *http.Client, url string, backends int) (*clusterStats, error) {
+	flat, err := scrapeMetrics(client, url)
+	if err != nil {
+		return nil, err
+	}
+	cs := &clusterStats{
+		Backends:          backends,
+		Jobs:              flat["cluster_jobs_total"],
+		JobsFailed:        flat["cluster_jobs_failed_total"],
+		Partitions:        flat["cluster_partitions_total"],
+		PartitionRetries:  flat["cluster_partition_retries_total"],
+		PartitionBackoffs: flat["cluster_partition_backoffs_total"],
+		Resamples:         flat["cluster_partition_resamples_total"],
+		MergeBytes:        flat["cluster_merge_bytes_total"],
+		MergeStallSec:     flat["cluster_merge_stall_seconds_total"],
+		BytesRouted:       make([]float64, backends),
+	}
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	const routedPrefix = `cluster_backend_bytes_routed_total{backend="`
+	const upPrefix = `cluster_backend_up{backend="`
+	for _, line := range strings.Split(string(raw), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		val, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		parseIdx := func(prefix string) (int, bool) {
+			if !strings.HasPrefix(fields[0], prefix) {
+				return 0, false
+			}
+			is, ok := strings.CutSuffix(fields[0][len(prefix):], `"}`)
+			if !ok {
+				return 0, false
+			}
+			i, err := strconv.Atoi(is)
+			return i, err == nil && i >= 0 && i < backends
+		}
+		if i, ok := parseIdx(routedPrefix); ok {
+			cs.BytesRouted[i] = val
+		} else if _, ok := parseIdx(upPrefix); ok && val > 0 {
+			cs.BackendsUp++
+		}
+	}
+	return cs, nil
 }
 
 // waitHealthy polls /healthz until the server answers 200.

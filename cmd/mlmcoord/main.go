@@ -1,0 +1,172 @@
+// Command mlmcoord runs the cluster coordinator: the distributed sort
+// tier's router (internal/cluster) fronting a fleet of mlmserve
+// backends with the same HTTP protocol a single node speaks.
+//
+// Examples:
+//
+//	mlmcoord -addr :9090 -backends http://127.0.0.1:8080,http://127.0.0.1:8081
+//	mlmcoord -addr 127.0.0.1:0 -backends "$B0,$B1" -sample-rate 0.02 -merge-threads 4
+//
+// Jobs are range-partitioned with sampled splitters sized to each
+// backend's polled capacity (Eq. 1-5 model on the node's own EWMA
+// rates, degraded by brownout level and queue depth), scattered as
+// binary wire uploads, and merged back into the client's download as a
+// windowed k-way merge of the backend result streams. A backend that
+// dies mid-job costs only the partitions it held; each is re-run on a
+// surviving node, resuming mid-stream where the download stopped.
+//
+// The chosen listen address is printed on one line ("mlmcoord listening
+// on ...") so wrappers binding port 0 can discover the port. SIGINT or
+// SIGTERM drains: /healthz flips to 503, new submissions are refused,
+// in-flight jobs finish, then the listener shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"knlmlm/internal/cluster"
+)
+
+type options struct {
+	addr         string
+	backends     string
+	sampleRate   float64
+	partsPerNode int
+	mergeThreads int
+	blockElems   int
+	retries      int
+	pollInterval time.Duration
+	retain       int
+	skewLimit    float64
+	seed         int64
+	drainTimeout time.Duration
+	logLevel     string
+	logJSON      bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":9090", "listen address (host:port; port 0 picks a free port)")
+	flag.StringVar(&o.backends, "backends", "", "comma-separated mlmserve base URLs (required)")
+	flag.Float64Var(&o.sampleRate, "sample-rate", 0, "fraction of keys sampled for splitter selection (0 = 0.01)")
+	flag.IntVar(&o.partsPerNode, "parts-per-backend", 0, "range partitions per backend per job (0 = 2)")
+	flag.IntVar(&o.mergeThreads, "merge-threads", 0, "thread budget for the result merge's read-ahead provisioning (0 = GOMAXPROCS)")
+	flag.IntVar(&o.blockElems, "merge-block-elems", 0, "merge emission granularity, elements per block (0 = 32768)")
+	flag.IntVar(&o.retries, "retries", 0, "failure-driven re-runs allowed per partition (0 = 4)")
+	flag.DurationVar(&o.pollInterval, "poll-interval", 0, "backend capacity poll cadence (0 = 500ms)")
+	flag.IntVar(&o.retain, "retain", 0, "terminal jobs retained for status lookup (0 = 64)")
+	flag.Float64Var(&o.skewLimit, "skew-limit", 0, "partition skew triggering a splitter resample (0 = 2.5)")
+	flag.Int64Var(&o.seed, "seed", 1, "splitter sampling seed")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "graceful-drain bound on shutdown")
+	flag.StringVar(&o.logLevel, "log-level", "info", "structured log level: debug, info, warn, error, or off")
+	flag.BoolVar(&o.logJSON, "log-json", false, "emit structured logs as JSON (default logfmt-style text)")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "mlmcoord:", err)
+		os.Exit(1)
+	}
+}
+
+func buildLogger(level string, asJSON bool) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	case "off", "none":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("-log-level %q: want debug, info, warn, error, or off", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	if asJSON {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+}
+
+func run(o options) error {
+	var backends []string
+	for _, b := range strings.Split(o.backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			backends = append(backends, b)
+		}
+	}
+	if len(backends) == 0 {
+		return fmt.Errorf("-backends is required (comma-separated mlmserve URLs)")
+	}
+	logger, err := buildLogger(o.logLevel, o.logJSON)
+	if err != nil {
+		return err
+	}
+
+	coord, err := cluster.New(cluster.Config{
+		Backends:        backends,
+		SampleRate:      o.sampleRate,
+		PartsPerBackend: o.partsPerNode,
+		MergeThreads:    o.mergeThreads,
+		MergeBlockElems: o.blockElems,
+		MaxRetries:      o.retries,
+		PollInterval:    o.pollInterval,
+		RetainJobs:      o.retain,
+		SkewLimit:       o.skewLimit,
+		Seed:            o.seed,
+		Logger:          logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	srv, err := cluster.NewServer(cluster.ServerConfig{Coordinator: coord})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mlmcoord listening on %s (%d backends)\n", ln.Addr(), len(backends))
+
+	hs := &http.Server{Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Printf("mlmcoord: %v — draining\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "mlmcoord: drain:", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Println("mlmcoord: drained")
+	return nil
+}

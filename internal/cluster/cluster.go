@@ -1,0 +1,659 @@
+// Package cluster is the distributed tier of the sort service: a
+// coordinator that fronts N mlmserve backends and presents the same
+// submit/status/result API a single node does, at the aggregate
+// bandwidth of the fleet.
+//
+// A job moves through three phases:
+//
+//   - Partition: the coordinator samples the keys, reads splitters off
+//     the sample's weighted quantiles, and scatters the keys into
+//     disjoint ranges sized to each backend's polled capacity (see
+//     router.go — weights come from the paper's Eq. 1-5 model solved
+//     with each node's own EWMA rates, degraded by brownout and queue
+//     depth).
+//   - Scatter: each partition is uploaded as one binary wire-format job
+//     (Expect: 100-continue, X-Deadline-Ms) and sorted remotely; the
+//     coordinator holds the wait=1 response until the remote sort is
+//     terminal.
+//   - Merge: the result download streams the per-partition wire
+//     downloads through a windowed k-way merge straight onto the
+//     client's socket — the cluster restatement of the single node's
+//     disk -> merge -> socket spill path, with backends playing disk.
+//
+// Fault tolerance is per partition, not per job: every partition is a
+// small state machine (assigned -> sorted -> streaming -> delivered)
+// whose keys the coordinator retains until delivery. A backend that dies
+// mid-sort or mid-stream fails only the partitions it held; each is
+// re-submitted to a surviving backend and, when it was already mid-
+// stream, the retry skips the elements the client already has — sound
+// because re-sorting the same keys is deterministic. Backpressure (429,
+// shed) is handled separately with bounded waits: an overloaded backend
+// is alive, and failing over a whole partition because of a full queue
+// would amplify the overload.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"knlmlm/internal/telemetry"
+)
+
+// ConnFaults injects connection-level failures for chaos testing;
+// *fault.Injector satisfies it. FailDial is consulted before each
+// request to a backend, FailStream before each read of a response
+// stream.
+type ConnFaults interface {
+	FailDial(backend int) bool
+	FailStream(backend int) bool
+}
+
+// Config describes a Coordinator.
+type Config struct {
+	// Backends are the mlmserve base URLs (http://host:port). Required.
+	Backends []string
+	// Registry receives the cluster_* metric families; nil selects a
+	// private registry.
+	Registry *telemetry.Registry
+	// SampleRate is the fraction of a job's keys sampled for splitter
+	// selection. Zero selects 0.01; the sample is floored at 8 keys per
+	// partition regardless.
+	SampleRate float64
+	// PartsPerBackend is how many range partitions each backend receives
+	// per job. More partitions smooth the retry granularity (a dead
+	// backend loses smaller pieces) at the cost of per-partition HTTP
+	// overhead. Zero selects 2.
+	PartsPerBackend int
+	// MergeThreads is the thread budget the result merge provisions its
+	// read-ahead and merge parallelism from. Zero selects GOMAXPROCS
+	// (floor 3, like the scheduler).
+	MergeThreads int
+	// MergeBlockElems is the merge emission granularity. Zero selects
+	// 32768 (256 KiB blocks, matching the wire frame default).
+	MergeBlockElems int
+	// MaxRetries bounds failure-driven re-runs per partition (backend
+	// death, severed streams). Zero selects 4.
+	MaxRetries int
+	// MaxBackoffs bounds backpressure waits per partition submit (429,
+	// shed). Zero selects 32 — backpressure resolves with time, so the
+	// budget is generous where the failure budget is tight.
+	MaxBackoffs int
+	// PollInterval is the capacity poll cadence. Zero selects 500ms.
+	PollInterval time.Duration
+	// RetainJobs bounds terminal jobs kept for status lookup. Zero
+	// selects 64.
+	RetainJobs int
+	// SkewLimit triggers a one-shot splitter resample when the worst
+	// partition exceeds this multiple of its weighted target. Zero
+	// selects 2.5.
+	SkewLimit float64
+	// ConnFaults, when non-nil, injects dial/stream failures (chaos).
+	ConnFaults ConnFaults
+	// Logger, when non-nil, receives job lifecycle events.
+	Logger *slog.Logger
+	// Client overrides the HTTP client used for backend traffic (tests).
+	// Nil builds one with Expect-Continue support and no overall timeout.
+	Client *http.Client
+	// Seed makes splitter sampling deterministic across runs. Zero is a
+	// valid seed.
+	Seed int64
+}
+
+// Coordinator routes sort jobs across the backend fleet.
+type Coordinator struct {
+	cfg        Config
+	reg        *telemetry.Registry
+	m          *metrics
+	backends   []*backend
+	client     *http.Client
+	pollClient *http.Client
+	logger     *slog.Logger
+
+	seq      atomic.Int64
+	probeSeq atomic.Int64
+	draining atomic.Bool
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	pollWG   sync.WaitGroup
+}
+
+// New builds a Coordinator and starts its capacity poller. Close stops
+// the poller; in-flight jobs are owned by their submitters' contexts.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("cluster: at least one backend is required")
+	}
+	if cfg.SampleRate <= 0 {
+		cfg.SampleRate = 0.01
+	}
+	if cfg.PartsPerBackend <= 0 {
+		cfg.PartsPerBackend = 2
+	}
+	if cfg.MergeThreads <= 0 {
+		cfg.MergeThreads = defaultMergeThreads()
+	}
+	if cfg.MergeThreads < 3 {
+		cfg.MergeThreads = 3
+	}
+	if cfg.MergeBlockElems <= 0 {
+		cfg.MergeBlockElems = 32768
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.MaxBackoffs <= 0 {
+		cfg.MaxBackoffs = 32
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 500 * time.Millisecond
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 64
+	}
+	if cfg.SkewLimit <= 0 {
+		cfg.SkewLimit = 2.5
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	client := cfg.Client
+	if client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.ExpectContinueTimeout = time.Second
+		tr.MaxIdleConnsPerHost = 16
+		client = &http.Client{Transport: tr}
+	}
+	c := &Coordinator{
+		cfg:        cfg,
+		reg:        reg,
+		m:          newMetrics(reg, len(cfg.Backends)),
+		client:     client,
+		pollClient: &http.Client{Transport: client.Transport, Timeout: 2 * time.Second},
+		logger:     cfg.Logger,
+		jobs:       map[string]*Job{},
+		stop:       make(chan struct{}),
+	}
+	if c.logger == nil {
+		c.logger = slog.New(discardHandler{})
+	}
+	for i, base := range cfg.Backends {
+		c.backends = append(c.backends, &backend{
+			idx:         i,
+			base:        base,
+			client:      client,
+			faults:      cfg.ConnFaults,
+			bytesRouted: c.m.bytesRouted[i],
+			upGauge:     c.m.backendUp[i],
+		})
+	}
+	c.pollAll()
+	c.pollWG.Add(1)
+	go c.pollLoop()
+	return c, nil
+}
+
+func (c *Coordinator) pollLoop() {
+	defer c.pollWG.Done()
+	t := time.NewTicker(c.cfg.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.pollAll()
+		}
+	}
+}
+
+// Close stops the capacity poller. It does not cancel in-flight jobs.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.pollWG.Wait()
+}
+
+// Registry exposes the coordinator's metric registry (for /metrics).
+func (c *Coordinator) Registry() *telemetry.Registry { return c.reg }
+
+// jobOptions are the per-job knobs forwarded to every partition submit.
+type jobOptions struct {
+	Priority     int
+	DeadlineMS   int64
+	Algorithm    string
+	MegachunkLen int
+}
+
+// Job state names mirror the single-node wire form so clients see one
+// vocabulary across tiers.
+const (
+	stateRunning = "running"
+	stateDone    = "done"
+	stateFailed  = "failed"
+)
+
+// partState is one partition's position in its lifecycle.
+type partState int32
+
+const (
+	partAssigned partState = iota
+	partSorted
+	partStreaming
+	partDelivered
+	partFailed
+)
+
+func (s partState) String() string {
+	switch s {
+	case partAssigned:
+		return "assigned"
+	case partSorted:
+		return "sorted"
+	case partStreaming:
+		return "streaming"
+	case partDelivered:
+		return "delivered"
+	default:
+		return "failed"
+	}
+}
+
+// part is one range partition's state machine. Its keys are retained —
+// and re-submittable — until the partition's bytes have been delivered
+// into the merged result stream.
+type part struct {
+	idx  int
+	keys []int64
+
+	mu       sync.Mutex
+	state    partState
+	backend  *backend
+	remoteID string
+	retries  int
+	sent     int64 // elements already delivered into the merge
+}
+
+func (p *part) setState(s partState) {
+	p.mu.Lock()
+	p.state = s
+	p.mu.Unlock()
+}
+
+// Job is one cluster sort.
+type Job struct {
+	id    string
+	coord *Coordinator
+	n     int
+	opts  jobOptions
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	state     string
+	err       error
+	parts     []*part
+	skew      float64
+	resampled bool
+	consumed  bool
+	enq       time.Time
+	started   time.Time
+	fin       time.Time
+}
+
+// ID, N, State, Err, Skew: status accessors.
+func (j *Job) ID() string { return j.id }
+func (j *Job) N() int     { return j.n }
+
+func (j *Job) State() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Skew reports the job's measured partition skew and whether the
+// splitter sample was retaken.
+func (j *Job) Skew() (float64, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.skew, j.resampled
+}
+
+// Times reports enqueue/start/finish instants (zero when not reached).
+func (j *Job) Times() (enq, started, fin time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.enq, j.started, j.fin
+}
+
+// Retries sums failure-driven re-runs across the job's partitions.
+func (j *Job) Retries() int {
+	j.mu.Lock()
+	parts := j.parts
+	j.mu.Unlock()
+	total := 0
+	for _, p := range parts {
+		p.mu.Lock()
+		total += p.retries
+		p.mu.Unlock()
+	}
+	return total
+}
+
+// Wait blocks until the job is terminal or ctx is done.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Cancel aborts the job: scatter and merge stop, and every submitted
+// remote partition job is best-effort cancelled.
+func (j *Job) Cancel() {
+	j.cancel()
+	j.mu.Lock()
+	parts := j.parts
+	j.mu.Unlock()
+	for _, p := range parts {
+		p.mu.Lock()
+		b, id := p.backend, p.remoteID
+		p.mu.Unlock()
+		if b != nil && id != "" {
+			go b.cancelRemote(id)
+		}
+	}
+}
+
+// Submit accepts a cluster sort job and starts its partition/scatter
+// pipeline asynchronously; the returned Job tracks it. The coordinator
+// owns keys until the job is evicted from retention.
+func (c *Coordinator) Submit(keys []int64, opts jobOptions) (*Job, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("cluster: keys must be non-empty")
+	}
+	if c.draining.Load() {
+		return nil, errDraining
+	}
+	seq := c.seq.Add(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		id:     fmt.Sprintf("c%08d", seq),
+		coord:  c,
+		n:      len(keys),
+		opts:   opts,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		state:  stateRunning,
+		enq:    time.Now(),
+	}
+	c.m.jobs.Add(1)
+	c.retain(j)
+	go c.run(j, keys, seq)
+	return j, nil
+}
+
+var errDraining = errors.New("cluster: coordinator is draining")
+
+// run executes the partition and scatter phases. The job turns Done when
+// every partition is sorted on some backend; the merge happens at result
+// download time, mirroring the single node's deferred spill merge.
+func (c *Coordinator) run(j *Job, keys []int64, seq int64) {
+	j.mu.Lock()
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	weights := c.weights()
+	nparts := len(c.backends) * c.cfg.PartsPerBackend
+	if nparts > len(keys) {
+		nparts = len(keys)
+	}
+	// Partition p goes to backend p mod B, so each backend's share is
+	// spread across the keyspace and its weight splits evenly over its
+	// partitions.
+	pw := make([]float64, nparts)
+	for p := range pw {
+		pw[p] = weights[p%len(c.backends)]
+	}
+	rng := rand.New(rand.NewSource(c.cfg.Seed ^ int64(uint64(seq)*0x9e3779b97f4a7c15)))
+	pl := partition(keys, pw, c.cfg.SampleRate, c.cfg.SkewLimit, rng)
+	c.m.skew.Observe(pl.skew)
+	if pl.resampled {
+		c.m.resamples.Add(1)
+	}
+
+	parts := make([]*part, 0, len(pl.parts))
+	for i, pk := range pl.parts {
+		parts = append(parts, &part{idx: i, keys: pk, backend: c.backends[i%len(c.backends)]})
+	}
+	c.m.partitions.Add(int64(len(parts)))
+	j.mu.Lock()
+	j.parts = parts
+	j.skew = pl.skew
+	j.resampled = pl.resampled
+	j.mu.Unlock()
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(parts))
+	for i, p := range parts {
+		if len(p.keys) == 0 {
+			p.setState(partSorted)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, p *part) {
+			defer wg.Done()
+			errs[i] = c.submitPart(j.ctx, j, p)
+		}(i, p)
+	}
+	wg.Wait()
+
+	var failed error
+	for _, e := range errs {
+		if e != nil {
+			failed = e
+			break
+		}
+	}
+	j.mu.Lock()
+	j.fin = time.Now()
+	if failed != nil {
+		j.state = stateFailed
+		j.err = failed
+	} else {
+		j.state = stateDone
+	}
+	j.mu.Unlock()
+	if failed != nil {
+		c.m.jobsFailed.Add(1)
+		c.logger.Warn("cluster job failed", "job", j.id, "err", failed)
+	} else {
+		c.logger.Info("cluster job sorted", "job", j.id, "n", j.n,
+			"parts", len(parts), "skew", fmt.Sprintf("%.2f", pl.skew), "retries", j.Retries())
+	}
+	close(j.done)
+}
+
+// submitPart drives one partition to the sorted state: upload, remote
+// sort, and on failure the bounded retry ladder — backpressure waits on
+// the same backend, hard failures fail over to the best surviving one.
+// ctx is the phase that owns the submit: the scatter context at job
+// admission, the download context for a mid-stream re-run.
+func (c *Coordinator) submitPart(ctx context.Context, j *Job, p *part) error {
+	backoffs := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p.mu.Lock()
+		b := p.backend
+		p.mu.Unlock()
+		id, err := b.submitSorted(ctx, p.keys, j.opts)
+		if err == nil {
+			p.mu.Lock()
+			p.remoteID = id
+			p.state = partSorted
+			p.mu.Unlock()
+			return nil
+		}
+		var bp *backpressureError
+		if errors.As(err, &bp) {
+			backoffs++
+			c.m.backoffs.Add(1)
+			if backoffs > c.cfg.MaxBackoffs {
+				return fmt.Errorf("cluster: partition %d exhausted backpressure budget: %w", p.idx, err)
+			}
+			select {
+			case <-time.After(bp.retryAfter):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
+		}
+		p.mu.Lock()
+		p.retries++
+		exhausted := p.retries > c.cfg.MaxRetries
+		p.mu.Unlock()
+		if exhausted {
+			p.setState(partFailed)
+			return fmt.Errorf("cluster: partition %d exhausted retries: %w", p.idx, err)
+		}
+		c.m.retries.Add(1)
+		next := c.pickBackend(b.idx)
+		c.logger.Warn("cluster partition failover", "job", j.id, "part", p.idx,
+			"from", b.idx, "to", next.idx, "err", err)
+		p.mu.Lock()
+		p.backend = next
+		p.remoteID = ""
+		p.mu.Unlock()
+	}
+}
+
+// retain remembers the job for status lookup, evicting the oldest
+// terminal jobs past the retention bound (their partition keys go with
+// them).
+func (c *Coordinator) retain(j *Job) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.jobs[j.id] = j
+	c.order = append(c.order, j.id)
+	for len(c.order) > c.cfg.RetainJobs {
+		id := c.order[0]
+		old := c.jobs[id]
+		if old != nil {
+			select {
+			case <-old.done:
+			default:
+				return // oldest still running; retention waits
+			}
+		}
+		c.order = c.order[1:]
+		delete(c.jobs, id)
+		if old != nil {
+			old.release()
+		}
+	}
+}
+
+// release drops a job's retained partition keys.
+func (j *Job) release() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, p := range j.parts {
+		p.mu.Lock()
+		p.keys = nil
+		p.mu.Unlock()
+	}
+}
+
+// Lookup finds a job by ID.
+func (c *Coordinator) Lookup(id string) (*Job, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+// Drain refuses new submissions and waits for in-flight jobs to turn
+// terminal (or ctx to expire).
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.draining.Store(true)
+	c.mu.Lock()
+	jobs := make([]*Job, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		jobs = append(jobs, j)
+	}
+	c.mu.Unlock()
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Draining reports whether Drain has been called.
+func (c *Coordinator) Draining() bool { return c.draining.Load() }
+
+// backendViews snapshots per-backend health for /healthz, in index
+// order.
+type backendView struct {
+	Index    int      `json:"index"`
+	Addr     string   `json:"addr"`
+	Up       bool     `json:"up"`
+	Weight   float64  `json:"weight"`
+	Capacity capacity `json:"capacity"`
+}
+
+func (c *Coordinator) backendViews() []backendView {
+	w := c.weights()
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	out := make([]backendView, len(c.backends))
+	for i, b := range c.backends {
+		up, cap := b.snapshot()
+		share := 0.0
+		if sum > 0 {
+			share = w[i] / sum
+		}
+		out[i] = backendView{Index: i, Addr: b.base, Up: up, Weight: share, Capacity: cap}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Index < out[b].Index })
+	return out
+}
+
+// discardHandler is a no-op slog handler (slog.DiscardHandler arrives in
+// Go 1.24's stdlib as slog.DiscardHandler; this keeps the floor lower).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

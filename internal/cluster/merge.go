@@ -1,0 +1,401 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"knlmlm/internal/psort"
+	"knlmlm/internal/tune"
+	"knlmlm/internal/units"
+)
+
+// The result merge is the cluster restatement of the single node's
+// spill merge: partition downloads play the run files, the network plays
+// the disk, and the merged stream goes straight to the caller without
+// ever materializing. Partitions are range-disjoint and ordered, so the
+// k-way merge over a sliding window of streams degenerates to ordered
+// concatenation with prefetch — but the merge does not rely on that:
+// within the window it merges by value (psort.MergeK /
+// psort.ParallelMergeK over safe prefixes), so a partitioner bug would
+// cost balance, never correctness.
+//
+// The window width — how many backend streams download concurrently —
+// is provisioned by the same Equation 1-5 solve the spill tier uses for
+// disk read-ahead (tune.SpillReadAhead), with the backends' polled EWMA
+// copy rate as the per-stream source rate and their compute rate as the
+// merge's consumption rate.
+//
+// Fault tolerance: a stream that dies mid-download (backend SIGKILL,
+// severed connection, evicted remote result) is recovered by
+// re-submitting that partition's retained keys to a surviving backend
+// and skipping the elements already handed to the merge — sound because
+// re-sorting the same multiset is deterministic, so the retried stream
+// is byte-identical to the lost one.
+
+// ErrResultConsumed mirrors the single node's consume-once contract: the
+// merged stream releases each partition's retained keys as it completes,
+// so it can only be taken once.
+var ErrResultConsumed = errors.New("cluster: result already consumed")
+
+// ErrNotReady reports a result request for a job that is not Done.
+var ErrNotReady = errors.New("cluster: job not done")
+
+func defaultMergeThreads() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 3 {
+		n = 3
+	}
+	return n
+}
+
+// readAheadWidth provisions the merge's concurrent-download window from
+// the fleet's polled rates. No live capacity data (cold start, full
+// outage) falls back to 2: one stream draining, one prefetching.
+func (c *Coordinator) readAheadWidth(parts, n int) int {
+	var copyBps, compBps float64
+	live := 0
+	for _, b := range c.backends {
+		if up, cap := b.snapshot(); up && cap.EWMACopyBps > 0 && cap.EWMACompBps > 0 {
+			copyBps += cap.EWMACopyBps
+			compBps += cap.EWMACompBps
+			live++
+		}
+	}
+	w := 2
+	if live > 0 {
+		w = tune.SpillReadAhead(
+			units.BytesPerSec(copyBps/float64(live)),
+			units.BytesPerSec(compBps/float64(live)),
+			c.cfg.MergeThreads,
+			units.Bytes(int64(n)*8))
+		if w < 2 {
+			w = 2
+		}
+	}
+	if w > parts {
+		w = parts
+	}
+	return w
+}
+
+// partStream is the merge-side handle on one partition's download: a
+// channel of decoded batches fed by a fill goroutine, with the terminal
+// error (nil on success) readable after the channel closes.
+type partStream struct {
+	p   *part
+	ch  chan []int64
+	err error
+}
+
+// StreamResult merges the job's sorted partitions into emit, in order,
+// batch by batch. It is consume-once; the emitted element count is
+// returned. Cancelling ctx aborts the downloads and the merge.
+func (j *Job) StreamResult(ctx context.Context, emit func([]int64) error) (int64, error) {
+	j.mu.Lock()
+	switch {
+	case j.state == stateRunning:
+		j.mu.Unlock()
+		return 0, ErrNotReady
+	case j.state == stateFailed:
+		err := j.err
+		j.mu.Unlock()
+		return 0, err
+	case j.consumed:
+		j.mu.Unlock()
+		return 0, ErrResultConsumed
+	}
+	j.consumed = true
+	parts := j.parts
+	j.mu.Unlock()
+
+	live := make([]*part, 0, len(parts))
+	for _, p := range parts {
+		if len(p.keys) > 0 {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		return 0, nil
+	}
+
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	width := j.coord.readAheadWidth(len(live), j.n)
+	streams := make([]*partStream, len(live))
+	fillDone := make([]chan struct{}, len(live))
+	for i, p := range live {
+		streams[i] = &partStream{p: p, ch: make(chan []int64, 1)}
+		fillDone[i] = make(chan struct{})
+	}
+	for i := range streams {
+		go func(i int) {
+			defer close(fillDone[i])
+			s := streams[i]
+			defer close(s.ch)
+			// Ordered sliding window: stream i starts once stream i-width
+			// has fully delivered, so at most `width` downloads are in
+			// flight and they are always the next ranges the merge needs.
+			if i >= width {
+				select {
+				case <-fillDone[i-width]:
+				case <-sctx.Done():
+					s.err = sctx.Err()
+					return
+				}
+			}
+			s.err = j.coord.fillPart(sctx, j, s)
+		}(i)
+	}
+
+	n, err := j.mergeStreams(sctx, streams, width, emit)
+	if err != nil {
+		cancel()
+		// Drain fills so their goroutines exit before we return.
+		for _, ch := range fillDone {
+			<-ch
+		}
+		return n, err
+	}
+	j.release()
+	return n, nil
+}
+
+// mergeStreams runs the windowed merge over the partition streams.
+func (j *Job) mergeStreams(ctx context.Context, streams []*partStream, width int, emit func([]int64) error) (int64, error) {
+	m := j.coord.m
+	heads := make([][]int64, len(streams))
+	exhausted := make([]bool, len(streams))
+	var delivered int64
+	var stall time.Duration
+	defer func() { m.mergeStall.Add(stall.Seconds()) }()
+
+	base := 0
+	for base < len(streams) {
+		hi := base + width
+		if hi > len(streams) {
+			hi = len(streams)
+		}
+		// Fill the window: every live stream must have a buffered batch
+		// before a safe emission bound exists. Time blocked here with
+		// nothing mergeable is merge stall — the tier's pipeline bubble.
+		liveHeads := 0
+		for i := base; i < hi; i++ {
+			if exhausted[i] || len(heads[i]) > 0 {
+				if !exhausted[i] {
+					liveHeads++
+				}
+				continue
+			}
+			t0 := time.Now()
+			batch, ok := <-streams[i].ch
+			stall += time.Since(t0)
+			if !ok {
+				if err := streams[i].err; err != nil {
+					return delivered, err
+				}
+				exhausted[i] = true
+				continue
+			}
+			heads[i] = batch
+			liveHeads++
+		}
+		if liveHeads == 0 {
+			base = hi
+			continue
+		}
+		// Safe bound: the minimum over live window streams of the last
+		// buffered element. Every stream's future elements are >= its last
+		// buffered one, so everything <= bound is final.
+		var bound int64
+		first := true
+		for i := base; i < hi; i++ {
+			if len(heads[i]) == 0 {
+				continue
+			}
+			if last := heads[i][len(heads[i])-1]; first || last < bound {
+				bound, first = last, false
+			}
+		}
+		prefixes := make([][]int64, 0, hi-base)
+		total := 0
+		for i := base; i < hi; i++ {
+			h := heads[i]
+			if len(h) == 0 {
+				continue
+			}
+			cut := sort.Search(len(h), func(k int) bool { return h[k] > bound })
+			if cut == 0 {
+				continue
+			}
+			prefixes = append(prefixes, h[:cut])
+			heads[i] = h[cut:]
+			total += cut
+		}
+		if total == 0 {
+			// Cannot happen: the bound-defining stream always contributes
+			// its whole head. Guard against looping forever anyway.
+			return delivered, fmt.Errorf("cluster: merge made no progress at base %d", base)
+		}
+		var block []int64
+		if len(prefixes) == 1 {
+			block = prefixes[0]
+		} else {
+			block = make([]int64, total)
+			if total > 64<<10 && j.coord.cfg.MergeThreads > 1 {
+				psort.ParallelMergeK(block, prefixes, j.coord.cfg.MergeThreads)
+			} else {
+				psort.MergeK(block, prefixes...)
+			}
+		}
+		if err := emit(block); err != nil {
+			return delivered, err
+		}
+		delivered += int64(total)
+		m.mergeBytes.Add(int64(total) * 8)
+		// Advance past fully-drained exhausted streams at the window head.
+		for base < len(streams) && exhausted[base] && len(heads[base]) == 0 {
+			base++
+		}
+		if err := ctx.Err(); err != nil {
+			return delivered, err
+		}
+	}
+	if delivered != int64(totalLive(streams)) {
+		return delivered, fmt.Errorf("cluster: merge delivered %d of %d elements", delivered, totalLive(streams))
+	}
+	return delivered, nil
+}
+
+func totalLive(streams []*partStream) int {
+	n := 0
+	for _, s := range streams {
+		n += int(s.p.sentTotal())
+	}
+	return n
+}
+
+func (p *part) sentTotal() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sent
+}
+
+// fillPart drives one partition's download to completion, re-running the
+// partition on a surviving backend when its stream dies. Batches go to
+// s.ch; on return the partition is delivered (nil) or failed (error).
+func (c *Coordinator) fillPart(ctx context.Context, j *Job, s *partStream) error {
+	p := s.p
+	for {
+		err := c.streamOnce(ctx, s)
+		if err == nil {
+			p.mu.Lock()
+			p.state = partDelivered
+			p.keys = nil // delivered in full; no retry can need them again
+			p.mu.Unlock()
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var de *dialError
+		if !errors.As(err, &de) {
+			p.setState(partFailed)
+			return err
+		}
+		p.mu.Lock()
+		p.retries++
+		from := p.backend.idx
+		exhausted := p.retries > c.cfg.MaxRetries
+		p.mu.Unlock()
+		if exhausted {
+			p.setState(partFailed)
+			return fmt.Errorf("cluster: partition %d exhausted retries mid-stream: %w", p.idx, err)
+		}
+		c.m.retries.Add(1)
+		next := c.pickBackend(from)
+		c.logger.Warn("cluster partition stream failover", "job", j.id, "part", p.idx,
+			"from", from, "to", next.idx, "sent", p.sentTotal(), "err", err)
+		p.mu.Lock()
+		p.backend = next
+		p.remoteID = ""
+		p.mu.Unlock()
+		// Re-run the lost partition remotely (submitPart has its own
+		// backpressure ladder); the next streamOnce skips what was sent.
+		if serr := c.submitPart(ctx, j, p); serr != nil {
+			p.setState(partFailed)
+			return serr
+		}
+	}
+}
+
+// streamOnce opens the partition's current remote result and forwards
+// decoded batches, skipping the prefix a previous attempt already
+// delivered. Transport-level failures come back as *dialError
+// (retryable); anything structural (a remote result of the wrong size)
+// is terminal.
+func (c *Coordinator) streamOnce(ctx context.Context, s *partStream) error {
+	p := s.p
+	p.mu.Lock()
+	b, id, skip, want := p.backend, p.remoteID, p.sent, int64(len(p.keys))
+	p.state = partStreaming
+	p.mu.Unlock()
+	if id == "" {
+		return &dialError{backend: b.idx, err: errors.New("partition has no remote job")}
+	}
+	fr, closer, err := b.openStream(ctx, id)
+	if err != nil {
+		return err
+	}
+	defer closer.Close()
+	if fr.Total() != want {
+		return fmt.Errorf("cluster: backend %d returned %d elements for a %d-element partition", b.idx, fr.Total(), want)
+	}
+	block := c.cfg.MergeBlockElems
+	var scratch []int64
+	for skip > 0 {
+		if scratch == nil {
+			scratch = make([]int64, block)
+		}
+		n := int64(len(scratch))
+		if n > skip {
+			n = skip
+		}
+		got, err := fr.ReadBatch(scratch[:n])
+		if err != nil {
+			b.markDown()
+			return &dialError{backend: b.idx, err: err}
+		}
+		skip -= int64(got)
+	}
+	for {
+		buf := make([]int64, block)
+		n, err := fr.ReadBatch(buf)
+		if n > 0 {
+			select {
+			case s.ch <- buf[:n]:
+				p.mu.Lock()
+				p.sent += int64(n)
+				p.mu.Unlock()
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if err == io.EOF {
+			if ferr := fr.Finish(); ferr != nil {
+				b.markDown()
+				return &dialError{backend: b.idx, err: ferr}
+			}
+			return nil
+		}
+		if err != nil {
+			b.markDown()
+			return &dialError{backend: b.idx, err: err}
+		}
+	}
+}

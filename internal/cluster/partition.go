@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Range partitioning: the coordinator splits a job's keys into P
+// disjoint key ranges sized to the backends' measured capacity, so each
+// backend sorts a share proportional to what it can actually absorb and
+// the final merge degenerates to ordered streams.
+//
+// Splitters come from a sorted random sample. Sampling is the only pass
+// the coordinator makes over the keys before scatter, so its cost is
+// bounded by the sample rate; the skew guard below catches the rare bad
+// sample. Duplicate keys never straddle a splitter — partition i holds
+// [splitter[i-1], splitter[i]) — so equal keys always land together and
+// the concatenated partition results are a correct total order.
+
+// plan is one partitioning decision: P-1 splitters plus the measured
+// outcome of applying them.
+type plan struct {
+	// splitters are the P-1 range bounds; partition i holds keys k with
+	// splitters[i-1] <= k < splitters[i] (open ends at the extremes).
+	splitters []int64
+	// parts are the scattered key slices, one per partition, in range
+	// order.
+	parts [][]int64
+	// skew is the worst partition's overfill ratio: its actual size over
+	// its weight-proportional target. 1.0 is a perfect split.
+	skew float64
+	// resampled reports whether the skew guard forced a second, larger
+	// sample.
+	resampled bool
+}
+
+// sampleSplitters draws a random sample of keys, sorts it, and reads the
+// splitters off the sample's weighted quantiles: partition i's target
+// share is weights[i] of the total, so its splitter sits at the sample
+// index where the cumulative weight crosses. sampleLen is clamped to
+// [parts*8, len(keys)] — too small a sample cannot resolve P quantiles.
+func sampleSplitters(keys []int64, weights []float64, sampleLen int, rng *rand.Rand) []int64 {
+	parts := len(weights)
+	if sampleLen < parts*8 {
+		sampleLen = parts * 8
+	}
+	if sampleLen > len(keys) {
+		sampleLen = len(keys)
+	}
+	sample := make([]int64, sampleLen)
+	if sampleLen == len(keys) {
+		copy(sample, keys)
+	} else {
+		for i := range sample {
+			sample[i] = keys[rng.Intn(len(keys))]
+		}
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	splitters := make([]int64, 0, parts-1)
+	cum := 0.0
+	for i := 0; i < parts-1; i++ {
+		cum += weights[i] / wsum
+		idx := int(cum * float64(len(sample)))
+		if idx >= len(sample) {
+			idx = len(sample) - 1
+		}
+		splitters = append(splitters, sample[idx])
+	}
+	return splitters
+}
+
+// scatter routes every key to its range partition. The per-key decision
+// is a binary search over the splitters (first i with key < splitters[i];
+// past the last splitter means the final partition), so duplicates of a
+// splitter value all take the same branch and stay together.
+func scatter(keys []int64, splitters []int64, weights []float64) [][]int64 {
+	parts := len(splitters) + 1
+	out := make([][]int64, parts)
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	for i := range out {
+		// Pre-size to the weighted target with a little slack; a resample
+		// decision is cheaper than chasing exact capacity.
+		target := int(float64(len(keys))*weights[i]/wsum) + 16
+		out[i] = make([]int64, 0, target+target/8)
+	}
+	for _, k := range keys {
+		p := sort.Search(len(splitters), func(i int) bool { return k < splitters[i] })
+		out[p] = append(out[p], k)
+	}
+	return out
+}
+
+// planSkew measures the worst overfill: partition size relative to its
+// weight-proportional target. Empty targets (zero weight) are guarded by
+// the router's weight floor.
+func planSkew(parts [][]int64, weights []float64, n int) float64 {
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	worst := 0.0
+	for i, p := range parts {
+		target := float64(n) * weights[i] / wsum
+		if target < 1 {
+			target = 1
+		}
+		if r := float64(len(p)) / target; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// partition builds the job's scatter plan: sample, split, measure skew,
+// and — when the sample produced a partition more than skewLimit times
+// its target — resample once at 4x the sample size and keep the better
+// plan. One bounded retry: a pathological key distribution (all keys
+// equal, say) cannot be fixed by sampling harder, and the merge is
+// correct under any skew; the limit only protects balance.
+func partition(keys []int64, weights []float64, sampleRate, skewLimit float64, rng *rand.Rand) plan {
+	if len(weights) == 1 {
+		return plan{parts: [][]int64{keys}, skew: 1}
+	}
+	sampleLen := int(sampleRate * float64(len(keys)))
+	pl := plan{splitters: sampleSplitters(keys, weights, sampleLen, rng)}
+	pl.parts = scatter(keys, pl.splitters, weights)
+	pl.skew = planSkew(pl.parts, weights, len(keys))
+	if pl.skew <= skewLimit {
+		return pl
+	}
+	re := plan{
+		splitters: sampleSplitters(keys, weights, 4*sampleLen, rng),
+		resampled: true,
+	}
+	re.parts = scatter(keys, re.splitters, weights)
+	re.skew = planSkew(re.parts, weights, len(keys))
+	if re.skew < pl.skew {
+		return re
+	}
+	pl.resampled = true
+	return pl
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func checkScatter(t *testing.T, keys []int64, pl plan) {
+	t.Helper()
+	total := 0
+	for _, p := range pl.parts {
+		total += len(p)
+	}
+	if total != len(keys) {
+		t.Fatalf("scatter lost keys: %d of %d", total, len(keys))
+	}
+	// Ranges must be disjoint and ordered: every element of partition i
+	// is strictly below every element of partition i+1 once duplicates
+	// are pinned to one side — i.e. max(part i) < min(part i+1) OR the
+	// boundary value appears only on one side.
+	for i := 0; i+1 < len(pl.parts); i++ {
+		a, b := pl.parts[i], pl.parts[i+1]
+		if len(a) == 0 || len(b) == 0 {
+			continue
+		}
+		maxA, minB := a[0], b[0]
+		for _, v := range a {
+			if v > maxA {
+				maxA = v
+			}
+		}
+		for _, v := range b {
+			if v < minB {
+				minB = v
+			}
+		}
+		if maxA >= minB {
+			t.Fatalf("partitions %d and %d overlap: max %d >= min %d", i, i+1, maxA, minB)
+		}
+	}
+}
+
+func TestPartitionDisjointAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]int64, 40000)
+	for i := range keys {
+		keys[i] = rng.Int63n(1 << 40)
+	}
+	weights := []float64{1, 1, 1, 1}
+	pl := partition(keys, weights, 0.02, 2.5, rng)
+	if len(pl.parts) != 4 || len(pl.splitters) != 3 {
+		t.Fatalf("got %d parts / %d splitters, want 4/3", len(pl.parts), len(pl.splitters))
+	}
+	checkScatter(t, keys, pl)
+	if pl.skew > 1.6 {
+		t.Fatalf("uniform keys, equal weights: skew %.2f implausibly high", pl.skew)
+	}
+}
+
+func TestPartitionWeightedShares(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]int64, 60000)
+	for i := range keys {
+		keys[i] = rng.Int63()
+	}
+	// Backend capacities 3:1 — the heavy partition should get about 3x
+	// the keys of the light one.
+	weights := []float64{3, 1}
+	pl := partition(keys, weights, 0.02, 2.5, rng)
+	checkScatter(t, keys, pl)
+	ratio := float64(len(pl.parts[0])) / float64(len(pl.parts[1]))
+	if ratio < 2.2 || ratio > 4.0 {
+		t.Fatalf("weighted 3:1 split produced ratio %.2f (sizes %d/%d)",
+			ratio, len(pl.parts[0]), len(pl.parts[1]))
+	}
+}
+
+func TestPartitionDuplicatesStayTogether(t *testing.T) {
+	// Heavy duplication: only 5 distinct values across 10k keys. Each
+	// distinct value must land in exactly one partition.
+	rng := rand.New(rand.NewSource(99))
+	keys := make([]int64, 10000)
+	for i := range keys {
+		keys[i] = int64(rng.Intn(5)) * 1000
+	}
+	pl := partition(keys, []float64{1, 1, 1}, 0.05, 2.5, rng)
+	checkScatter(t, keys, pl)
+	home := map[int64]int{}
+	for pi, p := range pl.parts {
+		for _, v := range p {
+			if prev, seen := home[v]; seen && prev != pi {
+				t.Fatalf("value %d split across partitions %d and %d", v, prev, pi)
+			}
+			home[v] = pi
+		}
+	}
+}
+
+func TestPartitionSkewGuardResamples(t *testing.T) {
+	// All keys identical: no splitter set can balance this, so the skew
+	// guard must fire its one resample and then accept the plan rather
+	// than loop.
+	keys := make([]int64, 8000)
+	rng := rand.New(rand.NewSource(3))
+	pl := partition(keys, []float64{1, 1, 1, 1}, 0.02, 1.5, rng)
+	checkScatter(t, keys, pl)
+	if !pl.resampled {
+		t.Fatal("degenerate distribution did not trigger the skew resample")
+	}
+	if pl.skew < 3.9 {
+		t.Fatalf("all-equal keys in 4 parts: skew %.2f, want ~4", pl.skew)
+	}
+}
+
+func TestPartitionSinglePartPassthrough(t *testing.T) {
+	keys := []int64{5, 3, 1}
+	pl := partition(keys, []float64{1}, 0.1, 2.5, rand.New(rand.NewSource(1)))
+	if len(pl.parts) != 1 || len(pl.parts[0]) != 3 {
+		t.Fatalf("single-part plan mangled the keys: %+v", pl.parts)
+	}
+}
+
+func TestSampleSplittersSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	keys := make([]int64, 5000)
+	for i := range keys {
+		keys[i] = rng.Int63()
+	}
+	sp := sampleSplitters(keys, []float64{1, 2, 1, 2}, 200, rng)
+	if !sort.SliceIsSorted(sp, func(i, j int) bool { return sp[i] < sp[j] }) {
+		t.Fatalf("splitters not sorted: %v", sp)
+	}
+}

@@ -39,11 +39,19 @@ const (
 	// Stage discriminates direction: StageCopyOut targets writes,
 	// StageCopyIn targets reads.
 	IOFail
+	// ConnKill severs network connectivity to one backend of a
+	// distributed tier (consulted by the cluster coordinator's transport
+	// via FailDial/FailStream, not by stage wrapping). The spec's Stage
+	// discriminates the failure mode: StageCopyIn refuses new dials to
+	// the target backend, StageCopyOut cuts an in-flight response stream
+	// mid-read — the two ways a SIGKILLed peer manifests to a client.
+	// The Chunks list targets backend indices.
+	ConnKill
 	// NumKinds is the number of fault kinds.
 	NumKinds
 )
 
-var kindNames = [NumKinds]string{"error", "panic", "latency", "alloc-fail", "io-fail"}
+var kindNames = [NumKinds]string{"error", "panic", "latency", "alloc-fail", "io-fail", "conn-kill"}
 
 // String names the kind.
 func (k Kind) String() string {
@@ -132,6 +140,7 @@ type Injector struct {
 	attempts map[siteKey]int // invocation count per (stage, chunk)
 	allocs   map[int]int     // allocation-attempt count per chunk
 	ios      map[siteKey]int // spill IO attempt count per (direction, run)
+	conns    map[siteKey]int // connection-attempt count per (mode, backend)
 	perChunk map[specSiteKey]int
 	perSpec  []int
 	byKind   [NumKinds]int64
@@ -161,6 +170,7 @@ func NewInjector(seed int64, specs ...Spec) (*Injector, error) {
 		attempts: map[siteKey]int{},
 		allocs:   map[int]int{},
 		ios:      map[siteKey]int{},
+		conns:    map[siteKey]int{},
 		perChunk: map[specSiteKey]int{},
 		perSpec:  make([]int, len(specs)),
 	}, nil
@@ -237,7 +247,7 @@ func (in *Injector) decide(stage exec.Stage, chunk int) (sleep time.Duration, fa
 	attempt := in.attempts[site]
 	failure = NumKinds
 	for idx, s := range in.specs {
-		if s.Kind == AllocFail || s.Kind == IOFail || s.Stage != stage {
+		if s.Kind == AllocFail || s.Kind == IOFail || s.Kind == ConnKill || s.Stage != stage {
 			continue
 		}
 		if s.Kind == Latency {
@@ -333,6 +343,49 @@ func (in *Injector) failIO(dir exec.Stage, run int) bool {
 	return fired
 }
 
+// failConn is the shared decision behind FailDial/FailStream: one
+// ConnKill roll per (mode, backend) attempt, so a seeded injector's
+// backend-death schedule replays identically however the coordinator's
+// goroutines interleave.
+func (in *Injector) failConn(mode exec.Stage, backend int) bool {
+	in.mu.Lock()
+	site := siteKey{mode, backend}
+	in.conns[site]++
+	attempt := in.conns[site]
+	fired := false
+	for idx, s := range in.specs {
+		if s.Kind != ConnKill || s.Stage != mode {
+			continue
+		}
+		if in.fires(idx, s, mode, backend, attempt) {
+			in.record(idx, s, mode, backend)
+			fired = true
+			break
+		}
+	}
+	in.mu.Unlock()
+	if fired {
+		in.observe(ConnKill, mode)
+	}
+	return fired
+}
+
+// FailDial reports whether a new connection (request) to the backend
+// should be refused, consuming one ConnKill decision targeted at
+// StageCopyIn. The backend index keys the decision, so a chaos plan can
+// kill one node of a tier and leave its peers reachable.
+func (in *Injector) FailDial(backend int) bool {
+	return in.failConn(exec.StageCopyIn, backend)
+}
+
+// FailStream reports whether an in-flight response stream from the
+// backend should be severed mid-read, consuming one ConnKill decision
+// targeted at StageCopyOut — the mid-download connection loss a
+// coordinator must survive by re-running the lost partition elsewhere.
+func (in *Injector) FailStream(backend int) bool {
+	return in.failConn(exec.StageCopyOut, backend)
+}
+
 // FailWrite reports whether a spill run-file write should fail, consuming
 // one IOFail decision targeted at StageCopyOut (the direction data leaves
 // the pipeline). The run index keys the decision. Satisfies
@@ -404,6 +457,6 @@ func (in *Injector) Total() int64 {
 // String summarizes the injection tally.
 func (in *Injector) String() string {
 	c := in.Counts()
-	return fmt.Sprintf("faults{error:%d panic:%d latency:%d alloc-fail:%d io-fail:%d}",
-		c[Error], c[Panic], c[Latency], c[AllocFail], c[IOFail])
+	return fmt.Sprintf("faults{error:%d panic:%d latency:%d alloc-fail:%d io-fail:%d conn-kill:%d}",
+		c[Error], c[Panic], c[Latency], c[AllocFail], c[IOFail], c[ConnKill])
 }

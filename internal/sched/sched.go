@@ -393,6 +393,17 @@ func (s *Scheduler) ShedTotals() map[string]int64 { return s.metrics.shedTotals(
 // previous crashed process left behind and this one cleaned up.
 func (s *Scheduler) SpillRecovery() spill.OrphanReport { return s.recovery }
 
+// Rates reports the blended Eq. 1-5 model parameters the admission
+// estimator and fair-share solver currently run on: the seed constants
+// folded with every autotuner-measured per-thread rate so far. A
+// capacity poller (the cluster coordinator's router) reads these to
+// price this node with the same model the node prices itself with.
+func (s *Scheduler) Rates() model.Params { return s.rates.params() }
+
+// TotalThreads reports the thread budget fair-shared across running
+// staged jobs — the pool size Rates() should be solved against.
+func (s *Scheduler) TotalThreads() int { return s.cfg.TotalThreads }
+
 // plan is the admission-time sizing decision for one job.
 type plan struct {
 	batchable bool

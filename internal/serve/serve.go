@@ -837,10 +837,37 @@ type healthBody struct {
 	Brownout         string  `json:"brownout"`
 	BrownoutLevel    int     `json:"brownout_level"`
 	QueueDelayEWMAMS float64 `json:"queue_delay_ewma_ms,omitempty"`
+	// Capacity is the compact routing block a cluster coordinator polls:
+	// everything a bandwidth-aware router needs to weight this node, in
+	// one cheap GET instead of a /metrics scrape.
+	Capacity capacityBody `json:"capacity"`
+}
+
+// capacityBody summarizes this node's headroom for an upstream router.
+// The EWMA rates are the scheduler's blended Eq. 1-5 parameters (seed
+// constants folded with autotuner measurements), per thread, so the
+// poller can re-solve the model with this node's thread budget and
+// derive a comparable predicted service rate per node.
+type capacityBody struct {
+	// HeadroomBytes is the unleased remainder of the MCDRAM staging
+	// budget — how much working set a new job could lease right now.
+	HeadroomBytes int64 `json:"headroom_bytes"`
+	QueueDepth    int   `json:"queue_depth"`
+	BrownoutLevel int   `json:"brownout_level"`
+	// EWMACopyBps/EWMACompBps are the per-thread copy and compute rates
+	// (bytes/sec) the admission model currently runs on.
+	EWMACopyBps float64 `json:"ewma_copy_bps"`
+	EWMACompBps float64 `json:"ewma_comp_bps"`
+	// Threads is the node's fair-shared thread budget.
+	Threads int `json:"threads"`
+	// PredictedStartMS is the model-predicted start delay a job admitted
+	// now would see — the same figure PreAdmit sheds against.
+	PredictedStartMS float64 `json:"predicted_start_ms"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	snap := s.sched.Snapshot()
+	rates := s.sched.Rates()
 	body := healthBody{
 		Status:           "ok",
 		Draining:         s.draining.Load() || snap.Draining,
@@ -853,6 +880,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Brownout:         snap.Brownout.String(),
 		BrownoutLevel:    int(snap.Brownout),
 		QueueDelayEWMAMS: float64(snap.QueueDelayEWMA.Nanoseconds()) / 1e6,
+		Capacity: capacityBody{
+			HeadroomBytes:    int64(snap.BudgetBytes) - int64(snap.LeasedBytes),
+			QueueDepth:       snap.Queued,
+			BrownoutLevel:    int(snap.Brownout),
+			EWMACopyBps:      float64(rates.SCopy),
+			EWMACompBps:      float64(rates.SComp),
+			Threads:          s.sched.TotalThreads(),
+			PredictedStartMS: float64(snap.PredictedStart.Nanoseconds()) / 1e6,
+		},
 	}
 	code := http.StatusOK
 	if body.Draining {

@@ -342,6 +342,61 @@ func TestCancelViaDELETE(t *testing.T) {
 	}
 }
 
+// TestHealthzCapacityBlock checks the compact routing block a cluster
+// coordinator polls: headroom tracks the ledger, the EWMA rates are the
+// admission model's live parameters, and the thread budget is the one
+// the fair-share solver runs on.
+func TestHealthzCapacityBlock(t *testing.T) {
+	g := newGate()
+	ts := newTestServer(t, func(c *sched.Config) {
+		c.Workers = 1
+		c.Wrap = g.wrap
+	})
+	defer g.open()
+	resp, raw := ts.get(t, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var hb healthBody
+	if err := json.Unmarshal(raw, &hb); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	cp := hb.Capacity
+	if cp.HeadroomBytes != hb.BudgetBytes-hb.LeasedBytes {
+		t.Fatalf("headroom %d, want budget-leased %d", cp.HeadroomBytes, hb.BudgetBytes-hb.LeasedBytes)
+	}
+	if cp.EWMACopyBps <= 0 || cp.EWMACompBps <= 0 {
+		t.Fatalf("capacity rates not published: %+v", cp)
+	}
+	if cp.Threads != ts.sched.TotalThreads() || cp.Threads <= 0 {
+		t.Fatalf("capacity threads %d, want %d", cp.Threads, ts.sched.TotalThreads())
+	}
+	if cp.BrownoutLevel != hb.BrownoutLevel {
+		t.Fatalf("capacity brownout %d != healthz brownout %d", cp.BrownoutLevel, hb.BrownoutLevel)
+	}
+
+	// With a job held in Running its lease must dent the headroom.
+	resp, raw = ts.post(t, sortRequest{Keys: workload.Generate(workload.Random, 40000, 1)})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("held job: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	held := decodeStatus(t, raw)
+	waitState(t, ts, held.ID, "running")
+	resp, raw = ts.get(t, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz with running job: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &hb); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	if hb.Capacity.HeadroomBytes >= cp.HeadroomBytes {
+		t.Fatalf("headroom %d did not shrink under a running lease (was %d)",
+			hb.Capacity.HeadroomBytes, cp.HeadroomBytes)
+	}
+	g.open()
+	waitState(t, ts, held.ID, "done")
+}
+
 func TestHealthzFlipsOnDrain(t *testing.T) {
 	ts := newTestServer(t, nil)
 	resp, raw := ts.get(t, "/healthz")

@@ -1,0 +1,222 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/iotest"
+)
+
+// The cluster coordinator reads frame streams off TCP sockets, where the
+// kernel hands back whatever bytes have arrived — a frame prefix split
+// across two reads, a payload trickling in one byte at a time. These
+// tests pin that every Reader path is short-read clean: decoding must
+// depend only on the byte sequence, never on read sizing.
+
+// shortStream builds a multi-frame stream whose boundaries land at
+// interesting offsets: a partial tail frame, and frames small enough
+// that every split point exercises prefix/payload straddling.
+func shortStream(t *testing.T, n, frameElems int) ([]byte, []int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n)*7919 + int64(frameElems)))
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63() - rng.Int63()
+	}
+	enc := Encode(nil, keys, frameElems)
+	if got, want := len(enc), EncodedLen(n, frameElems); got != want {
+		t.Fatalf("EncodedLen(%d, %d) = %d, encoder produced %d", n, frameElems, want, got)
+	}
+	return enc, keys
+}
+
+// decodeVia decodes a full stream through ReadBatch with the given batch
+// size, then Finish — the coordinator's streaming consumption pattern.
+func decodeVia(r io.Reader, batch int) ([]int64, error) {
+	fr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0, fr.Total())
+	buf := make([]int64, batch)
+	for {
+		n, err := fr.ReadBatch(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, fr.Finish()
+}
+
+// TestReaderOneByteReads drives the full decode through
+// iotest.OneByteReader: every header, frame prefix, and payload read
+// comes back one byte at a time, the worst case a slow socket produces.
+func TestReaderOneByteReads(t *testing.T) {
+	enc, keys := shortStream(t, 257, 16)
+	for _, batch := range []int{1, 3, 16, 64, len(keys) + 5} {
+		got, err := decodeVia(iotest.OneByteReader(bytes.NewReader(enc)), batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if len(got) != len(keys) {
+			t.Fatalf("batch %d: decoded %d of %d keys", batch, len(got), len(keys))
+		}
+		for i := range got {
+			if got[i] != keys[i] {
+				t.Fatalf("batch %d: key %d = %d, want %d", batch, i, got[i], keys[i])
+			}
+		}
+	}
+}
+
+// TestReaderHalfReads exercises iotest.HalfReader (each Read returns at
+// most half the requested bytes) against ReadInto, the one-shot path.
+func TestReaderHalfReads(t *testing.T) {
+	enc, keys := shortStream(t, 100, 7)
+	fr, err := NewReader(iotest.HalfReader(bytes.NewReader(enc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int64, fr.Total())
+	if err := fr.ReadInto(dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != keys[i] {
+			t.Fatalf("key %d = %d, want %d", i, dst[i], keys[i])
+		}
+	}
+}
+
+// splitReader returns the stream in exactly two Reads: the first `at`
+// bytes, then the remainder. Walking `at` over every byte offset proves
+// no decode step assumes its bytes arrive in one piece.
+type splitReader struct {
+	data []byte
+	at   int
+	pos  int
+}
+
+func (s *splitReader) Read(p []byte) (int, error) {
+	if s.pos >= len(s.data) {
+		return 0, io.EOF
+	}
+	end := len(s.data)
+	if s.pos < s.at {
+		end = s.at
+	}
+	n := copy(p, s.data[s.pos:end])
+	s.pos += n
+	return n, nil
+}
+
+// TestReaderEveryBoundarySplit decodes a multi-frame stream split at
+// every possible byte offset: header straddles, frame-prefix straddles,
+// payload straddles, and a split exactly at the end-of-stream marker.
+func TestReaderEveryBoundarySplit(t *testing.T) {
+	enc, keys := shortStream(t, 53, 8)
+	for at := 0; at <= len(enc); at++ {
+		got, err := decodeVia(&splitReader{data: enc, at: at}, 11)
+		if err != nil {
+			t.Fatalf("split at %d: %v", at, err)
+		}
+		if len(got) != len(keys) {
+			t.Fatalf("split at %d: decoded %d of %d keys", at, len(got), len(keys))
+		}
+		for i := range got {
+			if got[i] != keys[i] {
+				t.Fatalf("split at %d: key %d = %d, want %d", at, i, got[i], keys[i])
+			}
+		}
+	}
+}
+
+// TestReaderBatchCrossesFrames uses a ReadBatch size that never divides
+// the frame size, so every batch crosses a frame boundary mid-fill, over
+// a one-byte-at-a-time reader.
+func TestReaderBatchCrossesFrames(t *testing.T) {
+	enc, keys := shortStream(t, 96, 12)
+	got, err := decodeVia(iotest.OneByteReader(bytes.NewReader(enc)), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("decoded %d of %d keys", len(got), len(keys))
+	}
+	for i := range got {
+		if got[i] != keys[i] {
+			t.Fatalf("key %d = %d, want %d", i, got[i], keys[i])
+		}
+	}
+}
+
+// TestReaderTruncationAtEveryOffset truncates the stream at every byte
+// offset short of complete and asserts the decoder reports a sentinel
+// decode error — never a silent short result, never a raw io.EOF
+// surfacing as success. The zero-length stream is the edge: its header
+// and end marker are the whole stream.
+func TestReaderTruncationAtEveryOffset(t *testing.T) {
+	enc, _ := shortStream(t, 29, 8)
+	for cut := 0; cut < len(enc); cut++ {
+		r := iotest.OneByteReader(bytes.NewReader(enc[:cut]))
+		got, err := decodeVia(r, 10)
+		if err == nil {
+			t.Fatalf("cut at %d: truncated stream decoded cleanly (%d keys)", cut, len(got))
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrShortStream) {
+			t.Fatalf("cut at %d: error %v is neither ErrTruncated nor ErrShortStream", cut, err)
+		}
+	}
+}
+
+// TestReaderEmptyStreamShortReads decodes a zero-element stream — header
+// plus end marker only — under one-byte reads and verifies Finish
+// distinguishes it from truncation.
+func TestReaderEmptyStreamShortReads(t *testing.T) {
+	enc := Encode(nil, nil, 4)
+	fr, err := NewReader(iotest.OneByteReader(bytes.NewReader(enc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Total() != 0 {
+		t.Fatalf("Total = %d, want 0", fr.Total())
+	}
+	if n, err := fr.ReadBatch(make([]int64, 4)); n != 0 || err != io.EOF {
+		t.Fatalf("ReadBatch on empty stream = (%d, %v), want (0, EOF)", n, err)
+	}
+	if err := fr.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReaderTrailingDataAfterSplitEnd appends garbage after the end
+// marker and splits right at the marker, confirming Finish still detects
+// trailing bytes when they arrive in a separate read.
+func TestReaderTrailingDataAfterSplitEnd(t *testing.T) {
+	enc, _ := shortStream(t, 10, 4)
+	dirty := append(append([]byte(nil), enc...), 0xde, 0xad)
+	_, err := decodeVia(&splitReader{data: dirty, at: len(enc)}, 10)
+	if !errors.Is(err, ErrTrailingData) {
+		t.Fatalf("error %v, want ErrTrailingData", err)
+	}
+}
+
+// TestReaderErrReaderPropagates confirms a transport error (not EOF)
+// surfaces as itself from payload reads, so the coordinator can tell a
+// severed connection from a malformed stream.
+func TestReaderErrReaderPropagates(t *testing.T) {
+	enc, _ := shortStream(t, 40, 8)
+	boom := errors.New("conn reset")
+	// Deliver the header plus half a frame, then fail.
+	r := io.MultiReader(bytes.NewReader(enc[:headerLen+frameHeaderLen+20]), iotest.ErrReader(boom))
+	_, err := decodeVia(r, 16)
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v, want wrapped transport error", err)
+	}
+}
