@@ -1,8 +1,8 @@
 // Command kernelbench measures the sort and merge kernel pairs — the
 // previous implementation against its replacement — and writes the
 // results as a JSON benchmark record. It is the programmatic twin of the
-// benchmarks in internal/psort/kernel_bench_test.go and produced the
-// committed BENCH_PR3.json.
+// benchmarks in internal/psort and produced the committed BENCH_PR3.json
+// and BENCH_PR10.json.
 //
 // Pairs:
 //
@@ -10,19 +10,28 @@
 //   - per-element loser-tree drain vs adaptive gallop-batched drain
 //     (k=8 and k=16 random runs, plus k=8 blocky runs)
 //   - linear two-way merge vs galloping Merge2 (random and disjoint)
+//   - untiled vs software-write-buffered radix scatter (1<<23 int64
+//     keys, above the tiling threshold where TLB/associativity misses
+//     on 256 scatter streams dominate)
+//   - stdlib slices.SortFunc vs the generic typed kernels: float64
+//     total order, key+payload records, and byte strings (1e6 keys)
 //
 // Usage:
 //
-//	kernelbench                    # print the table, write BENCH_PR3.json
+//	kernelbench                    # print the table, write BENCH_PR10.json
 //	kernelbench -out bench.json    # write elsewhere
+//	kernelbench -skip-tiled        # skip the 1<<23 tiling pair (CI)
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
+	"slices"
 	"testing"
 
 	"knlmlm/internal/psort"
@@ -172,8 +181,80 @@ func benchMerge2(a, bb []int64, fn func(dst, a, b []int64)) func(b *testing.B) {
 	}
 }
 
+// benchFloat64Sort pairs a []float64 sorter against the same random
+// input; copy-back stays outside the timed region.
+func benchFloat64Sort(n int, sortFn func([]float64)) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = rng.NormFloat64() * 1e6
+		}
+		buf := make([]float64, n)
+		b.SetBytes(int64(n * 8))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			copy(buf, src)
+			b.StartTimer()
+			sortFn(buf)
+		}
+	}
+}
+
+func benchRecordSort(n int, sortFn func([]psort.KV)) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(2))
+		src := make([]psort.KV, n)
+		for i := range src {
+			src[i] = psort.KV{Key: rng.Int63(), Payload: int64(i)}
+		}
+		buf := make([]psort.KV, n)
+		b.SetBytes(int64(n * 16))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			copy(buf, src)
+			b.StartTimer()
+			sortFn(buf)
+		}
+	}
+}
+
+// benchStringSort sorts n short byte strings (8..24 bytes, a shared
+// 4-byte prefix on half of them, the shape URL/key workloads take).
+// Only the headers are copied back between iterations; the kernels
+// never mutate the byte contents.
+func benchStringSort(n int, sortFn func([][]byte)) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(3))
+		src := make([][]byte, n)
+		total := 0
+		for i := range src {
+			l := 8 + rng.Intn(17)
+			s := make([]byte, l)
+			rng.Read(s)
+			if i%2 == 0 {
+				copy(s, "key/")
+			}
+			src[i] = s
+			total += l
+		}
+		buf := make([][]byte, n)
+		b.SetBytes(int64(total))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			copy(buf, src)
+			b.StartTimer()
+			sortFn(buf)
+		}
+	}
+}
+
 func main() {
-	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR10.json", "output JSON path")
+	skipTiled := flag.Bool("skip-tiled", false, "skip the 1<<23 write-buffer tiling pair (128 MiB of buffers; slow on small CI runners)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -200,7 +281,7 @@ func main() {
 	}
 
 	rec := record{
-		Suite:     "kernelbench-pr3",
+		Suite:     "kernelbench-pr10",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -233,6 +314,64 @@ func main() {
 	da, db := disjoint(500_000, 0), disjoint(500_000, 500_000)
 	add(compare("merge2-disjoint", "linear", benchMerge2(da, db, merge2Linear),
 		"gallop", benchMerge2(da, db, psort.Merge2)))
+
+	// The write-buffered scatter only dispatches above its size floor;
+	// 1<<23 keys (64 MiB) is where the 256 naked scatter streams start
+	// missing TLB and L2 on every store.
+	if !*skipTiled {
+		const nt = 1 << 23
+		untiled := func(n int) func([]int64) {
+			scratch := make([]int64, n)
+			return func(xs []int64) { psort.RadixSortScratchUntiled(xs, scratch) }
+		}
+		add(compare("radix-tiled-8e6", "untiled", benchSort(nt, untiled(nt)),
+			"tiled", benchSort(nt, radix(nt))))
+	}
+
+	// Generic key kernels vs the stdlib comparison sorts, 1e6 keys each.
+	// These are the pairs the CI bench-smoke floor watches.
+	f64Scratch := make([]float64, 1_000_000)
+	add(compare("f64-sort-1e6",
+		"slices.SortFunc", benchFloat64Sort(1_000_000, func(xs []float64) {
+			slices.SortFunc(xs, func(x, y float64) int {
+				if psort.Float64TotalLess(x, y) {
+					return -1
+				}
+				if psort.Float64TotalLess(y, x) {
+					return 1
+				}
+				return 0
+			})
+		}),
+		"radix-bitflip", benchFloat64Sort(1_000_000, func(xs []float64) {
+			psort.SortFloat64sScratch(xs, f64Scratch)
+		})))
+
+	kvScratch := make([]psort.KV, 1_000_000)
+	add(compare("record-sort-1e6",
+		"slices.SortFunc", benchRecordSort(1_000_000, func(rs []psort.KV) {
+			slices.SortFunc(rs, func(x, y psort.KV) int {
+				switch {
+				case x.Key < y.Key:
+					return -1
+				case x.Key > y.Key:
+					return 1
+				}
+				return 0
+			})
+		}),
+		"record-radix", benchRecordSort(1_000_000, func(rs []psort.KV) {
+			psort.SortRecordsScratch(rs, kvScratch)
+		})))
+
+	strScratch := make([][]byte, 1_000_000)
+	add(compare("string-sort-1e6",
+		"slices.SortFunc", benchStringSort(1_000_000, func(ss [][]byte) {
+			slices.SortFunc(ss, bytes.Compare)
+		}),
+		"msd-radix", benchStringSort(1_000_000, func(ss [][]byte) {
+			psort.SortByteStringsScratch(ss, strScratch)
+		})))
 
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -38,6 +38,12 @@
 // sweep once per encoding and reports the per-mode results side by side
 // plus the binary-over-JSON download speedup.
 //
+// -key-type selects the key representation: "i64" (default), "f64"
+// (float64 keys as raw IEEE-754 bit cells, verified against the
+// service's total order), or "rec" (key+payload records, two cells
+// each; sizes stay in cells and are rounded to whole records). Typed
+// keys exist only on the binary wire, so f64/rec require -wire binary.
+//
 // The target may be a single mlmserve node or an mlmcoord cluster
 // coordinator — the two speak the same protocol, and loadgen tells them
 // apart by the "backends" fleet view in the /healthz body. Against a
@@ -65,6 +71,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -103,6 +110,13 @@ type config struct {
 	// wireMode selects the submit/download encoding: "json", "binary", or
 	// "both" (one full sweep per encoding).
 	wireMode string
+	// keyType selects the key representation: "i64" (default), "f64"
+	// (float64 keys as raw IEEE-754 bit cells), or "rec" (key+payload
+	// records, two cells each). Typed keys ride the binary wire only, so
+	// f64/rec require -wire binary. n-min/n-max/spill-n stay in cells.
+	keyType string
+	// kind is keyType resolved to its wire stream kind.
+	kind wire.Kind
 	// cluster is set after the healthz probe when the target turns out to
 	// be a coordinator (its /healthz carries a "backends" fleet view). It
 	// relaxes single-node-only checks; no flag sets it.
@@ -303,6 +317,7 @@ func main() {
 	flag.IntVar(&cfg.cbTrips, "cb-threshold", 10, "consecutive 429/503 answers that open the circuit breaker (0 disables it)")
 	flag.DurationVar(&cfg.cbCooldown, "cb-cooldown", 500*time.Millisecond, "how long an open circuit breaker stays open")
 	flag.StringVar(&cfg.wireMode, "wire", "json", "submit/download encoding: json, binary, or both (one sweep per encoding)")
+	flag.StringVar(&cfg.keyType, "key-type", "i64", "key representation: i64, f64 (float64 bit cells), or rec (key+payload records; sizes count cells). f64/rec require -wire binary")
 	flag.Parse()
 
 	switch cfg.wireMode {
@@ -310,6 +325,28 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "loadgen: bad -wire %q (want json, binary, or both)\n", cfg.wireMode)
 		os.Exit(1)
+	}
+	switch cfg.keyType {
+	case "i64":
+		cfg.kind = wire.KindInt64
+	case "f64":
+		cfg.kind = wire.KindFloat64
+	case "rec":
+		cfg.kind = wire.KindRecord
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: bad -key-type %q (want i64, f64, or rec)\n", cfg.keyType)
+		os.Exit(1)
+	}
+	if cfg.kind != wire.KindInt64 && cfg.wireMode != "binary" {
+		fmt.Fprintf(os.Stderr, "loadgen: -key-type %s needs -wire binary (typed keys have no JSON encoding)\n", cfg.keyType)
+		os.Exit(1)
+	}
+	if cfg.kind == wire.KindRecord {
+		// Record streams carry whole records: every job size in cells must
+		// be even, so the bounds are rounded rather than rejected.
+		cfg.nMin = max(cfg.nMin&^1, 2)
+		cfg.nMax = max(cfg.nMax&^1, 2)
+		cfg.spillN &^= 1
 	}
 
 	if *quick {
@@ -455,7 +492,7 @@ func runSweep(client *http.Client, cfg config, binary bool) (*modeSweep, error) 
 // submitBody renders one job's submit request for the chosen encoding:
 // a JSON envelope, or the binary frame stream with the envelope options
 // (wait, deadline_ms) carried on the query string.
-func submitBody(keys []int64, deadlineMS int64, binary bool) (body []byte, contentType, query string) {
+func submitBody(keys []int64, deadlineMS int64, binary bool, kind wire.Kind) (body []byte, contentType, query string) {
 	if !binary {
 		raw, _ := json.Marshal(sortRequest{Keys: keys, Wait: true, DeadlineMS: deadlineMS})
 		return raw, "application/json", ""
@@ -464,7 +501,65 @@ func submitBody(keys []int64, deadlineMS int64, binary bool) (body []byte, conte
 	if deadlineMS > 0 {
 		query += "&deadline_ms=" + strconv.FormatInt(deadlineMS, 10)
 	}
-	return wire.Encode(nil, keys, 0), wire.ContentType, query
+	return wire.EncodeKind(nil, kind, keys, 0), wire.ContentTypeFor(kind), query
+}
+
+// genCells fills one job's payload cells for the configured key type:
+// random int64 keys, random finite float64 bit patterns, or key+payload
+// record pairs with dup-heavy keys (n is rounded down to whole records
+// by the callers).
+func genCells(rng *rand.Rand, n int, kind wire.Kind) []int64 {
+	cells := make([]int64, n)
+	switch kind {
+	case wire.KindFloat64:
+		for i := range cells {
+			cells[i] = int64(math.Float64bits(rng.NormFloat64() * 1e6))
+		}
+	case wire.KindRecord:
+		for i := 0; i+1 < n; i += 2 {
+			cells[i] = rng.Int63n(1 << 20)
+			cells[i+1] = rng.Int63()
+		}
+	default:
+		for i := range cells {
+			cells[i] = rng.Int63()
+		}
+	}
+	return cells
+}
+
+// cellsInOrder reports whether a downloaded result respects the key
+// type's order: int64 ascending, the float64 total order over raw bits,
+// or nondecreasing record keys (even cells).
+func cellsInOrder(cells []int64, kind wire.Kind) bool {
+	switch kind {
+	case wire.KindFloat64:
+		flip := func(v int64) uint64 {
+			u := uint64(v)
+			if u>>63 == 1 {
+				return ^u
+			}
+			return u | 1<<63
+		}
+		for i := 1; i < len(cells); i++ {
+			if flip(cells[i]) < flip(cells[i-1]) {
+				return false
+			}
+		}
+	case wire.KindRecord:
+		for i := 2; i < len(cells); i += 2 {
+			if cells[i] < cells[i-2] {
+				return false
+			}
+		}
+	default:
+		for i := 1; i < len(cells); i++ {
+			if cells[i] < cells[i-1] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // runSpillPhase submits cfg.spillJobs over-DDR jobs one at a time (the
@@ -477,11 +572,8 @@ func runSpillPhase(client *http.Client, cfg config, binary bool) (*spillResult, 
 	var latencies []float64
 	var dlMBps, sortMBps []float64
 	for i := 0; i < cfg.spillJobs; i++ {
-		keys := make([]int64, cfg.spillN)
-		for k := range keys {
-			keys[k] = rng.Int63()
-		}
-		body, ct, query := submitBody(keys, 0, binary)
+		keys := genCells(rng, cfg.spillN, cfg.kind)
+		body, ct, query := submitBody(keys, 0, binary, cfg.kind)
 		start := time.Now()
 		resp, err := client.Post(cfg.url+"/v1/sort"+query, ct, bytes.NewReader(body))
 		if err != nil {
@@ -502,7 +594,7 @@ func runSpillPhase(client *http.Client, cfg config, binary bool) (*spillResult, 
 			return nil, fmt.Errorf("spill phase: %d-key job was not spilled — raise -spill-n past the server's DDR budget", cfg.spillN)
 		}
 		dlStart := time.Now()
-		bodyBytes, ok := streamVerify(client, cfg.url+st.ResultURL, cfg.spillN, binary)
+		bodyBytes, ok := streamVerify(client, cfg.url+st.ResultURL, cfg.spillN, binary, cfg.kind)
 		if !ok {
 			sp.Failed++
 			continue
@@ -540,11 +632,11 @@ func runSpillPhase(client *http.Client, cfg config, binary bool) (*spillResult, 
 var verifyBufs = mem.NewSlicePool()
 
 // streamVerify downloads a result, returning its body size and whether
-// it decoded to wantN sorted keys. With binary set it negotiates the
-// frame stream, checks the declared total against the job's known n
-// before reading any payload, and decodes into the pooled buffer's
-// memory directly.
-func streamVerify(client *http.Client, url string, wantN int, binary bool) (int64, bool) {
+// it decoded to wantN cells in the key type's order. With binary set it
+// negotiates the frame stream, checks the declared kind and total
+// against the job's known shape before reading any payload, and decodes
+// into the pooled buffer's memory directly.
+func streamVerify(client *http.Client, url string, wantN int, binary bool, kind wire.Kind) (int64, bool) {
 	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
 		return 0, false
@@ -568,8 +660,8 @@ func streamVerify(client *http.Client, url string, wantN int, binary bool) (int6
 	defer verifyBufs.Put(buf)
 	var keys []int64
 	if binary {
-		fr, err := wire.NewReader(cr)
-		if err != nil || fr.Total() != int64(wantN) {
+		fr, err := wire.NewReaderAnyKind(cr)
+		if err != nil || fr.Kind() != kind || fr.Total() != int64(wantN) {
 			return cr.n, false
 		}
 		if err := fr.ReadInto(buf); err != nil {
@@ -585,12 +677,7 @@ func streamVerify(client *http.Client, url string, wantN int, binary bool) (int6
 	if len(keys) != wantN {
 		return cr.n, false
 	}
-	for i := 1; i < len(keys); i++ {
-		if keys[i] < keys[i-1] {
-			return cr.n, false
-		}
-	}
-	return cr.n, true
+	return cr.n, cellsInOrder(keys, kind)
 }
 
 type countingReader struct {
@@ -897,12 +984,12 @@ func runLevel(client *http.Client, cfg config, rate float64, binary bool) levelR
 		if cfg.nMax > cfg.nMin {
 			n += rng.Intn(cfg.nMax - cfg.nMin)
 		}
-		keys := make([]int64, n)
-		krng := rand.New(rand.NewSource(rng.Int63()))
-		for k := range keys {
-			keys[k] = krng.Int63()
+		if cfg.kind == wire.KindRecord {
+			n &^= 1 // whole records only
 		}
-		body, ct, query := submitBody(keys, cfg.deadlineMS, binary)
+		krng := rand.New(rand.NewSource(rng.Int63()))
+		keys := genCells(krng, n, cfg.kind)
+		body, ct, query := submitBody(keys, cfg.deadlineMS, binary, cfg.kind)
 		jobs = append(jobs, prejob{
 			n: n, body: body, ct: ct, query: query, binary: binary,
 			verify: cfg.verify && i%sample == 0,
@@ -1048,7 +1135,7 @@ func oneJob(client *http.Client, cfg config, pol retryPolicy, bud *retryBudget, 
 				return 0, 0, attempt, "failed"
 			}
 			if pj.verify {
-				if _, ok := streamVerify(client, cfg.url+st.ResultURL, pj.n, pj.binary); !ok {
+				if _, ok := streamVerify(client, cfg.url+st.ResultURL, pj.n, pj.binary, cfg.kind); !ok {
 					return 0, 0, attempt, "failed"
 				}
 			}

@@ -21,7 +21,7 @@ func TestComputeLoopAllocationFree(t *testing.T) {
 	mc := make([]int64, mcLen)
 	scratch := mem.Pool.Get(mcLen)
 	defer mem.Pool.Put(scratch)
-	sorter := newMegachunkSorter(1)
+	sorter := newMegachunkSorter(1, ElemInt64)
 	allocs := testing.AllocsPerRun(10, func() {
 		copy(mc, src)
 		sorter.sort(mc, scratch)

@@ -1,0 +1,68 @@
+package mlmsort
+
+import "fmt"
+
+// ElemKind identifies how the int64 cells of a job's buffer are
+// interpreted by the sort and merge kernels. The physical representation
+// stays []int64 everywhere — staging buffers, spill run files, pool
+// slices, the wire — and only the ordering-sensitive leaves (block
+// sorts, megachunk merges, safe-window cuts) switch interpretation.
+// That keeps every byte-moving layer (exec staging, spill IO, mem
+// pooling) oblivious to key types: a record job is just an even-length
+// cell buffer to them.
+//
+// float64 jobs need no kind here at all: the service edge maps IEEE-754
+// bits through psort's order-preserving int64 bijection on ingress and
+// inverts it on egress, so the whole pipeline sorts them as ElemInt64.
+type ElemKind uint8
+
+const (
+	// ElemInt64 is the original interpretation: one cell per key.
+	ElemInt64 ElemKind = iota
+	// ElemKV interprets the buffer as fixed-width key+payload records,
+	// two cells each (psort.KV layout: key, then payload). Buffer and
+	// megachunk lengths must be even so records never straddle a cut.
+	ElemKV
+)
+
+// Valid reports whether e is a known element kind.
+func (e ElemKind) Valid() bool { return e == ElemInt64 || e == ElemKV }
+
+func (e ElemKind) String() string {
+	switch e {
+	case ElemInt64:
+		return "i64"
+	case ElemKV:
+		return "kv"
+	}
+	return fmt.Sprintf("mlmsort.ElemKind(%d)", uint8(e))
+}
+
+// cells reports how many int64 cells one logical element occupies.
+func (e ElemKind) cells() int {
+	if e == ElemKV {
+		return 2
+	}
+	return 1
+}
+
+// validateBuffer rejects buffers whose cell count cannot hold whole
+// elements of kind e.
+func (e ElemKind) validateBuffer(n int) error {
+	if !e.Valid() {
+		return fmt.Errorf("mlmsort: unknown element kind %v", e)
+	}
+	if n%e.cells() != 0 {
+		return fmt.Errorf("mlmsort: %d cells do not divide into %v elements", n, e)
+	}
+	return nil
+}
+
+// alignChunk rounds a megachunk cell length up to a whole element, so
+// record jobs never split a record across a megachunk boundary.
+func (e ElemKind) alignChunk(mcLen int) int {
+	if c := e.cells(); mcLen%c != 0 {
+		mcLen += c - mcLen%c
+	}
+	return mcLen
+}

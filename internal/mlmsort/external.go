@@ -185,12 +185,19 @@ func SpillSorted(ctx context.Context, a Algorithm, xs []int64, threads, megachun
 		return nil, ExternalStats{}, fmt.Errorf("mlmsort: SpillSorted needs a run store")
 	}
 	n := len(xs)
+	if err := opts.Elem.validateBuffer(n); err != nil {
+		return nil, ExternalStats{}, err
+	}
 	if n == 0 {
 		return nil, ExternalStats{}, ctx.Err()
 	}
 	if megachunkLen <= 0 {
 		megachunkLen = (n + 3) / 4 // same default as the staged in-memory path
 	}
+	// Record jobs spill fine under every algorithm here — the spill path
+	// is megachunk-structured for all of them — but megachunks (and
+	// therefore run files) must hold whole records.
+	megachunkLen = opts.Elem.alignChunk(megachunkLen)
 	bounds := megachunkBounds(n, megachunkLen)
 	runIDs := make([]int, len(bounds))
 	maxLen := 0
@@ -211,7 +218,7 @@ func SpillSorted(ctx context.Context, a Algorithm, xs []int64, threads, megachun
 		scratch = make([]int64, maxLen)
 		scratchPool = nil
 	}
-	sorter := newMegachunkSorter(threads)
+	sorter := newMegachunkSorter(threads, opts.Elem)
 	copyW := new(atomic.Int32)
 	copyW.Store(1)
 	if opts.Widths != nil {
@@ -386,14 +393,25 @@ type spillBlock struct {
 // backoff internal/exec applies to stage attempts. On any exit — success,
 // read failure, sink error, cancellation — all fill goroutines are joined
 // and all pooled blocks are returned; MergeSpilled never leaks.
+//
+// Under opts.Elem == ElemKV the run files hold interleaved key/payload
+// cells: the read-ahead block is rounded to an even cell count so fills
+// never split a record (runs themselves are even by SpillSorted's
+// alignment), the safe bound is the smallest block-final *key* cell, the
+// prefix cuts land on record boundaries, and the window merge is the
+// record loser tree. Sink batches stay []int64 cells either way.
 func MergeSpilled(ctx context.Context, store *spill.Store, runs []int, opts ExternalOptions, sink func([]int64) error) (int64, error) {
 	if sink == nil {
 		return 0, fmt.Errorf("mlmsort: MergeSpilled needs a sink")
 	}
+	if !opts.Elem.Valid() {
+		return 0, fmt.Errorf("mlmsort: unknown element kind %v", opts.Elem)
+	}
 	if len(runs) == 0 {
 		return 0, ctx.Err()
 	}
-	block := opts.mergeBlock()
+	cells := opts.Elem.cells()
+	block := opts.Elem.alignChunk(opts.mergeBlock())
 	width := opts.readAhead(len(runs), 1)
 	pool := opts.pool()
 
@@ -529,13 +547,21 @@ func MergeSpilled(ctx context.Context, store *spill.Store, runs []int, opts Exte
 				return total, err
 			}
 			if len(heads[si]) > 0 {
+				if len(heads[si])%cells != 0 {
+					// A record split across fills can only mean the run was
+					// written with a different element kind; merging it
+					// would interleave keys and payloads.
+					return total, fmt.Errorf("mlmsort: run %d block of %d cells is not whole %v elements", runs[si], len(heads[si]), opts.Elem)
+				}
 				liveData = true
 			}
 		}
 		if !liveData {
 			return total, ctx.Err()
 		}
-		// Safe bound: everything <= the smallest block-final key is in hand.
+		// Safe bound: everything <= the smallest block-final key is in
+		// hand. For records the block-final key is the key cell of the
+		// last record, one cell before the block end.
 		first := true
 		var bound int64
 		for si := range runs {
@@ -543,8 +569,26 @@ func MergeSpilled(ctx context.Context, store *spill.Store, runs []int, opts Exte
 			if len(h) == 0 {
 				continue
 			}
-			if last := h[len(h)-1]; first || last < bound {
+			if last := h[len(h)-cells]; first || last < bound {
 				bound, first = last, false
+			}
+		}
+		// Stability across windows (records only): a run whose whole head
+		// is <= bound may continue with more ==bound keys in its next
+		// block, and any later run emitting ==bound records this window
+		// would jump ahead of them. Runs after the first such open run
+		// therefore cut strictly below the bound and hold their ==bound
+		// records for a later window, where the loser tree restores run
+		// order. The open run itself emits its full head, which is what
+		// keeps every window making progress. Bare int64 ties are
+		// indistinguishable, so the int64 path keeps the inclusive cut.
+		openRun := len(runs)
+		if opts.Elem == ElemKV {
+			for si := range runs {
+				if h := heads[si]; len(h) > 0 && h[len(h)-cells] <= bound {
+					openRun = si
+					break
+				}
 			}
 		}
 		prefixes = prefixes[:0]
@@ -554,7 +598,14 @@ func MergeSpilled(ctx context.Context, store *spill.Store, runs []int, opts Exte
 			if len(h) == 0 {
 				continue
 			}
-			p := sort.Search(len(h), func(j int) bool { return h[j] > bound })
+			// The binary search walks elements (record keys live at even
+			// cell offsets); the cut converts back to cells so heads and
+			// prefixes stay record-aligned.
+			above := func(j int) bool { return h[j*cells] > bound }
+			if si > openRun {
+				above = func(j int) bool { return h[j*cells] >= bound }
+			}
+			p := sort.Search(len(h)/cells, above) * cells
 			if p > 0 {
 				prefixes = append(prefixes, h[:p])
 				heads[si] = h[p:]
@@ -576,7 +627,7 @@ func MergeSpilled(ctx context.Context, store *spill.Store, runs []int, opts Exte
 			putBlock(out)
 			out = getBlock(sum)
 		}
-		mergeRound(out[:sum], prefixes, opts.MergeThreads)
+		mergeRound(out[:sum], prefixes, opts.MergeThreads, opts.Elem)
 		total += int64(sum)
 		if err := sink(out[:sum]); err != nil {
 			return total, err
@@ -592,8 +643,18 @@ const parallelMergeMin = 64 << 10
 // mergeRound merges one safe window's run prefixes into dst: serial
 // loser-tree for small rounds or a single worker, psort.ParallelMergeK
 // otherwise, with the fan-out capped so every worker keeps at least
-// parallelMergeMin/2 elements of real work.
-func mergeRound(dst []int64, prefixes [][]int64, threads int) {
+// parallelMergeMin/2 elements of real work. Record rounds always take
+// the serial record loser tree — multisequence selection is keyed on
+// bare cells and has no record variant.
+func mergeRound(dst []int64, prefixes [][]int64, threads int, elem ElemKind) {
+	if elem == ElemKV {
+		recPrefixes := make([][]psort.KV, len(prefixes))
+		for i, p := range prefixes {
+			recPrefixes[i] = psort.KVsFromInt64s(p)
+		}
+		psort.MergeRecordsK(psort.KVsFromInt64s(dst), recPrefixes...)
+		return
+	}
 	if threads > 1 && len(dst) >= parallelMergeMin && len(prefixes) > 1 {
 		if max := len(dst) / (parallelMergeMin / 2); threads > max {
 			threads = max

@@ -146,7 +146,7 @@ func TestMergeRoundParallelMatchesSerial(t *testing.T) {
 		want := make([]int64, sum)
 		psort.MergeK(want, runs...)
 		got := make([]int64, sum)
-		mergeRound(got, runs, 4)
+		mergeRound(got, runs, 4, ElemInt64)
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("k=%d: parallel round diverges at %d: %d != %d", k, i, got[i], want[i])

@@ -48,8 +48,18 @@ func runRealResilient(ctx context.Context, a Algorithm, xs []int64, threads, meg
 		return RealStats{}, fmt.Errorf("mlmsort: threads %d must be positive", threads)
 	}
 	n := len(xs)
-	if n < 2 {
+	if err := opts.Elem.validateBuffer(n); err != nil {
+		return RealStats{}, err
+	}
+	if n < 2*opts.Elem.cells() {
 		return RealStats{}, ctx.Err()
+	}
+	if opts.Elem == ElemKV {
+		switch a {
+		case MLMDDr, MLMSort, MLMImplicit, MLMHybrid:
+		default:
+			return RealStats{}, fmt.Errorf("mlmsort: %v has no record data flow (ElemKV needs an MLM variant)", a)
+		}
 	}
 	switch a {
 	case GNUFlat, GNUCache, GNUPreferred:
@@ -110,18 +120,21 @@ func megachunkBounds(n, mcLen int) [][2]int {
 }
 
 // megachunkSorter sorts megachunks the MLM way — each worker sorts one
-// maximal block, then a parallel multiway merge through scratch — with a
-// tunable worker width (the autotuner's compute-pool knob) and a reusable
-// run table, so the steady state of a multi-megachunk run performs no
-// per-megachunk allocation. Blocks are sorted with the adaptive kernel:
-// each worker's disjoint segment of scratch doubles as its radix scratch.
+// maximal block, then a multiway merge through scratch — with a tunable
+// worker width (the autotuner's compute-pool knob) and a reusable run
+// table, so the steady state of a multi-megachunk run performs no
+// per-megachunk allocation. Blocks are sorted with the adaptive kernel
+// (or its record twin under ElemKV): each worker's disjoint segment of
+// scratch doubles as its radix scratch.
 type megachunkSorter struct {
-	width *atomic.Int32
-	runs  [][]int64
+	width   *atomic.Int32
+	elem    ElemKind
+	runs    [][]int64
+	recRuns [][]psort.KV
 }
 
-func newMegachunkSorter(threads int) *megachunkSorter {
-	ms := &megachunkSorter{width: new(atomic.Int32)}
+func newMegachunkSorter(threads int, elem ElemKind) *megachunkSorter {
+	ms := &megachunkSorter{width: new(atomic.Int32), elem: elem}
 	ms.width.Store(int32(threads))
 	return ms
 }
@@ -130,6 +143,10 @@ func newMegachunkSorter(threads int) *megachunkSorter {
 // Only the pipeline's single compute goroutine calls it, so the run table
 // needs no lock (the same discipline the shared scratch relies on).
 func (ms *megachunkSorter) sort(mc, scratch []int64) {
+	if ms.elem == ElemKV {
+		ms.sortRecords(mc, scratch)
+		return
+	}
 	m := len(mc)
 	if m < 2 {
 		return
@@ -160,25 +177,72 @@ func (ms *megachunkSorter) sort(mc, scratch []int64) {
 	copy(mc, scratch[:m])
 }
 
+// sortRecords is sort's ElemKV twin: the same block-then-merge shape
+// with worker splits in record units, so no record ever straddles a
+// block. The k-way merge is the serial record loser tree — multisequence
+// selection has no record variant — which record jobs absorb because the
+// staged pipeline overlaps it with the next megachunk's copy-in.
+func (ms *megachunkSorter) sortRecords(mc, scratch []int64) {
+	recs := psort.KVsFromInt64s(mc)
+	r := len(recs)
+	if r < 2 {
+		return
+	}
+	recScratch := psort.KVsFromInt64s(scratch[:len(mc)])
+	w := int(ms.width.Load())
+	if w > r {
+		w = r
+	}
+	if w <= 1 {
+		psort.SortRecordsScratch(recs, recScratch)
+		return
+	}
+	ms.recRuns = ms.recRuns[:0]
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo, hi := r*i/w, r*(i+1)/w
+		block := recs[lo:hi]
+		ms.recRuns = append(ms.recRuns, block)
+		wg.Add(1)
+		go func(block, blockScratch []psort.KV) {
+			defer wg.Done()
+			psort.SortRecordsScratch(block, blockScratch)
+		}(block, recScratch[lo:hi])
+	}
+	wg.Wait()
+	psort.MergeRecordsK(recScratch[:r], ms.recRuns...)
+	copy(recs, recScratch[:r])
+}
+
 // finalMerge is phase 2 of the chunked algorithms: the multiway merge
 // across sorted megachunks, recorded as one whole-array compute span.
-func finalMerge(ctx context.Context, xs []int64, bounds [][2]int, threads int, rec *telemetry.Recorder) error {
+// Under ElemKV the bounds are record-aligned by construction and the
+// merge is the serial record loser tree.
+func finalMerge(ctx context.Context, xs []int64, bounds [][2]int, threads int, rec *telemetry.Recorder, elem ElemKind) error {
 	if len(bounds) < 2 {
 		return ctx.Err()
 	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	runs := make([][]int64, len(bounds))
-	for i, b := range bounds {
-		runs[i] = xs[b[0]:b[1]]
-	}
 	// The merge target comes from the shared pool rather than a per-run
-	// make: ParallelMergeK joins its workers before returning, so the
-	// buffer is idle again by the Put.
+	// make: the merge joins its workers before returning, so the buffer
+	// is idle again by the Put.
 	final := mem.Pool.Get(len(xs))
 	done := spanStart(rec)
-	psort.ParallelMergeK(final, runs, threads)
+	if elem == ElemKV {
+		recRuns := make([][]psort.KV, len(bounds))
+		for i, b := range bounds {
+			recRuns[i] = psort.KVsFromInt64s(xs[b[0]:b[1]])
+		}
+		psort.MergeRecordsK(psort.KVsFromInt64s(final[:len(xs)]), recRuns...)
+	} else {
+		runs := make([][]int64, len(bounds))
+		for i, b := range bounds {
+			runs[i] = xs[b[0]:b[1]]
+		}
+		psort.ParallelMergeK(final, runs, threads)
+	}
 	copy(xs, final)
 	done(exec.StageCompute, wholeArray, touchedBytes(len(xs)))
 	mem.Pool.Put(final)
@@ -194,6 +258,7 @@ func runRealMLM(ctx context.Context, a Algorithm, xs []int64, threads, megachunk
 			megachunkLen = (n + 3) / 4 // exercise the multi-megachunk path
 		}
 	}
+	megachunkLen = opts.Elem.alignChunk(megachunkLen)
 	bounds := megachunkBounds(n, megachunkLen)
 	maxLen := 0
 	for _, b := range bounds {
@@ -213,7 +278,7 @@ func runRealMLM(ctx context.Context, a Algorithm, xs []int64, threads, megachunk
 		scratchPool = nil
 	}
 	stats := RealStats{Megachunks: len(bounds)}
-	sorter := newMegachunkSorter(threads)
+	sorter := newMegachunkSorter(threads, opts.Elem)
 	copyW := new(atomic.Int32)
 	copyW.Store(1) // the paper's baseline: one copy thread each way
 	if opts.Widths != nil {
@@ -332,7 +397,7 @@ func runRealMLM(ctx context.Context, a Algorithm, xs []int64, threads, megachunk
 	}
 
 	// Phase 2: final multiway merge across megachunks.
-	return stats, finalMerge(ctx, xs, bounds, threads, opts.Recorder)
+	return stats, finalMerge(ctx, xs, bounds, threads, opts.Recorder, opts.Elem)
 }
 
 // runRealBasic is Bender et al.'s basic algorithm: each megachunk is sorted
@@ -356,5 +421,5 @@ func runRealBasic(ctx context.Context, xs []int64, threads, megachunkLen int, op
 	if err := exec.RunContext(ctx, opts.finish(s), opts.buffers()); err != nil {
 		return stats, err
 	}
-	return stats, finalMerge(ctx, xs, bounds, threads, opts.Recorder)
+	return stats, finalMerge(ctx, xs, bounds, threads, opts.Recorder, ElemInt64)
 }

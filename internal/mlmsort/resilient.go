@@ -67,6 +67,12 @@ type RealOptions struct {
 	// The final-merge buffer still comes from the shared pool: merge
 	// space is DDR-side in the paper's data flow, not MCDRAM.
 	Pool *mem.SlicePool
+	// Elem selects how the int64 cells are interpreted by the sort and
+	// merge kernels (see ElemKind). The zero value is ElemInt64, the
+	// original key stream. ElemKV requires an even cell count and one of
+	// the MLM staged variants — the whole-array GNU sorts and
+	// BasicChunked have no record kernels.
+	Elem ElemKind
 }
 
 // AutotuneOptions configures mid-run re-provisioning. The zero value is

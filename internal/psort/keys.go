@@ -1,0 +1,78 @@
+package psort
+
+import "math"
+
+// Key transforms that open the int64 kernel suite to other key types.
+//
+// Every kernel in this package ultimately orders 64-bit patterns: the
+// radix sort buckets bytes, the merges compare signed integers. A key
+// type joins the suite by providing a monotone bijection into one of
+// those domains — sort the images, map back, and the original keys come
+// out in their own total order with no new kernel code. float64 is the
+// canonical example: the classic sign-magnitude bit flip below turns
+// IEEE-754 order (with NaNs and signed zeros pinned to fixed positions)
+// into two's-complement int64 order, so float keys ride the exact radix
+// and merge paths the int64 benchmarks tuned — including the service's
+// whole pipeline (megachunk sort, spill runs, k-way merge, wire frames),
+// which only ever sees the mapped int64s.
+
+// Float64SortKey maps f to a uint64 whose unsigned order is a total
+// order over all float64 values:
+//
+//	NaN(sign=1) < -Inf < negatives < -0.0 < +0.0 < positives < +Inf < NaN(sign=0)
+//
+// Negative values have all bits flipped (reversing their magnitude
+// order); non-negatives have only the sign bit flipped (lifting them
+// above every negative). NaNs order among themselves by payload, so the
+// map stays a bijection and sorts are deterministic down to the bit.
+func Float64SortKey(f float64) uint64 {
+	u := math.Float64bits(f)
+	return u ^ (uint64(int64(u)>>63) | 1<<63)
+}
+
+// Float64FromSortKey inverts Float64SortKey.
+func Float64FromSortKey(u uint64) float64 {
+	return math.Float64frombits(u ^ (^uint64(int64(u)>>63) | 1<<63))
+}
+
+// Float64TotalLess is the reference total order the float64 kernels are
+// pinned to: the unsigned order of Float64SortKey. Unlike a < b it is
+// total — NaNs, -0.0 and +0.0 all have fixed positions.
+func Float64TotalLess(a, b float64) bool {
+	return Float64SortKey(a) < Float64SortKey(b)
+}
+
+// sortableFromF64Bits converts one raw IEEE-754 bit pattern (carried in
+// an int64) to the int64 whose signed order is float total order: the
+// sort-key flip composed with the unsigned→signed bias.
+func sortableFromF64Bits(bits int64) int64 {
+	u := uint64(bits)
+	return int64((u ^ (uint64(int64(u)>>63) | 1<<63)) ^ 1<<63)
+}
+
+// f64BitsFromSortable inverts sortableFromF64Bits.
+func f64BitsFromSortable(key int64) int64 {
+	u := uint64(key) ^ 1<<63
+	return int64(u ^ (^uint64(int64(u)>>63) | 1<<63))
+}
+
+// SortableFromFloat64Bits rewrites, in place, a slice of raw IEEE-754
+// bit patterns (as landed by the binary wire path: each element is
+// math.Float64bits of one key, stored in an int64) into sortable int64
+// keys whose signed order is the float total order. This is the service
+// ingress transform: after it, every int64 kernel, spill run, and merge
+// sorts float64 keys without knowing it.
+func SortableFromFloat64Bits(xs []int64) {
+	for i, v := range xs {
+		xs[i] = sortableFromF64Bits(v)
+	}
+}
+
+// Float64BitsFromSortable inverts SortableFromFloat64Bits in place —
+// the service egress transform, applied per result batch before the
+// bytes go back on the wire.
+func Float64BitsFromSortable(xs []int64) {
+	for i, v := range xs {
+		xs[i] = f64BitsFromSortable(v)
+	}
+}

@@ -1,0 +1,45 @@
+package psort
+
+import "unsafe"
+
+// In-memory reinterpretation between layout-identical slice types. These
+// views are what let one tuned radix kernel serve several key types:
+// float64 and int64/uint64 are the same 8-byte, 8-aligned cell, and a
+// KV record is exactly two of them. Unlike the wire package's
+// byte-level zero copy, nothing here depends on endianness — the views
+// never change how memory is *interpreted across machines*, only which
+// Go type reads the same cells in this process — so there is no purego
+// fallback to maintain.
+
+// f64AsI64 views a []float64 as []int64 over the same memory: element i
+// is the raw IEEE-754 bit pattern of xs[i].
+func f64AsI64(xs []float64) []int64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&xs[0])), len(xs))
+}
+
+// KVsFromInt64s views an even-length []int64 as []KV: record i is the
+// pair (xs[2i], xs[2i+1]). This is how the service's record jobs reuse
+// the int64 buffer plumbing (pools, leases, spill runs, wire frames)
+// end to end: the physical buffer stays []int64, and only the kernels
+// see records. Panics on odd length — a record split in half is a
+// corrupted buffer, never a valid job.
+func KVsFromInt64s(xs []int64) []KV {
+	if len(xs)%2 != 0 {
+		panic("psort: KV view of odd-length int64 slice")
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*KV)(unsafe.Pointer(&xs[0])), len(xs)/2)
+}
+
+// Int64sFromKVs is the inverse view of KVsFromInt64s.
+func Int64sFromKVs(rs []KV) []int64 {
+	if len(rs) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&rs[0])), len(rs)*2)
+}

@@ -38,6 +38,11 @@ var (
 	// already in the past — a malformed request, not an overload, since
 	// retrying the identical submission can never succeed.
 	ErrDeadlineExpired = errors.New("sched: job deadline expired before start")
+	// ErrBadSpec classifies malformed submissions — an unknown KeyType,
+	// a record job with an odd cell count or a non-MLM algorithm.
+	// Retrying the identical submission can never succeed; the HTTP
+	// layer maps it to 400.
+	ErrBadSpec = errors.New("sched: malformed job spec")
 	// ErrShed classifies jobs the scheduler itself evicted from the queue
 	// under overload control — deadline became infeasible while waiting,
 	// or a brownout level shed the job's class. Distinct from ErrCanceled

@@ -2,12 +2,14 @@ package sched
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"knlmlm/internal/mlmsort"
+	"knlmlm/internal/psort"
 	"knlmlm/internal/spill"
 	"knlmlm/internal/telemetry"
 	"knlmlm/internal/units"
@@ -43,12 +45,63 @@ func (s State) String() string {
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
 
+// KeyType identifies how a job's Data cells are interpreted at the
+// service edge. The physical buffer is []int64 for every type — what
+// varies is the meaning of the cells and which pipeline legs the job
+// may ride.
+type KeyType uint8
+
+const (
+	// KeyInt64 is the original key stream: one int64 key per cell.
+	KeyInt64 KeyType = iota
+	// KeyFloat64 carries float64 keys as raw IEEE-754 bit cells. At
+	// admission the scheduler maps them through psort's order-preserving
+	// bijection and the whole pipeline — batch, staged, spill — sorts
+	// them as plain int64; the inverse map is applied before any result
+	// leaves (completion for in-memory jobs, per-batch for streamed
+	// spill merges), so results are again bit cells in float64 total
+	// order (NaN sign split, -0.0 < +0.0).
+	KeyFloat64
+	// KeyRecord carries fixed-width key+payload records as interleaved
+	// cell pairs (psort.KV layout). Data must have even length; record
+	// jobs are never batchable (the batch pass sorts bare cells) and run
+	// only the MLM staged algorithms.
+	KeyRecord
+)
+
+// Valid reports whether k is a known key type.
+func (k KeyType) Valid() bool { return k <= KeyRecord }
+
+func (k KeyType) String() string {
+	switch k {
+	case KeyInt64:
+		return "i64"
+	case KeyFloat64:
+		return "f64"
+	case KeyRecord:
+		return "rec"
+	}
+	return fmt.Sprintf("sched.KeyType(%d)", uint8(k))
+}
+
+// elem maps the key type to the pipeline's element kind. Only records
+// change the kernels; float64 jobs are int64 to every layer below the
+// admission/egress bijection.
+func (k KeyType) elem() mlmsort.ElemKind {
+	if k == KeyRecord {
+		return mlmsort.ElemKV
+	}
+	return mlmsort.ElemInt64
+}
+
 // JobSpec describes one sort job.
 type JobSpec struct {
-	// Data is the keys to sort. The scheduler takes ownership: the slice
-	// is sorted in place and must not be touched until the job is
-	// terminal.
+	// Data is the keys to sort, as int64 cells interpreted per KeyType.
+	// The scheduler takes ownership: the slice is sorted in place and
+	// must not be touched until the job is terminal.
 	Data []int64
+	// KeyType selects the cell interpretation; zero is KeyInt64.
+	KeyType KeyType
 	// Priority orders admission: higher runs sooner. Zero is the default
 	// class; negative deprioritizes. Values outside [-8, 8] are clamped
 	// at submission.
@@ -144,8 +197,11 @@ type Job struct {
 // ID reports the job's identifier ("job-000042").
 func (j *Job) ID() string { return j.id }
 
-// N reports the job's element count.
+// N reports the job's cell count (record jobs hold N/2 records).
 func (j *Job) N() int { return j.n }
+
+// KeyType reports the job's key representation.
+func (j *Job) KeyType() KeyType { return j.spec.KeyType }
 
 // State reports the current lifecycle state.
 func (j *Job) State() State { return State(j.state.Load()) }
@@ -170,10 +226,13 @@ func (j *Job) Err() error {
 	return j.err
 }
 
-// Result returns the sorted keys after a successful completion; before a
-// terminal state, or after failure/cancellation, it returns nil and the
-// job's error. Spill-class jobs return ErrSpilled: their output exists
-// only as disk run files and must be consumed through StreamResult.
+// Result returns the sorted cells after a successful completion; before
+// a terminal state, or after failure/cancellation, it returns nil and
+// the job's error. Spill-class jobs return ErrSpilled: their output
+// exists only as disk run files and must be consumed through
+// StreamResult. Cells follow the job's KeyType: IEEE-754 bits in
+// float64 total order for KeyFloat64, interleaved key/payload pairs for
+// KeyRecord.
 //
 // With Config.KeyPool set, the returned slice may be recycled into the
 // pool once the job is evicted from retention — callers on such
@@ -251,6 +310,7 @@ func (j *Job) StreamResult(ctx context.Context, sink func([]int64) error) (int64
 			Resilience: s.cfg.Resilience,
 			Retry:      s.cfg.Retry,
 			Pool:       s.pool,
+			Elem:       j.spec.KeyType.elem(),
 		},
 		DiskRate:  s.diskRate.Read,
 		MergeRate: s.rates.params().SComp,
@@ -263,7 +323,15 @@ func (j *Job) StreamResult(ctx context.Context, sink func([]int64) error) (int64
 	// itself (run reads + heap work).
 	start := time.Now()
 	var sinkTime time.Duration
+	f64 := j.spec.KeyType == KeyFloat64
 	n, err := mlmsort.MergeSpilled(ctx, store, runs, opts, func(batch []int64) error {
+		if f64 {
+			// Run files hold the sortable int64 images; flip each merge
+			// batch back to IEEE bits in place — the batch is the merge's
+			// transient window buffer (or a consumed fill block), never
+			// re-read, so the stream stays zero-copy.
+			psort.Float64BitsFromSortable(batch)
+		}
 		s0 := time.Now()
 		serr := sink(batch)
 		sinkTime += time.Since(s0)

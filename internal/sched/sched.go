@@ -439,7 +439,11 @@ type plan struct {
 func (s *Scheduler) planFor(spec JobSpec) (plan, error) {
 	n := len(spec.Data)
 	perBuf := int64(s.cfg.Buffers + 1) // Buffers staging buffers + 1 sort scratch
-	if spec.MegachunkLen <= 0 && n <= s.cfg.BatchMaxElems {
+	// Record jobs never batch: the shared pass sorts bare cells with the
+	// adaptive kernel, which would interleave keys and payloads. They get
+	// a staged pipeline (whose megachunk alignment mlmsort enforces) at
+	// any size instead.
+	if spec.MegachunkLen <= 0 && n <= s.cfg.BatchMaxElems && spec.KeyType != KeyRecord {
 		return plan{batchable: true, lease: s.batchLease()}, nil
 	}
 	dataBytes := units.Bytes(int64(n) * 8)
@@ -531,12 +535,31 @@ func (s *Scheduler) submit(spec JobSpec, tr *telemetry.JobTrace) (*Job, error) {
 		// zero Algorithm (GNU-flat) is not individually addressable.
 		spec.Algorithm = mlmsort.MLMSort
 	}
+	if err := validateKeyType(spec); err != nil {
+		s.metrics.reject("bad-spec")
+		return nil, err
+	}
 	// Clamp the client-supplied priority before it reaches the virtual-
 	// deadline arithmetic: an extreme negative value would overflow the
 	// slack multiplication into a far-past deadline, letting a supposedly
 	// deprioritized job starve the whole queue.
 	spec.Priority = clampPriority(spec.Priority)
 	p, perr := s.planFor(spec)
+
+	// Float64 ingress: map the IEEE-754 bit cells through the
+	// order-preserving bijection before the lock (it is an O(n) sweep),
+	// so every pipeline below sorts the job as plain int64. A rejected
+	// submission inverts the map on the way out — the caller gets its
+	// buffer back bit-identical.
+	admitted := false
+	if spec.KeyType == KeyFloat64 {
+		psort.SortableFromFloat64Bits(spec.Data)
+		defer func() {
+			if !admitted {
+				psort.Float64BitsFromSortable(spec.Data)
+			}
+		}()
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -621,6 +644,7 @@ func (s *Scheduler) submit(spec JobSpec, tr *telemetry.JobTrace) (*Job, error) {
 	} else if p.batchable {
 		tr.Event("batch-class")
 	}
+	admitted = true
 	s.flight.Add(tr)
 	s.jobs[j.id] = j
 	s.queue.push(j)
@@ -628,6 +652,26 @@ func (s *Scheduler) submit(spec JobSpec, tr *telemetry.JobTrace) (*Job, error) {
 	s.metrics.queueDepth.Set(float64(len(s.queue)))
 	s.kickLocked()
 	return j, nil
+}
+
+// validateKeyType rejects malformed key-typed submissions before they
+// reach the queue: failing them at dispatch would charge the backlog
+// model and a worker slot for a job that can never run.
+func validateKeyType(spec JobSpec) error {
+	if !spec.KeyType.Valid() {
+		return fmt.Errorf("%w: unknown key type %v", ErrBadSpec, spec.KeyType)
+	}
+	if spec.KeyType == KeyRecord {
+		if len(spec.Data)%2 != 0 {
+			return fmt.Errorf("%w: record job has odd cell count %d", ErrBadSpec, len(spec.Data))
+		}
+		switch spec.Algorithm {
+		case mlmsort.MLMDDr, mlmsort.MLMSort, mlmsort.MLMImplicit, mlmsort.MLMHybrid:
+		default:
+			return fmt.Errorf("%w: %v has no record data flow", ErrBadSpec, spec.Algorithm)
+		}
+	}
+	return nil
 }
 
 // retryAfterLocked estimates when capacity frees: one queue's worth of
@@ -1210,6 +1254,7 @@ func (s *Scheduler) runStaged(j *Job, lease *Lease) {
 		Buffers:      s.cfg.Buffers,
 		Widths:       j.widths,
 		Pool:         s.pool,
+		Elem:         j.spec.KeyType.elem(),
 	}
 	if s.cfg.Autotune {
 		opts.Autotune = &mlmsort.AutotuneOptions{
@@ -1222,6 +1267,12 @@ func (s *Scheduler) runStaged(j *Job, lease *Lease) {
 	lease.Release()
 	if err == nil {
 		s.observeDrift(driftStaged, time.Since(runStart), j.predRaw)
+		if j.spec.KeyType == KeyFloat64 {
+			// Float64 egress: the sorted buffer holds the bijection's
+			// int64 images; flip it back so the retained result is IEEE
+			// bits in float64 total order.
+			psort.Float64BitsFromSortable(j.spec.Data)
+		}
 	}
 
 	st := Done
@@ -1280,6 +1331,9 @@ func (s *Scheduler) runSpill(j *Job, lease *Lease) {
 				Buffers:      s.cfg.Buffers,
 				Widths:       j.widths,
 				Pool:         s.pool,
+				// Float64 spill jobs keep the sortable image on disk;
+				// StreamResult inverts each merge batch on egress.
+				Elem: j.spec.KeyType.elem(),
 			},
 			Store: store,
 		}
@@ -1393,6 +1447,11 @@ func (s *Scheduler) runBatch(batch []*Job, lease *Lease) {
 			j := batch[i]
 			if !j.canceled.Load() {
 				copy(j.spec.Data, src)
+				if j.spec.KeyType == KeyFloat64 {
+					// Batched float64 riders invert the ingress bijection
+					// the moment their sorted cells land back.
+					psort.Float64BitsFromSortable(j.spec.Data)
+				}
 			}
 			s.completeBatched(j)
 			return nil

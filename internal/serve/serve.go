@@ -184,6 +184,13 @@ func (s *Server) Drain(ctx context.Context) error {
 type sortRequest struct {
 	// Keys are the int64 keys to sort.
 	Keys []int64 `json:"keys"`
+	// KeyType names the key representation ("i64" default). The typed
+	// kinds ("f64" raw IEEE-754 bit cells, "rec" interleaved key/payload
+	// cell pairs) are binary-wire-only: JSON has no lossless carrier for
+	// 64-bit float payloads or record pairs, so a JSON submit naming one
+	// is a 400. On binary submits the field is implied by the
+	// Content-Type kind parameter.
+	KeyType string `json:"key_type,omitempty"`
 	// Priority orders admission (higher sooner; default 0).
 	Priority int `json:"priority,omitempty"`
 	// DeadlineMS, when positive, is a start deadline relative to arrival.
@@ -204,6 +211,9 @@ type jobStatus struct {
 	N          int    `json:"n"`
 	QueueWait  string `json:"queue_wait,omitempty"`
 	LeaseBytes int64  `json:"lease_bytes,omitempty"`
+	// KeyType is the job's key representation ("f64", "rec"); omitted
+	// for plain int64 jobs.
+	KeyType string `json:"key_type,omitempty"`
 	// Spilled marks a spill-class job: its result is produced by a
 	// consume-once streaming merge at ResultURL.
 	Spilled        bool  `json:"spilled,omitempty"`
@@ -234,6 +244,9 @@ func statusOf(j *sched.Job) jobStatus {
 		ID:    j.ID(),
 		State: j.State().String(),
 		N:     j.N(),
+	}
+	if kt := j.KeyType(); kt != sched.KeyInt64 {
+		st.KeyType = kt.String()
 	}
 	if w := j.QueueWait(); w > 0 {
 		st.QueueWait = w.String()
@@ -303,6 +316,10 @@ func writeSchedError(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusBadRequest, errorBody{
 			Error: err.Error(), Code: "deadline-expired",
 		})
+	case errors.Is(err, sched.ErrBadSpec):
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: err.Error(), Code: "bad-request",
+		})
 	case errors.Is(err, sched.ErrClosed):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{
 			Error: err.Error(), Code: "closed",
@@ -365,6 +382,49 @@ func acceptsWire(r *http.Request) bool {
 	return false
 }
 
+// wireKindOf maps a job's key type to its wire stream kind.
+func wireKindOf(k sched.KeyType) wire.Kind {
+	switch k {
+	case sched.KeyFloat64:
+		return wire.KindFloat64
+	case sched.KeyRecord:
+		return wire.KindRecord
+	}
+	return wire.KindInt64
+}
+
+// keyTypeOf maps a wire stream kind to the scheduler's key type.
+func keyTypeOf(k wire.Kind) sched.KeyType {
+	switch k {
+	case wire.KindFloat64:
+		return sched.KeyFloat64
+	case wire.KindRecord:
+		return sched.KeyRecord
+	}
+	return sched.KeyInt64
+}
+
+// parseKeyType validates the request's key_type. Typed keys (f64, rec)
+// exist only on the binary wire path: a JSON array of integers cannot
+// carry float bits or key/payload pairing without inventing a second
+// in-band encoding, so a JSON submit naming a typed key is a client
+// error, not something to coerce.
+func parseKeyType(name string, binary bool) (sched.KeyType, error) {
+	switch name {
+	case "", "i64":
+		return sched.KeyInt64, nil
+	case "f64", "rec":
+		if !binary {
+			return 0, fmt.Errorf("key_type %q requires a binary submit (Content-Type %s; kind=%s)", name, wire.ContentType, name)
+		}
+		if name == "f64" {
+			return sched.KeyFloat64, nil
+		}
+		return sched.KeyRecord, nil
+	}
+	return 0, fmt.Errorf("unknown key_type %q", name)
+}
+
 // decodeBinarySubmit decodes an application/x-mlm-keys submit body into
 // a pooled key buffer. The stream header carries the exact element
 // count, so the buffer is sized once — bounds-checked against
@@ -410,10 +470,21 @@ func (s *Server) decodeBinarySubmit(w http.ResponseWriter, r *http.Request, body
 			req.DeadlineMS = ms
 		}
 	}
-	fr, err := wire.NewReader(body)
+	kind, ok := wire.KindFromContentType(r.Header.Get("Content-Type"))
+	if !ok {
+		return bad("unknown key kind in Content-Type " + r.Header.Get("Content-Type"))
+	}
+	fr, err := wire.NewReaderAnyKind(body)
 	if err != nil {
 		return bad("bad binary body: " + err.Error())
 	}
+	if fr.Kind() != kind {
+		// The stream magic is authoritative; a mismatched Content-Type
+		// means a proxy rewrote headers or the client lied — either way
+		// the bytes cannot be interpreted as declared.
+		return bad(fmt.Sprintf("stream kind %v does not match Content-Type kind %v", fr.Kind(), kind))
+	}
+	req.KeyType = kind.String()
 	total := fr.Total()
 	if total <= 0 {
 		return bad("keys must be non-empty")
@@ -529,7 +600,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req sortRequest
 	pooled := false // req.Keys came from the key pool; return it on any pre-handoff failure
-	if isWireContentType(r.Header.Get("Content-Type")) {
+	binary := isWireContentType(r.Header.Get("Content-Type"))
+	if binary {
 		var ok bool
 		req, ok = s.decodeBinarySubmit(w, r, body)
 		if !ok {
@@ -574,6 +646,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Code: "bad-request"})
 		return
 	}
+	keyType, err := parseKeyType(req.KeyType, binary)
+	if err != nil {
+		recycle()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Code: "bad-request"})
+		return
+	}
 	tr.EventDetail("decoded", strconv.Itoa(len(req.Keys))+" keys")
 	// The slot covers parsing only: a Wait-mode handler lingers for the
 	// whole sort, and holding ingest capacity across it would let a few
@@ -581,6 +659,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	releaseGate()
 	spec := sched.JobSpec{
 		Data:         req.Keys,
+		KeyType:      keyType,
 		Priority:     req.Priority,
 		Algorithm:    alg,
 		MegachunkLen: req.MegachunkLen,
@@ -728,6 +807,7 @@ type wireResultEncoder struct {
 	w       http.ResponseWriter
 	flusher http.Flusher
 	fw      *wire.Writer
+	ct      string // Content-Type with the stream's kind parameter
 	n       int
 	spilled bool
 	wrote   bool
@@ -737,7 +817,7 @@ func (e *wireResultEncoder) started() bool { return e.wrote }
 
 func (e *wireResultEncoder) writeBatch(batch []int64) error {
 	if !e.wrote {
-		resultHeaders(e.w, wire.ContentType, e.n, e.spilled)
+		resultHeaders(e.w, e.ct, e.n, e.spilled)
 		e.wrote = true
 	}
 	if err := e.fw.Write(batch); err != nil {
@@ -751,7 +831,7 @@ func (e *wireResultEncoder) writeBatch(batch []int64) error {
 
 func (e *wireResultEncoder) finish() error {
 	if !e.wrote {
-		resultHeaders(e.w, wire.ContentType, e.n, e.spilled)
+		resultHeaders(e.w, e.ct, e.n, e.spilled)
 		e.wrote = true
 	}
 	return e.fw.Close()
@@ -784,10 +864,20 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	var enc resultEncoder
 	if acceptsWire(r) {
+		kind := wireKindOf(j.KeyType())
 		enc = &wireResultEncoder{
 			w: w, flusher: flusher, n: j.N(), spilled: j.Spilled(),
-			fw: wire.NewWriter(w, j.N(), s.cfg.WireFrameElems),
+			ct: wire.ContentTypeFor(kind),
+			fw: wire.NewWriterKind(w, kind, j.N(), s.cfg.WireFrameElems),
 		}
+	} else if kt := j.KeyType(); kt != sched.KeyInt64 {
+		// Same asymmetry as submit: float bits and key/payload pairs have
+		// no JSON representation here, so a typed result is wire-only.
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("job has %s keys; download with Accept: %s", kt, wire.ContentTypeFor(wireKindOf(kt))),
+			Code:  "bad-request",
+		})
+		return
 	} else {
 		enc = &jsonResultEncoder{
 			w: w, flusher: flusher, chunk: s.cfg.ResultChunkElems,

@@ -62,8 +62,21 @@ const (
 	MaxFrameElems = 4 << 20
 )
 
-// magic opens every stream; the trailing '1' is the format version.
+// magic opens every int64 stream; the trailing '1' is the format
+// version. Typed streams substitute the kind byte (see kind.go).
 var magic = [4]byte{'M', 'L', 'K', '1'}
+
+// magicPrefix is the kind-independent prefix shared by every stream
+// magic, letting error paths distinguish "wrong kind" from "not wire".
+var magicPrefix = [3]byte{'M', 'L', 'K'}
+
+// ErrWrongKind: the stream is a valid wire stream of a different kind
+// than the reader accepts.
+var ErrWrongKind = errors.New("wire: stream kind mismatch")
+
+// ErrOddRecordStream: a record stream declared an odd cell total — a
+// record split in half is never valid.
+var ErrOddRecordStream = errors.New("wire: record stream with odd cell total")
 
 // Sentinel decode errors, wrapped with detail by the Reader.
 var (
@@ -107,6 +120,7 @@ func ZeroCopy() bool { return zeroCopy }
 type Writer struct {
 	w          io.Writer
 	frameElems int
+	kind       Kind
 	total      uint64
 	written    uint64
 	headerSent bool
@@ -117,25 +131,42 @@ type Writer struct {
 	scratch []byte
 }
 
-// NewWriter starts a stream of exactly total elements. frameElems <= 0
-// selects DefaultFrameElems; larger frames are capped at MaxFrameElems.
-// The stream header is written lazily with the first Write (or Close),
-// so constructing a Writer performs no IO.
+// NewWriter starts an int64 stream of exactly total elements.
+// frameElems <= 0 selects DefaultFrameElems; larger frames are capped at
+// MaxFrameElems. The stream header is written lazily with the first
+// Write (or Close), so constructing a Writer performs no IO.
 func NewWriter(w io.Writer, total int, frameElems int) *Writer {
+	return NewWriterKind(w, KindInt64, total, frameElems)
+}
+
+// NewWriterKind starts a stream of the given kind and exactly total
+// payload cells (for KindRecord that is 2x the record count, and must be
+// even — an odd total panics, since the caller is about to corrupt the
+// stream). The payload cells themselves are written with Write exactly
+// as for an int64 stream: float64 keys as their IEEE bits, records as
+// interleaved key/payload cells.
+func NewWriterKind(w io.Writer, kind Kind, total int, frameElems int) *Writer {
+	if !kind.Valid() {
+		panic("wire: invalid stream kind")
+	}
+	if kind == KindRecord && total%2 != 0 {
+		panic("wire: record stream with odd cell total")
+	}
 	if frameElems <= 0 {
 		frameElems = DefaultFrameElems
 	}
 	if frameElems > MaxFrameElems {
 		frameElems = MaxFrameElems
 	}
-	return &Writer{w: w, frameElems: frameElems, total: uint64(total)}
+	return &Writer{w: w, frameElems: frameElems, kind: kind, total: uint64(total)}
 }
 
 func (fw *Writer) ensureHeader() error {
 	if fw.headerSent {
 		return nil
 	}
-	copy(fw.hdr[:4], magic[:])
+	m := kindMagics[fw.kind]
+	copy(fw.hdr[:4], m[:])
 	binary.LittleEndian.PutUint64(fw.hdr[4:], fw.total)
 	if _, err := fw.w.Write(fw.hdr[:headerLen]); err != nil {
 		return err
@@ -212,10 +243,23 @@ func (fw *Writer) Close() error {
 	return err
 }
 
-// Encode is the one-shot convenience: the full stream for keys, appended
-// to dst (nil dst allocates exactly). Used by clients that build request
-// bodies up front.
+// Encode is the one-shot convenience: the full int64 stream for keys,
+// appended to dst (nil dst allocates exactly). Used by clients that
+// build request bodies up front.
 func Encode(dst []byte, keys []int64, frameElems int) []byte {
+	return EncodeKind(dst, KindInt64, keys, frameElems)
+}
+
+// EncodeKind is Encode for a typed stream: keys holds the payload cells
+// in stream order (IEEE bits for float64, interleaved key/payload cells
+// for records — see NewWriterKind, including the even-total requirement).
+func EncodeKind(dst []byte, kind Kind, keys []int64, frameElems int) []byte {
+	if !kind.Valid() {
+		panic("wire: invalid stream kind")
+	}
+	if kind == KindRecord && len(keys)%2 != 0 {
+		panic("wire: record stream with odd cell total")
+	}
 	if frameElems <= 0 {
 		frameElems = DefaultFrameElems
 	}
@@ -226,7 +270,8 @@ func Encode(dst []byte, keys []int64, frameElems int) []byte {
 		dst = make([]byte, 0, EncodedLen(len(keys), frameElems))
 	}
 	var hdr [headerLen]byte
-	copy(hdr[:4], magic[:])
+	m := kindMagics[kind]
+	copy(hdr[:4], m[:])
 	binary.LittleEndian.PutUint64(hdr[4:], uint64(len(keys)))
 	dst = append(dst, hdr[:headerLen]...)
 	for off := 0; off < len(keys); {
@@ -249,6 +294,7 @@ func Encode(dst []byte, keys []int64, frameElems int) []byte {
 // concurrent use.
 type Reader struct {
 	r     io.Reader
+	kind  Kind
 	total uint64
 	read  uint64
 	// frameLeft is the undelivered remainder of the current frame; eot is
@@ -259,9 +305,26 @@ type Reader struct {
 	scratch   []byte
 }
 
-// NewReader reads the stream header. A short or alien prefix yields
-// ErrBadMagic/ErrTruncated.
+// NewReader reads the stream header of an int64 stream. A short or
+// alien prefix yields ErrBadMagic/ErrTruncated; a valid stream of a
+// different kind yields ErrWrongKind (pre-typed callers keep their exact
+// semantics: only MLK1 decodes).
 func NewReader(r io.Reader) (*Reader, error) {
+	fr, err := NewReaderAnyKind(r)
+	if err != nil {
+		return nil, err
+	}
+	if fr.kind != KindInt64 {
+		return nil, fmt.Errorf("%w: got %s, want i64", ErrWrongKind, fr.kind)
+	}
+	return fr, nil
+}
+
+// NewReaderAnyKind reads the stream header accepting every known kind;
+// Kind reports which one arrived, and the caller routes the cells
+// accordingly. A record stream declaring an odd cell total is rejected
+// here, before any allocation is sized from it.
+func NewReaderAnyKind(r io.Reader) (*Reader, error) {
 	fr := &Reader{r: r}
 	if _, err := io.ReadFull(r, fr.hdr[:headerLen]); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
@@ -269,15 +332,34 @@ func NewReader(r io.Reader) (*Reader, error) {
 		}
 		return nil, err
 	}
-	if [4]byte(fr.hdr[:4]) != magic {
+	got := [4]byte(fr.hdr[:4])
+	kind := Kind(0xff)
+	for k, m := range kindMagics {
+		if got == m {
+			kind = Kind(k)
+			break
+		}
+	}
+	if !kind.Valid() {
+		if [3]byte(got[:3]) == magicPrefix {
+			return nil, fmt.Errorf("%w: unknown kind byte %q", ErrBadMagic, got[3])
+		}
 		return nil, ErrBadMagic
 	}
+	fr.kind = kind
 	fr.total = binary.LittleEndian.Uint64(fr.hdr[4:])
+	if kind == KindRecord && fr.total%2 != 0 {
+		return nil, fmt.Errorf("%w: total %d", ErrOddRecordStream, fr.total)
+	}
 	return fr, nil
 }
 
-// Total reports the stream's declared element count. Callers must treat
-// it as untrusted until bounds-checked: it sizes allocations.
+// Kind reports the stream kind announced by the header.
+func (fr *Reader) Kind() Kind { return fr.kind }
+
+// Total reports the stream's declared payload cell count (for records,
+// 2x the record count). Callers must treat it as untrusted until
+// bounds-checked: it sizes allocations.
 func (fr *Reader) Total() int64 { return int64(fr.total) }
 
 // nextFrame consumes the next frame prefix, leaving the count in
